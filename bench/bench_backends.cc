@@ -1,0 +1,139 @@
+// Ablation A4 (§4.1 "every state type can use a suitable underlying
+// structure"): backend choice and durability mode. Measures raw backend
+// Put/Get and the end-to-end transactional write path per backend.
+
+#include <benchmark/benchmark.h>
+
+#include "core/streamsi.h"
+#include "storage/hash_backend.h"
+#include "storage/lsm_backend.h"
+#include "storage/skiplist_backend.h"
+
+namespace streamsi {
+namespace {
+
+std::unique_ptr<TableBackend> MakeBackend(int which, SyncMode sync) {
+  BackendOptions options;
+  options.sync_mode = sync;
+  options.simulated_sync_micros = 50;
+  options.memtable_bytes = 64 * 1024 * 1024;
+  switch (which) {
+    case 0:
+      return std::make_unique<HashTableBackend>(options);
+    case 1:
+      return std::make_unique<SkipListBackend>(options);
+    default: {
+      options.path =
+          "/tmp/streamsi_bench_backend_" + std::to_string(::getpid());
+      (void)fsutil::RemoveDirRecursive(options.path);
+      auto backend = LsmBackend::Open(options);
+      return std::move(backend).value();
+    }
+  }
+}
+
+const char* BackendName(int which) {
+  return which == 0 ? "hash" : (which == 1 ? "skiplist" : "lsm");
+}
+
+void BM_BackendPut(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const bool sync = state.range(1) != 0;
+  auto backend =
+      MakeBackend(which, sync ? SyncMode::kSimulated : SyncMode::kNone);
+  const std::string value(20, 'v');
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    std::string k = std::to_string(++key % 100000);
+    benchmark::DoNotOptimize(backend->Put(k, value, sync));
+  }
+  state.SetLabel(std::string(BackendName(which)) + (sync ? "+sync" : ""));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackendPut)
+    ->ArgsProduct({{0, 1, 2}, {0}})
+    ->ArgsProduct({{2}, {1}})
+    ->ArgNames({"backend", "sync"});
+
+void BM_BackendGet(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  auto backend = MakeBackend(which, SyncMode::kNone);
+  const std::string value(20, 'v');
+  constexpr std::uint64_t kKeys = 100000;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    (void)backend->Put(std::to_string(k), value, false);
+  }
+  (void)backend->Flush();
+  std::string out;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    key = (key * 2654435761u + 1) % kKeys;
+    benchmark::DoNotOptimize(backend->Get(std::to_string(key), &out));
+  }
+  state.SetLabel(BackendName(which));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackendGet)->Arg(0)->Arg(1)->Arg(2)->ArgName("backend");
+
+/// End-to-end transactional write path (10-op txns) per backend, matching
+/// the evaluation's write side.
+void BM_TxnWritePath(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = which == 0 ? BackendType::kHash
+                               : (which == 1 ? BackendType::kSkipList
+                                             : BackendType::kLsm);
+  options.backend_options.sync_mode =
+      which == 2 ? SyncMode::kSimulated : SyncMode::kNone;
+  if (which == 2) {
+    options.base_dir =
+        "/tmp/streamsi_bench_txnpath_" + std::to_string(::getpid());
+    (void)fsutil::RemoveDirRecursive(options.base_dir);
+  }
+  auto db = Database::Open(options);
+  auto table = TransactionalTable<std::uint32_t, std::uint64_t>(
+      &(*db)->txn_manager(), *(*db)->CreateState("s"));
+
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    auto handle = (*db)->Begin();
+    for (int op = 0; op < 10; ++op) {
+      (void)table.Put((*handle)->txn(), ++key % 65536,
+                      static_cast<std::uint64_t>(op));
+    }
+    benchmark::DoNotOptimize((*handle)->Commit());
+  }
+  state.SetLabel(BackendName(which));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TxnWritePath)->Arg(0)->Arg(1)->Arg(2)->ArgName("backend");
+
+/// Transactional read path against a preloaded table (the readers of
+/// Figure 4; "mostly only accessing memory").
+void BM_TxnReadPath(benchmark::State& state) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  auto db = Database::Open(options);
+  auto table = TransactionalTable<std::uint32_t, std::uint64_t>(
+      &(*db)->txn_manager(), *(*db)->CreateState("s"));
+  constexpr std::uint32_t kKeys = 65536;
+  for (std::uint32_t k = 0; k < kKeys; ++k) (void)table.BulkLoad(k, k);
+
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    auto handle = (*db)->Begin();
+    for (int op = 0; op < 10; ++op) {
+      key = (key * 2654435761u + 1) % kKeys;
+      benchmark::DoNotOptimize(table.Get((*handle)->txn(), key));
+    }
+    benchmark::DoNotOptimize((*handle)->Commit());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10);
+}
+BENCHMARK(BM_TxnReadPath);
+
+}  // namespace
+}  // namespace streamsi
+
+BENCHMARK_MAIN();

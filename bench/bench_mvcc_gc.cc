@@ -1,0 +1,91 @@
+// Ablation A1 (§4.1): version-array capacity and on-demand garbage
+// collection under an update-heavy workload.
+
+#include <benchmark/benchmark.h>
+
+#include "mvcc/mvcc_object.h"
+
+namespace streamsi {
+namespace {
+
+/// Endless updates on one MvccObject with a trailing oldest_active horizon:
+/// every Install that finds the array full triggers on-demand GC.
+void BM_MvccInstallWithGc(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  const Timestamp horizon_lag = static_cast<Timestamp>(state.range(1));
+  MvccObject object(capacity);
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    const Timestamp oldest_active = ts > horizon_lag ? ts - horizon_lag : 0;
+    benchmark::DoNotOptimize(
+        object.Install("twenty-byte-payload!", ts, oldest_active));
+    ++ts;
+  }
+  state.counters["versions"] = object.VersionCount();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MvccInstallWithGc)
+    ->ArgsProduct({{2, 4, 8, 16, 64}, {1, 4}})
+    ->ArgNames({"slots", "horizon_lag"});
+
+/// Visibility search cost as the version array fills up.
+void BM_MvccVisibilityLookup(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  MvccObject object(capacity);
+  for (int i = 0; i < capacity; ++i) {
+    (void)object.Install("v" + std::to_string(i),
+                         static_cast<Timestamp>(10 * (i + 1)), 0);
+  }
+  std::string value;
+  Timestamp read_ts = 5;
+  for (auto _ : state) {
+    read_ts = (read_ts + 7) % (static_cast<Timestamp>(capacity) * 10 + 20);
+    benchmark::DoNotOptimize(object.GetVisible(read_ts, &value));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MvccVisibilityLookup)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(64)
+    ->ArgName("slots");
+
+/// Explicit GC pass cost over a fully populated array.
+void BM_MvccGarbageCollect(benchmark::State& state) {
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    MvccObject object(capacity);
+    for (int i = 0; i < capacity; ++i) {
+      (void)object.Install("payload-payload-pay!",
+                           static_cast<Timestamp>(i + 1), 0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        object.GarbageCollect(static_cast<Timestamp>(capacity + 1)));
+  }
+}
+BENCHMARK(BM_MvccGarbageCollect)->Arg(8)->Arg(64)->ArgName("slots");
+
+/// Serialization round-trip of a populated MVCC object (the base-table
+/// write-through payload).
+void BM_MvccEncodeDecode(benchmark::State& state) {
+  MvccObject object(8);
+  for (int i = 0; i < 4; ++i) {
+    (void)object.Install("twenty-byte-payload!",
+                         static_cast<Timestamp>(i + 1), 0);
+  }
+  for (auto _ : state) {
+    std::string blob;
+    object.EncodeTo(&blob);
+    auto decoded = MvccObject::Decode(blob, 8);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MvccEncodeDecode);
+
+}  // namespace
+}  // namespace streamsi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Ablation A5: transaction length. The paper fixes "medium length (10
+// operations each)"; this sweeps 1..100 operations per transaction for all
+// three protocols to show where per-transaction overheads (BOT/commit,
+// validation, lock acquisition) dominate versus per-operation costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/streamsi.h"
+
+namespace streamsi {
+namespace {
+
+void BM_TxnLength(benchmark::State& state) {
+  const auto protocol = static_cast<ProtocolType>(state.range(0));
+  const int ops = static_cast<int>(state.range(1));
+
+  DatabaseOptions options;
+  options.protocol = protocol;
+  auto db = Database::Open(options);
+  auto table = TransactionalTable<std::uint32_t, std::uint64_t>(
+      &(*db)->txn_manager(), *(*db)->CreateState("s"));
+  constexpr std::uint32_t kKeys = 65536;
+  for (std::uint32_t k = 0; k < kKeys; ++k) (void)table.BulkLoad(k, k);
+
+  std::uint32_t key = 0;
+  for (auto _ : state) {
+    auto handle = (*db)->Begin();
+    for (int op = 0; op < ops; ++op) {
+      key = (key * 2654435761u + 1) % kKeys;
+      if (op % 2 == 0) {
+        benchmark::DoNotOptimize(table.Get((*handle)->txn(), key));
+      } else {
+        (void)table.Put((*handle)->txn(), key,
+                        static_cast<std::uint64_t>(op));
+      }
+    }
+    benchmark::DoNotOptimize((*handle)->Commit());
+  }
+  state.SetLabel(ProtocolTypeName(protocol));
+  // Operations per second is the comparable rate across lengths.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ops);
+}
+BENCHMARK(BM_TxnLength)
+    ->ArgsProduct({{static_cast<long>(ProtocolType::kMvcc),
+                    static_cast<long>(ProtocolType::kS2pl),
+                    static_cast<long>(ProtocolType::kBocc)},
+                   {1, 10, 100}})
+    ->ArgNames({"protocol", "ops"});
+
+}  // namespace
+}  // namespace streamsi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Persistence & recovery demo: committed transactions survive "crashes"
+// (process restarts), unfinished multi-state group commits are purged so
+// the states always come back mutually consistent (§4 requirements,
+// recovery rule of §4.3).
+//
+//   $ ./examples/recovery_demo [dir]
+
+#include <cstdio>
+
+#include "core/streamsi.h"
+
+using namespace streamsi;
+
+namespace {
+
+struct Schema {
+  std::unique_ptr<Database> db;
+  TransactionalTable<std::uint64_t, std::uint64_t> accounts;
+  TransactionalTable<std::uint64_t, std::uint64_t> audit;
+  GroupId group;
+};
+
+Schema OpenAndRecover(const std::string& dir) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  options.base_dir = dir;
+  auto db = Database::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  Schema schema;
+  schema.db = std::move(db).value();
+  schema.accounts = TransactionalTable<std::uint64_t, std::uint64_t>(
+      &schema.db->txn_manager(), *schema.db->CreateState("accounts"));
+  schema.audit = TransactionalTable<std::uint64_t, std::uint64_t>(
+      &schema.db->txn_manager(), *schema.db->CreateState("audit"));
+  schema.group =
+      schema.db->CreateGroup({schema.accounts.id(), schema.audit.id()});
+  const Status recovered = schema.db->Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover: %s\n", recovered.ToString().c_str());
+    std::exit(1);
+  }
+  return schema;
+}
+
+void Report(Schema& schema, const char* label) {
+  auto txn = schema.db->Begin();
+  std::uint64_t balance_total = 0;
+  std::size_t accounts = 0;
+  schema.accounts.Scan((*txn)->txn(),
+                       [&](const std::uint64_t&, const std::uint64_t& v) {
+                         balance_total += v;
+                         ++accounts;
+                         return true;
+                       });
+  std::size_t audit_rows = 0;
+  schema.audit.Scan((*txn)->txn(),
+                    [&](const std::uint64_t&, const std::uint64_t&) {
+                      ++audit_rows;
+                      return true;
+                    });
+  (void)(*txn)->Commit();
+  std::printf("%s: %zu accounts (total %llu), %zu audit rows, group "
+              "LastCTS=%llu\n",
+              label, accounts,
+              static_cast<unsigned long long>(balance_total), audit_rows,
+              static_cast<unsigned long long>(
+                  schema.db->context().LastCts(schema.group)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir =
+      argc > 1 ? argv[1] : "/tmp/streamsi_recovery_demo";
+  (void)fsutil::RemoveDirRecursive(dir);
+
+  // --- Life 1: create data, commit transactions, then "crash". -----------
+  {
+    Schema schema = OpenAndRecover(dir);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      auto txn = schema.db->Begin();
+      schema.accounts.Put((*txn)->txn(), i, 100 * (i + 1));
+      schema.audit.Put((*txn)->txn(), i, i);
+      const Status status = (*txn)->Commit();
+      if (!status.ok()) {
+        std::fprintf(stderr, "commit failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    // One aborted transaction: must leave no trace.
+    {
+      auto txn = schema.db->Begin();
+      schema.accounts.Put((*txn)->txn(), 999, 1);
+      (*txn)->Abort();
+    }
+    Report(schema, "life 1 (before crash)");
+    // Destructor without clean shutdown protocol == crash for our purposes:
+    // durability came from the per-commit fsyncs.
+  }
+
+  // --- Life 2: restart, recover, verify. ---------------------------------
+  {
+    Schema schema = OpenAndRecover(dir);
+    Report(schema, "life 2 (recovered)  ");
+
+    // Simulate a *torn group commit*: state `accounts` gets a version
+    // persisted, but the crash hits before the group commit record is
+    // written — as if the process died between phase 2 and phase 3.
+    VersionedStore* store = schema.db->GetState(schema.accounts.id());
+    const Timestamp torn = schema.db->context().clock().Next();
+    (void)store->ApplyCommitted(EncodeToString<std::uint64_t>(0),
+                                EncodeToString<std::uint64_t>(424242), false,
+                                torn, 0, /*sync=*/true);
+    std::printf("life 2: injected torn commit of account 0 at cts=%llu "
+                "(no group record)\n",
+                static_cast<unsigned long long>(torn));
+  }
+
+  // --- Life 3: recovery must purge the torn version. ----------------------
+  {
+    Schema schema = OpenAndRecover(dir);
+    auto txn = schema.db->Begin();
+    auto account0 = schema.accounts.Get((*txn)->txn(), 0);
+    (void)(*txn)->Commit();
+    std::printf("life 3 (recovered)  : account 0 = %llu %s\n",
+                static_cast<unsigned long long>(account0.value_or(0)),
+                *account0 == 100 ? "(torn commit purged: consistent)"
+                                 : "(UNEXPECTED)");
+    Report(schema, "life 3 (final)      ");
+  }
+  return 0;
+}

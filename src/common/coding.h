@@ -1,0 +1,109 @@
+// Little-endian fixed-width and varint encoding helpers for on-disk and
+// in-table serialization (WAL records, SSTable blocks, MVCC objects).
+
+#ifndef STREAMSI_COMMON_CODING_H_
+#define STREAMSI_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace streamsi {
+
+inline void PutFixed32(std::string* dst, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline std::uint32_t DecodeFixed32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t DecodeFixed64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Appends v as LEB128 varint (1–5 bytes).
+inline void PutVarint32(std::string* dst, std::uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint64(std::string* dst, std::uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Parses a varint32 from [p, limit). Returns nullptr on malformed input,
+/// otherwise the first byte past the varint.
+inline const char* GetVarint32(const char* p, const char* limit,
+                               std::uint32_t* value) {
+  std::uint32_t result = 0;
+  for (int shift = 0; shift <= 28 && p < limit; shift += 7) {
+    const std::uint32_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7F) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+inline const char* GetVarint64(const char* p, const char* limit,
+                               std::uint64_t* value) {
+  std::uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const std::uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7F) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+/// Appends a length-prefixed string (varint32 length + bytes).
+inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint32(dst, static_cast<std::uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+/// Parses a length-prefixed string. Returns nullptr on malformed input.
+inline const char* GetLengthPrefixed(const char* p, const char* limit,
+                                     std::string_view* value) {
+  std::uint32_t len = 0;
+  p = GetVarint32(p, limit, &len);
+  if (p == nullptr || static_cast<std::size_t>(limit - p) < len) {
+    return nullptr;
+  }
+  *value = std::string_view(p, len);
+  return p + len;
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_CODING_H_

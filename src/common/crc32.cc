@@ -1,0 +1,34 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace streamsi {
+namespace {
+
+// Table-driven CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t init) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~init;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace streamsi

@@ -1,0 +1,32 @@
+// CRC-32C (Castagnoli) for WAL and SSTable integrity checking.
+
+#ifndef STREAMSI_COMMON_CRC32_H_
+#define STREAMSI_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace streamsi {
+
+/// CRC-32C of `data`, seeded with `init` (pass a previous CRC to chain).
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t init = 0);
+
+inline std::uint32_t Crc32c(std::string_view s, std::uint32_t init = 0) {
+  return Crc32c(s.data(), s.size(), init);
+}
+
+/// Masks a CRC so that CRCs of data containing embedded CRCs stay robust
+/// (RocksDB/LevelDB idiom).
+inline std::uint32_t MaskCrc(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline std::uint32_t UnmaskCrc(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_CRC32_H_

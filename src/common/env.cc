@@ -1,0 +1,205 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace streamsi {
+
+namespace {
+Status ErrnoStatus(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+constexpr std::size_t kWriteBufferLimit = 64 * 1024;
+}  // namespace
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) {
+    Flush();
+    ::close(fd_);
+  }
+}
+
+Status WritableFile::Open(const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) return ErrnoStatus("open " + path);
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) == 0) {
+    size_ = truncate ? 0 : static_cast<std::uint64_t>(st.st_size);
+  }
+  buffer_.reserve(kWriteBufferLimit);
+  return Status::OK();
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IoError("append to closed file");
+  buffer_.append(data.data(), data.size());
+  size_ += data.size();
+  if (buffer_.size() >= kWriteBufferLimit) return Flush();
+  return Status::OK();
+}
+
+Status WritableFile::Flush() {
+  if (fd_ < 0) return Status::IoError("flush closed file");
+  const char* p = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write " + path_);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  STREAMSI_RETURN_NOT_OK(Flush());
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_);
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Flush();
+  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close " + path_);
+  fd_ = -1;
+  return s;
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Open(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return ErrnoStatus("open " + path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path);
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status RandomAccessFile::Read(std::uint64_t offset, std::size_t n,
+                              std::string* out) const {
+  out->resize(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                              static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread");
+    }
+    if (r == 0) return Status::IoError("short read");
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status RandomAccessFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+namespace fsutil {
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return ErrnoStatus("mkdir " + path);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return ErrnoStatus("unlink " + path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status ListDir(const std::string& path, std::vector<std::string>* names) {
+  names->clear();
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir " + path);
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names->push_back(name);
+  }
+  ::closedir(dir);
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return errno == ENOENT ? Status::OK() : ErrnoStatus("stat " + path);
+  }
+  if (!S_ISDIR(st.st_mode)) return RemoveFile(path);
+  std::vector<std::string> names;
+  STREAMSI_RETURN_NOT_OK(ListDir(path, &names));
+  for (const auto& name : names) {
+    STREAMSI_RETURN_NOT_OK(RemoveDirRecursive(path + "/" + name));
+  }
+  if (::rmdir(path.c_str()) != 0) return ErrnoStatus("rmdir " + path);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  RandomAccessFile file;
+  STREAMSI_RETURN_NOT_OK(file.Open(path));
+  return file.Read(0, file.size(), out);
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    WritableFile file;
+    STREAMSI_RETURN_NOT_OK(file.Open(tmp, /*truncate=*/true));
+    STREAMSI_RETURN_NOT_OK(file.Append(contents));
+    STREAMSI_RETURN_NOT_OK(file.Sync());
+    STREAMSI_RETURN_NOT_OK(file.Close());
+  }
+  STREAMSI_RETURN_NOT_OK(RenameFile(tmp, path));
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    return SyncDir(path.substr(0, slash));
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + dir);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir " + dir);
+  ::close(fd);
+  return s;
+}
+
+}  // namespace fsutil
+
+}  // namespace streamsi

@@ -1,0 +1,85 @@
+// Thin POSIX filesystem wrappers used by the storage layer (WAL, SSTables,
+// manifest, group-commit records). All operations report failures through
+// Status rather than exceptions.
+
+#ifndef STREAMSI_COMMON_ENV_H_
+#define STREAMSI_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamsi {
+
+/// Append-only file handle with optional fsync-on-sync.
+class WritableFile {
+ public:
+  WritableFile() = default;
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Opens (creating/truncating if `truncate`) the file for appending.
+  Status Open(const std::string& path, bool truncate = false);
+  Status Append(std::string_view data);
+  /// Flushes userspace buffers to the OS.
+  Status Flush();
+  /// fsync(2): durably persists the file contents.
+  Status Sync();
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string buffer_;  // small user-space write buffer
+  std::string path_;
+};
+
+/// Random-access read-only file.
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  Status Open(const std::string& path);
+  /// Reads exactly `n` bytes at `offset` into `out` (resized).
+  Status Read(std::uint64_t offset, std::size_t n, std::string* out) const;
+  Status Close();
+
+  std::uint64_t size() const { return size_; }
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+/// Filesystem helpers.
+namespace fsutil {
+
+Status CreateDirIfMissing(const std::string& path);
+Status RemoveFile(const std::string& path);
+/// Recursively removes a directory tree (used by tests/benches).
+Status RemoveDirRecursive(const std::string& path);
+bool FileExists(const std::string& path);
+Status ListDir(const std::string& path, std::vector<std::string>* names);
+Status ReadFileToString(const std::string& path, std::string* out);
+/// Atomic replace: write tmp + fsync + rename (crash-safe publication).
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents);
+Status RenameFile(const std::string& from, const std::string& to);
+/// fsyncs the directory containing `path` so renames are durable.
+Status SyncDir(const std::string& dir);
+
+}  // namespace fsutil
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_ENV_H_

@@ -1,0 +1,165 @@
+// Lightweight synchronization primitives.
+//
+// §4.2: "To synchronize the actual access of MVCC blocks a lightweight
+// locking strategy with read-write locks (latches) can be used." RwLatch is
+// that latch; SpinLock is used for tiny critical sections elsewhere.
+
+#ifndef STREAMSI_COMMON_LATCH_H_
+#define STREAMSI_COMMON_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace streamsi {
+
+/// Busy-wait hint for spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Adaptive backoff: spin briefly, then yield the core. Pure pause-spinning
+/// wastes whole scheduler quanta when threads outnumber cores (the lock
+/// holder cannot run while the waiter spins), so longer waits must yield.
+class SpinBackoff {
+ public:
+  void Pause() {
+    if (++spins_ < kSpinLimit) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+  int spins_ = 0;
+};
+
+/// Minimal test-and-test-and-set spinlock. Satisfies Lockable.
+class SpinLock {
+ public:
+  void lock() {
+    SpinBackoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.Pause();
+    }
+  }
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Reader–writer latch: single atomic word, writer-preferring enough for
+/// short critical sections (no queueing, spins).
+///
+/// State encoding: kWriterBit set => writer holds it; lower bits count
+/// readers.
+class RwLatch {
+ public:
+  void LockShared() {
+    SpinBackoff backoff;
+    for (;;) {
+      std::uint32_t cur = state_.load(std::memory_order_relaxed);
+      if (!(cur & kWriterBit)) {
+        if (state_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+      } else {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool TryLockShared() {
+    std::uint32_t cur = state_.load(std::memory_order_relaxed);
+    while (!(cur & kWriterBit)) {
+      if (state_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    // Claim the writer bit, then wait for readers to drain.
+    SpinBackoff backoff;
+    for (;;) {
+      std::uint32_t cur = state_.load(std::memory_order_relaxed);
+      if (!(cur & kWriterBit) &&
+          state_.compare_exchange_weak(cur, cur | kWriterBit,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        break;
+      }
+      backoff.Pause();
+    }
+    SpinBackoff drain;
+    while (state_.load(std::memory_order_acquire) != kWriterBit) {
+      drain.Pause();
+    }
+  }
+
+  bool TryLockExclusive() {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriterBit,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void UnlockExclusive() {
+    state_.fetch_and(~kWriterBit, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::uint32_t kWriterBit = 0x80000000u;
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// RAII shared lock over RwLatch.
+class SharedGuard {
+ public:
+  explicit SharedGuard(RwLatch& latch) : latch_(&latch) {
+    latch_->LockShared();
+  }
+  ~SharedGuard() { latch_->UnlockShared(); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  RwLatch* latch_;
+};
+
+/// RAII exclusive lock over RwLatch.
+class ExclusiveGuard {
+ public:
+  explicit ExclusiveGuard(RwLatch& latch) : latch_(&latch) {
+    latch_->LockExclusive();
+  }
+  ~ExclusiveGuard() { latch_->UnlockExclusive(); }
+  ExclusiveGuard(const ExclusiveGuard&) = delete;
+  ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+ private:
+  RwLatch* latch_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_LATCH_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr. Off by default above WARN to keep
+// benchmark output clean; set streamsi::SetLogLevel() to change.
+
+#ifndef STREAMSI_COMMON_LOGGING_H_
+#define STREAMSI_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace streamsi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+inline std::mutex g_log_mutex;
+}  // namespace internal
+
+inline void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_level.load(std::memory_order_relaxed);
+}
+
+inline void LogMessage(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> guard(internal::g_log_mutex);
+  std::fprintf(stderr, "[streamsi %s] %s\n",
+               kNames[static_cast<int>(level)], msg.c_str());
+}
+
+}  // namespace streamsi
+
+#define STREAMSI_LOG(level, expr)                                   \
+  do {                                                              \
+    if (::streamsi::LogEnabled(level)) {                            \
+      std::ostringstream _oss;                                      \
+      _oss << expr;                                                 \
+      ::streamsi::LogMessage(level, _oss.str());                    \
+    }                                                               \
+  } while (0)
+
+#define STREAMSI_DEBUG(expr) STREAMSI_LOG(::streamsi::LogLevel::kDebug, expr)
+#define STREAMSI_INFO(expr) STREAMSI_LOG(::streamsi::LogLevel::kInfo, expr)
+#define STREAMSI_WARN(expr) STREAMSI_LOG(::streamsi::LogLevel::kWarn, expr)
+#define STREAMSI_ERROR(expr) STREAMSI_LOG(::streamsi::LogLevel::kError, expr)
+
+#endif  // STREAMSI_COMMON_LOGGING_H_

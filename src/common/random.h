@@ -1,0 +1,52 @@
+// Fast pseudo-random number generation for workload generators.
+
+#ifndef STREAMSI_COMMON_RANDOM_H_
+#define STREAMSI_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace streamsi {
+
+/// xorshift128+ generator: fast, decent quality, deterministic per seed.
+/// Not cryptographically secure; intended for benchmarks and tests.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to avoid poor low-entropy seeds.
+    auto splitmix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    s0_ = splitmix();
+    s1_ = splitmix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_RANDOM_H_

@@ -1,0 +1,81 @@
+// Serializer<T> traits: typed keys/values <-> byte strings.
+//
+// The transactional table (§4.1) is a wrapper over "any existing backend
+// structure with a key-value mapping"; backends are byte-oriented, so typed
+// tables translate through these traits. Specializations are provided for
+// trivially copyable types and std::string; user types can either be
+// trivially copyable or specialize Serializer<T>.
+
+#ifndef STREAMSI_COMMON_SERDE_H_
+#define STREAMSI_COMMON_SERDE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace streamsi {
+
+/// Default serializer: memcpy for trivially copyable types.
+template <typename T, typename Enable = void>
+struct Serializer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Specialize streamsi::Serializer<T> for non-trivially-"
+                "copyable types");
+
+  static void Encode(const T& value, std::string* out) {
+    out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  static bool Decode(std::string_view in, T* out) {
+    if (in.size() != sizeof(T)) return false;
+    std::memcpy(out, in.data(), sizeof(T));
+    return true;
+  }
+};
+
+/// Strings serialize as their raw bytes.
+template <>
+struct Serializer<std::string> {
+  static void Encode(const std::string& value, std::string* out) {
+    out->append(value);
+  }
+  static bool Decode(std::string_view in, std::string* out) {
+    out->assign(in.data(), in.size());
+    return true;
+  }
+};
+
+/// Convenience: encode to a fresh string.
+template <typename T>
+std::string EncodeToString(const T& value) {
+  std::string out;
+  Serializer<T>::Encode(value, &out);
+  return out;
+}
+
+/// Fixed-width big-endian encoding for integer keys so that the byte order
+/// matches the numeric order (needed for ordered backends / scans).
+template <typename Int>
+std::string OrderPreservingKey(Int key) {
+  static_assert(std::is_unsigned_v<Int>, "use unsigned keys for ordering");
+  std::string out(sizeof(Int), '\0');
+  for (std::size_t i = 0; i < sizeof(Int); ++i) {
+    out[i] = static_cast<char>(key >> (8 * (sizeof(Int) - 1 - i)));
+  }
+  return out;
+}
+
+template <typename Int>
+Int DecodeOrderPreservingKey(std::string_view in) {
+  Int key = 0;
+  for (std::size_t i = 0; i < sizeof(Int) && i < in.size(); ++i) {
+    key = static_cast<Int>((key << 8) |
+                           static_cast<unsigned char>(in[i]));
+  }
+  return key;
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_SERDE_H_

@@ -1,0 +1,79 @@
+// AtomicSlotMask: lock-free allocation of up to 64 slots out of a single
+// 64-bit word, updated with CAS.
+//
+// The paper (§4.1, footnote 2) manages both the free version slots of an
+// MVCC object (UsedSlots) and the active-transaction table entries with
+// "a 64-bit integer, which is updated by CAS operations". This class is that
+// integer.
+
+#ifndef STREAMSI_COMMON_SLOT_MASK_H_
+#define STREAMSI_COMMON_SLOT_MASK_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace streamsi {
+
+/// Lock-free bit-vector slot allocator over a single 64-bit word.
+class AtomicSlotMask {
+ public:
+  static constexpr int kMaxSlots = 64;
+  static constexpr int kNoSlot = -1;
+
+  explicit AtomicSlotMask(std::uint64_t initial = 0) : bits_(initial) {}
+
+  /// Atomically claims the lowest free slot among the first `capacity` bits.
+  /// Returns the slot index, or kNoSlot if all `capacity` slots are taken.
+  int Acquire(int capacity = kMaxSlots) {
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t limit =
+          capacity >= kMaxSlots ? ~0ull : ((1ull << capacity) - 1);
+      const std::uint64_t free = ~cur & limit;
+      if (free == 0) return kNoSlot;
+      const int slot = std::countr_zero(free);
+      const std::uint64_t want = cur | (1ull << slot);
+      if (bits_.compare_exchange_weak(cur, want, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return slot;
+      }
+      // cur was refreshed by the failed CAS; retry.
+    }
+  }
+
+  /// Atomically claims a specific slot. Returns false if already taken.
+  bool AcquireSlot(int slot) {
+    const std::uint64_t mask = 1ull << slot;
+    std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+    do {
+      if (cur & mask) return false;
+    } while (!bits_.compare_exchange_weak(cur, cur | mask,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+    return true;
+  }
+
+  /// Releases a previously acquired slot.
+  void Release(int slot) {
+    bits_.fetch_and(~(1ull << slot), std::memory_order_acq_rel);
+  }
+
+  bool IsSet(int slot) const {
+    return (bits_.load(std::memory_order_acquire) >> slot) & 1u;
+  }
+
+  /// Number of occupied slots.
+  int Count() const {
+    return std::popcount(bits_.load(std::memory_order_acquire));
+  }
+
+  std::uint64_t Raw() const { return bits_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::uint64_t> bits_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_SLOT_MASK_H_

@@ -1,0 +1,169 @@
+// Status and Result<T>: exception-free error handling in the RocksDB style.
+//
+// All fallible operations in streamsi return a Status (or a Result<T> that
+// couples a Status with a value). Statuses are cheap to copy for the OK case
+// (no allocation) and carry a code plus a context message otherwise.
+
+#ifndef STREAMSI_COMMON_STATUS_H_
+#define STREAMSI_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace streamsi {
+
+/// Error category for a failed operation.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound = 1,        ///< Key or object does not exist (or is not visible).
+  kConflict = 2,        ///< Write-write conflict (first-committer-wins loser).
+  kAborted = 3,         ///< Transaction was aborted (by user or protocol).
+  kBusy = 4,            ///< Lock could not be acquired (wait-die victim etc.).
+  kInvalidArgument = 5, ///< Caller passed something nonsensical.
+  kIoError = 6,         ///< Filesystem-level failure.
+  kCorruption = 7,      ///< Checksum mismatch or malformed on-disk data.
+  kNotSupported = 8,    ///< Operation not implemented for this configuration.
+  kResourceExhausted = 9, ///< Out of slots (versions, transactions, ...).
+  kTimedOut = 10,       ///< Deadline exceeded waiting for a resource.
+};
+
+/// Human-readable name of a status code ("Ok", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The OK status is represented by a null state pointer, so returning and
+/// copying `Status::OK()` never allocates.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Conflict(std::string_view msg = "") {
+    return Status(StatusCode::kConflict, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(StatusCode::kBusy, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg = "") {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg = "") {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsConflict() const { return code() == StatusCode::kConflict; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  std::string_view message() const {
+    return state_ == nullptr ? std::string_view() : state_->message;
+  }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code() == other.code(); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string_view msg)
+      : state_(std::make_shared<State>(State{code, std::string(msg)})) {}
+
+  // Shared so Status stays copyable without duplicating the message.
+  std::shared_ptr<State> state_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error: `return Status::NotFound();`. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from Status requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagate a non-OK Status to the caller.
+#define STREAMSI_RETURN_NOT_OK(expr)             \
+  do {                                           \
+    ::streamsi::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_STATUS_H_

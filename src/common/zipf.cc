@@ -1,0 +1,59 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace streamsi {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta,
+                                   std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // theta == 1 makes the Gray et al. formulas singular (alpha = 1/(1-theta));
+  // nudge it the way YCSB-style implementations do.
+  if (theta_ == 1.0) theta_ = 0.99999;
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - Zeta(2, theta_) / zetan_);
+}
+
+double ZipfianGenerator::Zeta(std::uint64_t n, double theta) const {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianGenerator::Next() {
+  if (theta_ == 0.0) return rng_.Uniform(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const double v =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t rank = static_cast<std::uint64_t>(v);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+std::uint64_t ZipfianGenerator::ScrambledNext() {
+  const std::uint64_t rank = Next();
+  // FNV-1a 64-bit scramble to decorrelate rank from key id.
+  std::uint64_t h = 14695981039346656037ull;
+  std::uint64_t x = rank;
+  for (int i = 0; i < 8; ++i) {
+    h ^= x & 0xFF;
+    h *= 1099511628211ull;
+    x >>= 8;
+  }
+  return h % n_;
+}
+
+double ZipfianGenerator::HottestProbability() const {
+  if (theta_ == 0.0) return 1.0 / static_cast<double>(n_);
+  return 1.0 / zetan_;
+}
+
+}  // namespace streamsi

@@ -1,0 +1,57 @@
+// Zipfian key generator following J. Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD 1994) — the generator the
+// paper cites for its contention sweep (§5.1, reference [7]).
+//
+// The skew parameter theta matches the paper's usage: theta = 0 is uniform;
+// the paper notes theta = 2.9 makes ~82 % of accesses hit the same key.
+
+#ifndef STREAMSI_COMMON_ZIPF_H_
+#define STREAMSI_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace streamsi {
+
+/// Zipfian-distributed generator over [0, n).
+///
+/// Uses the closed-form inverse-CDF approximation from Gray et al. '94.
+/// Deterministic for a fixed seed. Rank 0 is the hottest item; callers that
+/// want to avoid cross-run correlation should scramble the output
+/// (e.g. FNV hash mod n), as ScrambledNext() does.
+class ZipfianGenerator {
+ public:
+  /// @param n      number of distinct items (> 0)
+  /// @param theta  skew; 0 = uniform, larger = more skewed
+  /// @param seed   RNG seed
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed = 42);
+
+  /// Next rank in [0, n); rank 0 is the most popular.
+  std::uint64_t Next();
+
+  /// Next item with ranks scattered over the key space (FNV-1a scramble).
+  std::uint64_t ScrambledNext();
+
+  double theta() const { return theta_; }
+  std::uint64_t n() const { return n_; }
+
+  /// Probability mass of the hottest item (diagnostic; the paper reports
+  /// theta=2.9 => ~82 % on one key).
+  double HottestProbability() const;
+
+ private:
+  double Zeta(std::uint64_t n, double theta) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+  Xorshift rng_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_ZIPF_H_

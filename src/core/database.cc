@@ -1,0 +1,143 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamsi {
+
+Database::Database(const DatabaseOptions& options) : options_(options) {}
+
+Database::~Database() {
+  if (group_log_ != nullptr) group_log_->Close();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  db->protocol_ = MakeProtocol(options.protocol, &db->context_);
+  if (db->protocol_ == nullptr) {
+    return Status::InvalidArgument("unknown protocol");
+  }
+
+  const bool durable =
+      !options.base_dir.empty() &&
+      options.backend_options.sync_mode != SyncMode::kNone &&
+      options.backend == BackendType::kLsm;
+  if (!options.base_dir.empty()) {
+    STREAMSI_RETURN_NOT_OK(fsutil::CreateDirIfMissing(options.base_dir));
+    db->group_log_ = std::make_unique<GroupCommitLog>(
+        options.backend_options.sync_mode,
+        options.backend_options.simulated_sync_micros);
+    STREAMSI_RETURN_NOT_OK(
+        db->group_log_->Open(options.base_dir + "/group_commits.log"));
+  }
+
+  Database* raw = db.get();
+  db->txn_manager_ = std::make_unique<TransactionManager>(
+      &db->context_, db->protocol_.get(),
+      [raw](StateId id) { return raw->GetState(id); }, db->group_log_.get(),
+      durable);
+  return db;
+}
+
+std::string Database::StateDir(const std::string& name) const {
+  return options_.base_dir + "/state_" + name;
+}
+
+Result<VersionedStore*> Database::CreateState(const std::string& name) {
+  {
+    SharedGuard guard(stores_latch_);
+    if (stores_by_name_.count(name) > 0) {
+      return Status::InvalidArgument("state already exists: " + name);
+    }
+  }
+
+  BackendOptions backend_options = options_.backend_options;
+  std::string location;
+  if (options_.backend == BackendType::kLsm) {
+    if (options_.base_dir.empty()) {
+      return Status::InvalidArgument("LSM backend requires base_dir");
+    }
+    location = StateDir(name);
+    backend_options.path = location;
+  }
+  auto backend = OpenBackend(options_.backend, backend_options);
+  if (!backend.ok()) return backend.status();
+
+  const StateId id = context_.RegisterState(name, location);
+  auto store = std::make_unique<VersionedStore>(
+      id, name, std::move(backend).value(), options_.store_options);
+
+  // Re-opened persistent state: reload the committed version arrays.
+  if (store->backend()->IsPersistent() &&
+      store->backend()->ApproximateCount() > 0) {
+    STREAMSI_RETURN_NOT_OK(store->LoadFromBackend());
+  }
+
+  VersionedStore* raw = store.get();
+  {
+    ExclusiveGuard guard(stores_latch_);
+    if (stores_.size() != id) {
+      return Status::InvalidArgument("state registration raced");
+    }
+    stores_.push_back(std::move(store));
+    stores_by_name_[name] = id;
+  }
+  // Singleton group: gives single-state queries LastCTS snapshots and the
+  // recovery watermark.
+  singleton_groups_[id] = context_.RegisterGroup({id});
+  return raw;
+}
+
+GroupId Database::CreateGroup(const std::vector<StateId>& states) {
+  return context_.RegisterGroup(states);
+}
+
+VersionedStore* Database::GetState(StateId id) {
+  SharedGuard guard(stores_latch_);
+  if (id >= stores_.size()) return nullptr;
+  return stores_[id].get();
+}
+
+VersionedStore* Database::FindState(const std::string& name) {
+  SharedGuard guard(stores_latch_);
+  auto it = stores_by_name_.find(name);
+  if (it == stores_by_name_.end()) return nullptr;
+  return stores_[it->second].get();
+}
+
+Status Database::Recover() {
+  if (options_.base_dir.empty()) return Status::OK();
+
+  auto replayed =
+      GroupCommitLog::Replay(options_.base_dir + "/group_commits.log");
+  if (!replayed.ok()) return replayed.status();
+
+  Timestamp max_ts = kInitialTs;
+  for (const auto& [group, cts] : replayed.value()) {
+    context_.SetLastCts(group, cts);
+    max_ts = std::max(max_ts, cts);
+  }
+
+  // Purge versions of unfinished group commits: a state's recovered
+  // watermark is the max LastCTS over the groups containing it.
+  SharedGuard guard(stores_latch_);
+  for (const auto& store : stores_) {
+    Timestamp watermark = kInitialTs;
+    for (GroupId group : context_.GroupsOf(store->id())) {
+      watermark = std::max(watermark, context_.LastCts(group));
+    }
+    const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
+    if (purged > 0) {
+      STREAMSI_INFO("recovery purged " << purged << " versions of state '"
+                                       << store->name() << "' beyond cts "
+                                       << watermark);
+    }
+    max_ts = std::max(max_ts, store->MaxCommittedCts());
+  }
+  context_.clock().AdvanceTo(max_ts);
+  return Status::OK();
+}
+
+}  // namespace streamsi

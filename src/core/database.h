@@ -1,0 +1,91 @@
+// Database: the top-level facade. Owns the state context, the concurrency
+// protocol, all transactional state tables, and the durable group-commit
+// log; performs crash recovery on open.
+
+#ifndef STREAMSI_CORE_DATABASE_H_
+#define STREAMSI_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/group_commit_log.h"
+#include "core/transaction_manager.h"
+#include "storage/backend.h"
+#include "txn/protocol.h"
+#include "txn/state_context.h"
+#include "txn/versioned_store.h"
+
+namespace streamsi {
+
+struct DatabaseOptions {
+  /// Concurrency-control protocol for all states.
+  ProtocolType protocol = ProtocolType::kMvcc;
+  /// Base-table backend for newly created states.
+  BackendType backend = BackendType::kHash;
+  /// Backend tuning (path is derived per state from base_dir).
+  BackendOptions backend_options;
+  /// Store tuning (version slots, write-through, sync).
+  StoreOptions store_options;
+  /// Directory for persistent data (LSM backends + group commit log).
+  /// Empty => fully volatile database.
+  std::string base_dir;
+};
+
+class Database {
+ public:
+  /// Opens (creating `base_dir` if needed). States are declared afterwards
+  /// with CreateState/CreateGroup — re-declare the same schema on restart,
+  /// then call Recover().
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
+
+  ~Database();
+
+  /// Creates (or re-opens, when persistent data exists) a state table.
+  /// Every state automatically forms a singleton topology group so that
+  /// single-state queries get LastCTS-based snapshots and recovery too.
+  Result<VersionedStore*> CreateState(const std::string& name);
+
+  /// Declares that `states` are updated together by one stream query
+  /// (topology group, §4.1/§4.3).
+  GroupId CreateGroup(const std::vector<StateId>& states);
+
+  VersionedStore* GetState(StateId id);
+  VersionedStore* FindState(const std::string& name);
+
+  /// Restores group LastCTS from the commit log, purges versions from
+  /// unfinished group commits, and fast-forwards the clock. Call after the
+  /// schema (states + groups) has been re-declared.
+  Status Recover();
+
+  StateContext& context() { return context_; }
+  TransactionManager& txn_manager() { return *txn_manager_; }
+  ConcurrencyProtocol& protocol() { return *protocol_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Convenience: begins a transaction.
+  Result<std::unique_ptr<TransactionHandle>> Begin() {
+    return txn_manager_->Begin();
+  }
+
+ private:
+  explicit Database(const DatabaseOptions& options);
+
+  std::string StateDir(const std::string& name) const;
+
+  DatabaseOptions options_;
+  StateContext context_;
+  std::unique_ptr<ConcurrencyProtocol> protocol_;
+  std::unique_ptr<GroupCommitLog> group_log_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+
+  mutable RwLatch stores_latch_;
+  std::vector<std::unique_ptr<VersionedStore>> stores_;  // index = StateId
+  std::unordered_map<std::string, StateId> stores_by_name_;
+  std::unordered_map<StateId, GroupId> singleton_groups_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_DATABASE_H_

@@ -1,0 +1,78 @@
+// GroupCommitLog: durable record of each topology group's last globally
+// committed transaction (LastCTS).
+//
+// §4.1: "the last committed transaction (LastCTS) per group is recorded.
+// For recovery purposes, this information needs to be persistent."
+//
+// The log is append-only (one record per group commit, written after the
+// state data is durable); recovery replays it and keeps the newest CTS per
+// group. Any state version with a CTS beyond its groups' recovered LastCTS
+// belongs to a commit that never finished globally and is purged, which is
+// what keeps multiple states of one query mutually consistent across
+// crashes.
+
+#ifndef STREAMSI_CORE_GROUP_COMMIT_LOG_H_
+#define STREAMSI_CORE_GROUP_COMMIT_LOG_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "storage/wal.h"
+#include "txn/types.h"
+
+namespace streamsi {
+
+class GroupCommitLog {
+ public:
+  GroupCommitLog(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
+      : writer_(sync_mode, simulated_sync_micros) {}
+
+  Status Open(const std::string& path) {
+    path_ = path;
+    return writer_.Open(path, /*truncate=*/false);
+  }
+
+  /// Appends "group committed through cts" (durable on return when the
+  /// log's SyncMode says so).
+  Status Record(GroupId group, Timestamp cts, bool sync) {
+    std::string payload;
+    PutVarint32(&payload, group);
+    PutVarint64(&payload, cts);
+    return writer_.Append(WalRecordType::kCheckpoint, payload, sync);
+  }
+
+  /// Replays `path` and returns the newest CTS per group.
+  static Result<std::unordered_map<GroupId, Timestamp>> Replay(
+      const std::string& path) {
+    std::unordered_map<GroupId, Timestamp> result;
+    if (!fsutil::FileExists(path)) return result;
+    STREAMSI_RETURN_NOT_OK(WalReader::Replay(
+        path,
+        [&](WalRecordType /*type*/, std::string_view payload) -> Status {
+          const char* p = payload.data();
+          const char* limit = p + payload.size();
+          std::uint32_t group = 0;
+          std::uint64_t cts = 0;
+          p = GetVarint32(p, limit, &group);
+          if (p == nullptr) return Status::Corruption("bad group id");
+          p = GetVarint64(p, limit, &cts);
+          if (p == nullptr) return Status::Corruption("bad group cts");
+          Timestamp& entry = result[group];
+          entry = std::max(entry, cts);
+          return Status::OK();
+        },
+        nullptr));
+    return result;
+  }
+
+  Status Close() { return writer_.Close(); }
+
+ private:
+  std::string path_;
+  WalWriter writer_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_GROUP_COMMIT_LOG_H_

@@ -1,0 +1,31 @@
+// Umbrella header: everything a library user needs.
+//
+//   #include "core/streamsi.h"
+//
+//   using namespace streamsi;
+//   DatabaseOptions options;                       // MVCC + in-memory hash
+//   auto db = Database::Open(options).value();
+//   auto* state = db->CreateState("counts").value();
+//   TransactionalTable<uint64_t, uint64_t> table(&db->txn_manager(), state);
+//   auto txn = db->Begin().value();
+//   table.Put(txn->txn(), 1, 42);
+//   txn->Commit();
+
+#ifndef STREAMSI_CORE_STREAMSI_H_
+#define STREAMSI_CORE_STREAMSI_H_
+
+#include "common/clock.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "core/database.h"
+#include "core/transaction_manager.h"
+#include "core/transactional_table.h"
+#include "storage/backend.h"
+#include "txn/protocol.h"
+#include "txn/state_context.h"
+#include "txn/transaction.h"
+#include "txn/types.h"
+#include "txn/versioned_store.h"
+
+#endif  // STREAMSI_CORE_STREAMSI_H_

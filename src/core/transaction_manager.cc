@@ -1,0 +1,316 @@
+#include "core/transaction_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace streamsi {
+
+Result<std::unique_ptr<TransactionHandle>> TransactionManager::Begin() {
+  TxnId id = 0;
+  auto slot = context_->BeginTransaction(&id);
+  if (!slot.ok()) return slot.status();
+  counters_.begun.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<TransactionHandle>(this, context_, slot.value(), id);
+}
+
+Status TransactionManager::Read(Transaction& txn, StateId state,
+                                std::string_view key, std::string* value) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  VersionedStore* store = resolver_(state);
+  if (store == nullptr) return Status::InvalidArgument("unknown state");
+  context_->RegisterStateAccess(txn.slot(), state);
+  const Status status = protocol_->Read(txn, *store, key, value);
+  if (status.IsBusy()) {
+    // wait-die victim: the transaction must abort.
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    Abort(txn);
+    return Status::Aborted("wait-die abort during read");
+  }
+  return status;
+}
+
+Status TransactionManager::Write(Transaction& txn, StateId state,
+                                 std::string_view key,
+                                 std::string_view value) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  VersionedStore* store = resolver_(state);
+  if (store == nullptr) return Status::InvalidArgument("unknown state");
+  const Status status = protocol_->Write(txn, *store, key, value);
+  if (status.IsBusy()) {
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    Abort(txn);
+    return Status::Aborted("wait-die abort during write");
+  }
+  return status;
+}
+
+Status TransactionManager::Delete(Transaction& txn, StateId state,
+                                  std::string_view key) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  VersionedStore* store = resolver_(state);
+  if (store == nullptr) return Status::InvalidArgument("unknown state");
+  const Status status = protocol_->Delete(txn, *store, key);
+  if (status.IsBusy()) {
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    Abort(txn);
+    return Status::Aborted("wait-die abort during delete");
+  }
+  return status;
+}
+
+Status TransactionManager::Scan(
+    Transaction& txn, StateId state,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  VersionedStore* store = resolver_(state);
+  if (store == nullptr) return Status::InvalidArgument("unknown state");
+  context_->RegisterStateAccess(txn.slot(), state);
+  return protocol_->Scan(txn, *store, callback);
+}
+
+Status TransactionManager::RegisterState(Transaction& txn, StateId state) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  if (resolver_(state) == nullptr) {
+    return Status::InvalidArgument("unknown state");
+  }
+  context_->RegisterStateAccess(txn.slot(), state);
+  return Status::OK();
+}
+
+Status TransactionManager::CommitState(Transaction& txn, StateId state) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  context_->SetStateStatus(txn.slot(), state, TxnStatus::kCommit);
+
+  if (context_->AnyStateAborted(txn.slot())) {
+    if (txn.TryClaimCoordinator()) GlobalAbort(txn);
+    return Status::Aborted("another state flagged Abort");
+  }
+  if (context_->AllRegisteredStatesReady(txn.slot()) &&
+      txn.TryClaimCoordinator()) {
+    // "The operator that sets the last status flag to Commit becomes the
+    // coordinator and is responsible for the global commit."
+    return GlobalCommit(txn);
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::AbortState(Transaction& txn, StateId state) {
+  if (!txn.running()) return Status::OK();  // already finished globally
+  context_->SetStateStatus(txn.slot(), state, TxnStatus::kAbort);
+  if (txn.TryClaimCoordinator()) GlobalAbort(txn);
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction& txn) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  for (const auto& [state, status] : context_->StatesOf(txn.slot())) {
+    (void)status;
+    context_->SetStateStatus(txn.slot(), state, TxnStatus::kCommit);
+  }
+  if (!txn.TryClaimCoordinator()) {
+    return Status::Aborted("commit raced with another coordinator");
+  }
+  return GlobalCommit(txn);
+}
+
+Status TransactionManager::Abort(Transaction& txn) {
+  if (!txn.running()) return Status::OK();
+  if (txn.TryClaimCoordinator()) GlobalAbort(txn);
+  return Status::OK();
+}
+
+Status TransactionManager::GlobalCommit(Transaction& txn) {
+  const std::vector<StateId> written = txn.WrittenStates();
+
+  if (written.empty()) {
+    // Read-only fast path: no apply, no commit timestamp, no group
+    // publication. Validation still runs (BOCC must check the read set).
+    Status status = protocol_->PreCommit(txn);
+    if (status.ok()) {
+      for (const auto& [state, st] : context_->StatesOf(txn.slot())) {
+        (void)st;
+        if (VersionedStore* store = resolver_(state); store != nullptr) {
+          status = protocol_->Validate(txn, *store);
+          if (!status.ok()) break;
+        }
+      }
+    }
+    protocol_->PostCommit(txn, /*commit_ts=*/0, status.ok());
+    if (!status.ok()) {
+      counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+      GlobalAbort(txn);
+      return status;
+    }
+    ReleaseAll(txn, /*committed=*/true);
+    Finish(txn, /*committed=*/true);
+    return Status::OK();
+  }
+
+  // Resolve stores up front.
+  std::vector<VersionedStore*> stores;
+  stores.reserve(written.size());
+  for (StateId state : written) {
+    VersionedStore* store = resolver_(state);
+    if (store == nullptr) {
+      GlobalAbort(txn);
+      return Status::InvalidArgument("unknown state in commit");
+    }
+    stores.push_back(store);
+  }
+
+  // --- Phase 1: validation. Runs over every *touched* state (not just the
+  // written ones): BOCC has to validate read-only transactions too, since
+  // its reads are only checked against later commits at commit time. ------
+  Status status = protocol_->PreCommit(txn);
+  if (!status.ok()) {
+    GlobalAbort(txn);
+    return status;
+  }
+  for (const auto& [state, state_status] : context_->StatesOf(txn.slot())) {
+    (void)state_status;
+    VersionedStore* store = resolver_(state);
+    if (store == nullptr) continue;
+    status = protocol_->Validate(txn, *store);
+    if (!status.ok()) break;
+  }
+  if (!status.ok()) {
+    counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
+    protocol_->PostCommit(txn, /*commit_ts=*/0, /*committed=*/false);
+    GlobalAbort(txn);
+    return status;
+  }
+
+  // --- Phase 2: apply. All states become visible atomically because the
+  // new versions carry a commit timestamp no reader has pinned yet; the
+  // groups' LastCTS advances only after every state is durable. -----------
+  const Timestamp commit_ts = context_->clock().Next();
+  for (VersionedStore* store : stores) {
+    // Per-state GC watermark: only snapshots that can see this state pin
+    // its old versions (an idle group elsewhere must not block GC here).
+    const Timestamp oldest_active =
+        context_->OldestActiveVersionFor(store->id());
+    status = protocol_->Apply(txn, *store, commit_ts, oldest_active);
+    if (!status.ok()) {
+      // Apply failures (e.g. IO errors) after partial installation are
+      // resolved by recovery: LastCTS was never advanced, so the versions
+      // of this commit are purged on restart. In-memory, purge right away.
+      for (VersionedStore* s : stores) {
+        s->PurgeVersionsAfter(commit_ts - 1);
+      }
+      protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
+      GlobalAbort(txn);
+      return status;
+    }
+  }
+  protocol_->PostCommit(txn, commit_ts, /*committed=*/true);
+
+  // --- Phase 3: publish. LastCTS per affected group, durably logged. ----
+  std::set<GroupId> groups;
+  for (StateId state : written) {
+    for (GroupId group : context_->GroupsOf(state)) groups.insert(group);
+  }
+  for (GroupId group : groups) {
+    if (group_log_ != nullptr && durable_group_log_) {
+      const Status log_status =
+          group_log_->Record(group, commit_ts, /*sync=*/true);
+      if (!log_status.ok()) {
+        STREAMSI_WARN("group commit log write failed: "
+                      << log_status.ToString());
+      }
+    }
+    context_->AdvanceLastCts(group, commit_ts);
+  }
+
+  // Commit listeners fire after publication: the changes are now visible
+  // to new snapshots (TO_STREAM kOnCommit trigger).
+  if (has_listeners_.load(std::memory_order_acquire)) {
+    NotifyCommitListeners(txn, commit_ts, written);
+  }
+
+  ReleaseAll(txn, /*committed=*/true);
+  Finish(txn, /*committed=*/true);
+  return Status::OK();
+}
+
+void TransactionManager::NotifyCommitListeners(
+    Transaction& txn, Timestamp commit_ts,
+    const std::vector<StateId>& written) {
+  for (StateId state : written) {
+    std::vector<std::pair<std::uint64_t, CommitListener>> listeners;
+    {
+      SharedGuard guard(listeners_latch_);
+      auto it = listeners_.find(state);
+      if (it == listeners_.end()) continue;
+      listeners = it->second;  // copy: listeners may (un)register in callbacks
+    }
+    if (listeners.empty()) continue;
+    const WriteSet* ws = txn.FindWriteSet(state);
+    if (ws == nullptr) continue;
+    CommitInfo info;
+    info.txn_id = txn.id();
+    info.commit_ts = commit_ts;
+    info.changes.reserve(ws->entries().size());
+    for (const auto& entry : ws->entries()) {
+      info.changes.push_back(CommitChange{
+          entry.key, entry.is_delete
+                         ? std::nullopt
+                         : std::optional<std::string>(entry.value)});
+    }
+    for (const auto& [token, listener] : listeners) {
+      (void)token;
+      listener(info);
+    }
+  }
+}
+
+std::uint64_t TransactionManager::RegisterCommitListener(
+    StateId state, CommitListener listener) {
+  ExclusiveGuard guard(listeners_latch_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_[state].emplace_back(token, std::move(listener));
+  has_listeners_.store(true, std::memory_order_release);
+  return token;
+}
+
+void TransactionManager::UnregisterCommitListener(std::uint64_t token) {
+  ExclusiveGuard guard(listeners_latch_);
+  bool any = false;
+  for (auto& [state, vec] : listeners_) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [token](const auto& p) {
+                               return p.first == token;
+                             }),
+              vec.end());
+    any = any || !vec.empty();
+  }
+  has_listeners_.store(any, std::memory_order_release);
+}
+
+void TransactionManager::GlobalAbort(Transaction& txn) {
+  // §4.2: "it is enough for the abort operation to simply clear the
+  // corresponding write set and release the memory."
+  txn.ClearWriteSets();
+  ReleaseAll(txn, /*committed=*/false);
+  Finish(txn, /*committed=*/false);
+}
+
+void TransactionManager::ReleaseAll(Transaction& txn, bool committed) {
+  for (const auto& [state, status] : context_->StatesOf(txn.slot())) {
+    (void)status;
+    if (VersionedStore* store = resolver_(state); store != nullptr) {
+      protocol_->ReleaseState(txn, *store, committed);
+    }
+  }
+  protocol_->FinalizeTxn(txn, committed);
+}
+
+void TransactionManager::Finish(Transaction& txn, bool committed) {
+  txn.set_phase(committed ? TxnPhase::kCommitted : TxnPhase::kAborted);
+  context_->EndTransaction(txn.slot());
+  auto& counter = committed ? counters_.committed : counters_.aborted;
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace streamsi

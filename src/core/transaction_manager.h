@@ -1,0 +1,191 @@
+// TransactionManager: drives transactions through the configured
+// concurrency protocol and implements the consistency protocol among
+// multiple states (§4.3) — a modified 2-phase commit where the operator
+// that sets the last per-state Commit flag becomes the coordinator of the
+// global commit, and one Abort flag aborts the transaction globally.
+
+#ifndef STREAMSI_CORE_TRANSACTION_MANAGER_H_
+#define STREAMSI_CORE_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/group_commit_log.h"
+#include "txn/protocol.h"
+#include "txn/state_context.h"
+#include "txn/transaction.h"
+#include "txn/versioned_store.h"
+
+namespace streamsi {
+
+/// Counters for the benchmark harness and diagnostics.
+struct TxnCounters {
+  std::atomic<std::uint64_t> begun{0};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> conflicts{0};  // FCW / validation / wait-die
+};
+
+/// A running transaction, owned by the caller. Destroying an unfinished
+/// handle aborts the transaction.
+class TransactionHandle;
+
+/// One change of a committed transaction (delivered to commit listeners).
+struct CommitChange {
+  std::string key;
+  /// nullopt = the key was deleted.
+  std::optional<std::string> value;
+};
+
+/// What a commit listener learns about a finished transaction on one state.
+struct CommitInfo {
+  TxnId txn_id = 0;
+  Timestamp commit_ts = 0;
+  std::vector<CommitChange> changes;
+};
+
+/// Observer of committed changes on one state. Invoked synchronously in the
+/// committing thread *after* the group's LastCTS advanced, i.e. the changes
+/// are visible to new snapshots — this is the kOnCommit trigger policy of
+/// TO_STREAM (§3 "Transactional semantics").
+using CommitListener = std::function<void(const CommitInfo&)>;
+
+class TransactionManager {
+ public:
+  using StoreResolver = std::function<VersionedStore*(StateId)>;
+
+  TransactionManager(StateContext* context, ConcurrencyProtocol* protocol,
+                     StoreResolver resolver, GroupCommitLog* group_log,
+                     bool durable_group_log)
+      : context_(context),
+        protocol_(protocol),
+        resolver_(std::move(resolver)),
+        group_log_(group_log),
+        durable_group_log_(durable_group_log) {}
+
+  /// BOT: claims a slot, assigns the transaction timestamp (§4.1).
+  Result<std::unique_ptr<TransactionHandle>> Begin();
+
+  // ------------------------------------------------------- data access ---
+
+  Status Read(Transaction& txn, StateId state, std::string_view key,
+              std::string* value);
+  Status Write(Transaction& txn, StateId state, std::string_view key,
+               std::string_view value);
+  Status Delete(Transaction& txn, StateId state, std::string_view key);
+  Status Scan(Transaction& txn, StateId state,
+              const std::function<bool(std::string_view, std::string_view)>&
+                  callback);
+
+  /// Pre-declares that `txn` will access `state` (TO_TABLE operators call
+  /// this at BOT so the consistency protocol knows the full state set
+  /// before any operator commits its part).
+  Status RegisterState(Transaction& txn, StateId state);
+
+  // ---------------------------------------- consistency protocol (§4.3) ---
+
+  /// Operator-level commit: flags `state` as Commit. If that was the last
+  /// outstanding flag, the caller becomes the coordinator and performs the
+  /// global commit; the returned status then reflects the global outcome
+  /// (e.g. Conflict for a First-Committer-Wins abort). A non-coordinator
+  /// gets OK and must not touch the transaction again except through
+  /// CommitState/AbortState on its own state.
+  Status CommitState(Transaction& txn, StateId state);
+
+  /// Operator-level abort: flags `state` as Abort and aborts globally
+  /// (§4.3: "a transaction must be aborted globally as soon as Abort has
+  /// been flagged for at least one state").
+  Status AbortState(Transaction& txn, StateId state);
+
+  /// Query-centric convenience: commits all registered states at once
+  /// (single coordinator).
+  Status Commit(Transaction& txn);
+
+  /// Aborts the whole transaction.
+  Status Abort(Transaction& txn);
+
+  /// Registers a commit observer for `state`; returns a token for
+  /// UnregisterCommitListener.
+  std::uint64_t RegisterCommitListener(StateId state, CommitListener listener);
+  void UnregisterCommitListener(std::uint64_t token);
+
+  const TxnCounters& counters() const { return counters_; }
+  StateContext* context() { return context_; }
+  ConcurrencyProtocol* protocol() { return protocol_; }
+
+ private:
+  friend class TransactionHandle;
+
+  Status GlobalCommit(Transaction& txn);
+  void GlobalAbort(Transaction& txn);
+  void ReleaseAll(Transaction& txn, bool committed);
+  void Finish(Transaction& txn, bool committed);
+  void NotifyCommitListeners(Transaction& txn, Timestamp commit_ts,
+                             const std::vector<StateId>& written);
+
+  StateContext* context_;
+  ConcurrencyProtocol* protocol_;
+  StoreResolver resolver_;
+  GroupCommitLog* group_log_;
+  bool durable_group_log_;
+  TxnCounters counters_;
+
+  mutable RwLatch listeners_latch_;
+  std::uint64_t next_listener_token_ = 1;
+  std::unordered_map<StateId,
+                     std::vector<std::pair<std::uint64_t, CommitListener>>>
+      listeners_;
+  std::atomic<bool> has_listeners_{false};
+};
+
+/// RAII transaction wrapper returned by Begin(); aborts on destruction if
+/// still running.
+class TransactionHandle {
+ public:
+  TransactionHandle(TransactionManager* manager, StateContext* context,
+                    int slot, TxnId id)
+      : manager_(manager), txn_(context, slot, id) {}
+
+  ~TransactionHandle() {
+    if (txn_.running()) manager_->Abort(txn_);
+  }
+
+  TransactionHandle(const TransactionHandle&) = delete;
+  TransactionHandle& operator=(const TransactionHandle&) = delete;
+
+  Transaction& txn() { return txn_; }
+  TxnId id() const { return txn_.id(); }
+
+  Status Read(StateId state, std::string_view key, std::string* value) {
+    return manager_->Read(txn_, state, key, value);
+  }
+  Status Write(StateId state, std::string_view key, std::string_view value) {
+    return manager_->Write(txn_, state, key, value);
+  }
+  Status Delete(StateId state, std::string_view key) {
+    return manager_->Delete(txn_, state, key);
+  }
+  Status Scan(StateId state,
+              const std::function<bool(std::string_view, std::string_view)>&
+                  callback) {
+    return manager_->Scan(txn_, state, callback);
+  }
+  Status Commit() { return manager_->Commit(txn_); }
+  Status Abort() { return manager_->Abort(txn_); }
+  Status CommitState(StateId state) {
+    return manager_->CommitState(txn_, state);
+  }
+  Status AbortState(StateId state) { return manager_->AbortState(txn_, state); }
+
+ private:
+  TransactionManager* manager_;
+  Transaction txn_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_TRANSACTION_MANAGER_H_

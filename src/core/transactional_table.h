@@ -1,0 +1,91 @@
+// TransactionalTable<K, V>: the typed public API over one transactional
+// state (requirement 1 of the paper's introduction: "state representations
+// (tables) have to be queryable at all").
+//
+// Keys and values are translated through Serializer<T>; any trivially
+// copyable type or std::string works out of the box.
+
+#ifndef STREAMSI_CORE_TRANSACTIONAL_TABLE_H_
+#define STREAMSI_CORE_TRANSACTIONAL_TABLE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/serde.h"
+#include "core/transaction_manager.h"
+#include "txn/versioned_store.h"
+
+namespace streamsi {
+
+template <typename K, typename V>
+class TransactionalTable {
+ public:
+  TransactionalTable() = default;
+  TransactionalTable(TransactionManager* manager, VersionedStore* store)
+      : manager_(manager), store_(store) {}
+
+  bool valid() const { return manager_ != nullptr && store_ != nullptr; }
+  StateId id() const { return store_->id(); }
+  const std::string& name() const { return store_->name(); }
+  VersionedStore* store() { return store_; }
+
+  /// Inserts or updates (upsert — TO_TABLE semantics, §3: "Whether a stream
+  /// tuple is inserted or updated in a table depends on the presence of a
+  /// table tuple with the same key").
+  Status Put(Transaction& txn, const K& key, const V& value) {
+    return manager_->Write(txn, store_->id(), EncodeToString(key),
+                           EncodeToString(value));
+  }
+
+  /// Transactional point read.
+  Result<V> Get(Transaction& txn, const K& key) {
+    std::string raw;
+    STREAMSI_RETURN_NOT_OK(
+        manager_->Read(txn, store_->id(), EncodeToString(key), &raw));
+    V value;
+    if (!Serializer<V>::Decode(raw, &value)) {
+      return Status::Corruption("value decode failed");
+    }
+    return value;
+  }
+
+  /// Transactional delete.
+  Status Delete(Transaction& txn, const K& key) {
+    return manager_->Delete(txn, store_->id(), EncodeToString(key));
+  }
+
+  /// Transactional scan over the snapshot (plus own writes).
+  Status Scan(Transaction& txn,
+              const std::function<bool(const K&, const V&)>& callback) {
+    Status decode_status = Status::OK();
+    STREAMSI_RETURN_NOT_OK(manager_->Scan(
+        txn, store_->id(),
+        [&](std::string_view raw_key, std::string_view raw_value) {
+          K key;
+          V value;
+          if (!Serializer<K>::Decode(raw_key, &key) ||
+              !Serializer<V>::Decode(raw_value, &value)) {
+            decode_status = Status::Corruption("scan decode failed");
+            return false;
+          }
+          return callback(key, value);
+        }));
+    return decode_status;
+  }
+
+  /// Non-transactional bulk load for initialization (visible to everyone).
+  Status BulkLoad(const K& key, const V& value) {
+    return store_->BulkLoad(EncodeToString(key), EncodeToString(value));
+  }
+
+  /// Flushes the backend after a bulk load.
+  Status FlushBackend() { return store_->backend()->Flush(); }
+
+ private:
+  TransactionManager* manager_ = nullptr;
+  VersionedStore* store_ = nullptr;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_TRANSACTIONAL_TABLE_H_

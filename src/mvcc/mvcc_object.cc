@@ -1,0 +1,198 @@
+#include "mvcc/mvcc_object.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace streamsi {
+
+// Minimum capacity is 2: an update must be able to install the new version
+// while the still-live predecessor occupies its slot (the predecessor only
+// becomes reclaimable after its dts falls behind OldestActiveVersion).
+MvccObject::MvccObject(int capacity)
+    : capacity_(std::clamp(capacity, 2, AtomicSlotMask::kMaxSlots)),
+      headers_(static_cast<std::size_t>(capacity_)),
+      values_(static_cast<std::size_t>(capacity_)) {}
+
+MvccObject::MvccObject(MvccObject&& other) noexcept
+    : capacity_(other.capacity_),
+      used_(other.used_.Raw()),
+      headers_(std::move(other.headers_)),
+      values_(std::move(other.values_)) {}
+
+int MvccObject::FindVisibleSlot(Timestamp read_ts) const {
+  int best = -1;
+  Timestamp best_cts = 0;
+  for (int i = 0; i < capacity_; ++i) {
+    if (!used_.IsSet(i)) continue;
+    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    if (h.cts <= read_ts && read_ts < h.dts) {
+      // At most one version can satisfy this, but be defensive: take the
+      // newest matching version.
+      if (best == -1 || h.cts > best_cts) {
+        best = i;
+        best_cts = h.cts;
+      }
+    }
+  }
+  return best;
+}
+
+int MvccObject::FindLiveSlot() const {
+  for (int i = 0; i < capacity_; ++i) {
+    if (used_.IsSet(i) &&
+        headers_[static_cast<std::size_t>(i)].dts == kInfinityTs) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+bool MvccObject::GetVisible(Timestamp read_ts, std::string* value) const {
+  const int slot = FindVisibleSlot(read_ts);
+  if (slot < 0) return false;
+  if (value != nullptr) *value = values_[static_cast<std::size_t>(slot)];
+  return true;
+}
+
+Timestamp MvccObject::LatestCts() const {
+  Timestamp latest = kInitialTs;
+  for (int i = 0; i < capacity_; ++i) {
+    if (used_.IsSet(i)) {
+      latest = std::max(latest, headers_[static_cast<std::size_t>(i)].cts);
+    }
+  }
+  return latest;
+}
+
+Timestamp MvccObject::LatestModification() const {
+  Timestamp latest = kInitialTs;
+  for (int i = 0; i < capacity_; ++i) {
+    if (!used_.IsSet(i)) continue;
+    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    latest = std::max(latest, h.cts);
+    if (h.dts != kInfinityTs) latest = std::max(latest, h.dts);
+  }
+  return latest;
+}
+
+bool MvccObject::HasLiveVersion() const { return FindLiveSlot() >= 0; }
+
+Status MvccObject::Install(std::string_view value, Timestamp commit_ts,
+                           Timestamp oldest_active) {
+  int slot = used_.Acquire(capacity_);
+  if (slot == AtomicSlotMask::kNoSlot) {
+    // On-demand GC (§4.1): reclaim versions invisible to all active txns.
+    GarbageCollect(oldest_active);
+    slot = used_.Acquire(capacity_);
+    if (slot == AtomicSlotMask::kNoSlot) {
+      return Status::ResourceExhausted("MVCC version array full");
+    }
+  }
+  // Terminate the previously live version.
+  const int live = FindLiveSlot();
+  if (live >= 0 && live != slot) {
+    headers_[static_cast<std::size_t>(live)].dts = commit_ts;
+  }
+  headers_[static_cast<std::size_t>(slot)] = {commit_ts, kInfinityTs};
+  values_[static_cast<std::size_t>(slot)].assign(value.data(), value.size());
+  return Status::OK();
+}
+
+Status MvccObject::MarkDeleted(Timestamp commit_ts) {
+  const int live = FindLiveSlot();
+  if (live < 0) return Status::NotFound("delete of non-existing version");
+  headers_[static_cast<std::size_t>(live)].dts = commit_ts;
+  return Status::OK();
+}
+
+int MvccObject::GarbageCollect(Timestamp oldest_active) {
+  int reclaimed = 0;
+  for (int i = 0; i < capacity_; ++i) {
+    if (!used_.IsSet(i)) continue;
+    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    // dts <= oldest_active: no active or future snapshot can see it.
+    if (h.dts != kInfinityTs && h.dts <= oldest_active) {
+      values_[static_cast<std::size_t>(i)].clear();
+      values_[static_cast<std::size_t>(i)].shrink_to_fit();
+      used_.Release(i);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+int MvccObject::PurgeAfter(Timestamp max_cts) {
+  int purged = 0;
+  for (int i = 0; i < capacity_; ++i) {
+    if (!used_.IsSet(i)) continue;
+    VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    if (h.cts > max_cts) {
+      values_[static_cast<std::size_t>(i)].clear();
+      used_.Release(i);
+      ++purged;
+    } else if (h.dts != kInfinityTs && h.dts > max_cts) {
+      // The version that superseded this one was purged: it is live again.
+      h.dts = kInfinityTs;
+    }
+  }
+  return purged;
+}
+
+void MvccObject::EncodeTo(std::string* out) const {
+  PutVarint32(out, static_cast<std::uint32_t>(capacity_));
+  std::uint32_t count = 0;
+  for (int i = 0; i < capacity_; ++i) {
+    if (used_.IsSet(i)) ++count;
+  }
+  PutVarint32(out, count);
+  for (int i = 0; i < capacity_; ++i) {
+    if (!used_.IsSet(i)) continue;
+    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    PutVarint64(out, h.cts);
+    PutVarint64(out, h.dts);
+    PutLengthPrefixed(out, values_[static_cast<std::size_t>(i)]);
+  }
+}
+
+Result<MvccObject> MvccObject::Decode(std::string_view in, int capacity) {
+  const char* p = in.data();
+  const char* limit = p + in.size();
+  std::uint32_t stored_capacity = 0;
+  p = GetVarint32(p, limit, &stored_capacity);
+  if (p == nullptr) return Status::Corruption("bad MVCC capacity");
+  std::uint32_t count = 0;
+  p = GetVarint32(p, limit, &count);
+  if (p == nullptr) return Status::Corruption("bad MVCC version count");
+
+  MvccObject object(capacity > 0 ? capacity
+                                 : static_cast<int>(stored_capacity));
+  if (count > static_cast<std::uint32_t>(object.capacity_)) {
+    return Status::Corruption("MVCC version count exceeds capacity");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VersionHeader h;
+    p = GetVarint64(p, limit, &h.cts);
+    if (p == nullptr) return Status::Corruption("bad MVCC cts");
+    p = GetVarint64(p, limit, &h.dts);
+    if (p == nullptr) return Status::Corruption("bad MVCC dts");
+    std::string_view value;
+    p = GetLengthPrefixed(p, limit, &value);
+    if (p == nullptr) return Status::Corruption("bad MVCC value");
+    const int slot = object.used_.Acquire(object.capacity_);
+    object.headers_[static_cast<std::size_t>(slot)] = h;
+    object.values_[static_cast<std::size_t>(slot)].assign(value.data(),
+                                                          value.size());
+  }
+  return object;
+}
+
+std::vector<VersionHeader> MvccObject::Headers() const {
+  std::vector<VersionHeader> result;
+  for (int i = 0; i < capacity_; ++i) {
+    if (used_.IsSet(i)) result.push_back(headers_[static_cast<std::size_t>(i)]);
+  }
+  return result;
+}
+
+}  // namespace streamsi

@@ -1,0 +1,109 @@
+// MvccObject: the per-key multi-version container of the transactional
+// table (paper §4.1, Figure 3).
+//
+// Each entry follows the classic MVCC layout <[cts, dts], value>: the commit
+// timestamp (CTS) and deletion timestamp (DTS) delimit the lifetime of a
+// value version. Free slots of the fixed version array are managed through a
+// UsedSlots bit vector (a 64-bit word updated with CAS). Only *committed*
+// versions ever enter an MvccObject — uncommitted changes live in the
+// transaction's write set — so aborts never touch it and no undo is needed.
+//
+// Old versions are garbage-collected on demand: when a new version must be
+// installed and no slot is free, versions no active transaction can see
+// (dts <= OldestActiveVersion) are reclaimed (§4.1).
+//
+// Synchronization: structural mutation happens under the owning table's
+// per-object latch (§4.2 "lightweight locking strategy with read-write
+// locks"); the UsedSlots mask is CAS-maintained as in the paper.
+
+#ifndef STREAMSI_MVCC_MVCC_OBJECT_H_
+#define STREAMSI_MVCC_MVCC_OBJECT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slot_mask.h"
+#include "common/status.h"
+
+namespace streamsi {
+
+/// Lifetime header of one value version.
+struct VersionHeader {
+  Timestamp cts = kInfinityTs;  ///< commit timestamp (creation)
+  Timestamp dts = kInfinityTs;  ///< deletion timestamp (kInfinityTs = alive)
+};
+
+/// Multi-version container for a single key.
+class MvccObject {
+ public:
+  static constexpr int kDefaultCapacity = 8;
+
+  explicit MvccObject(int capacity = kDefaultCapacity);
+
+  MvccObject(MvccObject&& other) noexcept;
+  MvccObject& operator=(MvccObject&&) = delete;
+  MvccObject(const MvccObject&) = delete;
+
+  /// Returns the version visible to a snapshot at `read_ts`
+  /// (cts <= read_ts < dts). False if no visible version exists.
+  bool GetVisible(Timestamp read_ts, std::string* value) const;
+
+  /// CTS of the newest committed version (kInitialTs if none).
+  Timestamp LatestCts() const;
+
+  /// Timestamp of the newest committed *modification* — the max over all
+  /// creation timestamps and finite deletion timestamps. This is what the
+  /// First-Committer-Wins check must compare against: a committed delete
+  /// modifies the key without installing a new version.
+  Timestamp LatestModification() const;
+
+  /// True if the newest version is a live (non-deleted) value.
+  bool HasLiveVersion() const;
+
+  /// Installs a new version committed at `commit_ts`; terminates the
+  /// previously live version (its dts becomes commit_ts). When no slot is
+  /// free, reclaims versions with dts <= oldest_active first; returns
+  /// ResourceExhausted if still full (caller may retry with a larger
+  /// oldest_active once readers finish).
+  Status Install(std::string_view value, Timestamp commit_ts,
+                 Timestamp oldest_active);
+
+  /// Logically deletes the key at `commit_ts`: sets the live version's dts.
+  /// NotFound if there is no live version.
+  Status MarkDeleted(Timestamp commit_ts);
+
+  /// Reclaims all versions invisible to every transaction with a snapshot
+  /// >= oldest_active. Returns the number of reclaimed slots.
+  int GarbageCollect(Timestamp oldest_active);
+
+  /// Recovery: drops versions with cts > max_cts (their group commit never
+  /// completed) and re-opens dts values pointing past max_cts. Returns the
+  /// number of purged versions.
+  int PurgeAfter(Timestamp max_cts);
+
+  /// Number of occupied version slots.
+  int VersionCount() const { return used_.Count(); }
+  int capacity() const { return capacity_; }
+
+  /// Serialization (persisted inside the base table as the value blob).
+  void EncodeTo(std::string* out) const;
+  static Result<MvccObject> Decode(std::string_view in, int capacity);
+
+  /// Test/diagnostic access to raw headers of occupied slots.
+  std::vector<VersionHeader> Headers() const;
+
+ private:
+  int FindVisibleSlot(Timestamp read_ts) const;
+  int FindLiveSlot() const;
+
+  int capacity_;
+  AtomicSlotMask used_;
+  std::vector<VersionHeader> headers_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_MVCC_MVCC_OBJECT_H_

@@ -1,0 +1,32 @@
+#include "storage/backend.h"
+
+#include "storage/hash_backend.h"
+#include "storage/lsm_backend.h"
+#include "storage/skiplist_backend.h"
+
+namespace streamsi {
+
+Result<std::unique_ptr<TableBackend>> OpenBackend(
+    BackendType type, const BackendOptions& options) {
+  switch (type) {
+    case BackendType::kHash:
+      return std::unique_ptr<TableBackend>(new HashTableBackend(options));
+    case BackendType::kSkipList:
+      return std::unique_ptr<TableBackend>(new SkipListBackend(options));
+    case BackendType::kLsm: {
+      auto backend = LsmBackend::Open(options);
+      if (!backend.ok()) return backend.status();
+      return std::unique_ptr<TableBackend>(std::move(backend).value());
+    }
+  }
+  return Status::InvalidArgument("unknown backend type");
+}
+
+Result<BackendType> ParseBackendType(std::string_view name) {
+  if (name == "hash") return BackendType::kHash;
+  if (name == "skiplist") return BackendType::kSkipList;
+  if (name == "lsm") return BackendType::kLsm;
+  return Status::InvalidArgument("unknown backend: " + std::string(name));
+}
+
+}  // namespace streamsi

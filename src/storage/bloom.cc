@@ -1,0 +1,58 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+
+namespace streamsi {
+
+std::uint64_t BloomFilter::Hash(std::string_view key) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string BloomFilter::Build(const std::vector<std::string>& keys,
+                               int bits_per_key) {
+  if (keys.empty() || bits_per_key <= 0) return {};
+  // k = bits_per_key * ln2 probes is optimal.
+  int probes = static_cast<int>(bits_per_key * 0.69);
+  probes = std::clamp(probes, 1, 30);
+
+  std::size_t bits = keys.size() * static_cast<std::size_t>(bits_per_key);
+  bits = std::max<std::size_t>(bits, 64);
+  const std::size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (const auto& key : keys) {
+    std::uint64_t h = Hash(key);
+    const std::uint64_t delta = (h >> 17) | (h << 47);  // second hash
+    for (int i = 0; i < probes; ++i) {
+      const std::size_t bit = h % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(probes));
+  return filter;
+}
+
+bool BloomFilter::MayContain(std::string_view filter, std::string_view key) {
+  if (filter.size() < 2) return true;  // fail open
+  const int probes = static_cast<unsigned char>(filter.back());
+  if (probes <= 0 || probes > 30) return true;
+  const std::size_t bits = (filter.size() - 1) * 8;
+  std::uint64_t h = Hash(key);
+  const std::uint64_t delta = (h >> 17) | (h << 47);
+  for (int i = 0; i < probes; ++i) {
+    const std::size_t bit = h % bits;
+    if ((filter[bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace streamsi

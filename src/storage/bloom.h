@@ -1,0 +1,32 @@
+// Bloom filter for SSTable point-lookup short-circuiting.
+
+#ifndef STREAMSI_STORAGE_BLOOM_H_
+#define STREAMSI_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamsi {
+
+/// Double-hashed Bloom filter (Kirsch–Mitzenmacher), LevelDB-style layout:
+/// the serialized form is the bit array followed by one byte holding the
+/// number of probes.
+class BloomFilter {
+ public:
+  /// Builds a filter for `keys` with `bits_per_key` bits each.
+  static std::string Build(const std::vector<std::string>& keys,
+                           int bits_per_key);
+
+  /// Tests membership against a serialized filter. Empty filters match
+  /// everything (fail-open), so a missing filter never causes a miss.
+  static bool MayContain(std::string_view filter, std::string_view key);
+
+ private:
+  static std::uint64_t Hash(std::string_view key);
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STORAGE_BLOOM_H_

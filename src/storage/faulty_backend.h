@@ -1,0 +1,85 @@
+// FaultyBackend: failure-injection wrapper around any TableBackend, used by
+// tests to prove that IO errors during the commit's write-through phase
+// never publish partial transactions (recovery requirement of §4).
+
+#ifndef STREAMSI_STORAGE_FAULTY_BACKEND_H_
+#define STREAMSI_STORAGE_FAULTY_BACKEND_H_
+
+#include <atomic>
+#include <memory>
+
+#include "storage/backend.h"
+
+namespace streamsi {
+
+class FaultyBackend final : public TableBackend {
+ public:
+  explicit FaultyBackend(std::unique_ptr<TableBackend> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Makes the next `n` Put/Delete calls fail with IoError.
+  void FailNextWrites(int n) {
+    fail_writes_.store(n, std::memory_order_release);
+  }
+  /// Makes every Get fail until cleared.
+  void set_fail_reads(bool fail) {
+    fail_reads_.store(fail, std::memory_order_release);
+  }
+
+  std::uint64_t injected_failures() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  Status Get(std::string_view key, std::string* value) const override {
+    if (fail_reads_.load(std::memory_order_acquire)) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("injected read failure");
+    }
+    return inner_->Get(key, value);
+  }
+
+  Status Put(std::string_view key, std::string_view value,
+             bool sync) override {
+    if (ConsumeWriteFault()) return Status::IoError("injected write failure");
+    return inner_->Put(key, value, sync);
+  }
+
+  Status Delete(std::string_view key, bool sync) override {
+    if (ConsumeWriteFault()) return Status::IoError("injected write failure");
+    return inner_->Delete(key, sync);
+  }
+
+  Status Scan(const ScanCallback& callback) const override {
+    return inner_->Scan(callback);
+  }
+  std::uint64_t ApproximateCount() const override {
+    return inner_->ApproximateCount();
+  }
+  Status Flush() override { return inner_->Flush(); }
+  bool IsPersistent() const override { return inner_->IsPersistent(); }
+  std::string_view Name() const override { return "faulty"; }
+
+  TableBackend* inner() { return inner_.get(); }
+
+ private:
+  bool ConsumeWriteFault() {
+    int remaining = fail_writes_.load(std::memory_order_acquire);
+    while (remaining > 0) {
+      if (fail_writes_.compare_exchange_weak(remaining, remaining - 1,
+                                             std::memory_order_acq_rel)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<TableBackend> inner_;
+  std::atomic<int> fail_writes_{0};
+  std::atomic<bool> fail_reads_{false};
+  mutable std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STORAGE_FAULTY_BACKEND_H_

@@ -1,0 +1,56 @@
+#include "storage/hash_backend.h"
+
+#include <functional>
+
+namespace streamsi {
+
+HashTableBackend::HashTableBackend(const BackendOptions& /*options*/) {}
+
+std::size_t HashTableBackend::ShardFor(std::string_view key) const {
+  return std::hash<std::string_view>{}(key) % kShards;
+}
+
+Status HashTableBackend::Get(std::string_view key, std::string* value) const {
+  const Shard& shard = shards_[ShardFor(key)];
+  SharedGuard guard(shard.latch);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::OK();
+}
+
+Status HashTableBackend::Put(std::string_view key, std::string_view value,
+                             bool /*sync*/) {
+  Shard& shard = shards_[ShardFor(key)];
+  ExclusiveGuard guard(shard.latch);
+  auto [it, inserted] =
+      shard.map.insert_or_assign(std::string(key), std::string(value));
+  (void)it;
+  if (inserted) count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HashTableBackend::Delete(std::string_view key, bool /*sync*/) {
+  Shard& shard = shards_[ShardFor(key)];
+  ExclusiveGuard guard(shard.latch);
+  if (shard.map.erase(std::string(key)) > 0) {
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status HashTableBackend::Scan(const ScanCallback& callback) const {
+  for (const Shard& shard : shards_) {
+    SharedGuard guard(shard.latch);
+    for (const auto& [key, value] : shard.map) {
+      if (!callback(key, value)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+std::uint64_t HashTableBackend::ApproximateCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace streamsi

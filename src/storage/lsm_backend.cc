@@ -1,0 +1,325 @@
+#include "storage/lsm_backend.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace streamsi {
+
+namespace {
+
+// WAL payload for kPut: length-prefixed key + value. For kDelete: key only.
+std::string EncodePut(std::string_view key, std::string_view value) {
+  std::string payload;
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  return payload;
+}
+
+}  // namespace
+
+LsmBackend::LsmBackend(const BackendOptions& options) : options_(options) {}
+
+LsmBackend::~LsmBackend() {
+  if (wal_ != nullptr) wal_->Close();
+}
+
+Result<std::unique_ptr<LsmBackend>> LsmBackend::Open(
+    const BackendOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("LsmBackend requires options.path");
+  }
+  STREAMSI_RETURN_NOT_OK(fsutil::CreateDirIfMissing(options.path));
+  auto backend = std::unique_ptr<LsmBackend>(new LsmBackend(options));
+  STREAMSI_RETURN_NOT_OK(backend->Recover());
+  return backend;
+}
+
+std::string LsmBackend::SsTablePath(std::uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/sst_%08llu.sst",
+                static_cast<unsigned long long>(number));
+  return options_.path + buf;
+}
+
+std::shared_ptr<const LsmBackend::Version> LsmBackend::CurrentVersion() const {
+  std::lock_guard<SpinLock> guard(version_lock_);
+  return version_;
+}
+
+void LsmBackend::InstallVersion(std::shared_ptr<const Version> v) {
+  std::lock_guard<SpinLock> guard(version_lock_);
+  version_ = std::move(v);
+}
+
+Status LsmBackend::Recover() {
+  // 1. Manifest: whitespace-separated list of live SSTable numbers,
+  //    newest first.
+  live_files_.clear();
+  if (fsutil::FileExists(ManifestPath())) {
+    std::string contents;
+    STREAMSI_RETURN_NOT_OK(
+        fsutil::ReadFileToString(ManifestPath(), &contents));
+    std::uint64_t number = 0;
+    bool in_number = false;
+    for (char c : contents) {
+      if (c >= '0' && c <= '9') {
+        number = number * 10 + static_cast<std::uint64_t>(c - '0');
+        in_number = true;
+      } else if (in_number) {
+        live_files_.push_back(number);
+        next_file_number_ = std::max(next_file_number_, number + 1);
+        number = 0;
+        in_number = false;
+      }
+    }
+    if (in_number) {
+      live_files_.push_back(number);
+      next_file_number_ = std::max(next_file_number_, number + 1);
+    }
+  }
+
+  auto version = std::make_shared<Version>();
+  version->mem = std::make_shared<SkipList>();
+  for (std::uint64_t number : live_files_) {
+    auto reader = SsTableReader::Open(SsTablePath(number));
+    if (!reader.ok()) return reader.status();
+    version->tables.push_back(std::move(reader).value());
+  }
+
+  // 2. WAL replay into the fresh memtable (records after the last flush).
+  if (fsutil::FileExists(WalPath())) {
+    WalReader::ReplayStats stats;
+    STREAMSI_RETURN_NOT_OK(WalReader::Replay(
+        WalPath(),
+        [&](WalRecordType type, std::string_view payload) -> Status {
+          const char* p = payload.data();
+          const char* limit = p + payload.size();
+          std::string_view key;
+          p = GetLengthPrefixed(p, limit, &key);
+          if (p == nullptr) return Status::Corruption("bad WAL key");
+          switch (type) {
+            case WalRecordType::kPut: {
+              std::string_view value;
+              p = GetLengthPrefixed(p, limit, &value);
+              if (p == nullptr) return Status::Corruption("bad WAL value");
+              version->mem->Upsert(key, value, /*tombstone=*/false);
+              break;
+            }
+            case WalRecordType::kDelete:
+              version->mem->Upsert(key, "", /*tombstone=*/true);
+              break;
+            case WalRecordType::kCheckpoint:
+              break;  // informational
+          }
+          return Status::OK();
+        },
+        &stats));
+    if (stats.tail_truncated) {
+      STREAMSI_INFO("WAL tail truncated during recovery (crash tail)");
+    }
+  }
+
+  InstallVersion(version);
+
+  wal_ = std::make_unique<WalWriter>(options_.sync_mode,
+                                     options_.simulated_sync_micros);
+  return wal_->Open(WalPath(), /*truncate=*/false);
+}
+
+Status LsmBackend::Get(std::string_view key, std::string* value) const {
+  auto version = CurrentVersion();
+  bool tombstone = false;
+  if (version->mem->Get(key, value, &tombstone)) return Status::OK();
+  if (tombstone) return Status::NotFound();
+  for (const auto& table : version->tables) {
+    bool found = false;
+    bool tomb = false;
+    STREAMSI_RETURN_NOT_OK(table->Get(key, value, &found, &tomb));
+    if (found) return tomb ? Status::NotFound() : Status::OK();
+  }
+  return Status::NotFound();
+}
+
+Status LsmBackend::Put(std::string_view key, std::string_view value,
+                       bool sync) {
+  return WriteInternal(key, value, /*tombstone=*/false, sync);
+}
+
+Status LsmBackend::Delete(std::string_view key, bool sync) {
+  return WriteInternal(key, "", /*tombstone=*/true, sync);
+}
+
+Status LsmBackend::WriteInternal(std::string_view key, std::string_view value,
+                                 bool tombstone, bool sync) {
+  std::lock_guard<std::mutex> guard(write_mutex_);
+  if (tombstone) {
+    std::string payload;
+    PutLengthPrefixed(&payload, key);
+    STREAMSI_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kDelete, payload, sync));
+  } else {
+    STREAMSI_RETURN_NOT_OK(
+        wal_->Append(WalRecordType::kPut, EncodePut(key, value), sync));
+  }
+  auto version = CurrentVersion();
+  version->mem->Upsert(key, value, tombstone);
+  if (version->mem->ApproximateBytes() >= options_.memtable_bytes) {
+    STREAMSI_RETURN_NOT_OK(FlushMemTableLocked());
+  }
+  return Status::OK();
+}
+
+Status LsmBackend::FlushMemTableLocked() {
+  auto old_version = CurrentVersion();
+  if (old_version->mem->NodeCount() == 0) return Status::OK();
+
+  const std::uint64_t number = next_file_number_++;
+  const std::string path = SsTablePath(number);
+  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key);
+  STREAMSI_RETURN_NOT_OK(writer.Open(path));
+  Status add_status = Status::OK();
+  old_version->mem->Iterate(
+      [&](std::string_view key, std::string_view value, bool tombstone) {
+        add_status = writer.Add(key, value, tombstone);
+        return add_status.ok();
+      });
+  STREAMSI_RETURN_NOT_OK(add_status);
+  STREAMSI_RETURN_NOT_OK(writer.Finish());
+
+  auto reader = SsTableReader::Open(path);
+  if (!reader.ok()) return reader.status();
+
+  std::vector<std::uint64_t> files;
+  files.push_back(number);
+  files.insert(files.end(), live_files_.begin(), live_files_.end());
+  STREAMSI_RETURN_NOT_OK(WriteManifestLocked(files));
+  live_files_ = std::move(files);
+
+  auto new_version = std::make_shared<Version>();
+  new_version->mem = std::make_shared<SkipList>();
+  new_version->tables.push_back(std::move(reader).value());
+  new_version->tables.insert(new_version->tables.end(),
+                             old_version->tables.begin(),
+                             old_version->tables.end());
+  InstallVersion(new_version);
+
+  // The flushed data is durable in the SSTable; start a fresh WAL.
+  STREAMSI_RETURN_NOT_OK(wal_->Close());
+  wal_ = std::make_unique<WalWriter>(options_.sync_mode,
+                                     options_.simulated_sync_micros);
+  STREAMSI_RETURN_NOT_OK(wal_->Open(WalPath(), /*truncate=*/true));
+
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  return MaybeCompactLocked();
+}
+
+Status LsmBackend::MaybeCompactLocked() {
+  if (static_cast<int>(live_files_.size()) <= options_.l0_compaction_trigger) {
+    return Status::OK();
+  }
+  // Full merge: newest-wins per key; drop tombstones (no older level exists
+  // after a full merge).
+  auto version = CurrentVersion();
+  std::map<std::string, std::pair<std::string, bool>> merged;
+  for (auto it = version->tables.rbegin(); it != version->tables.rend();
+       ++it) {  // oldest -> newest so newer overwrites
+    STREAMSI_RETURN_NOT_OK((*it)->Iterate(
+        [&](std::string_view key, std::string_view value, bool tombstone) {
+          merged[std::string(key)] = {std::string(value), tombstone};
+          return true;
+        }));
+  }
+
+  const std::uint64_t number = next_file_number_++;
+  const std::string path = SsTablePath(number);
+  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key);
+  STREAMSI_RETURN_NOT_OK(writer.Open(path));
+  for (const auto& [key, entry] : merged) {
+    if (entry.second) continue;  // tombstone: gone for good
+    STREAMSI_RETURN_NOT_OK(writer.Add(key, entry.first, false));
+  }
+  STREAMSI_RETURN_NOT_OK(writer.Finish());
+
+  auto reader = SsTableReader::Open(path);
+  if (!reader.ok()) return reader.status();
+
+  const std::vector<std::uint64_t> old_files = live_files_;
+  std::vector<std::uint64_t> files{number};
+  STREAMSI_RETURN_NOT_OK(WriteManifestLocked(files));
+  live_files_ = std::move(files);
+
+  auto new_version = std::make_shared<Version>();
+  new_version->mem = version->mem;  // memtable unaffected
+  new_version->tables.push_back(std::move(reader).value());
+  InstallVersion(new_version);
+
+  for (std::uint64_t old : old_files) {
+    (void)fsutil::RemoveFile(SsTablePath(old));
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LsmBackend::WriteManifestLocked(
+    const std::vector<std::uint64_t>& files) {
+  std::string contents;
+  for (std::uint64_t number : files) {
+    contents += std::to_string(number);
+    contents += '\n';
+  }
+  return fsutil::WriteStringToFileAtomic(ManifestPath(), contents);
+}
+
+Status LsmBackend::Scan(const ScanCallback& callback) const {
+  auto version = CurrentVersion();
+  // Newest-wins merge across memtable + tables.
+  std::map<std::string, std::optional<std::string>> merged;
+  for (auto it = version->tables.rbegin(); it != version->tables.rend();
+       ++it) {
+    STREAMSI_RETURN_NOT_OK((*it)->Iterate(
+        [&](std::string_view key, std::string_view value, bool tombstone) {
+          if (tombstone) {
+            merged[std::string(key)] = std::nullopt;
+          } else {
+            merged[std::string(key)] = std::string(value);
+          }
+          return true;
+        }));
+  }
+  version->mem->Iterate(
+      [&](std::string_view key, std::string_view value, bool tombstone) {
+        if (tombstone) {
+          merged[std::string(key)] = std::nullopt;
+        } else {
+          merged[std::string(key)] = std::string(value);
+        }
+        return true;
+      });
+  for (const auto& [key, value] : merged) {
+    if (!value.has_value()) continue;
+    if (!callback(key, *value)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+std::uint64_t LsmBackend::ApproximateCount() const {
+  auto version = CurrentVersion();
+  std::uint64_t count = version->mem->NodeCount();
+  for (const auto& table : version->tables) count += table->entry_count();
+  return count;
+}
+
+Status LsmBackend::Flush() {
+  std::lock_guard<std::mutex> guard(write_mutex_);
+  return FlushMemTableLocked();
+}
+
+int LsmBackend::SsTableCount() const {
+  return static_cast<int>(CurrentVersion()->tables.size());
+}
+
+}  // namespace streamsi

@@ -1,0 +1,98 @@
+// LsmBackend: persistent log-structured merge key-value store built from
+// scratch — the stand-in for RocksDB in the paper's evaluation (§5.1: LSM
+// design, default config, sync=true for failure atomicity).
+//
+// Architecture:
+//   Put/Delete -> WAL append (sync per SyncMode) -> memtable (skip list)
+//   memtable full -> flush to a new SSTable, manifest update, WAL reset
+//   too many SSTables -> full merge compaction (newest-wins)
+//   Get -> memtable, then SSTables newest-to-oldest
+//   recovery -> manifest (live SSTables) + WAL replay into a fresh memtable
+//
+// Readers never block behind writers: they grab an immutable snapshot
+// (shared_ptr to the current Version) and read lock-free structures.
+
+#ifndef STREAMSI_STORAGE_LSM_BACKEND_H_
+#define STREAMSI_STORAGE_LSM_BACKEND_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/latch.h"
+#include "storage/backend.h"
+#include "storage/skiplist.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace streamsi {
+
+class LsmBackend final : public TableBackend {
+ public:
+  /// Opens (and recovers) the store in `options.path`.
+  static Result<std::unique_ptr<LsmBackend>> Open(const BackendOptions& options);
+
+  ~LsmBackend() override;
+
+  Status Get(std::string_view key, std::string* value) const override;
+  Status Put(std::string_view key, std::string_view value, bool sync) override;
+  Status Delete(std::string_view key, bool sync) override;
+  Status Scan(const ScanCallback& callback) const override;
+  std::uint64_t ApproximateCount() const override;
+  Status Flush() override;
+  bool IsPersistent() const override { return true; }
+  std::string_view Name() const override { return "lsm"; }
+
+  /// Diagnostics.
+  int SsTableCount() const;
+  std::uint64_t FlushCount() const {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t CompactionCount() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit LsmBackend(const BackendOptions& options);
+
+  /// Immutable view of the store used by readers.
+  struct Version {
+    std::shared_ptr<SkipList> mem;
+    // Newest first; a hit in an earlier element shadows later ones.
+    std::vector<std::shared_ptr<SsTableReader>> tables;
+  };
+
+  std::shared_ptr<const Version> CurrentVersion() const;
+  void InstallVersion(std::shared_ptr<const Version> v);
+
+  Status Recover();
+  Status WriteInternal(std::string_view key, std::string_view value,
+                       bool tombstone, bool sync);
+  /// Must hold write_mutex_. Flushes the memtable and maybe compacts.
+  Status FlushMemTableLocked();
+  Status MaybeCompactLocked();
+  Status WriteManifestLocked(const std::vector<std::uint64_t>& files);
+
+  std::string SsTablePath(std::uint64_t number) const;
+  std::string WalPath() const { return options_.path + "/wal.log"; }
+  std::string ManifestPath() const { return options_.path + "/MANIFEST"; }
+
+  BackendOptions options_;
+
+  mutable SpinLock version_lock_;
+  std::shared_ptr<const Version> version_;
+
+  std::mutex write_mutex_;  // serializes writers, flushes, compactions
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<std::uint64_t> live_files_;  // newest first
+  std::uint64_t next_file_number_ = 1;
+
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STORAGE_LSM_BACKEND_H_

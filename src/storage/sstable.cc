@@ -1,0 +1,210 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "storage/bloom.h"
+
+namespace streamsi {
+
+// ---------------------------------------------------------------- writer ---
+
+Status SsTableWriter::Open(const std::string& path) {
+  path_ = path;
+  return file_.Open(path, /*truncate=*/true);
+}
+
+Status SsTableWriter::Add(std::string_view key, std::string_view value,
+                          bool tombstone) {
+  if (entry_count_ > 0 && key <= last_key_) {
+    return Status::InvalidArgument("SSTable keys must be strictly increasing");
+  }
+  PutLengthPrefixed(&current_block_, key);
+  PutLengthPrefixed(&current_block_, value);
+  current_block_.push_back(tombstone ? 1 : 0);
+  last_key_.assign(key.data(), key.size());
+  block_last_key_ = last_key_;
+  has_entries_in_block_ = true;
+  ++entry_count_;
+  if (bloom_bits_per_key_ > 0) bloom_keys_.emplace_back(key);
+  if (current_block_.size() >= block_bytes_) return FlushBlock();
+  return Status::OK();
+}
+
+Status SsTableWriter::FlushBlock() {
+  if (!has_entries_in_block_) return Status::OK();
+  std::string framed;
+  PutFixed32(&framed, MaskCrc(Crc32c(current_block_)));
+  framed.append(current_block_);
+  index_.push_back({block_last_key_, offset_,
+                    static_cast<std::uint32_t>(framed.size())});
+  STREAMSI_RETURN_NOT_OK(file_.Append(framed));
+  offset_ += framed.size();
+  current_block_.clear();
+  has_entries_in_block_ = false;
+  return Status::OK();
+}
+
+Status SsTableWriter::Finish() {
+  STREAMSI_RETURN_NOT_OK(FlushBlock());
+
+  const std::string bloom =
+      BloomFilter::Build(bloom_keys_, bloom_bits_per_key_);
+  const std::uint64_t bloom_offset = offset_;
+  STREAMSI_RETURN_NOT_OK(file_.Append(bloom));
+  offset_ += bloom.size();
+
+  std::string index_block;
+  for (const auto& entry : index_) {
+    PutLengthPrefixed(&index_block, entry.last_key);
+    PutFixed64(&index_block, entry.offset);
+    PutFixed32(&index_block, entry.size);
+  }
+  const std::uint64_t index_offset = offset_;
+  STREAMSI_RETURN_NOT_OK(file_.Append(index_block));
+  offset_ += index_block.size();
+
+  std::string footer;
+  PutFixed64(&footer, bloom_offset);
+  PutFixed32(&footer, static_cast<std::uint32_t>(bloom.size()));
+  PutFixed64(&footer, index_offset);
+  PutFixed32(&footer, static_cast<std::uint32_t>(index_block.size()));
+  PutFixed64(&footer, entry_count_);
+  PutFixed64(&footer, kSsTableMagic);
+  STREAMSI_RETURN_NOT_OK(file_.Append(footer));
+
+  STREAMSI_RETURN_NOT_OK(file_.Sync());
+  return file_.Close();
+}
+
+// ---------------------------------------------------------------- reader ---
+
+Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
+    const std::string& path) {
+  auto reader = std::shared_ptr<SsTableReader>(new SsTableReader());
+  reader->path_ = path;
+  STREAMSI_RETURN_NOT_OK(reader->file_.Open(path));
+
+  constexpr std::size_t kFooterSize = 8 + 4 + 8 + 4 + 8 + 8;
+  if (reader->file_.size() < kFooterSize) {
+    return Status::Corruption("SSTable too small: " + path);
+  }
+  std::string footer;
+  STREAMSI_RETURN_NOT_OK(reader->file_.Read(
+      reader->file_.size() - kFooterSize, kFooterSize, &footer));
+  const char* p = footer.data();
+  const std::uint64_t bloom_offset = DecodeFixed64(p);
+  const std::uint32_t bloom_size = DecodeFixed32(p + 8);
+  const std::uint64_t index_offset = DecodeFixed64(p + 12);
+  const std::uint32_t index_size = DecodeFixed32(p + 20);
+  reader->entry_count_ = DecodeFixed64(p + 24);
+  if (DecodeFixed64(p + 32) != kSsTableMagic) {
+    return Status::Corruption("bad SSTable magic: " + path);
+  }
+
+  if (bloom_size > 0) {
+    STREAMSI_RETURN_NOT_OK(
+        reader->file_.Read(bloom_offset, bloom_size, &reader->bloom_));
+  }
+
+  std::string index_block;
+  STREAMSI_RETURN_NOT_OK(
+      reader->file_.Read(index_offset, index_size, &index_block));
+  const char* q = index_block.data();
+  const char* limit = q + index_block.size();
+  while (q < limit) {
+    std::string_view last_key;
+    q = GetLengthPrefixed(q, limit, &last_key);
+    if (q == nullptr || q + 12 > limit) {
+      return Status::Corruption("bad SSTable index: " + path);
+    }
+    IndexEntry entry;
+    entry.last_key.assign(last_key.data(), last_key.size());
+    entry.offset = DecodeFixed64(q);
+    entry.size = DecodeFixed32(q + 8);
+    q += 12;
+    reader->index_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+Status SsTableReader::ReadBlock(std::uint64_t offset, std::uint32_t size,
+                                std::string* out) const {
+  std::string framed;
+  STREAMSI_RETURN_NOT_OK(file_.Read(offset, size, &framed));
+  if (framed.size() < 4) return Status::Corruption("short block");
+  const std::uint32_t crc = UnmaskCrc(DecodeFixed32(framed.data()));
+  std::string_view body(framed.data() + 4, framed.size() - 4);
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("block checksum mismatch in " + path_);
+  }
+  out->assign(body.data(), body.size());
+  return Status::OK();
+}
+
+Status SsTableReader::ParseBlock(std::string_view block,
+                                 const EntryCallback& callback) {
+  const char* p = block.data();
+  const char* limit = p + block.size();
+  while (p < limit) {
+    std::string_view key;
+    std::string_view value;
+    p = GetLengthPrefixed(p, limit, &key);
+    if (p == nullptr) return Status::Corruption("bad block entry key");
+    p = GetLengthPrefixed(p, limit, &value);
+    if (p == nullptr || p >= limit + 1) {
+      return Status::Corruption("bad block entry value");
+    }
+    if (p >= limit) return Status::Corruption("missing tombstone byte");
+    const bool tombstone = (*p++ != 0);
+    if (!callback(key, value, tombstone)) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status SsTableReader::Get(std::string_view key, std::string* value,
+                          bool* found, bool* tombstone) const {
+  *found = false;
+  if (!BloomFilter::MayContain(bloom_, key)) return Status::OK();
+
+  // Binary search: first block whose last_key >= key.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, std::string_view k) { return e.last_key < k; });
+  if (it == index_.end()) return Status::OK();
+
+  std::string block;
+  STREAMSI_RETURN_NOT_OK(ReadBlock(it->offset, it->size, &block));
+  Status status = ParseBlock(
+      block, [&](std::string_view k, std::string_view v, bool tomb) {
+        if (k == key) {
+          *found = true;
+          *tombstone = tomb;
+          value->assign(v.data(), v.size());
+          return false;
+        }
+        return k < key;  // keep scanning while before the key
+      });
+  return status;
+}
+
+Status SsTableReader::Iterate(const EntryCallback& callback) const {
+  for (const auto& entry : index_) {
+    std::string block;
+    STREAMSI_RETURN_NOT_OK(ReadBlock(entry.offset, entry.size, &block));
+    bool stop = false;
+    STREAMSI_RETURN_NOT_OK(ParseBlock(
+        block, [&](std::string_view k, std::string_view v, bool tomb) {
+          if (!callback(k, v, tomb)) {
+            stop = true;
+            return false;
+          }
+          return true;
+        }));
+    if (stop) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace streamsi

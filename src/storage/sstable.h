@@ -1,0 +1,112 @@
+// Sorted String Table: immutable on-disk run of key-ordered entries.
+//
+// File layout:
+//   [data block]*            entries: varint-prefixed key, varint-prefixed
+//                            value, 1 tombstone byte; each block is CRC'd
+//   [bloom filter block]
+//   [index block]            per data block: last key, offset, size
+//   [footer]                 offsets/sizes of bloom + index, entry count,
+//                            magic number
+//
+// Writers require keys to be added in strictly increasing order. Readers
+// keep the index and bloom filter in memory and pread data blocks on demand.
+
+#ifndef STREAMSI_STORAGE_SSTABLE_H_
+#define STREAMSI_STORAGE_SSTABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace streamsi {
+
+inline constexpr std::uint64_t kSsTableMagic = 0x5353495f53535400ull;
+
+/// Streams sorted entries into a new SSTable file.
+class SsTableWriter {
+ public:
+  SsTableWriter(std::size_t block_bytes, int bloom_bits_per_key)
+      : block_bytes_(block_bytes), bloom_bits_per_key_(bloom_bits_per_key) {}
+
+  Status Open(const std::string& path);
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  Status Add(std::string_view key, std::string_view value, bool tombstone);
+
+  /// Flushes the final block, index, bloom filter and footer; fsyncs.
+  Status Finish();
+
+  std::uint64_t entry_count() const { return entry_count_; }
+
+ private:
+  Status FlushBlock();
+
+  std::size_t block_bytes_;
+  int bloom_bits_per_key_;
+  WritableFile file_;
+  std::string path_;
+  std::string current_block_;
+  std::string last_key_;
+  std::string block_last_key_;
+  bool has_entries_in_block_ = false;
+  std::uint64_t entry_count_ = 0;
+  std::uint64_t offset_ = 0;
+  std::vector<std::string> bloom_keys_;
+  // index entries: (last key of block, offset, size)
+  struct IndexEntry {
+    std::string last_key;
+    std::uint64_t offset;
+    std::uint32_t size;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+/// Read-only view of a finished SSTable.
+class SsTableReader {
+ public:
+  using EntryCallback = std::function<bool(
+      std::string_view key, std::string_view value, bool tombstone)>;
+
+  /// Opens the file and loads footer, index and bloom filter.
+  static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path);
+
+  /// Point lookup. Sets *found=false if the key is not in this table;
+  /// if found, *tombstone tells whether it is a delete marker.
+  Status Get(std::string_view key, std::string* value, bool* found,
+             bool* tombstone) const;
+
+  /// Visits all entries in key order (tombstones included).
+  Status Iterate(const EntryCallback& callback) const;
+
+  std::uint64_t entry_count() const { return entry_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SsTableReader() = default;
+
+  Status ReadBlock(std::uint64_t offset, std::uint32_t size,
+                   std::string* out) const;
+  static Status ParseBlock(std::string_view block,
+                           const EntryCallback& callback);
+
+  RandomAccessFile file_;
+  std::string path_;
+  std::string bloom_;
+  std::uint64_t entry_count_ = 0;
+  struct IndexEntry {
+    std::string last_key;
+    std::uint64_t offset;
+    std::uint32_t size;
+  };
+  std::vector<IndexEntry> index_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STORAGE_SSTABLE_H_

@@ -1,0 +1,110 @@
+// Aggregation operators over window batches and running grouped
+// aggregates. Together with ToTable these are the "stateful stream
+// operators such as windows or aggregates" whose state becomes a queryable
+// table (§3).
+
+#ifndef STREAMSI_STREAM_AGGREGATE_H_
+#define STREAMSI_STREAM_AGGREGATE_H_
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "stream/window.h"
+
+namespace streamsi {
+
+/// Folds each WindowBatch into one output value.
+template <typename T, typename Acc>
+class WindowAggregate : public OperatorBase, public Publisher<Acc> {
+ public:
+  using Folder = std::function<void(Acc&, const T&)>;
+
+  WindowAggregate(Publisher<WindowBatch<T>>* input, Acc init, Folder folder)
+      : init_(std::move(init)), folder_(std::move(folder)) {
+    input->Subscribe([this](const StreamElement<WindowBatch<T>>& e) {
+      if (e.is_data()) {
+        Acc acc = init_;
+        for (const T& element : e.data().elements) folder_(acc, element);
+        this->Publish(StreamElement<Acc>(std::move(acc), e.ts()));
+      } else {
+        this->Publish(e.template ForwardPunctuation<Acc>());
+      }
+    });
+  }
+
+  std::string_view name() const override { return "WindowAggregate"; }
+
+ private:
+  Acc init_;
+  Folder folder_;
+};
+
+/// Simple numeric summary used by the canned aggregates.
+struct NumericSummary {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  double avg() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Folds a window of T into a NumericSummary via a value extractor.
+template <typename T>
+WindowAggregate<T, NumericSummary>* MakeSummaryAggregate(
+    Publisher<WindowBatch<T>>* input, std::function<double(const T&)> value) {
+  return new WindowAggregate<T, NumericSummary>(
+      input, NumericSummary{},
+      [value](NumericSummary& acc, const T& element) {
+        acc.Add(value(element));
+      });
+}
+
+/// Per-key running aggregate: emits (key, aggregate) after every update.
+template <typename T, typename K, typename Acc>
+class GroupedAggregate : public OperatorBase,
+                         public Publisher<std::pair<K, Acc>> {
+ public:
+  using KeyExtractor = std::function<K(const T&)>;
+  using Folder = std::function<void(Acc&, const T&)>;
+
+  GroupedAggregate(Publisher<T>* input, KeyExtractor key, Acc init,
+                   Folder folder)
+      : key_(std::move(key)), init_(std::move(init)), folder_(std::move(folder)) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      if (e.is_data()) {
+        const K k = key_(e.data());
+        auto [it, inserted] = groups_.try_emplace(k, init_);
+        (void)inserted;
+        folder_(it->second, e.data());
+        this->Publish(StreamElement<std::pair<K, Acc>>(
+            std::make_pair(k, it->second), e.ts()));
+      } else {
+        this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
+      }
+    });
+  }
+
+  /// Current state of all groups (the operator's internal table).
+  const std::unordered_map<K, Acc>& groups() const { return groups_; }
+
+  std::string_view name() const override { return "GroupedAggregate"; }
+
+ private:
+  KeyExtractor key_;
+  Acc init_;
+  Folder folder_;
+  std::unordered_map<K, Acc> groups_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_AGGREGATE_H_

@@ -1,0 +1,50 @@
+// Batcher: injects data-centric transaction boundaries into a raw stream
+// (§3): a BOT punctuation before the first element of each batch and a
+// COMMIT punctuation after every `batch_size` data elements. With
+// batch_size == 1 this is the "auto-commit" mode where "each stream element
+// represents its own transaction"; an open batch is committed at EOS.
+
+#ifndef STREAMSI_STREAM_BATCHER_H_
+#define STREAMSI_STREAM_BATCHER_H_
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+template <typename T>
+class Batcher : public OperatorBase, public Publisher<T> {
+ public:
+  Batcher(Publisher<T>* input, std::size_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "Batcher"; }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      if (in_batch_ == 0) {
+        this->Publish(StreamElement<T>(Punctuation::kBeginTxn, e.ts()));
+      }
+      this->Publish(e);
+      if (++in_batch_ >= batch_size_) {
+        this->Publish(StreamElement<T>(Punctuation::kCommitTxn, e.ts()));
+        in_batch_ = 0;
+      }
+      return;
+    }
+    if (e.punctuation() == Punctuation::kEndOfStream && in_batch_ > 0) {
+      this->Publish(StreamElement<T>(Punctuation::kCommitTxn, e.ts()));
+      in_batch_ = 0;
+    }
+    this->Publish(e);
+  }
+
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_BATCHER_H_

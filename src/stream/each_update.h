@@ -1,0 +1,65 @@
+// EachUpdateToStream: the per-modification trigger policy of TO_STREAM
+// (§3 "Trigger policy ... possible policies are to consider each tuple
+// modification or to rely on transaction commits").
+//
+// Whereas ToStream (kOnCommit) emits atomically visible changes, this
+// operator converts a ToTable's pass-through into ChangeEvents immediately
+// — including changes of transactions that may later abort. Events carry
+// commit_ts == 0 to mark them as not-yet-committed.
+
+#ifndef STREAMSI_STREAM_EACH_UPDATE_H_
+#define STREAMSI_STREAM_EACH_UPDATE_H_
+
+#include "stream/operator.h"
+#include "stream/to_stream.h"
+
+namespace streamsi {
+
+template <typename T, typename K, typename V>
+class EachUpdateToStream : public OperatorBase,
+                           public Publisher<ChangeEvent<K, V>> {
+ public:
+  using KeyExtractor = std::function<K(const T&)>;
+  using ValueExtractor = std::function<V(const T&)>;
+  using DeletePredicate = std::function<bool(const T&)>;
+  using Condition = std::function<bool(const ChangeEvent<K, V>&)>;
+
+  /// @param input      the pass-through output of a ToTable operator
+  /// @param condition  optional emit filter (nullptr = every update)
+  EachUpdateToStream(Publisher<T>* input, KeyExtractor key,
+                     ValueExtractor value,
+                     DeletePredicate is_delete = nullptr,
+                     Condition condition = nullptr)
+      : key_(std::move(key)),
+        value_(std::move(value)),
+        is_delete_(std::move(is_delete)),
+        condition_(std::move(condition)) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      if (!e.is_data()) {
+        this->Publish(e.template ForwardPunctuation<ChangeEvent<K, V>>());
+        return;
+      }
+      ChangeEvent<K, V> event;
+      event.key = key_(e.data());
+      event.commit_ts = 0;  // not committed (yet)
+      if (!is_delete_ || !is_delete_(e.data())) {
+        event.value = value_(e.data());
+      }
+      if (condition_ && !condition_(event)) return;
+      this->Publish(
+          StreamElement<ChangeEvent<K, V>>(std::move(event), e.ts()));
+    });
+  }
+
+  std::string_view name() const override { return "EachUpdateToStream"; }
+
+ private:
+  KeyExtractor key_;
+  ValueExtractor value_;
+  DeletePredicate is_delete_;
+  Condition condition_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_EACH_UPDATE_H_

@@ -1,0 +1,57 @@
+// StreamElement<T>: one element of a typed stream — either a data tuple
+// (with an implicit ordering timestamp, §3 "tuples carry an implicit or
+// explicit ordering") or a punctuation.
+
+#ifndef STREAMSI_STREAM_ELEMENT_H_
+#define STREAMSI_STREAM_ELEMENT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/clock.h"
+#include "stream/punctuation.h"
+
+namespace streamsi {
+
+template <typename T>
+class StreamElement {
+ public:
+  /// Data element.
+  explicit StreamElement(T data, Timestamp ts = 0)
+      : data_(std::move(data)), punctuation_(Punctuation::kNone), ts_(ts) {}
+
+  /// Punctuation element.
+  explicit StreamElement(Punctuation punctuation, Timestamp ts = 0)
+      : punctuation_(punctuation), ts_(ts) {
+    assert(punctuation != Punctuation::kNone);
+  }
+
+  bool is_data() const { return punctuation_ == Punctuation::kNone; }
+  bool is_punctuation() const { return !is_data(); }
+
+  const T& data() const {
+    assert(is_data());
+    return *data_;
+  }
+
+  Punctuation punctuation() const { return punctuation_; }
+  Timestamp ts() const { return ts_; }
+
+  /// Rebuilds this punctuation for a different element type (operators
+  /// forward punctuations unchanged through type-changing stages).
+  template <typename U>
+  StreamElement<U> ForwardPunctuation() const {
+    assert(is_punctuation());
+    return StreamElement<U>(punctuation_, ts_);
+  }
+
+ private:
+  std::optional<T> data_;
+  Punctuation punctuation_;
+  Timestamp ts_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_ELEMENT_H_

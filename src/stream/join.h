@@ -1,0 +1,199 @@
+// Join operators.
+//
+// StreamTableJoin: enriches each stream tuple with the matching row of a
+// transactional table, read at the query's transactional visibility — this
+// is the FROM(table)-inside-a-continuous-query pattern of the smart
+// metering example (the Verify query joins measurements with the
+// Specification table).
+//
+// SymmetricHashJoin: joins two streams on a key with bounded per-key
+// buffers (count-based expiry), the classic DSMS symmetric hash join.
+
+#ifndef STREAMSI_STREAM_JOIN_H_
+#define STREAMSI_STREAM_JOIN_H_
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/transactional_table.h"
+#include "stream/operator.h"
+
+namespace streamsi {
+
+/// Stream ⋈ table: each input tuple is matched against `table` in its own
+/// short read transaction (read-committed ad-hoc lookup); unmatched tuples
+/// are dropped (inner-join semantics).
+template <typename T, typename K, typename V, typename Out>
+class StreamTableJoin : public OperatorBase, public Publisher<Out> {
+ public:
+  using KeyExtractor = std::function<K(const T&)>;
+  using Combiner = std::function<Out(const T&, const V&)>;
+
+  StreamTableJoin(Publisher<T>* input, TransactionManager* manager,
+                  TransactionalTable<K, V> table, KeyExtractor key,
+                  Combiner combine,
+                  IsolationLevel isolation = IsolationLevel::kReadCommitted)
+      : manager_(manager),
+        table_(table),
+        key_(std::move(key)),
+        combine_(std::move(combine)),
+        isolation_(isolation) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "StreamTableJoin"; }
+
+  std::uint64_t matched() const {
+    return matched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t unmatched() const {
+    return unmatched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (!e.is_data()) {
+      this->Publish(e.template ForwardPunctuation<Out>());
+      return;
+    }
+    auto txn = manager_->Begin();
+    if (!txn.ok()) return;
+    (*txn)->txn().set_isolation(isolation_);
+    auto row = table_.Get((*txn)->txn(), key_(e.data()));
+    (void)(*txn)->Commit();
+    if (!row.ok()) {
+      unmatched_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    matched_.fetch_add(1, std::memory_order_relaxed);
+    this->Publish(StreamElement<Out>(combine_(e.data(), *row), e.ts()));
+  }
+
+  TransactionManager* manager_;
+  TransactionalTable<K, V> table_;
+  KeyExtractor key_;
+  Combiner combine_;
+  IsolationLevel isolation_;
+  std::atomic<std::uint64_t> matched_{0};
+  std::atomic<std::uint64_t> unmatched_{0};
+};
+
+/// Symmetric hash join of two streams over a shared key type. Each side
+/// buffers at most `window` tuples per key (older ones expire), so state
+/// stays bounded on infinite streams.
+///
+/// Threading: both inputs may run on different source threads; the operator
+/// serializes internally.
+template <typename L, typename R, typename K, typename Out>
+class SymmetricHashJoin : public OperatorBase, public Publisher<Out> {
+ public:
+  using LeftKey = std::function<K(const L&)>;
+  using RightKey = std::function<K(const R&)>;
+  using Combiner = std::function<Out(const L&, const R&)>;
+
+  SymmetricHashJoin(Publisher<L>* left, Publisher<R>* right, LeftKey lkey,
+                    RightKey rkey, Combiner combine, std::size_t window = 64)
+      : lkey_(std::move(lkey)),
+        rkey_(std::move(rkey)),
+        combine_(std::move(combine)),
+        window_(window == 0 ? 1 : window) {
+    left->Subscribe([this](const StreamElement<L>& e) { OnLeft(e); });
+    right->Subscribe([this](const StreamElement<R>& e) { OnRight(e); });
+  }
+
+  std::string_view name() const override { return "SymmetricHashJoin"; }
+
+ private:
+  void OnLeft(const StreamElement<L>& e) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!e.is_data()) {
+      HandlePunctuation(e.punctuation(), e.ts(), /*left=*/true);
+      return;
+    }
+    const K key = lkey_(e.data());
+    // Probe the right buffer, then insert into the left buffer.
+    auto it = right_buffer_.find(key);
+    if (it != right_buffer_.end()) {
+      for (const R& r : it->second) {
+        this->Publish(StreamElement<Out>(combine_(e.data(), r), e.ts()));
+      }
+    }
+    auto& bucket = left_buffer_[key];
+    bucket.push_back(e.data());
+    if (bucket.size() > window_) bucket.pop_front();
+  }
+
+  void OnRight(const StreamElement<R>& e) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!e.is_data()) {
+      HandlePunctuation(e.punctuation(), e.ts(), /*left=*/false);
+      return;
+    }
+    const K key = rkey_(e.data());
+    auto it = left_buffer_.find(key);
+    if (it != left_buffer_.end()) {
+      for (const L& l : it->second) {
+        this->Publish(StreamElement<Out>(combine_(l, e.data()), e.ts()));
+      }
+    }
+    auto& bucket = right_buffer_[key];
+    bucket.push_back(e.data());
+    if (bucket.size() > window_) bucket.pop_front();
+  }
+
+  void HandlePunctuation(Punctuation p, Timestamp ts, bool left) {
+    if (p == Punctuation::kEndOfStream) {
+      // Emit EOS only once both inputs ended.
+      if (left) left_eos_ = true;
+      else right_eos_ = true;
+      if (left_eos_ && right_eos_) {
+        this->Publish(StreamElement<Out>(Punctuation::kEndOfStream, ts));
+      }
+      return;
+    }
+    // Transaction punctuations pass through from either side.
+    this->Publish(StreamElement<Out>(p, ts));
+  }
+
+  LeftKey lkey_;
+  RightKey rkey_;
+  Combiner combine_;
+  std::size_t window_;
+  std::mutex mutex_;
+  std::unordered_map<K, std::deque<L>> left_buffer_;
+  std::unordered_map<K, std::deque<R>> right_buffer_;
+  bool left_eos_ = false;
+  bool right_eos_ = false;
+};
+
+/// Merge: forwards data elements of N same-typed inputs into one stream;
+/// EOS is emitted once all inputs ended. Transaction punctuations are NOT
+/// forwarded (merging independent transaction domains is undefined) — put
+/// a Batcher downstream to re-impose boundaries.
+template <typename T>
+class Merge : public OperatorBase, public Publisher<T> {
+ public:
+  explicit Merge(std::vector<Publisher<T>*> inputs)
+      : pending_eos_(inputs.size()) {
+    for (Publisher<T>* input : inputs) {
+      input->Subscribe([this](const StreamElement<T>& e) {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (e.is_data()) {
+          this->Publish(e);
+        } else if (e.punctuation() == Punctuation::kEndOfStream) {
+          if (--pending_eos_ == 0) this->Publish(e);
+        }
+      });
+    }
+  }
+
+  std::string_view name() const override { return "Merge"; }
+
+ private:
+  std::mutex mutex_;
+  std::size_t pending_eos_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_JOIN_H_

@@ -1,0 +1,57 @@
+// Operator plumbing: push-based publish/subscribe, as in PipeFabric where a
+// query is a Topology — "a graph where each node is an operator and the
+// edges represent their subscribed streams" (§4.1).
+//
+// Threading model: each source pushes its elements through the downstream
+// chain on the source's thread (synchronous calls). Subscriptions must be
+// set up before Topology::Start().
+
+#ifndef STREAMSI_STREAM_OPERATOR_H_
+#define STREAMSI_STREAM_OPERATOR_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stream/element.h"
+
+namespace streamsi {
+
+/// Base for all operators so a Topology can own them uniformly.
+class OperatorBase {
+ public:
+  virtual ~OperatorBase() = default;
+  /// Called by Topology::Start (sources spawn their thread here).
+  virtual void Start() {}
+  /// Cooperative stop signal.
+  virtual void Stop() {}
+  /// Blocks until the operator finished (sources: thread joined).
+  virtual void Join() {}
+  virtual std::string_view name() const = 0;
+};
+
+/// Typed output port.
+template <typename T>
+class Publisher {
+ public:
+  using Subscriber = std::function<void(const StreamElement<T>&)>;
+
+  /// Registers a downstream consumer. Not thread-safe; call before Start().
+  void Subscribe(Subscriber subscriber) {
+    subscribers_.push_back(std::move(subscriber));
+  }
+
+  void Publish(const StreamElement<T>& element) {
+    for (auto& subscriber : subscribers_) subscriber(element);
+  }
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+
+ private:
+  std::vector<Subscriber> subscribers_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_OPERATOR_H_

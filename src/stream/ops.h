@@ -1,0 +1,153 @@
+// Basic stream operators: Map, Where, ForEach, Collect, Print.
+// Punctuations flow through all of them unchanged.
+
+#ifndef STREAMSI_STREAM_OPS_H_
+#define STREAMSI_STREAM_OPS_H_
+
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+/// Element-wise transformation In -> Out.
+template <typename In, typename Out>
+class Map : public OperatorBase, public Publisher<Out> {
+ public:
+  Map(Publisher<In>* input, std::function<Out(const In&)> fn)
+      : fn_(std::move(fn)) {
+    input->Subscribe([this](const StreamElement<In>& e) {
+      if (e.is_data()) {
+        this->Publish(StreamElement<Out>(fn_(e.data()), e.ts()));
+      } else {
+        this->Publish(e.template ForwardPunctuation<Out>());
+      }
+    });
+  }
+
+  std::string_view name() const override { return "Map"; }
+
+ private:
+  std::function<Out(const In&)> fn_;
+};
+
+/// Predicate filter.
+template <typename T>
+class Where : public OperatorBase, public Publisher<T> {
+ public:
+  Where(Publisher<T>* input, std::function<bool(const T&)> predicate)
+      : predicate_(std::move(predicate)) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      if (!e.is_data() || predicate_(e.data())) this->Publish(e);
+    });
+  }
+
+  std::string_view name() const override { return "Where"; }
+
+ private:
+  std::function<bool(const T&)> predicate_;
+};
+
+/// Terminal sink invoking a callback per data element (and optionally per
+/// punctuation).
+template <typename T>
+class ForEach : public OperatorBase {
+ public:
+  ForEach(Publisher<T>* input, std::function<void(const T&)> fn,
+          std::function<void(Punctuation)> punctuation_fn = nullptr)
+      : fn_(std::move(fn)), punctuation_fn_(std::move(punctuation_fn)) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      if (e.is_data()) {
+        fn_(e.data());
+      } else if (punctuation_fn_) {
+        punctuation_fn_(e.punctuation());
+      }
+    });
+  }
+
+  std::string_view name() const override { return "ForEach"; }
+
+ private:
+  std::function<void(const T&)> fn_;
+  std::function<void(Punctuation)> punctuation_fn_;
+};
+
+/// Thread-safe collecting sink; WaitForEos() blocks until the stream ended.
+template <typename T>
+class Collect : public OperatorBase {
+ public:
+  explicit Collect(Publisher<T>* input) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (e.is_data()) {
+        elements_.push_back(e.data());
+      } else if (e.punctuation() == Punctuation::kEndOfStream) {
+        eos_ = true;
+        cv_.notify_all();
+      }
+    });
+  }
+
+  void WaitForEos() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return eos_; });
+  }
+
+  std::vector<T> TakeElements() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return std::move(elements_);
+  }
+
+  std::vector<T> Elements() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return elements_;
+  }
+
+  std::size_t size() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return elements_.size();
+  }
+
+  std::string_view name() const override { return "Collect"; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<T> elements_;
+  bool eos_ = false;
+};
+
+/// Debug sink: prints every element with a prefix.
+template <typename T>
+class Print : public OperatorBase {
+ public:
+  Print(Publisher<T>* input, std::string prefix = "",
+        std::ostream* os = &std::cout)
+      : prefix_(std::move(prefix)), os_(os) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      std::ostringstream line;
+      if (e.is_data()) {
+        line << prefix_ << e.data() << '\n';
+      } else {
+        line << prefix_ << '<' << PunctuationName(e.punctuation()) << ">\n";
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      (*os_) << line.str();
+    });
+  }
+
+  std::string_view name() const override { return "Print"; }
+
+ private:
+  std::string prefix_;
+  std::ostream* os_;
+  std::mutex mutex_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_OPS_H_

@@ -1,0 +1,40 @@
+// Punctuations: control elements embedded in a stream (Tucker et al. 2003,
+// the paper's reference [19]).
+//
+// §3 "Transaction boundaries": in the data-centric approach, transaction
+// boundaries (BOT, COMMIT, ROLLBACK) are marked by dedicated stream
+// elements; the other stream elements are interpreted as insert/update (or
+// delete) operations.
+
+#ifndef STREAMSI_STREAM_PUNCTUATION_H_
+#define STREAMSI_STREAM_PUNCTUATION_H_
+
+namespace streamsi {
+
+enum class Punctuation : unsigned char {
+  kNone = 0,         ///< not a punctuation (data element)
+  kBeginTxn = 1,     ///< BOT: the following elements belong to one txn
+  kCommitTxn = 2,    ///< COMMIT of the current transaction
+  kRollbackTxn = 3,  ///< ROLLBACK of the current transaction
+  kEndOfStream = 4,  ///< no more elements will arrive
+};
+
+inline const char* PunctuationName(Punctuation p) {
+  switch (p) {
+    case Punctuation::kNone:
+      return "none";
+    case Punctuation::kBeginTxn:
+      return "BOT";
+    case Punctuation::kCommitTxn:
+      return "COMMIT";
+    case Punctuation::kRollbackTxn:
+      return "ROLLBACK";
+    case Punctuation::kEndOfStream:
+      return "EOS";
+  }
+  return "?";
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_PUNCTUATION_H_

@@ -1,0 +1,102 @@
+// BlockingQueue + queue-based stream handoff for crossing thread
+// boundaries inside a topology (e.g. consuming ToStream change events,
+// which are published from committing threads, on a dedicated thread).
+
+#ifndef STREAMSI_STREAM_QUEUE_H_
+#define STREAMSI_STREAM_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  void Push(T value) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an element is available or the queue is closed.
+  /// Returns nullopt when closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+/// Decouples a producer chain from a consumer chain: enqueues upstream
+/// elements and re-publishes them on a dedicated thread.
+template <typename T>
+class QueueHandoff : public OperatorBase, public Publisher<T> {
+ public:
+  explicit QueueHandoff(Publisher<T>* input) {
+    input->Subscribe(
+        [this](const StreamElement<T>& e) { queue_.Push(e); });
+  }
+
+  ~QueueHandoff() override {
+    Stop();
+    Join();
+  }
+
+  void Start() override {
+    thread_ = std::thread([this] {
+      while (auto element = queue_.Pop()) {
+        this->Publish(*element);
+        if (element->is_punctuation() &&
+            element->punctuation() == Punctuation::kEndOfStream) {
+          break;
+        }
+      }
+    });
+  }
+
+  void Stop() override { queue_.Close(); }
+
+  void Join() override {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::string_view name() const override { return "QueueHandoff"; }
+
+ private:
+  BlockingQueue<StreamElement<T>> queue_;
+  std::thread thread_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_QUEUE_H_

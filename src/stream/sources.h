@@ -1,0 +1,92 @@
+// Stream sources: emit a finite or generated sequence of elements on their
+// own thread, terminated by an EndOfStream punctuation.
+
+#ifndef STREAMSI_STREAM_SOURCES_H_
+#define STREAMSI_STREAM_SOURCES_H_
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+/// Emits a fixed vector of elements (data and punctuations), then EOS.
+template <typename T>
+class VectorSource : public OperatorBase, public Publisher<T> {
+ public:
+  explicit VectorSource(std::vector<StreamElement<T>> elements)
+      : elements_(std::move(elements)) {}
+
+  ~VectorSource() override { Join(); }
+
+  void Start() override {
+    thread_ = std::thread([this] {
+      Timestamp ts = 0;
+      for (const auto& element : elements_) {
+        if (stopped_.load(std::memory_order_acquire)) break;
+        this->Publish(element);
+        ++ts;
+      }
+      this->Publish(StreamElement<T>(Punctuation::kEndOfStream, ts));
+    });
+  }
+
+  void Stop() override { stopped_.store(true, std::memory_order_release); }
+
+  void Join() override {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::string_view name() const override { return "VectorSource"; }
+
+ private:
+  std::vector<StreamElement<T>> elements_;
+  std::thread thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Pull-style generator: the callback produces the next element or nullopt
+/// to end the stream.
+template <typename T>
+class GeneratorSource : public OperatorBase, public Publisher<T> {
+ public:
+  using Generator = std::function<std::optional<StreamElement<T>>()>;
+
+  explicit GeneratorSource(Generator generator)
+      : generator_(std::move(generator)) {}
+
+  ~GeneratorSource() override { Join(); }
+
+  void Start() override {
+    thread_ = std::thread([this] {
+      Timestamp ts = 0;
+      while (!stopped_.load(std::memory_order_acquire)) {
+        auto element = generator_();
+        if (!element.has_value()) break;
+        this->Publish(*element);
+        ++ts;
+      }
+      this->Publish(StreamElement<T>(Punctuation::kEndOfStream, ts));
+    });
+  }
+
+  void Stop() override { stopped_.store(true, std::memory_order_release); }
+
+  void Join() override {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::string_view name() const override { return "GeneratorSource"; }
+
+ private:
+  Generator generator_;
+  std::thread thread_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_SOURCES_H_

@@ -1,0 +1,24 @@
+// Umbrella header for the stream operator runtime.
+
+#ifndef STREAMSI_STREAM_STREAM_H_
+#define STREAMSI_STREAM_STREAM_H_
+
+#include "stream/aggregate.h"
+#include "stream/batcher.h"
+#include "stream/csv.h"
+#include "stream/each_update.h"
+#include "stream/element.h"
+#include "stream/from_table.h"
+#include "stream/join.h"
+#include "stream/operator.h"
+#include "stream/ops.h"
+#include "stream/punctuation.h"
+#include "stream/queue.h"
+#include "stream/sources.h"
+#include "stream/to_stream.h"
+#include "stream/to_table.h"
+#include "stream/topology.h"
+#include "stream/txn_context.h"
+#include "stream/window.h"
+
+#endif  // STREAMSI_STREAM_STREAM_H_

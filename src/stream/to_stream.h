@@ -1,0 +1,81 @@
+// ToStream: the TO_STREAM linking operator (§3, Figure 2) — "produces a
+// stream of tuples from a table. Whenever a certain condition on a table is
+// fulfilled, TO_STREAM is executed and emits a new (set of) tuple(s)".
+//
+// Trigger policies (§3 "Transactional semantics"): the default kOnCommit
+// emits the changes of each committed transaction (atomically visible
+// changes only); the alternative per-modification policy is obtained by the
+// ToTable pass-through. An optional condition filters the emitted changes.
+//
+// Threading: change events are published from the committing thread.
+
+#ifndef STREAMSI_STREAM_TO_STREAM_H_
+#define STREAMSI_STREAM_TO_STREAM_H_
+
+#include <optional>
+
+#include "common/serde.h"
+#include "core/transaction_manager.h"
+#include "stream/operator.h"
+
+namespace streamsi {
+
+/// One committed change of a table, as a stream tuple.
+template <typename K, typename V>
+struct ChangeEvent {
+  K key{};
+  /// nullopt = the key was deleted.
+  std::optional<V> value;
+  Timestamp commit_ts = 0;
+};
+
+template <typename K, typename V>
+class ToStream : public OperatorBase, public Publisher<ChangeEvent<K, V>> {
+ public:
+  using Condition = std::function<bool(const ChangeEvent<K, V>&)>;
+
+  /// @param condition  optional emit filter ("a certain condition on a
+  ///                   table"); null emits every change.
+  ToStream(TransactionManager* manager, StateId state,
+           Condition condition = nullptr)
+      : manager_(manager), condition_(std::move(condition)) {
+    token_ = manager_->RegisterCommitListener(
+        state, [this](const CommitInfo& info) { OnCommit(info); });
+  }
+
+  ~ToStream() override { Stop(); }
+
+  void Stop() override {
+    if (token_ != 0) {
+      manager_->UnregisterCommitListener(token_);
+      token_ = 0;
+    }
+  }
+
+  std::string_view name() const override { return "ToStream"; }
+
+ private:
+  void OnCommit(const CommitInfo& info) {
+    for (const auto& change : info.changes) {
+      ChangeEvent<K, V> event;
+      event.commit_ts = info.commit_ts;
+      if (!Serializer<K>::Decode(change.key, &event.key)) continue;
+      if (change.value.has_value()) {
+        V value;
+        if (!Serializer<V>::Decode(*change.value, &value)) continue;
+        event.value = std::move(value);
+      }
+      if (condition_ && !condition_(event)) continue;
+      this->Publish(
+          StreamElement<ChangeEvent<K, V>>(std::move(event), info.commit_ts));
+    }
+  }
+
+  TransactionManager* manager_;
+  Condition condition_;
+  std::uint64_t token_ = 0;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_TO_STREAM_H_

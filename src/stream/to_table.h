@@ -1,0 +1,130 @@
+// ToTable: the TO_TABLE linking operator (§3, Figure 2) — "inserts,
+// deletes, or updates tuples from a stream in a table".
+//
+// Semantics per §3:
+//   * upsert: whether a tuple is inserted or updated depends on the
+//     presence of a table tuple with the same key;
+//   * delete: "a delete occurs if the tuple is outdated (e.g., from a
+//     window) or explicitly removed by a delete tuple" — modelled by an
+//     optional delete predicate;
+//   * transaction boundaries are data-centric: BOT/COMMIT/ROLLBACK
+//     punctuations drive the shared StreamTxnContext;
+//   * the operator forwards data elements downstream (pass-through), which
+//     doubles as the kEachUpdate trigger policy for follow-up processing.
+
+#ifndef STREAMSI_STREAM_TO_TABLE_H_
+#define STREAMSI_STREAM_TO_TABLE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "core/transactional_table.h"
+#include "stream/operator.h"
+#include "stream/txn_context.h"
+
+namespace streamsi {
+
+template <typename T, typename K, typename V>
+class ToTable : public OperatorBase, public Publisher<T> {
+ public:
+  using KeyExtractor = std::function<K(const T&)>;
+  using ValueExtractor = std::function<V(const T&)>;
+  /// Optional: true => the element removes its key from the table.
+  using DeletePredicate = std::function<bool(const T&)>;
+
+  struct Options {
+    /// Forward data elements downstream (each-update trigger policy).
+    bool forward_elements = true;
+    /// Begin a transaction implicitly when data arrives before any BOT.
+    bool implicit_begin = true;
+  };
+
+  ToTable(Publisher<T>* input, TransactionalTable<K, V> table,
+          std::shared_ptr<StreamTxnContext> ctx, KeyExtractor key,
+          ValueExtractor value, DeletePredicate is_delete = nullptr,
+          Options options = {})
+      : table_(table),
+        ctx_(std::move(ctx)),
+        key_(std::move(key)),
+        value_(std::move(value)),
+        is_delete_(std::move(is_delete)),
+        options_(options) {
+    ctx_->AddParticipant(table_.id());
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "ToTable"; }
+
+  /// Number of write errors / failed commits observed (diagnostics).
+  std::uint64_t error_count() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_count() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      OnData(e);
+      if (options_.forward_elements) this->Publish(e);
+      return;
+    }
+    switch (e.punctuation()) {
+      case Punctuation::kBeginTxn:
+        Check(ctx_->Begin());
+        break;
+      case Punctuation::kCommitTxn:
+        Check(ctx_->CommitState(table_.id()));
+        break;
+      case Punctuation::kRollbackTxn:
+        Check(ctx_->AbortState(table_.id()));
+        break;
+      case Punctuation::kEndOfStream:
+        // Flush an open transaction before the stream ends.
+        if (ctx_->HasActive()) Check(ctx_->CommitState(table_.id()));
+        break;
+      case Punctuation::kNone:
+        break;
+    }
+    this->Publish(e);  // punctuations always flow on
+  }
+
+  void OnData(const StreamElement<T>& e) {
+    if (!options_.implicit_begin && !ctx_->HasActive()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;  // data outside transaction boundaries is dropped
+    }
+    auto txn = ctx_->Current();
+    if (!txn.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const K k = key_(e.data());
+    Status status;
+    if (is_delete_ && is_delete_(e.data())) {
+      status = table_.Delete(**txn, k);
+    } else {
+      status = table_.Put(**txn, k, value_(e.data()));
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    Check(status);
+  }
+
+  void Check(const Status& status) {
+    if (!status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  TransactionalTable<K, V> table_;
+  std::shared_ptr<StreamTxnContext> ctx_;
+  KeyExtractor key_;
+  ValueExtractor value_;
+  DeletePredicate is_delete_;
+  Options options_;
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_TO_TABLE_H_

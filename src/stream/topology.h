@@ -1,0 +1,66 @@
+// Topology: owns the operator graph of one query and manages its
+// lifecycle. "In PipeFabric a query is written by defining a so-called
+// Topology. It can be seen as graph where each node is an operator and the
+// edges represent their subscribed streams." (§4.1)
+
+#ifndef STREAMSI_STREAM_TOPOLOGY_H_
+#define STREAMSI_STREAM_TOPOLOGY_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+class Topology {
+ public:
+  Topology() = default;
+  ~Topology() { StopAndJoin(); }
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Constructs an operator owned by this topology; returns a raw pointer
+  /// for wiring (Subscribe / further stages).
+  template <typename Op, typename... Args>
+  Op* Add(Args&&... args) {
+    auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+    Op* raw = op.get();
+    operators_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Adopts an operator allocated elsewhere.
+  template <typename Op>
+  Op* Adopt(Op* op) {
+    operators_.push_back(std::unique_ptr<OperatorBase>(op));
+    return op;
+  }
+
+  /// Starts all operators (sources spawn their threads).
+  void Start() {
+    for (auto& op : operators_) op->Start();
+  }
+
+  /// Blocks until all operators finished (sources drained + EOS pushed).
+  void Join() {
+    for (auto& op : operators_) op->Join();
+  }
+
+  /// Signals stop and joins.
+  void StopAndJoin() {
+    for (auto& op : operators_) op->Stop();
+    Join();
+  }
+
+  std::size_t operator_count() const { return operators_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<OperatorBase>> operators_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_TOPOLOGY_H_

@@ -1,0 +1,135 @@
+// StreamTxnContext: shares one transaction among all linking operators of
+// a stream query.
+//
+// A stream query with multiple TO_TABLE operators updates multiple states
+// "atomically with each commit" (§3); this context carries the current
+// transaction between them. Each BOT punctuation begins a transaction and
+// pre-registers every participating state; each operator commits its own
+// part via CommitState — the operator that flips the last flag becomes the
+// coordinator of the global commit (§4.3).
+
+#ifndef STREAMSI_STREAM_TXN_CONTEXT_H_
+#define STREAMSI_STREAM_TXN_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+#include "core/transaction_manager.h"
+
+namespace streamsi {
+
+class StreamTxnContext {
+ public:
+  explicit StreamTxnContext(TransactionManager* manager)
+      : manager_(manager) {}
+
+  /// Declares a state as participant of this query's transactions (called
+  /// by ToTable at construction).
+  void AddParticipant(StateId state) {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (StateId s : participants_) {
+      if (s == state) return;
+    }
+    participants_.push_back(state);
+  }
+
+  const std::vector<StateId>& participants() const { return participants_; }
+
+  /// Begins a transaction (BOT) if none is active, registering all
+  /// participants so the consistency protocol knows the full state set.
+  /// A BOT punctuation also clears batch poisoning (see Current()).
+  Status Begin() {
+    std::lock_guard<SpinLock> guard(lock_);
+    poisoned_ = false;
+    return BeginLocked();
+  }
+
+  /// Current transaction (begins one when none is active). If the previous
+  /// transaction of this batch aborted underneath us (e.g. a wait-die
+  /// victim under S2PL), the rest of the batch is *poisoned*: writing the
+  /// remaining tuples in a fresh transaction would commit a partial tuple
+  /// set and tear the batch across states. Poisoned batches report Aborted
+  /// until the next explicit BOT / batch boundary.
+  Result<Transaction*> Current() {
+    std::lock_guard<SpinLock> guard(lock_);
+    if (handle_ != nullptr && !handle_->txn().running()) {
+      // Died mid-batch without a COMMIT/ROLLBACK punctuation.
+      poisoned_ = handle_->txn().phase() == TxnPhase::kAborted;
+      handle_.reset();
+    }
+    if (poisoned_) return Status::Aborted("batch poisoned by earlier abort");
+    if (handle_ == nullptr) {
+      STREAMSI_RETURN_NOT_OK(BeginLocked());
+    }
+    return &handle_->txn();
+  }
+
+  bool HasActive() {
+    std::lock_guard<SpinLock> guard(lock_);
+    return handle_ != nullptr && handle_->txn().running();
+  }
+
+  /// Operator-level commit of `state`'s part; resets the handle once the
+  /// transaction finished globally (committed or aborted). A COMMIT or
+  /// ROLLBACK punctuation ends the batch, clearing any poisoning.
+  Status CommitState(StateId state) {
+    std::lock_guard<SpinLock> guard(lock_);
+    poisoned_ = false;
+    if (handle_ == nullptr) return Status::OK();  // nothing to commit
+    const Status status = manager_->CommitState(handle_->txn(), state);
+    MaybeResetLocked();
+    return status;
+  }
+
+  Status AbortState(StateId state) {
+    std::lock_guard<SpinLock> guard(lock_);
+    poisoned_ = false;
+    if (handle_ == nullptr) return Status::OK();
+    const Status status = manager_->AbortState(handle_->txn(), state);
+    MaybeResetLocked();
+    return status;
+  }
+
+  /// Commits everything outstanding (used at EOS).
+  Status CommitAll() {
+    std::lock_guard<SpinLock> guard(lock_);
+    poisoned_ = false;
+    if (handle_ == nullptr) return Status::OK();
+    const Status status = manager_->Commit(handle_->txn());
+    MaybeResetLocked();
+    return status;
+  }
+
+  TransactionManager* manager() { return manager_; }
+
+ private:
+  Status BeginLocked() {
+    if (handle_ != nullptr && handle_->txn().running()) {
+      return Status::OK();  // idempotent BOT
+    }
+    auto handle = manager_->Begin();
+    if (!handle.ok()) return handle.status();
+    handle_ = std::move(handle).value();
+    for (StateId state : participants_) {
+      STREAMSI_RETURN_NOT_OK(manager_->RegisterState(handle_->txn(), state));
+    }
+    return Status::OK();
+  }
+
+  void MaybeResetLocked() {
+    if (handle_ != nullptr && !handle_->txn().running()) handle_.reset();
+  }
+
+  TransactionManager* manager_;
+  SpinLock lock_;
+  std::vector<StateId> participants_;
+  std::unique_ptr<TransactionHandle> handle_;
+  /// The current batch's transaction aborted; drop the batch's remaining
+  /// writes instead of committing a partial tuple set.
+  bool poisoned_ = false;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_TXN_CONTEXT_H_

@@ -1,0 +1,153 @@
+// Window operators: tumbling/sliding count windows and a tumbling
+// event-time window. Stateful operators like these are exactly the
+// "windows" whose state the paper publishes as queryable tables (§3
+// "Unified tables for queryable states") — combine them with ToTable to
+// share their content.
+
+#ifndef STREAMSI_STREAM_WINDOW_H_
+#define STREAMSI_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streamsi {
+
+/// One closed window of elements.
+template <typename T>
+struct WindowBatch {
+  std::uint64_t window_id = 0;
+  std::vector<T> elements;
+};
+
+/// Groups every `size` consecutive data elements into one batch.
+/// A partial window is flushed at EOS.
+template <typename T>
+class TumblingCountWindow : public OperatorBase,
+                            public Publisher<WindowBatch<T>> {
+ public:
+  TumblingCountWindow(Publisher<T>* input, std::size_t size) : size_(size) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "TumblingCountWindow"; }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      buffer_.push_back(e.data());
+      if (buffer_.size() >= size_) Emit(e.ts());
+      return;
+    }
+    if (e.punctuation() == Punctuation::kEndOfStream && !buffer_.empty()) {
+      Emit(e.ts());
+    }
+    this->Publish(e.template ForwardPunctuation<WindowBatch<T>>());
+  }
+
+  void Emit(Timestamp ts) {
+    WindowBatch<T> batch;
+    batch.window_id = next_id_++;
+    batch.elements = std::move(buffer_);
+    buffer_.clear();
+    this->Publish(StreamElement<WindowBatch<T>>(std::move(batch), ts));
+  }
+
+  std::size_t size_;
+  std::vector<T> buffer_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Overlapping count windows: a batch of the last `size` elements is
+/// emitted every `slide` elements.
+template <typename T>
+class SlidingCountWindow : public OperatorBase,
+                           public Publisher<WindowBatch<T>> {
+ public:
+  SlidingCountWindow(Publisher<T>* input, std::size_t size, std::size_t slide)
+      : size_(size), slide_(slide == 0 ? 1 : slide) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "SlidingCountWindow"; }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      buffer_.push_back(e.data());
+      if (buffer_.size() > size_) buffer_.pop_front();
+      if (++since_last_emit_ >= slide_ && buffer_.size() == size_) {
+        since_last_emit_ = 0;
+        WindowBatch<T> batch;
+        batch.window_id = next_id_++;
+        batch.elements.assign(buffer_.begin(), buffer_.end());
+        this->Publish(
+            StreamElement<WindowBatch<T>>(std::move(batch), e.ts()));
+      }
+      return;
+    }
+    this->Publish(e.template ForwardPunctuation<WindowBatch<T>>());
+  }
+
+  std::size_t size_;
+  std::size_t slide_;
+  std::deque<T> buffer_;
+  std::size_t since_last_emit_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Event-time tumbling window: elements fall into [k*length, (k+1)*length)
+/// buckets of the extracted timestamp; closing happens when an element of a
+/// later bucket (or EOS) arrives. Requires non-decreasing event time.
+template <typename T>
+class TumblingTimeWindow : public OperatorBase,
+                           public Publisher<WindowBatch<T>> {
+ public:
+  using TimeExtractor = std::function<std::uint64_t(const T&)>;
+
+  TumblingTimeWindow(Publisher<T>* input, std::uint64_t length,
+                     TimeExtractor extractor)
+      : length_(length == 0 ? 1 : length), extractor_(std::move(extractor)) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "TumblingTimeWindow"; }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      const std::uint64_t bucket = extractor_(e.data()) / length_;
+      if (has_bucket_ && bucket != current_bucket_ && !buffer_.empty()) {
+        Emit(e.ts());
+      }
+      current_bucket_ = bucket;
+      has_bucket_ = true;
+      buffer_.push_back(e.data());
+      return;
+    }
+    if (e.punctuation() == Punctuation::kEndOfStream && !buffer_.empty()) {
+      Emit(e.ts());
+    }
+    this->Publish(e.template ForwardPunctuation<WindowBatch<T>>());
+  }
+
+  void Emit(Timestamp ts) {
+    WindowBatch<T> batch;
+    batch.window_id = current_bucket_;
+    batch.elements = std::move(buffer_);
+    buffer_.clear();
+    this->Publish(StreamElement<WindowBatch<T>>(std::move(batch), ts));
+  }
+
+  std::uint64_t length_;
+  TimeExtractor extractor_;
+  std::vector<T> buffer_;
+  std::uint64_t current_bucket_ = 0;
+  bool has_bucket_ = false;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_WINDOW_H_

@@ -1,0 +1,89 @@
+#include "txn/bocc_protocol.h"
+
+namespace streamsi {
+
+Status BoccProtocol::Read(Transaction& txn, VersionedStore& store,
+                          std::string_view key, std::string* value) {
+  if (const WriteSet* ws = txn.FindWriteSet(store.id()); ws != nullptr) {
+    if (auto own = ws->Get(key); own.has_value()) {
+      if (!own->has_value()) return Status::NotFound("deleted by self");
+      *value = **own;
+      return Status::OK();
+    }
+  }
+  txn.RecordRead(store.id(), key);
+  return store.ReadLatest(key, value);
+}
+
+Status BoccProtocol::Write(Transaction& txn, VersionedStore& store,
+                           std::string_view key, std::string_view value) {
+  txn.MutableWriteSet(store.id()).Put(key, value);
+  return Status::OK();
+}
+
+Status BoccProtocol::Delete(Transaction& txn, VersionedStore& store,
+                            std::string_view key) {
+  txn.MutableWriteSet(store.id()).Delete(key);
+  return Status::OK();
+}
+
+Status BoccProtocol::Scan(
+    Transaction& txn, VersionedStore& store,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  return ScanWithOverlay(
+      txn, store, kInfinityTs - 1,
+      [&](std::string_view key, std::string_view value) {
+        txn.RecordRead(store.id(), key);
+        return callback(key, value);
+      });
+}
+
+Status BoccProtocol::PreCommit(Transaction& txn) {
+  (void)txn;
+  commit_mutex_.lock();
+  return Status::OK();
+}
+
+Status BoccProtocol::Validate(Transaction& txn, VersionedStore& store) {
+  (void)store;  // validation is transaction-global; run it once
+  if (validated_marker_ == txn.id()) return Status::OK();
+  if (log_.HasConflict(txn.id(), txn.read_set())) {
+    return Status::Aborted(
+        "BOCC backward validation: read set overlaps a newer commit");
+  }
+  validated_marker_ = txn.id();
+  return Status::OK();
+}
+
+void BoccProtocol::PostCommit(Transaction& txn, Timestamp commit_ts,
+                              bool committed) {
+  (void)commit_ts;
+  if (committed) {
+    std::unordered_set<std::string> write_keys;
+    for (StateId state : txn.WrittenStates()) {
+      const WriteSet* ws = txn.FindWriteSet(state);
+      if (ws == nullptr) continue;
+      for (const auto& entry : ws->entries()) {
+        write_keys.insert(Transaction::NamespacedKey(state, entry.key));
+      }
+    }
+    if (!write_keys.empty()) {
+      // The log timestamp is drawn at the *end* of the write phase, not at
+      // apply time: backward validation must flag every transaction whose
+      // write phase overlapped a validating reader's read phase. A reader
+      // that began while this apply was in flight has BOT < this timestamp
+      // and is correctly aborted; stamping the (earlier) apply timestamp
+      // would let its torn reads pass validation.
+      log_.Append(context_->clock().Next(), std::move(write_keys));
+    }
+  }
+  validated_marker_ = 0;
+  commit_mutex_.unlock();
+
+  if (commits_since_prune_.fetch_add(1, std::memory_order_relaxed) % 256 ==
+      255) {
+    log_.Prune(context_->OldestActiveBegin());
+  }
+}
+
+}  // namespace streamsi

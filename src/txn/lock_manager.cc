@@ -1,0 +1,99 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace streamsi {
+
+LockManager::Shard& LockManager::ShardFor(std::string_view key) {
+  return shards_[std::hash<std::string_view>{}(key) % kShards];
+}
+
+const LockManager::Shard& LockManager::ShardFor(std::string_view key) const {
+  return shards_[std::hash<std::string_view>{}(key) % kShards];
+}
+
+Status LockManager::LockShared(std::string_view key, TxnId txn) {
+  Shard& shard = ShardFor(key);
+  for (;;) {
+    {
+      std::lock_guard<SpinLock> guard(shard.lock);
+      LockEntry& entry = shard.map[std::string(key)];
+      if (entry.exclusive_holder == 0 || entry.exclusive_holder == txn) {
+        if (entry.exclusive_holder == txn) return Status::OK();  // covered
+        if (std::find(entry.shared_holders.begin(),
+                      entry.shared_holders.end(),
+                      txn) == entry.shared_holders.end()) {
+          entry.shared_holders.push_back(txn);
+        }
+        return Status::OK();
+      }
+      if (MustDie(txn, entry.exclusive_holder)) {
+        return Status::Busy("wait-die: younger reader dies");
+      }
+    }
+    // Older transaction waits for the younger writer. Yield: the holder
+    // needs CPU time to finish (threads may outnumber cores).
+    std::this_thread::yield();
+  }
+}
+
+Status LockManager::LockExclusive(std::string_view key, TxnId txn) {
+  Shard& shard = ShardFor(key);
+  for (;;) {
+    {
+      std::lock_guard<SpinLock> guard(shard.lock);
+      LockEntry& entry = shard.map[std::string(key)];
+      if (entry.exclusive_holder == txn) return Status::OK();
+      const bool sole_shared_holder =
+          entry.shared_holders.size() == 1 && entry.shared_holders[0] == txn;
+      if (entry.exclusive_holder == 0 &&
+          (entry.shared_holders.empty() || sole_shared_holder)) {
+        entry.shared_holders.clear();  // upgrade consumes the shared lock
+        entry.exclusive_holder = txn;
+        return Status::OK();
+      }
+      // Blocked: by the exclusive holder or by shared holders.
+      if (entry.exclusive_holder != 0) {
+        if (MustDie(txn, entry.exclusive_holder)) {
+          return Status::Busy("wait-die: younger writer dies");
+        }
+      } else {
+        for (TxnId holder : entry.shared_holders) {
+          if (holder != txn && MustDie(txn, holder)) {
+            return Status::Busy("wait-die: younger writer dies vs readers");
+          }
+        }
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void LockManager::Unlock(std::string_view key, TxnId txn) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<SpinLock> guard(shard.lock);
+  auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) return;
+  LockEntry& entry = it->second;
+  if (entry.exclusive_holder == txn) entry.exclusive_holder = 0;
+  entry.shared_holders.erase(
+      std::remove(entry.shared_holders.begin(), entry.shared_holders.end(),
+                  txn),
+      entry.shared_holders.end());
+  if (entry.exclusive_holder == 0 && entry.shared_holders.empty()) {
+    shard.map.erase(it);
+  }
+}
+
+std::size_t LockManager::LockedKeyCount() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<SpinLock> guard(shard.lock);
+    count += shard.map.size();
+  }
+  return count;
+}
+
+}  // namespace streamsi

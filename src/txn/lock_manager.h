@@ -1,0 +1,65 @@
+// LockManager: per-key read/write locks for the S2PL baseline (§5: "a
+// simple strict two-phase locking (S2PL)" protocol).
+//
+// Deadlocks are avoided with the wait-die scheme: an older transaction
+// (smaller BOT timestamp) waits for a younger holder; a younger requester
+// dies (returns Busy, the transaction aborts and may restart). Locks are
+// held until end of transaction (strictness).
+
+#ifndef STREAMSI_TXN_LOCK_MANAGER_H_
+#define STREAMSI_TXN_LOCK_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "txn/types.h"
+
+namespace streamsi {
+
+class LockManager {
+ public:
+  /// Acquires a shared lock on `key` for `txn`. Blocks (spins) while an
+  /// exclusive holder is older; returns Busy when wait-die says die.
+  Status LockShared(std::string_view key, TxnId txn);
+
+  /// Acquires an exclusive lock (upgrade supported when `txn` is the sole
+  /// shared holder).
+  Status LockExclusive(std::string_view key, TxnId txn);
+
+  /// Releases whatever `txn` holds on `key`.
+  void Unlock(std::string_view key, TxnId txn);
+
+  /// Diagnostics: number of keys with at least one holder.
+  std::size_t LockedKeyCount() const;
+
+ private:
+  struct LockEntry {
+    TxnId exclusive_holder = 0;          // 0 = none
+    std::vector<TxnId> shared_holders;   // empty when exclusive
+  };
+
+  struct Shard {
+    mutable SpinLock lock;
+    std::unordered_map<std::string, LockEntry> map;
+  };
+
+  static constexpr std::size_t kShards = 128;
+
+  Shard& ShardFor(std::string_view key);
+  const Shard& ShardFor(std::string_view key) const;
+
+  /// True when `requester` must die instead of waiting for `holder`
+  /// (wait-die: younger requester dies).
+  static bool MustDie(TxnId requester, TxnId holder) {
+    return requester > holder;
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_LOCK_MANAGER_H_

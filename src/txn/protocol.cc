@@ -1,0 +1,79 @@
+#include "txn/protocol.h"
+
+#include <unordered_map>
+
+#include "txn/bocc_protocol.h"
+#include "txn/s2pl_protocol.h"
+#include "txn/si_protocol.h"
+
+namespace streamsi {
+
+Status ConcurrencyProtocol::Apply(Transaction& txn, VersionedStore& store,
+                                  Timestamp commit_ts,
+                                  Timestamp oldest_active) {
+  return ApplyWriteSet(txn, store, commit_ts, oldest_active);
+}
+
+Status ConcurrencyProtocol::ApplyWriteSet(Transaction& txn,
+                                          VersionedStore& store,
+                                          Timestamp commit_ts,
+                                          Timestamp oldest_active) {
+  const WriteSet* ws = txn.FindWriteSet(store.id());
+  if (ws == nullptr || ws->empty()) return Status::OK();
+
+  // The dirty array keeps one (current) entry per key, in first-touch
+  // order. The final write of the batch carries the durability point (one
+  // synchronous write per state commit, mirroring one WAL sync per batch).
+  const auto& entries = ws->entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool is_last = (i + 1 == entries.size());
+    STREAMSI_RETURN_NOT_OK(store.ApplyCommitted(
+        entries[i].key, entries[i].value, entries[i].is_delete, commit_ts,
+        oldest_active, /*sync_hint=*/is_last));
+  }
+  return Status::OK();
+}
+
+Status ConcurrencyProtocol::ScanWithOverlay(
+    Transaction& txn, VersionedStore& store, Timestamp read_ts,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  const WriteSet* ws = txn.FindWriteSet(store.id());
+  if (ws == nullptr || ws->empty()) {
+    return store.ScanCommitted(read_ts, callback);
+  }
+  bool stop = false;
+  STREAMSI_RETURN_NOT_OK(store.ScanCommitted(
+      read_ts, [&](std::string_view key, std::string_view value) {
+        const auto own = ws->Get(key);
+        if (own.has_value()) return true;  // emitted from the overlay below
+        if (!callback(key, value)) {
+          stop = true;
+          return false;
+        }
+        return true;
+      }));
+  if (stop) return Status::OK();
+  // Emit the transaction's own (non-delete) writes.
+  Status status = Status::OK();
+  ws->ForEachEffective([&](const std::string& key, const std::string& value,
+                           bool is_delete) {
+    if (stop || is_delete) return;
+    if (!callback(key, value)) stop = true;
+  });
+  return status;
+}
+
+std::unique_ptr<ConcurrencyProtocol> MakeProtocol(ProtocolType type,
+                                                  StateContext* context) {
+  switch (type) {
+    case ProtocolType::kMvcc:
+      return std::make_unique<SiProtocol>(context);
+    case ProtocolType::kS2pl:
+      return std::make_unique<S2plProtocol>(context);
+    case ProtocolType::kBocc:
+      return std::make_unique<BoccProtocol>(context);
+  }
+  return nullptr;
+}
+
+}  // namespace streamsi

@@ -1,0 +1,116 @@
+// ConcurrencyProtocol: the pluggable concurrency-control strategy of a
+// transactional store.
+//
+// The paper's contribution is the MVCC/snapshot-isolation protocol (§4.2);
+// S2PL and BOCC are the baselines of its evaluation (§5). All three share
+// the same write-set/commit pipeline so that the consistency protocol for
+// multiple states (§4.3) applies uniformly ("All concurrency control
+// protocols use fundamentally the same consistency protocol").
+//
+// Commit pipeline (driven by TransactionManager for the whole state group):
+//   PreCommit(txn)                         -- once per transaction
+//   Validate(txn, store)                   -- per written state
+//   Apply(txn, store, commit_ts, oldest)   -- per written state
+//   PostCommit(txn, commit_ts, committed)  -- once per transaction
+//   ReleaseState(txn, store, committed)    -- per touched state
+//   FinalizeTxn(txn, committed)            -- once per transaction
+
+#ifndef STREAMSI_TXN_PROTOCOL_H_
+#define STREAMSI_TXN_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "txn/state_context.h"
+#include "txn/transaction.h"
+#include "txn/types.h"
+#include "txn/versioned_store.h"
+
+namespace streamsi {
+
+class ConcurrencyProtocol {
+ public:
+  virtual ~ConcurrencyProtocol() = default;
+
+  virtual ProtocolType type() const = 0;
+
+  /// Transactional point read (reads-own-writes included).
+  virtual Status Read(Transaction& txn, VersionedStore& store,
+                      std::string_view key, std::string* value) = 0;
+
+  /// Buffers an insert/update in the transaction's write set.
+  virtual Status Write(Transaction& txn, VersionedStore& store,
+                       std::string_view key, std::string_view value) = 0;
+
+  /// Buffers a delete.
+  virtual Status Delete(Transaction& txn, VersionedStore& store,
+                        std::string_view key) = 0;
+
+  /// Transactional scan (committed snapshot overlaid with own writes).
+  virtual Status Scan(
+      Transaction& txn, VersionedStore& store,
+      const std::function<bool(std::string_view, std::string_view)>&
+          callback) = 0;
+
+  // ------------------------------------------------------ commit pipeline ---
+
+  /// Entered once before any Validate (BOCC takes its global validation
+  /// critical section here).
+  virtual Status PreCommit(Transaction& txn) {
+    (void)txn;
+    return Status::OK();
+  }
+
+  /// Checks whether this transaction may commit its writes to `store`;
+  /// may acquire commit-time resources that ReleaseState() frees.
+  virtual Status Validate(Transaction& txn, VersionedStore& store) = 0;
+
+  /// Installs the write set of `store` at `commit_ts`.
+  virtual Status Apply(Transaction& txn, VersionedStore& store,
+                       Timestamp commit_ts, Timestamp oldest_active);
+
+  /// Left once after all Apply calls (or after a validation failure).
+  virtual void PostCommit(Transaction& txn, Timestamp commit_ts,
+                          bool committed) {
+    (void)txn;
+    (void)commit_ts;
+    (void)committed;
+  }
+
+  /// Frees per-state commit resources.
+  virtual void ReleaseState(Transaction& txn, VersionedStore& store,
+                            bool committed) {
+    (void)txn;
+    (void)store;
+    (void)committed;
+  }
+
+  /// Frees transaction-wide resources (S2PL lock release = strictness).
+  virtual void FinalizeTxn(Transaction& txn, bool committed) {
+    (void)txn;
+    (void)committed;
+  }
+
+ protected:
+  /// Shared Apply implementation: installs the effective write set in
+  /// append order, persisting with one durable write at the end of the
+  /// batch (one fsync per state commit).
+  static Status ApplyWriteSet(Transaction& txn, VersionedStore& store,
+                              Timestamp commit_ts, Timestamp oldest_active);
+
+  /// Shared scan: committed snapshot at `read_ts` overlaid with the
+  /// transaction's own writes.
+  static Status ScanWithOverlay(
+      Transaction& txn, VersionedStore& store, Timestamp read_ts,
+      const std::function<bool(std::string_view, std::string_view)>&
+          callback);
+};
+
+/// Instantiates a protocol bound to `context`.
+std::unique_ptr<ConcurrencyProtocol> MakeProtocol(ProtocolType type,
+                                                  StateContext* context);
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_PROTOCOL_H_

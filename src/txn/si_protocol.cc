@@ -1,0 +1,87 @@
+#include "txn/si_protocol.h"
+
+namespace streamsi {
+
+Timestamp SiProtocol::SnapshotFor(Transaction& txn, VersionedStore& store) {
+  // Pins are immutable once set; cache the derived per-state snapshot in
+  // the transaction so the hot read path avoids the group registry.
+  if (auto cached = txn.CachedSnapshot(store.id()); cached.has_value()) {
+    return *cached;
+  }
+  const Timestamp snapshot =
+      context_->PinReadCtsForState(txn.slot(), store.id());
+  txn.CacheSnapshot(store.id(), snapshot);
+  return snapshot;
+}
+
+Status SiProtocol::Read(Transaction& txn, VersionedStore& store,
+                        std::string_view key, std::string* value) {
+  // §4.2: "The read operation starts by checking whether the accessing
+  // transaction has already written a new value (Uncommitted Write Set)."
+  if (const WriteSet* ws = txn.FindWriteSet(store.id()); ws != nullptr) {
+    if (auto own = ws->Get(key); own.has_value()) {
+      if (!own->has_value()) return Status::NotFound("deleted by self");
+      *value = **own;
+      return Status::OK();
+    }
+  }
+  if (txn.isolation() == IsolationLevel::kReadCommitted) {
+    // Weaker visibility on request (§3): newest committed version, no pin.
+    return store.ReadLatest(key, value);
+  }
+  return store.ReadCommitted(SnapshotFor(txn, store), key, value);
+}
+
+Status SiProtocol::Write(Transaction& txn, VersionedStore& store,
+                         std::string_view key, std::string_view value) {
+  txn.MutableWriteSet(store.id()).Put(key, value);
+  return Status::OK();
+}
+
+Status SiProtocol::Delete(Transaction& txn, VersionedStore& store,
+                          std::string_view key) {
+  txn.MutableWriteSet(store.id()).Delete(key);
+  return Status::OK();
+}
+
+Status SiProtocol::Scan(
+    Transaction& txn, VersionedStore& store,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  const Timestamp read_ts = txn.isolation() == IsolationLevel::kReadCommitted
+                                ? kInfinityTs - 1
+                                : SnapshotFor(txn, store);
+  return ScanWithOverlay(txn, store, read_ts, callback);
+}
+
+Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
+  const WriteSet* ws = txn.FindWriteSet(store.id());
+  if (ws == nullptr || ws->empty()) return Status::OK();
+  for (const auto& entry : ws->entries()) {
+    // Commit-time write lock ("In the case of multiple writers, additional
+    // write locks are introduced").
+    STREAMSI_RETURN_NOT_OK(store.LockForCommit(entry.key, txn.id()));
+    txn.RecordCommitLock(store.id(), entry.key);
+    // First-Committer-Wins: someone committed a modification (install or
+    // delete) of this key after our BOT.
+    if (store.LatestModification(entry.key) > txn.id()) {
+      return Status::Conflict("first-committer-wins: key '" + entry.key +
+                              "' has a newer committed modification");
+    }
+  }
+  return Status::OK();
+}
+
+void SiProtocol::ReleaseState(Transaction& txn, VersionedStore& store,
+                              bool /*committed*/) {
+  // Release only this store's commit locks; put the rest back.
+  auto locks = txn.TakeCommitLocks();
+  for (auto& lock : locks) {
+    if (lock.state == store.id()) {
+      store.UnlockCommit(lock.key, txn.id());
+    } else {
+      txn.RecordCommitLock(lock.state, lock.key);
+    }
+  }
+}
+
+}  // namespace streamsi

@@ -1,0 +1,51 @@
+// SiProtocol: the paper's MVCC snapshot-isolation protocol (§4.2).
+//
+//  * Read: own write set first, then the newest version visible at the
+//    transaction's pinned ReadCTS (first read pins the group's LastCTS,
+//    later reads reuse it — every operation reads from the same snapshot).
+//  * Write: append to the dirty array; writes never block.
+//  * Commit: per key, claim commit ownership (the "additional write locks"
+//    for multiple writers), check First-Committer-Wins (a newer committed
+//    version than the transaction's BOT timestamp forces an abort), apply
+//    in memory, persist through to the base table, and finally advance the
+//    group's commit timestamp.
+//  * Abort: drop the write set; committed data was never touched, so no
+//    undo is needed.
+
+#ifndef STREAMSI_TXN_SI_PROTOCOL_H_
+#define STREAMSI_TXN_SI_PROTOCOL_H_
+
+#include "txn/protocol.h"
+
+namespace streamsi {
+
+class SiProtocol final : public ConcurrencyProtocol {
+ public:
+  explicit SiProtocol(StateContext* context) : context_(context) {}
+
+  ProtocolType type() const override { return ProtocolType::kMvcc; }
+
+  Status Read(Transaction& txn, VersionedStore& store, std::string_view key,
+              std::string* value) override;
+  Status Write(Transaction& txn, VersionedStore& store, std::string_view key,
+               std::string_view value) override;
+  Status Delete(Transaction& txn, VersionedStore& store,
+                std::string_view key) override;
+  Status Scan(Transaction& txn, VersionedStore& store,
+              const std::function<bool(std::string_view, std::string_view)>&
+                  callback) override;
+
+  Status Validate(Transaction& txn, VersionedStore& store) override;
+  void ReleaseState(Transaction& txn, VersionedStore& store,
+                    bool committed) override;
+
+ private:
+  /// The transaction's snapshot for this store (pin-on-first-read, §4.2).
+  Timestamp SnapshotFor(Transaction& txn, VersionedStore& store);
+
+  StateContext* context_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_SI_PROTOCOL_H_

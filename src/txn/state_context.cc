@@ -1,0 +1,278 @@
+#include "txn/state_context.h"
+
+#include <algorithm>
+
+namespace streamsi {
+
+// ---------------------------------------------------------------- states ---
+
+StateId StateContext::RegisterState(std::string name, std::string location) {
+  ExclusiveGuard guard(registry_latch_);
+  const StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(StateInfo{id, std::move(name), std::move(location)});
+  return id;
+}
+
+const StateInfo* StateContext::GetState(StateId id) const {
+  SharedGuard guard(registry_latch_);
+  if (id >= states_.size()) return nullptr;
+  return &states_[id];
+}
+
+std::size_t StateContext::StateCount() const {
+  SharedGuard guard(registry_latch_);
+  return states_.size();
+}
+
+// ---------------------------------------------------------------- groups ---
+
+GroupId StateContext::RegisterGroup(std::vector<StateId> states) {
+  ExclusiveGuard guard(registry_latch_);
+  const GroupId id = static_cast<GroupId>(groups_.size());
+  auto slot = std::make_unique<GroupSlot>();
+  slot->info.id = id;
+  slot->info.states = std::move(states);
+  groups_.push_back(std::move(slot));
+  return id;
+}
+
+const GroupInfo* StateContext::GetGroup(GroupId id) const {
+  SharedGuard guard(registry_latch_);
+  if (id >= groups_.size()) return nullptr;
+  return &groups_[id]->info;
+}
+
+std::vector<GroupId> StateContext::GroupsOf(StateId state) const {
+  SharedGuard guard(registry_latch_);
+  std::vector<GroupId> result;
+  for (const auto& group : groups_) {
+    if (std::find(group->info.states.begin(), group->info.states.end(),
+                  state) != group->info.states.end()) {
+      result.push_back(group->info.id);
+    }
+  }
+  return result;
+}
+
+Timestamp StateContext::LastCts(GroupId group) const {
+  SharedGuard guard(registry_latch_);
+  if (group >= groups_.size()) return kInitialTs;
+  return groups_[group]->last_cts.load(std::memory_order_acquire);
+}
+
+void StateContext::AdvanceLastCts(GroupId group, Timestamp cts) {
+  SharedGuard guard(registry_latch_);
+  if (group >= groups_.size()) return;
+  auto& last = groups_[group]->last_cts;
+  Timestamp cur = last.load(std::memory_order_relaxed);
+  while (cur < cts &&
+         !last.compare_exchange_weak(cur, cts, std::memory_order_acq_rel)) {
+  }
+}
+
+void StateContext::SetLastCts(GroupId group, Timestamp cts) {
+  SharedGuard guard(registry_latch_);
+  if (group >= groups_.size()) return;
+  groups_[group]->last_cts.store(cts, std::memory_order_release);
+}
+
+// ---------------------------------------------- active-transaction table ---
+
+Result<int> StateContext::BeginTransaction(TxnId* txn_id) {
+  const int slot = active_mask_.Acquire();
+  if (slot == AtomicSlotMask::kNoSlot) {
+    return Status::ResourceExhausted("active transaction table full");
+  }
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  {
+    std::lock_guard<SpinLock> guard(s.lock);
+    s.states.clear();
+    s.read_cts.clear();
+  }
+  const TxnId id = clock_.Next();
+  s.txn_id.store(id, std::memory_order_release);
+  *txn_id = id;
+  return slot;
+}
+
+void StateContext::EndTransaction(int slot) {
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  s.txn_id.store(0, std::memory_order_release);
+  {
+    std::lock_guard<SpinLock> guard(s.lock);
+    s.states.clear();
+    s.read_cts.clear();
+  }
+  active_mask_.Release(slot);
+}
+
+void StateContext::RegisterStateAccess(int slot, StateId state) {
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  for (auto& [sid, status] : s.states) {
+    if (sid == state) return;
+  }
+  s.states.emplace_back(state, TxnStatus::kActive);
+}
+
+void StateContext::SetStateStatus(int slot, StateId state, TxnStatus status) {
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  for (auto& [sid, st] : s.states) {
+    if (sid == state) {
+      st = status;
+      return;
+    }
+  }
+  s.states.emplace_back(state, status);
+}
+
+TxnStatus StateContext::GetStateStatus(int slot, StateId state) const {
+  const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  for (const auto& [sid, st] : s.states) {
+    if (sid == state) return st;
+  }
+  return TxnStatus::kActive;
+}
+
+std::vector<std::pair<StateId, TxnStatus>> StateContext::StatesOf(
+    int slot) const {
+  const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  return s.states;
+}
+
+bool StateContext::AllRegisteredStatesReady(int slot) const {
+  const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  if (s.states.empty()) return false;
+  for (const auto& [sid, st] : s.states) {
+    if (st != TxnStatus::kCommit) return false;
+  }
+  return true;
+}
+
+bool StateContext::AnyStateAborted(int slot) const {
+  const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  for (const auto& [sid, st] : s.states) {
+    if (st == TxnStatus::kAbort) return true;
+  }
+  return false;
+}
+
+Timestamp StateContext::PinReadCts(int slot, GroupId group) {
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  {
+    std::lock_guard<SpinLock> guard(s.lock);
+    for (const auto& [gid, ts] : s.read_cts) {
+      if (gid == group) return ts;
+    }
+  }
+  const Timestamp pin = LastCts(group);
+  std::lock_guard<SpinLock> guard(s.lock);
+  // Re-check: another operator of the same transaction may have pinned it
+  // concurrently; first pin wins so all operators share one snapshot.
+  for (const auto& [gid, ts] : s.read_cts) {
+    if (gid == group) return ts;
+  }
+  s.read_cts.emplace_back(group, pin);
+  return pin;
+}
+
+std::optional<Timestamp> StateContext::GetReadCts(int slot,
+                                                  GroupId group) const {
+  const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  std::lock_guard<SpinLock> guard(s.lock);
+  for (const auto& [gid, ts] : s.read_cts) {
+    if (gid == group) return ts;
+  }
+  return std::nullopt;
+}
+
+Timestamp StateContext::PinReadCtsForState(int slot, StateId state) {
+  const std::vector<GroupId> groups = GroupsOf(state);
+  if (groups.empty()) {
+    // State outside any topology group: snapshot = now (auto-pinned to the
+    // newest committed data at first touch). Pin via a synthetic group-less
+    // path: use the clock. Single-state reads remain consistent because the
+    // caller caches the result per transaction.
+    return clock_.Now();
+  }
+  // §4.3 overlap rule: "If there is an overlap when reading multiple
+  // topologies with different versions (LastCTS), the older version must be
+  // read to guarantee consistency."
+  Timestamp snapshot = kInfinityTs;
+  for (GroupId g : groups) {
+    snapshot = std::min(snapshot, PinReadCts(slot, g));
+  }
+  return snapshot;
+}
+
+TxnId StateContext::TxnIdOf(int slot) const {
+  return slots_[static_cast<std::size_t>(slot)].txn_id.load(
+      std::memory_order_acquire);
+}
+
+Timestamp StateContext::OldestActiveVersion() const {
+  // Snapshots are pinned from group LastCTS values, so the oldest snapshot
+  // any *future* read can pin is the minimum LastCTS across groups — not
+  // the BOT timestamp of the active transactions. Start from that floor and
+  // lower it further by the pins active transactions already hold.
+  Timestamp oldest = clock_.Now();
+  {
+    SharedGuard guard(registry_latch_);
+    for (const auto& group : groups_) {
+      oldest =
+          std::min(oldest, group->last_cts.load(std::memory_order_acquire));
+    }
+  }
+  for (int i = 0; i < kMaxActiveTxns; ++i) {
+    if (!active_mask_.IsSet(i)) continue;
+    const TxnSlot& s = slots_[static_cast<std::size_t>(i)];
+    if (s.txn_id.load(std::memory_order_acquire) == 0) {
+      continue;  // slot being set up / torn down
+    }
+    std::lock_guard<SpinLock> guard(s.lock);
+    for (const auto& [gid, ts] : s.read_cts) {
+      (void)gid;
+      oldest = std::min(oldest, ts);
+    }
+  }
+  return oldest;
+}
+
+Timestamp StateContext::OldestActiveVersionFor(StateId state) const {
+  const std::vector<GroupId> groups = GroupsOf(state);
+  Timestamp oldest = clock_.Now();
+  for (GroupId group : groups) {
+    oldest = std::min(oldest, LastCts(group));
+  }
+  for (int i = 0; i < kMaxActiveTxns; ++i) {
+    if (!active_mask_.IsSet(i)) continue;
+    const TxnSlot& s = slots_[static_cast<std::size_t>(i)];
+    if (s.txn_id.load(std::memory_order_acquire) == 0) continue;
+    std::lock_guard<SpinLock> guard(s.lock);
+    for (const auto& [gid, ts] : s.read_cts) {
+      if (std::find(groups.begin(), groups.end(), gid) != groups.end()) {
+        oldest = std::min(oldest, ts);
+      }
+    }
+  }
+  return oldest;
+}
+
+Timestamp StateContext::OldestActiveBegin() const {
+  Timestamp oldest = clock_.Now();
+  for (int i = 0; i < kMaxActiveTxns; ++i) {
+    if (!active_mask_.IsSet(i)) continue;
+    const TxnId id =
+        slots_[static_cast<std::size_t>(i)].txn_id.load(
+            std::memory_order_acquire);
+    if (id != 0) oldest = std::min(oldest, id);
+  }
+  return oldest;
+}
+
+}  // namespace streamsi

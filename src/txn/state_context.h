@@ -1,0 +1,173 @@
+// StateContext: the global, latch-free runtime context of Figure 3.
+//
+// It tracks
+//   * registered states (id, name, location),
+//   * topology groups — the sets of states a stream query updates
+//     atomically — with the last globally committed transaction per group
+//     (LastCTS),
+//   * the active-transaction table: a fixed number of slots managed by a
+//     64-bit CAS bit vector; each slot records the accessed states with
+//     their per-state status (Active/Commit/Abort) and the pinned ReadCTS
+//     per group,
+//   * the global logical clock, and
+//   * OldestActiveVersion for on-demand garbage collection.
+
+#ifndef STREAMSI_TXN_STATE_CONTEXT_H_
+#define STREAMSI_TXN_STATE_CONTEXT_H_
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/latch.h"
+#include "common/slot_mask.h"
+#include "common/status.h"
+#include "txn/types.h"
+
+namespace streamsi {
+
+/// Metadata about one registered state.
+struct StateInfo {
+  StateId id = kInvalidStateId;
+  std::string name;
+  std::string location;  ///< filesystem path for persistent states, else ""
+};
+
+/// Metadata about one topology group (states committed together).
+struct GroupInfo {
+  GroupId id = kInvalidGroupId;
+  std::vector<StateId> states;
+};
+
+class StateContext {
+ public:
+  static constexpr int kMaxActiveTxns = AtomicSlotMask::kMaxSlots;
+
+  StateContext() = default;
+  StateContext(const StateContext&) = delete;
+  StateContext& operator=(const StateContext&) = delete;
+
+  // ------------------------------------------------------------- states ---
+
+  /// Registers a state; returns its id.
+  StateId RegisterState(std::string name, std::string location = "");
+  const StateInfo* GetState(StateId id) const;
+  std::size_t StateCount() const;
+
+  // ------------------------------------------------------------- groups ---
+
+  /// Registers a topology group over `states`; returns its id. Each state
+  /// may belong to multiple groups (shared states across queries).
+  GroupId RegisterGroup(std::vector<StateId> states);
+  const GroupInfo* GetGroup(GroupId id) const;
+  /// Groups that contain `state`.
+  std::vector<GroupId> GroupsOf(StateId state) const;
+
+  /// Last globally committed transaction of the group (§4.3: set at the
+  /// *end* of a group commit; what readers pin).
+  Timestamp LastCts(GroupId group) const;
+  /// Monotonically advances the group's LastCTS (CAS max).
+  void AdvanceLastCts(GroupId group, Timestamp cts);
+  /// Recovery: forces LastCTS (no monotonicity check).
+  void SetLastCts(GroupId group, Timestamp cts);
+
+  // -------------------------------------------------------------- clock ---
+
+  LogicalClock& clock() { return clock_; }
+  const LogicalClock& clock() const { return clock_; }
+
+  // ------------------------------------------- active-transaction table ---
+
+  /// Claims a transaction slot and assigns a fresh TxnID (BOT timestamp).
+  /// ResourceExhausted if kMaxActiveTxns transactions are running.
+  Result<int> BeginTransaction(TxnId* txn_id);
+
+  /// Releases the slot at end of transaction.
+  void EndTransaction(int slot);
+
+  /// Records that the transaction accesses `state` (status = Active) if not
+  /// already recorded.
+  void RegisterStateAccess(int slot, StateId state);
+
+  /// Sets the per-state status flag (consistency protocol, §4.3).
+  void SetStateStatus(int slot, StateId state, TxnStatus status);
+
+  /// Status of `state` within this transaction (kActive if unknown).
+  TxnStatus GetStateStatus(int slot, StateId state) const;
+
+  /// All states the transaction has registered, with status.
+  std::vector<std::pair<StateId, TxnStatus>> StatesOf(int slot) const;
+
+  /// True iff every registered state of `group` that this transaction
+  /// accessed has status == kCommit... (§4.3: "The modifications are not
+  /// persisted until all states registered for this transaction are ready
+  /// for commit.")
+  bool AllRegisteredStatesReady(int slot) const;
+  /// True iff any state of this transaction is flagged kAbort.
+  bool AnyStateAborted(int slot) const;
+
+  /// Pins (first call) or returns (later calls) the transaction's ReadCTS
+  /// for `group` (§4.2/§4.3: "the read version is noted within the context
+  /// and is only set at the first read per topology").
+  Timestamp PinReadCts(int slot, GroupId group);
+  /// The pinned ReadCTS, or nullopt if the group was never read.
+  std::optional<Timestamp> GetReadCts(int slot, GroupId group) const;
+  /// Overlap rule (§4.3): effective snapshot for a state = the minimum pin
+  /// across all (pinned) groups containing it; unpinned groups get pinned
+  /// on first touch.
+  Timestamp PinReadCtsForState(int slot, StateId state);
+
+  /// BOT timestamp of the transaction in `slot`.
+  TxnId TxnIdOf(int slot) const;
+
+  /// OldestActiveVersion (§4.1): the smallest snapshot any active *or
+  /// future* transaction may still read. Future reads pin a group's
+  /// LastCTS, so the floor is min(LastCTS over all groups), lowered further
+  /// by the pins active transactions hold; clock.Now() when there are no
+  /// groups. Versions whose dts <= this value are safe to reclaim.
+  Timestamp OldestActiveVersion() const;
+
+  /// Per-state GC watermark: like OldestActiveVersion, but only snapshots
+  /// that can actually see `state` matter — the LastCTS of the groups
+  /// containing it and the pins active transactions hold on those groups.
+  /// (A never-committing group elsewhere must not pin this state's GC.)
+  Timestamp OldestActiveVersionFor(StateId state) const;
+
+  /// Smallest BOT timestamp among active transactions (clock.Now() when
+  /// idle). This bounds BOCC's backward-validation window (committed-log
+  /// records at or before it can be pruned).
+  Timestamp OldestActiveBegin() const;
+
+  /// Number of currently active transactions.
+  int ActiveTransactionCount() const { return active_mask_.Count(); }
+
+ private:
+  struct TxnSlot {
+    std::atomic<TxnId> txn_id{0};
+    mutable SpinLock lock;
+    std::vector<std::pair<StateId, TxnStatus>> states;
+    std::vector<std::pair<GroupId, Timestamp>> read_cts;
+  };
+
+  struct GroupSlot {
+    GroupInfo info;
+    std::atomic<Timestamp> last_cts{kInitialTs};
+  };
+
+  LogicalClock clock_;
+
+  mutable RwLatch registry_latch_;  // guards states_/groups_ vectors
+  std::vector<StateInfo> states_;
+  std::vector<std::unique_ptr<GroupSlot>> groups_;
+
+  AtomicSlotMask active_mask_;
+  std::array<TxnSlot, kMaxActiveTxns> slots_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_STATE_CONTEXT_H_

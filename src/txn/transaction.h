@@ -1,0 +1,198 @@
+// Transaction: handle for one transaction instance.
+//
+// In the data-centric model (§3) a stream query is "a sequence of
+// transactions": each BOT punctuation begins one, the enclosed stream
+// elements become writes, and COMMIT/ROLLBACK punctuations end it. Ad-hoc
+// queries use the same handle through the query-centric API.
+//
+// A transaction may be driven by several operators of the same topology
+// (one per state), so the handle is thread-safe where that matters: write
+// sets are per-state and status flags live in the latch-free StateContext.
+
+#ifndef STREAMSI_TXN_TRANSACTION_H_
+#define STREAMSI_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latch.h"
+#include "txn/state_context.h"
+#include "txn/types.h"
+#include "txn/write_set.h"
+
+namespace streamsi {
+
+/// Whole-transaction lifecycle (distinct from the per-state TxnStatus flags
+/// the consistency protocol uses).
+enum class TxnPhase : unsigned char {
+  kRunning = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+class Transaction {
+ public:
+  /// Created via TransactionManager::Begin(); takes the pre-acquired slot.
+  Transaction(StateContext* context, int slot, TxnId id)
+      : context_(context), slot_(slot), id_(id) {}
+
+  ~Transaction() {
+    // Slot release is the TransactionManager's job (it knows about protocol
+    // resources); assert in debug that it happened.
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  int slot() const { return slot_; }
+  StateContext* context() { return context_; }
+
+  TxnPhase phase() const { return phase_.load(std::memory_order_acquire); }
+  void set_phase(TxnPhase phase) {
+    phase_.store(phase, std::memory_order_release);
+  }
+  bool running() const { return phase() == TxnPhase::kRunning; }
+
+  /// Read visibility (§3). Choose before the first read; switching later
+  /// only affects subsequent reads.
+  IsolationLevel isolation() const {
+    return isolation_.load(std::memory_order_acquire);
+  }
+  void set_isolation(IsolationLevel level) {
+    isolation_.store(level, std::memory_order_release);
+  }
+
+  /// Uncommitted write set for `state` (created on first touch); registers
+  /// the state access in the context.
+  WriteSet& MutableWriteSet(StateId state) {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = write_sets_.find(state);
+    if (it == write_sets_.end()) {
+      context_->RegisterStateAccess(slot_, state);
+      it = write_sets_.emplace(state, std::make_unique<WriteSet>()).first;
+    }
+    return *it->second;
+  }
+
+  /// Read-only view (nullptr if the state was never written).
+  const WriteSet* FindWriteSet(StateId state) const {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = write_sets_.find(state);
+    return it == write_sets_.end() ? nullptr : it->second.get();
+  }
+
+  /// States with a (possibly empty) write set.
+  std::vector<StateId> WrittenStates() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    std::vector<StateId> result;
+    result.reserve(write_sets_.size());
+    for (const auto& [state, ws] : write_sets_) {
+      if (!ws->empty()) result.push_back(state);
+    }
+    return result;
+  }
+
+  /// Clears all write sets (abort path).
+  void ClearWriteSets() {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (auto& [state, ws] : write_sets_) ws->Clear();
+  }
+
+  // ------------------------------------------------ protocol bookkeeping ---
+
+  /// BOCC read-set tracking: keys are namespaced "<state>/<key>".
+  void RecordRead(StateId state, std::string_view key) {
+    std::lock_guard<SpinLock> guard(lock_);
+    read_set_.insert(NamespacedKey(state, key));
+  }
+
+  const std::unordered_set<std::string>& read_set() const { return read_set_; }
+
+  /// S2PL held-locks list (released at end of transaction).
+  struct HeldLock {
+    StateId state;
+    std::string key;
+    bool exclusive;
+  };
+
+  void RecordLock(StateId state, std::string_view key, bool exclusive) {
+    std::lock_guard<SpinLock> guard(lock_);
+    held_locks_.push_back(HeldLock{state, std::string(key), exclusive});
+  }
+
+  std::vector<HeldLock> TakeHeldLocks() {
+    std::lock_guard<SpinLock> guard(lock_);
+    return std::move(held_locks_);
+  }
+
+  /// SI commit locks (First-Committer-Wins ownership) to release after the
+  /// group commit finished.
+  void RecordCommitLock(StateId state, std::string_view key) {
+    std::lock_guard<SpinLock> guard(lock_);
+    commit_locks_.push_back({state, std::string(key), true});
+  }
+
+  std::vector<HeldLock> TakeCommitLocks() {
+    std::lock_guard<SpinLock> guard(lock_);
+    return std::move(commit_locks_);
+  }
+
+  /// Per-state snapshot cache for the SI read path: the pinned snapshot of
+  /// a state never changes within a transaction, so protocols cache it here
+  /// instead of re-deriving it from the groups on every read.
+  std::optional<Timestamp> CachedSnapshot(StateId state) const {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (const auto& [sid, ts] : snapshot_cache_) {
+      if (sid == state) return ts;
+    }
+    return std::nullopt;
+  }
+
+  void CacheSnapshot(StateId state, Timestamp ts) {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (const auto& [sid, cached] : snapshot_cache_) {
+      if (sid == state) return;  // first pin wins
+    }
+    snapshot_cache_.emplace_back(state, ts);
+  }
+
+  /// §4.3: "The operator that sets the last status flag to Commit becomes
+  /// the coordinator and is responsible for the global commit." Exactly one
+  /// caller wins this claim.
+  bool TryClaimCoordinator() {
+    bool expected = false;
+    return coordinator_claimed_.compare_exchange_strong(
+        expected, true, std::memory_order_acq_rel);
+  }
+
+  static std::string NamespacedKey(StateId state, std::string_view key) {
+    std::string out = std::to_string(state);
+    out.push_back('/');
+    out.append(key.data(), key.size());
+    return out;
+  }
+
+ private:
+  StateContext* context_;
+  int slot_;
+  TxnId id_;
+  std::atomic<TxnPhase> phase_{TxnPhase::kRunning};
+  std::atomic<IsolationLevel> isolation_{IsolationLevel::kSnapshot};
+  std::atomic<bool> coordinator_claimed_{false};
+
+  mutable SpinLock lock_;
+  std::unordered_map<StateId, std::unique_ptr<WriteSet>> write_sets_;
+  std::unordered_set<std::string> read_set_;
+  std::vector<HeldLock> held_locks_;
+  std::vector<HeldLock> commit_locks_;
+  std::vector<std::pair<StateId, Timestamp>> snapshot_cache_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_TRANSACTION_H_

@@ -1,0 +1,61 @@
+// Shared identifiers of the transactional state layer.
+
+#ifndef STREAMSI_TXN_TYPES_H_
+#define STREAMSI_TXN_TYPES_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace streamsi {
+
+/// Identifier of a registered state (table).
+using StateId = std::uint32_t;
+/// Identifier of a topology group: the set of states one stream query must
+/// update atomically (§4.1 "Topologies").
+using GroupId = std::uint32_t;
+/// Transaction identifier == its BOT timestamp (§4.1).
+using TxnId = Timestamp;
+
+inline constexpr StateId kInvalidStateId = ~0u;
+inline constexpr GroupId kInvalidGroupId = ~0u;
+
+/// Per-state transaction status used by the consistency protocol (§4.3):
+/// the paper's Active / Commit / Abort flags.
+enum class TxnStatus : unsigned char {
+  kActive = 0,
+  kCommit = 1,
+  kAbort = 2,
+};
+
+/// Which concurrency-control protocol guards a store (§5: the paper
+/// evaluates its MVCC/SI protocol against S2PL and BOCC baselines).
+enum class ProtocolType { kMvcc, kS2pl, kBocc };
+
+/// Read visibility level (§3: "different isolation levels should provide
+/// different levels of visibility"). Only meaningful under the MVCC
+/// protocol; the lock/validation baselines always read latest-committed.
+enum class IsolationLevel : unsigned char {
+  /// Default: all reads of a transaction observe one snapshot, pinned at
+  /// the first read per topology group (§4.2).
+  kSnapshot = 0,
+  /// Each read observes the newest committed version at that instant;
+  /// non-repeatable reads are possible, uncommitted data never shows.
+  kReadCommitted = 1,
+};
+
+inline const char* ProtocolTypeName(ProtocolType type) {
+  switch (type) {
+    case ProtocolType::kMvcc:
+      return "MVCC";
+    case ProtocolType::kS2pl:
+      return "S2PL";
+    case ProtocolType::kBocc:
+      return "BOCC";
+  }
+  return "?";
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_TYPES_H_

@@ -1,0 +1,271 @@
+#include "txn/versioned_store.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace streamsi {
+
+VersionedStore::VersionedStore(StateId id, std::string name,
+                               std::unique_ptr<TableBackend> backend,
+                               const StoreOptions& options)
+    : id_(id),
+      name_(std::move(name)),
+      backend_(std::move(backend)),
+      options_(options),
+      shards_(kShards) {}
+
+VersionedStore::~VersionedStore() = default;
+
+std::size_t VersionedStore::ShardFor(std::string_view key) const {
+  return std::hash<std::string_view>{}(key) % kShards;
+}
+
+VersionedStore::Entry* VersionedStore::FindEntry(std::string_view key) const {
+  const Shard& shard = shards_[ShardFor(key)];
+  SharedGuard guard(shard.latch);
+  auto it = shard.map.find(std::string(key));
+  return it == shard.map.end() ? nullptr : it->second.get();
+}
+
+VersionedStore::Entry* VersionedStore::GetOrCreateEntry(std::string_view key) {
+  Shard& shard = shards_[ShardFor(key)];
+  {
+    SharedGuard guard(shard.latch);
+    auto it = shard.map.find(std::string(key));
+    if (it != shard.map.end()) return it->second.get();
+  }
+  ExclusiveGuard guard(shard.latch);
+  auto [it, inserted] = shard.map.try_emplace(
+      std::string(key), std::make_unique<Entry>(options_.mvcc_slots));
+  if (inserted) key_count_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
+}
+
+Status VersionedStore::ReadCommitted(Timestamp read_ts, std::string_view key,
+                                     std::string* value) const {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  const Entry* entry = FindEntry(key);
+  if (entry == nullptr) {
+    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound();
+  }
+  SharedGuard guard(entry->latch);
+  if (!entry->object.GetVisible(read_ts, value)) {
+    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound();
+  }
+  return Status::OK();
+}
+
+Status VersionedStore::ReadLatest(std::string_view key,
+                                  std::string* value) const {
+  // A snapshot "just before infinity" sees exactly the live version.
+  return ReadCommitted(kInfinityTs - 1, key, value);
+}
+
+Timestamp VersionedStore::LatestCts(std::string_view key) const {
+  const Entry* entry = FindEntry(key);
+  if (entry == nullptr) return kInitialTs;
+  SharedGuard guard(entry->latch);
+  return entry->object.LatestCts();
+}
+
+Timestamp VersionedStore::LatestModification(std::string_view key) const {
+  const Entry* entry = FindEntry(key);
+  if (entry == nullptr) return kInitialTs;
+  return entry->latest_modification.load(std::memory_order_acquire);
+}
+
+Status VersionedStore::ScanCommitted(
+    Timestamp read_ts,
+    const std::function<bool(std::string_view, std::string_view)>& callback)
+    const {
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  std::string value;
+  for (const Shard& shard : shards_) {
+    SharedGuard shard_guard(shard.latch);
+    for (const auto& [key, entry] : shard.map) {
+      bool visible;
+      {
+        SharedGuard guard(entry->latch);
+        visible = entry->object.GetVisible(read_ts, &value);
+      }
+      if (visible && !callback(key, value)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status VersionedStore::LockForCommit(std::string_view key, TxnId txn) {
+  Entry* entry = GetOrCreateEntry(key);
+  TxnId expected = 0;
+  if (entry->commit_owner.compare_exchange_strong(
+          expected, txn, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
+  if (expected == txn) return Status::OK();  // re-entrant
+  return Status::Conflict("key is being committed by txn " +
+                          std::to_string(expected));
+}
+
+void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {
+  Entry* entry = FindEntry(key);
+  if (entry == nullptr) return;
+  TxnId expected = txn;
+  entry->commit_owner.compare_exchange_strong(expected, 0,
+                                              std::memory_order_acq_rel);
+}
+
+Status VersionedStore::ApplyCommitted(std::string_view key,
+                                      std::string_view value, bool is_delete,
+                                      Timestamp commit_ts,
+                                      Timestamp oldest_active,
+                                      bool sync_hint) {
+  Entry* entry = GetOrCreateEntry(key);
+  {
+    ExclusiveGuard guard(entry->latch);
+    const int before = entry->object.VersionCount();
+    if (is_delete) {
+      const Status status = entry->object.MarkDeleted(commit_ts);
+      // Deleting a key that never existed is a no-op, not an error: the
+      // stream may carry deletes for already-expired window entries.
+      if (!status.ok() && !status.IsNotFound()) return status;
+      stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      STREAMSI_RETURN_NOT_OK(
+          entry->object.Install(value, commit_ts, oldest_active));
+      stats_.installs.fetch_add(1, std::memory_order_relaxed);
+      const int after = entry->object.VersionCount();
+      if (after <= before) {
+        // Install succeeded without net growth => on-demand GC reclaimed.
+        stats_.gc_reclaimed.fetch_add(
+            static_cast<std::uint64_t>(before - after + 1),
+            std::memory_order_relaxed);
+      }
+    }
+    ++entry->blob_version;
+  }
+  // FCW watermark: every committed modification counts, even a no-op
+  // delete (two transactions writing the same key conflict regardless of
+  // whether the key existed).
+  Timestamp cur = entry->latest_modification.load(std::memory_order_relaxed);
+  while (cur < commit_ts &&
+         !entry->latest_modification.compare_exchange_weak(
+             cur, commit_ts, std::memory_order_acq_rel)) {
+  }
+  if (options_.write_through) {
+    return PersistEntry(std::string(key), entry, sync_hint);
+  }
+  return Status::OK();
+}
+
+Status VersionedStore::PersistEntry(const std::string& key, Entry* entry,
+                                    bool sync) {
+  // Snapshot the blob under the shared latch, then write back outside it so
+  // readers are never blocked behind an fsync. The persist_lock +
+  // blob_version pair keeps backend writes per key in order even when
+  // multiple transactions commit the same key back to back.
+  std::string blob;
+  std::uint64_t version;
+  {
+    SharedGuard guard(entry->latch);
+    entry->object.EncodeTo(&blob);
+    version = entry->blob_version;
+  }
+  std::lock_guard<SpinLock> persist_guard(entry->persist_lock);
+  if (entry->persisted_version.load(std::memory_order_acquire) >= version) {
+    return Status::OK();  // a newer snapshot was already persisted
+  }
+  STREAMSI_RETURN_NOT_OK(
+      backend_->Put(key, blob, sync && options_.sync_on_commit));
+  entry->persisted_version.store(version, std::memory_order_release);
+  stats_.persisted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::uint64_t VersionedStore::GarbageCollectAll(Timestamp oldest_active) {
+  std::uint64_t reclaimed = 0;
+  for (Shard& shard : shards_) {
+    SharedGuard shard_guard(shard.latch);
+    for (auto& [key, entry] : shard.map) {
+      ExclusiveGuard guard(entry->latch);
+      reclaimed +=
+          static_cast<std::uint64_t>(entry->object.GarbageCollect(oldest_active));
+    }
+  }
+  return reclaimed;
+}
+
+Status VersionedStore::LoadFromBackend() {
+  Status load_status = Status::OK();
+  const Status scan_status =
+      backend_->Scan([&](std::string_view key, std::string_view blob) {
+        auto object = MvccObject::Decode(blob, options_.mvcc_slots);
+        if (!object.ok()) {
+          load_status = object.status();
+          return false;
+        }
+        Shard& shard = shards_[ShardFor(key)];
+        ExclusiveGuard guard(shard.latch);
+        auto entry = std::make_unique<Entry>(std::move(object).value());
+        auto [it, inserted] =
+            shard.map.insert_or_assign(std::string(key), std::move(entry));
+        (void)it;
+        if (inserted) key_count_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      });
+  STREAMSI_RETURN_NOT_OK(scan_status);
+  return load_status;
+}
+
+std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {
+  std::uint64_t purged = 0;
+  for (Shard& shard : shards_) {
+    SharedGuard shard_guard(shard.latch);
+    for (auto& [key, entry] : shard.map) {
+      ExclusiveGuard guard(entry->latch);
+      purged += static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
+      // Roll the FCW watermark back alongside the purged versions.
+      Timestamp cur =
+          entry->latest_modification.load(std::memory_order_relaxed);
+      if (cur > max_cts) {
+        entry->latest_modification.store(entry->object.LatestModification(),
+                                         std::memory_order_release);
+      }
+    }
+  }
+  return purged;
+}
+
+Status VersionedStore::BulkLoad(std::string_view key, std::string_view value) {
+  Entry* entry = GetOrCreateEntry(key);
+  {
+    ExclusiveGuard guard(entry->latch);
+    STREAMSI_RETURN_NOT_OK(
+        entry->object.Install(value, kInitialTs, kInitialTs));
+    ++entry->blob_version;
+  }
+  if (options_.write_through) {
+    return PersistEntry(std::string(key), entry, /*sync=*/false);
+  }
+  return Status::OK();
+}
+
+std::uint64_t VersionedStore::KeyCount() const {
+  return key_count_.load(std::memory_order_relaxed);
+}
+
+Timestamp VersionedStore::MaxCommittedCts() const {
+  Timestamp max_cts = kInitialTs;
+  for (const Shard& shard : shards_) {
+    SharedGuard shard_guard(shard.latch);
+    for (const auto& [key, entry] : shard.map) {
+      SharedGuard guard(entry->latch);
+      max_cts = std::max(max_cts, entry->object.LatestCts());
+    }
+  }
+  return max_cts;
+}
+
+}  // namespace streamsi

@@ -1,0 +1,172 @@
+// VersionedStore: the untyped transactional table wrapper of §4.1 —
+// a sharded in-memory map of key -> (latch, MvccObject) in front of a
+// pluggable TableBackend that persistently stores the committed version
+// arrays.
+//
+// Readers operate entirely on the in-memory MVCC objects ("readers (mostly
+// only accessing memory)", §5.2); the base table is the durability story:
+// commits write the serialized MVCC object through to the backend, with the
+// backend's SyncMode deciding the fsync behaviour.
+
+#ifndef STREAMSI_TXN_VERSIONED_STORE_H_
+#define STREAMSI_TXN_VERSIONED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "mvcc/mvcc_object.h"
+#include "storage/backend.h"
+#include "txn/types.h"
+
+namespace streamsi {
+
+/// Tuning knobs of one store.
+struct StoreOptions {
+  /// Version-array capacity per key (<= 64).
+  int mvcc_slots = 8;
+  /// Persist committed MVCC objects to the backend at commit time.
+  bool write_through = true;
+  /// Request durability (backend SyncMode applies) for the final write of
+  /// each per-state commit batch.
+  bool sync_on_commit = true;
+};
+
+/// Operation counters of one store (observability; all relaxed atomics).
+struct StoreStats {
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> read_misses{0};
+  std::atomic<std::uint64_t> installs{0};
+  std::atomic<std::uint64_t> deletes{0};
+  std::atomic<std::uint64_t> scans{0};
+  std::atomic<std::uint64_t> gc_reclaimed{0};
+  std::atomic<std::uint64_t> persisted{0};
+};
+
+/// One transactional state table (untyped: byte-string keys/values).
+class VersionedStore {
+ public:
+  VersionedStore(StateId id, std::string name,
+                 std::unique_ptr<TableBackend> backend,
+                 const StoreOptions& options);
+  ~VersionedStore();
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  StateId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  TableBackend* backend() { return backend_.get(); }
+  const StoreOptions& options() const { return options_; }
+
+  // ---------------------------------------------------------- read path ---
+
+  /// Snapshot read: newest version with cts <= read_ts < dts.
+  Status ReadCommitted(Timestamp read_ts, std::string_view key,
+                       std::string* value) const;
+
+  /// Latest committed live version (S2PL/BOCC read path).
+  Status ReadLatest(std::string_view key, std::string* value) const;
+
+  /// CTS of the newest committed version of `key` (kInitialTs if none).
+  Timestamp LatestCts(std::string_view key) const;
+
+  /// Newest committed modification of `key`, deletes included (the
+  /// First-Committer-Wins comparison point).
+  Timestamp LatestModification(std::string_view key) const;
+
+  /// Snapshot scan over all keys; callback(key, value); stable w.r.t.
+  /// concurrent commits thanks to version visibility.
+  Status ScanCommitted(
+      Timestamp read_ts,
+      const std::function<bool(std::string_view, std::string_view)>& callback)
+      const;
+
+  // -------------------------------------------------------- commit path ---
+
+  /// Tries to own `key` for committing (First-Committer-Wins guard under
+  /// multiple writers). Returns Conflict if another transaction is
+  /// committing the key right now.
+  Status LockForCommit(std::string_view key, TxnId txn);
+  void UnlockCommit(std::string_view key, TxnId txn);
+
+  /// Installs one committed write (value or tombstone) at `commit_ts` and
+  /// (optionally, per StoreOptions) persists the version array to the
+  /// backend. `sync_hint` requests durability for this write.
+  Status ApplyCommitted(std::string_view key, std::string_view value,
+                        bool is_delete, Timestamp commit_ts,
+                        Timestamp oldest_active, bool sync_hint);
+
+  /// Runs GC over every key (normally GC is per-key on demand; this is for
+  /// tests/benchmarks and idle maintenance).
+  std::uint64_t GarbageCollectAll(Timestamp oldest_active);
+
+  // ----------------------------------------------------------- recovery ---
+
+  /// Loads all MVCC objects from the backend (restart).
+  Status LoadFromBackend();
+
+  /// Drops versions with cts > max_cts (their group commit never finished)
+  /// — §4.3/recovery rule. Returns the number of purged versions.
+  std::uint64_t PurgeVersionsAfter(Timestamp max_cts);
+
+  /// Non-transactional bulk load used for benchmark preloading: installs a
+  /// version visible to every transaction (cts = kInitialTs) without
+  /// syncing each key.
+  Status BulkLoad(std::string_view key, std::string_view value);
+
+  // -------------------------------------------------------- diagnostics ---
+
+  std::uint64_t KeyCount() const;
+  /// Largest observed CTS across all keys (recovery diagnostics).
+  Timestamp MaxCommittedCts() const;
+  const StoreStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kShards = 256;
+
+  struct Entry {
+    explicit Entry(int capacity) : object(capacity) {}
+    explicit Entry(MvccObject&& recovered)
+        : object(std::move(recovered)),
+          latest_modification(object.LatestModification()) {}
+    mutable RwLatch latch;
+    MvccObject object;
+    /// First-Committer-Wins watermark: timestamp of the newest committed
+    /// modification of this key (install or delete, including no-op
+    /// deletes). Kept outside the version array because garbage collection
+    /// may reclaim the version that carried the evidence.
+    std::atomic<Timestamp> latest_modification{kInitialTs};
+    /// First-committer-wins commit ownership (0 = free).
+    std::atomic<TxnId> commit_owner{0};
+    /// Monotonic snapshot counter for ordered backend write-back.
+    std::uint64_t blob_version = 0;             // under latch
+    std::atomic<std::uint64_t> persisted_version{0};
+    SpinLock persist_lock;
+  };
+
+  struct Shard {
+    mutable RwLatch latch;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+  };
+
+  std::size_t ShardFor(std::string_view key) const;
+  Entry* FindEntry(std::string_view key) const;
+  Entry* GetOrCreateEntry(std::string_view key);
+  Status PersistEntry(const std::string& key, Entry* entry, bool sync);
+
+  StateId id_;
+  std::string name_;
+  std::unique_ptr<TableBackend> backend_;
+  StoreOptions options_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> key_count_{0};
+  mutable StoreStats stats_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_VERSIONED_STORE_H_

@@ -1,0 +1,98 @@
+// WriteSet: the transaction-private "Uncommitted Write Set / Dirty Array"
+// of §4.1. Changes are "transiently stored" here before commit, which
+// "enables simple and fast aborts and also prevents the mixing of committed
+// and uncommitted versions". Writes "are merely appended" (§4.2) — the dirty
+// array preserves append order, with a hash index for read-your-own-writes.
+
+#ifndef STREAMSI_TXN_WRITE_SET_H_
+#define STREAMSI_TXN_WRITE_SET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace streamsi {
+
+/// Uncommitted writes of one transaction against one state.
+class WriteSet {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool is_delete = false;
+  };
+
+  /// Appends an insert/update (last write per key wins at commit).
+  void Put(std::string_view key, std::string_view value) {
+    Append(key, value, /*is_delete=*/false);
+  }
+
+  /// Appends a delete marker.
+  void Delete(std::string_view key) { Append(key, "", /*is_delete=*/true); }
+
+  /// Read-your-own-writes lookup: outer optional = "did this txn write the
+  /// key at all", inner optional = the value (nullopt for a delete).
+  std::optional<std::optional<std::string>> Get(std::string_view key) const {
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) return std::nullopt;
+    const Entry& entry = entries_[it->second];
+    if (entry.is_delete) {
+      // Outer optional engaged ("the txn wrote this key"), inner empty
+      // ("the write was a delete").
+      return std::make_optional<std::optional<std::string>>(std::nullopt);
+    }
+    return std::make_optional<std::optional<std::string>>(entry.value);
+  }
+
+  bool Contains(std::string_view key) const {
+    return index_.count(std::string(key)) > 0;
+  }
+
+  /// Dirty array in append order; for duplicate keys only the latest entry
+  /// is current (Get/ApplyOrdered respect that).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Visits the *effective* write per key (the last one appended).
+  template <typename Fn>
+  void ForEachEffective(Fn&& fn) const {
+    for (const auto& [key, idx] : index_) {
+      (void)key;
+      const Entry& entry = entries_[idx];
+      fn(entry.key, entry.value, entry.is_delete);
+    }
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Abort path (§4.2): "simply clear the corresponding write set and
+  /// release the memory."
+  void Clear() {
+    entries_.clear();
+    entries_.shrink_to_fit();
+    index_.clear();
+  }
+
+ private:
+  void Append(std::string_view key, std::string_view value, bool is_delete) {
+    auto [it, inserted] =
+        index_.try_emplace(std::string(key), entries_.size());
+    if (inserted) {
+      entries_.push_back(Entry{std::string(key), std::string(value),
+                               is_delete});
+    } else {
+      Entry& entry = entries_[it->second];
+      entry.value.assign(value.data(), value.size());
+      entry.is_delete = is_delete;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_TXN_WRITE_SET_H_

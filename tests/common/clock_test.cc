@@ -1,0 +1,60 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace streamsi {
+namespace {
+
+TEST(ClockTest, StrictlyIncreasing) {
+  LogicalClock clock;
+  Timestamp prev = clock.Next();
+  for (int i = 0; i < 1000; ++i) {
+    const Timestamp next = clock.Next();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(ClockTest, NowDoesNotAdvance) {
+  LogicalClock clock;
+  clock.Next();
+  clock.Next();
+  EXPECT_EQ(clock.Now(), clock.Now());
+  EXPECT_EQ(clock.Now(), 2u);
+}
+
+TEST(ClockTest, AdvanceToFastForwards) {
+  LogicalClock clock;
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.Now(), 100u);
+  EXPECT_EQ(clock.Next(), 101u);
+  clock.AdvanceTo(50);  // never goes backwards
+  EXPECT_EQ(clock.Now(), 101u);
+}
+
+TEST(ClockTest, ConcurrentNextIsUnique) {
+  LogicalClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::vector<Timestamp>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) got[t].push_back(clock.Next());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::set<Timestamp> all;
+  for (const auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(*all.rbegin(), static_cast<Timestamp>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace streamsi

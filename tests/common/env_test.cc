@@ -1,0 +1,108 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  testing::TempDir dir_;
+};
+
+TEST_F(EnvTest, WriteReadRoundTrip) {
+  const std::string path = dir_.path() + "/f";
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    ASSERT_TRUE(file.Append("hello ").ok());
+    ASSERT_TRUE(file.Append("world").ok());
+    EXPECT_EQ(file.size(), 11u);
+    ASSERT_TRUE(file.Sync().ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST_F(EnvTest, AppendModePreservesExisting) {
+  const std::string path = dir_.path() + "/f";
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    ASSERT_TRUE(file.Append("first").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(path, false).ok());  // append
+    EXPECT_EQ(file.size(), 5u);
+    ASSERT_TRUE(file.Append("+second").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "first+second");
+}
+
+TEST_F(EnvTest, RandomAccessReadsAtOffset) {
+  const std::string path = dir_.path() + "/f";
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    ASSERT_TRUE(file.Append("0123456789").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  RandomAccessFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  EXPECT_EQ(file.size(), 10u);
+  std::string out;
+  ASSERT_TRUE(file.Read(3, 4, &out).ok());
+  EXPECT_EQ(out, "3456");
+  EXPECT_TRUE(file.Read(8, 5, &out).IsIoError());  // beyond EOF
+}
+
+TEST_F(EnvTest, AtomicWriteReplacesContent) {
+  const std::string path = dir_.path() + "/f";
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(path, "v2-longer").ok());
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "v2-longer");
+  EXPECT_FALSE(fsutil::FileExists(path + ".tmp"));
+}
+
+TEST_F(EnvTest, ListDirSkipsDotEntries) {
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(dir_.path() + "/a", "x").ok());
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(dir_.path() + "/b", "y").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(fsutil::ListDir(dir_.path(), &names).ok());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(EnvTest, RemoveDirRecursive) {
+  const std::string sub = dir_.path() + "/x/y";
+  ASSERT_TRUE(fsutil::CreateDirIfMissing(dir_.path() + "/x").ok());
+  ASSERT_TRUE(fsutil::CreateDirIfMissing(sub).ok());
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(sub + "/f", "data").ok());
+  ASSERT_TRUE(fsutil::RemoveDirRecursive(dir_.path() + "/x").ok());
+  EXPECT_FALSE(fsutil::FileExists(dir_.path() + "/x"));
+  // Removing a non-existing tree is OK.
+  EXPECT_TRUE(fsutil::RemoveDirRecursive(dir_.path() + "/x").ok());
+}
+
+TEST_F(EnvTest, OpenMissingFileFails) {
+  RandomAccessFile file;
+  EXPECT_TRUE(file.Open(dir_.path() + "/missing").IsIoError());
+  std::string contents;
+  EXPECT_TRUE(
+      fsutil::ReadFileToString(dir_.path() + "/missing", &contents)
+          .IsIoError());
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,104 @@
+#include "common/slot_mask.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace streamsi {
+namespace {
+
+TEST(SlotMaskTest, AcquireReturnsLowestFree) {
+  AtomicSlotMask mask;
+  EXPECT_EQ(mask.Acquire(), 0);
+  EXPECT_EQ(mask.Acquire(), 1);
+  EXPECT_EQ(mask.Acquire(), 2);
+  EXPECT_EQ(mask.Count(), 3);
+}
+
+TEST(SlotMaskTest, ReleaseMakesSlotReusable) {
+  AtomicSlotMask mask;
+  EXPECT_EQ(mask.Acquire(), 0);
+  EXPECT_EQ(mask.Acquire(), 1);
+  mask.Release(0);
+  EXPECT_FALSE(mask.IsSet(0));
+  EXPECT_EQ(mask.Acquire(), 0);
+}
+
+TEST(SlotMaskTest, CapacityLimitsAcquire) {
+  AtomicSlotMask mask;
+  EXPECT_EQ(mask.Acquire(2), 0);
+  EXPECT_EQ(mask.Acquire(2), 1);
+  EXPECT_EQ(mask.Acquire(2), AtomicSlotMask::kNoSlot);
+  EXPECT_EQ(mask.Acquire(3), 2);  // larger capacity frees up slot 2
+}
+
+TEST(SlotMaskTest, FullMaskRejects) {
+  AtomicSlotMask mask;
+  for (int i = 0; i < AtomicSlotMask::kMaxSlots; ++i) {
+    EXPECT_EQ(mask.Acquire(), i);
+  }
+  EXPECT_EQ(mask.Acquire(), AtomicSlotMask::kNoSlot);
+  mask.Release(17);
+  EXPECT_EQ(mask.Acquire(), 17);
+}
+
+TEST(SlotMaskTest, AcquireSpecificSlot) {
+  AtomicSlotMask mask;
+  EXPECT_TRUE(mask.AcquireSlot(5));
+  EXPECT_FALSE(mask.AcquireSlot(5));
+  EXPECT_TRUE(mask.IsSet(5));
+  // Acquire still takes the lowest free slot.
+  EXPECT_EQ(mask.Acquire(), 0);
+}
+
+TEST(SlotMaskTest, RawReflectsBits) {
+  AtomicSlotMask mask;
+  mask.AcquireSlot(0);
+  mask.AcquireSlot(3);
+  EXPECT_EQ(mask.Raw(), 0b1001u);
+}
+
+TEST(SlotMaskTest, ConcurrentAcquireIsUnique) {
+  AtomicSlotMask mask;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;  // 64 total
+  std::vector<std::vector<int>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int slot = mask.Acquire();
+        ASSERT_NE(slot, AtomicSlotMask::kNoSlot);
+        got[t].push_back(slot);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::vector<bool> seen(64, false);
+  for (const auto& slots : got) {
+    for (int slot : slots) {
+      EXPECT_FALSE(seen[slot]) << "slot " << slot << " handed out twice";
+      seen[slot] = true;
+    }
+  }
+  EXPECT_EQ(mask.Count(), 64);
+}
+
+TEST(SlotMaskTest, ConcurrentAcquireReleaseChurn) {
+  AtomicSlotMask mask;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        const int slot = mask.Acquire(16);
+        if (slot != AtomicSlotMask::kNoSlot) mask.Release(slot);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mask.Count(), 0);
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryMethodsSetCode) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError().IsIoError());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted().IsResourceExhausted());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+}
+
+TEST(StatusTest, MessageIsCarried) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: key 42");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Conflict("fcw");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsConflict());
+  EXPECT_EQ(copy.message(), "fcw");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Conflict());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    STREAMSI_RETURN_NOT_OK(Status::IoError("disk"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIoError());
+
+  auto succeeds = []() -> Status {
+    STREAMSI_RETURN_NOT_OK(Status::OK());
+    return Status::Conflict();
+  };
+  EXPECT_TRUE(succeeds().IsConflict());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConflict), "Conflict");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTimedOut), "TimedOut");
+}
+
+}  // namespace
+}  // namespace streamsi

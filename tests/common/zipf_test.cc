@@ -1,0 +1,97 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace streamsi {
+namespace {
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfianGenerator gen(1000, 0.0, 7);
+  std::map<std::uint64_t, int> histogram;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) histogram[gen.Next()]++;
+  // Every drawn value is in range, and no value dominates.
+  for (const auto& [value, count] : histogram) {
+    EXPECT_LT(value, 1000u);
+    EXPECT_LT(count, kSamples / 100);  // <1 % each for uniform over 1000
+  }
+}
+
+TEST(ZipfTest, HigherThetaConcentratesMass) {
+  constexpr int kSamples = 50000;
+  auto hottest_share = [&](double theta) {
+    ZipfianGenerator gen(100000, theta, 11);
+    int zero_count = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      if (gen.Next() == 0) ++zero_count;
+    }
+    return static_cast<double>(zero_count) / kSamples;
+  };
+  const double share_05 = hottest_share(0.5);
+  const double share_15 = hottest_share(1.5);
+  const double share_29 = hottest_share(2.9);
+  EXPECT_LT(share_05, share_15);
+  EXPECT_LT(share_15, share_29);
+  // Paper §5.1: theta = 2.9 => ~82 % hits on the same key.
+  EXPECT_GT(share_29, 0.75);
+  EXPECT_LT(share_29, 0.90);
+}
+
+TEST(ZipfTest, HottestProbabilityMatchesEmpirical) {
+  ZipfianGenerator gen(10000, 2.9, 3);
+  const double predicted = gen.HottestProbability();
+  EXPECT_GT(predicted, 0.75);
+  EXPECT_LT(predicted, 0.90);
+}
+
+TEST(ZipfTest, DeterministicForSeed) {
+  ZipfianGenerator a(1000, 1.2, 42);
+  ZipfianGenerator b(1000, 1.2, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfTest, DifferentSeedsDiffer) {
+  ZipfianGenerator a(100000, 0.8, 1);
+  ZipfianGenerator b(100000, 0.8, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 900);
+}
+
+TEST(ZipfTest, ScrambledStaysInRange) {
+  ZipfianGenerator gen(12345, 1.0, 9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.ScrambledNext(), 12345u);
+}
+
+TEST(ZipfTest, ScrambledDecorrelatesHotKey) {
+  // The hottest scrambled key should not be rank 0 in general, but should
+  // still collect the same mass.
+  ZipfianGenerator gen(10000, 2.5, 13);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 20000; ++i) histogram[gen.ScrambledNext()]++;
+  int max_count = 0;
+  for (const auto& [key, count] : histogram) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 20000 / 2);  // still heavily skewed
+}
+
+class ZipfRangeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRangeTest, AllDrawsInRange) {
+  const double theta = GetParam();
+  ZipfianGenerator gen(1 << 16, theta, 21);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(gen.Next(), 1u << 16);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, ZipfRangeTest,
+                         ::testing::Values(0.0, 0.5, 0.99, 1.0, 1.5, 2.0, 2.5,
+                                           2.9, 3.0));
+
+}  // namespace
+}  // namespace streamsi

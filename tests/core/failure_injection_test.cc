@@ -1,0 +1,133 @@
+// Failure injection: IO errors in the base table during the write-through
+// phase of a commit must never publish a partial transaction, and the
+// in-memory state must stay consistent with what readers can see.
+
+#include <gtest/gtest.h>
+
+#include "core/streamsi.h"
+#include "storage/faulty_backend.h"
+#include "storage/hash_backend.h"
+
+namespace streamsi {
+namespace {
+
+/// Builds a context + store + manager wired to a FaultyBackend directly
+/// (Database always constructs its own backends, so this harness assembles
+/// the pieces by hand).
+struct Harness {
+  Harness() {
+    auto faulty =
+        std::make_unique<FaultyBackend>(std::make_unique<HashTableBackend>());
+    backend = faulty.get();
+    StoreOptions store_options;
+    store = std::make_unique<VersionedStore>(0, "s", std::move(faulty),
+                                             store_options);
+    group = context.RegisterGroup({context.RegisterState("s")});
+    protocol = MakeProtocol(ProtocolType::kMvcc, &context);
+    manager = std::make_unique<TransactionManager>(
+        &context, protocol.get(),
+        [this](StateId id) { return id == 0 ? store.get() : nullptr; },
+        nullptr, false);
+  }
+
+  StateContext context;
+  FaultyBackend* backend;
+  std::unique_ptr<VersionedStore> store;
+  GroupId group;
+  std::unique_ptr<ConcurrencyProtocol> protocol;
+  std::unique_ptr<TransactionManager> manager;
+};
+
+TEST(FailureInjectionTest, WriteFailureAbortsCommitCleanly) {
+  Harness h;
+  // A successful baseline commit.
+  {
+    auto t = h.manager->Begin();
+    ASSERT_TRUE(h.manager->Write((*t)->txn(), 0, "k", "good").ok());
+    ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+  }
+
+  // Now fail the backend write during commit.
+  h.backend->FailNextWrites(1);
+  {
+    auto t = h.manager->Begin();
+    ASSERT_TRUE(h.manager->Write((*t)->txn(), 0, "k", "doomed").ok());
+    const Status status = h.manager->Commit((*t)->txn());
+    EXPECT_TRUE(status.IsIoError()) << status.ToString();
+  }
+  EXPECT_EQ(h.backend->injected_failures(), 1u);
+
+  // Readers must still see the previous value — the failed commit's version
+  // was purged from memory, and LastCTS never advanced for it.
+  {
+    auto t = h.manager->Begin();
+    std::string value;
+    ASSERT_TRUE(h.manager->Read((*t)->txn(), 0, "k", &value).ok());
+    EXPECT_EQ(value, "good");
+    ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+  }
+}
+
+TEST(FailureInjectionTest, MultiKeyCommitWithMidBatchFailure) {
+  Harness h;
+  {
+    auto t = h.manager->Begin();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(h.manager
+                      ->Write((*t)->txn(), 0, "k" + std::to_string(i),
+                              "base")
+                      .ok());
+    }
+    ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+  }
+  // Fail the third write of the next commit batch.
+  h.backend->FailNextWrites(0);
+  {
+    auto t = h.manager->Begin();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(h.manager
+                      ->Write((*t)->txn(), 0, "k" + std::to_string(i),
+                              "new")
+                      .ok());
+    }
+    // Arm after writes, before commit: fails during ApplyWriteSet.
+    h.backend->FailNextWrites(1);
+    EXPECT_FALSE(h.manager->Commit((*t)->txn()).ok());
+  }
+  // No key may show the new value.
+  {
+    auto t = h.manager->Begin();
+    for (int i = 0; i < 4; ++i) {
+      std::string value;
+      ASSERT_TRUE(
+          h.manager->Read((*t)->txn(), 0, "k" + std::to_string(i), &value)
+              .ok());
+      EXPECT_EQ(value, "base") << "partial commit leaked at key " << i;
+    }
+    ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+  }
+}
+
+TEST(FailureInjectionTest, SystemRecoversAfterFailuresClear) {
+  Harness h;
+  h.backend->FailNextWrites(3);
+  int failures = 0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto t = h.manager->Begin();
+    ASSERT_TRUE(h.manager->Write((*t)->txn(), 0, "k", "v" +
+                                 std::to_string(attempt)).ok());
+    if (!h.manager->Commit((*t)->txn()).ok()) {
+      ++failures;
+      continue;
+    }
+  }
+  EXPECT_EQ(failures, 3);
+  auto t = h.manager->Begin();
+  std::string value;
+  ASSERT_TRUE(h.manager->Read((*t)->txn(), 0, "k", &value).ok());
+  EXPECT_EQ(value, "v9");
+  ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+}
+
+}  // namespace
+}  // namespace streamsi

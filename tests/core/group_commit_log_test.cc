@@ -1,0 +1,76 @@
+#include "core/group_commit_log.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class GroupCommitLogTest : public ::testing::Test {
+ protected:
+  std::string Path() const { return dir_.path() + "/groups.log"; }
+  testing::TempDir dir_;
+};
+
+TEST_F(GroupCommitLogTest, ReplayEmptyOrMissing) {
+  auto replayed = GroupCommitLog::Replay(Path());  // missing file
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(replayed->empty());
+}
+
+TEST_F(GroupCommitLogTest, KeepsNewestCtsPerGroup) {
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    ASSERT_TRUE(log.Record(0, 10, false).ok());
+    ASSERT_TRUE(log.Record(1, 11, false).ok());
+    ASSERT_TRUE(log.Record(0, 25, false).ok());
+    ASSERT_TRUE(log.Record(1, 8, true).ok());  // older record later: ignored
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->size(), 2u);
+  EXPECT_EQ(replayed->at(0), 25u);
+  EXPECT_EQ(replayed->at(1), 11u);
+}
+
+TEST_F(GroupCommitLogTest, SurvivesTornTail) {
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    ASSERT_TRUE(log.Record(0, 42, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(Path(), false).ok());
+    ASSERT_TRUE(file.Append("\xBA\xAD").ok());  // torn partial frame
+    ASSERT_TRUE(file.Close().ok());
+  }
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(0), 42u);
+}
+
+TEST_F(GroupCommitLogTest, AppendAcrossReopens) {
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    ASSERT_TRUE(log.Record(3, 7, false).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());  // append, not truncate
+    ASSERT_TRUE(log.Record(3, 9, false).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(3), 9u);
+}
+
+}  // namespace
+}  // namespace streamsi

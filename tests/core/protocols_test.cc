@@ -1,0 +1,254 @@
+// Cross-protocol conformance: all three protocols must provide the same
+// basic transactional semantics (the paper runs the identical workload and
+// consistency protocol over MVCC, S2PL and BOCC, §5).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/streamsi.h"
+
+namespace streamsi {
+namespace {
+
+class ProtocolConformanceTest
+    : public ::testing::TestWithParam<ProtocolType> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.protocol = GetParam();
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto state = db_->CreateState("s");
+    ASSERT_TRUE(state.ok());
+    state_ = (*state)->id();
+  }
+
+  Status Put(Transaction& txn, const std::string& k, const std::string& v) {
+    return db_->txn_manager().Write(txn, state_, k, v);
+  }
+  Result<std::string> Get(Transaction& txn, const std::string& k) {
+    std::string value;
+    STREAMSI_RETURN_NOT_OK(db_->txn_manager().Read(txn, state_, k, &value));
+    return value;
+  }
+
+  std::unique_ptr<Database> db_;
+  StateId state_;
+};
+
+TEST_P(ProtocolConformanceTest, CommitMakesWritesDurable) {
+  auto t = db_->Begin();
+  ASSERT_TRUE(Put((*t)->txn(), "k", "v").ok());
+  ASSERT_TRUE((*t)->Commit().ok());
+  auto check = db_->Begin();
+  auto got = Get((*check)->txn(), "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v");
+  ASSERT_TRUE((*check)->Commit().ok());
+}
+
+TEST_P(ProtocolConformanceTest, AbortDiscardsWrites) {
+  auto t = db_->Begin();
+  ASSERT_TRUE(Put((*t)->txn(), "k", "v").ok());
+  ASSERT_TRUE((*t)->Abort().ok());
+  auto check = db_->Begin();
+  EXPECT_TRUE(Get((*check)->txn(), "k").status().IsNotFound());
+  ASSERT_TRUE((*check)->Commit().ok());
+}
+
+TEST_P(ProtocolConformanceTest, ReadYourOwnWrites) {
+  auto t = db_->Begin();
+  ASSERT_TRUE(Put((*t)->txn(), "k", "own").ok());
+  auto got = Get((*t)->txn(), "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "own");
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_P(ProtocolConformanceTest, DeleteCommits) {
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(Put((*t)->txn(), "k", "v").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(db_->txn_manager().Delete((*t)->txn(), state_, "k").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  auto check = db_->Begin();
+  EXPECT_TRUE(Get((*check)->txn(), "k").status().IsNotFound());
+  ASSERT_TRUE((*check)->Commit().ok());
+}
+
+TEST_P(ProtocolConformanceTest, SequentialTransactionsNeverConflict) {
+  for (int i = 0; i < 50; ++i) {
+    auto t = db_->Begin();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(Put((*t)->txn(), "k", std::to_string(i)).ok());
+    ASSERT_TRUE((*t)->Commit().ok()) << "iteration " << i;
+  }
+  EXPECT_EQ(db_->txn_manager().counters().committed.load(), 50u);
+  EXPECT_EQ(db_->txn_manager().counters().conflicts.load(), 0u);
+}
+
+TEST_P(ProtocolConformanceTest, ConcurrentCountersAreConsistent) {
+  // Hammer one hot key with increments from several threads; the final
+  // value must equal the number of successful commits (atomicity +
+  // isolation across all protocols).
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(Put((*t)->txn(), "counter", "0").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        auto t = db_->Begin();
+        if (!t.ok()) continue;
+        auto got = Get((*t)->txn(), "counter");
+        if (!got.ok()) continue;  // txn already dead (wait-die)
+        const int current = std::stoi(*got);
+        if (!Put((*t)->txn(), "counter", std::to_string(current + 1)).ok()) {
+          continue;
+        }
+        if ((*t)->Commit().ok()) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto check = db_->Begin();
+  auto got = Get((*check)->txn(), "counter");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::stoi(*got), successes.load())
+      << ProtocolTypeName(GetParam())
+      << ": lost updates detected";
+  ASSERT_TRUE((*check)->Commit().ok());
+  EXPECT_GT(successes.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolConformanceTest,
+                         ::testing::Values(ProtocolType::kMvcc,
+                                           ProtocolType::kS2pl,
+                                           ProtocolType::kBocc),
+                         [](const auto& info) {
+                           return ProtocolTypeName(info.param);
+                         });
+
+// ------------------------------------------------------------------------
+// Protocol-specific behaviours.
+
+TEST(S2plTest, ReaderBlocksBehindOlderWriterAndSeesResult) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kS2pl;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("s");
+  ASSERT_TRUE(state.ok());
+  const StateId sid = (*state)->id();
+
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*db)->txn_manager().Write((*t)->txn(), sid, "k", "v0").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+
+  auto writer = (*db)->Begin();  // older txn: takes X lock
+  ASSERT_TRUE(
+      (*db)->txn_manager().Write((*writer)->txn(), sid, "k", "v1").ok());
+
+  std::atomic<bool> reader_done{false};
+  std::string read_value;
+  std::thread reader([&] {
+    // Younger reader: wait-die says it dies (Busy -> Aborted).
+    auto t = (*db)->Begin();
+    std::string value;
+    const Status status =
+        (*db)->txn_manager().Read((*t)->txn(), sid, "k", &value);
+    EXPECT_TRUE(status.IsAborted()) << status.ToString();
+    reader_done.store(true);
+  });
+  reader.join();
+  ASSERT_TRUE(reader_done.load());
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  auto check = (*db)->Begin();
+  std::string value;
+  ASSERT_TRUE((*db)->txn_manager().Read((*check)->txn(), sid, "k", &value).ok());
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE((*check)->Commit().ok());
+}
+
+TEST(BoccTest, ReaderAbortsWhenOverlappingCommitHappened) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kBocc;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("s");
+  ASSERT_TRUE(state.ok());
+  const StateId sid = (*state)->id();
+
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*db)->txn_manager().Write((*t)->txn(), sid, "k", "v0").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+
+  // Reader reads k, then a writer commits k, then the reader validates.
+  auto reader = (*db)->Begin();
+  std::string value;
+  ASSERT_TRUE(
+      (*db)->txn_manager().Read((*reader)->txn(), sid, "k", &value).ok());
+  EXPECT_EQ(value, "v0");
+
+  {
+    auto writer = (*db)->Begin();
+    ASSERT_TRUE(
+        (*db)->txn_manager().Write((*writer)->txn(), sid, "k", "v1").ok());
+    ASSERT_TRUE((*writer)->Commit().ok());
+  }
+
+  // Reader also writes something so its commit validates.
+  ASSERT_TRUE(
+      (*db)->txn_manager().Write((*reader)->txn(), sid, "other", "x").ok());
+  const Status status = (*reader)->Commit();
+  EXPECT_TRUE(status.IsAborted()) << status.ToString();
+}
+
+TEST(BoccTest, NonOverlappingReaderCommits) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kBocc;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("s");
+  const StateId sid = (*state)->id();
+
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*db)->txn_manager().Write((*t)->txn(), sid, "a", "1").ok());
+    ASSERT_TRUE((*db)->txn_manager().Write((*t)->txn(), sid, "b", "2").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+
+  auto reader = (*db)->Begin();
+  std::string value;
+  ASSERT_TRUE(
+      (*db)->txn_manager().Read((*reader)->txn(), sid, "a", &value).ok());
+
+  {
+    auto writer = (*db)->Begin();
+    ASSERT_TRUE(
+        (*db)->txn_manager().Write((*writer)->txn(), sid, "b", "3").ok());
+    ASSERT_TRUE((*writer)->Commit().ok());
+  }
+
+  EXPECT_TRUE((*reader)->Commit().ok()) << "read 'a', writer wrote 'b'";
+}
+
+}  // namespace
+}  // namespace streamsi

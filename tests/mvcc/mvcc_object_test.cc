@@ -1,0 +1,200 @@
+#include "mvcc/mvcc_object.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsi {
+namespace {
+
+TEST(MvccObjectTest, EmptyHasNoVisibleVersion) {
+  MvccObject object(4);
+  std::string value;
+  EXPECT_FALSE(object.GetVisible(100, &value));
+  EXPECT_EQ(object.LatestCts(), kInitialTs);
+  EXPECT_FALSE(object.HasLiveVersion());
+}
+
+TEST(MvccObjectTest, InstallMakesVersionVisibleFromCts) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  std::string value;
+  EXPECT_FALSE(object.GetVisible(9, &value));  // before cts
+  ASSERT_TRUE(object.GetVisible(10, &value));
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(object.GetVisible(1000, &value));
+  EXPECT_EQ(value, "v1");
+}
+
+TEST(MvccObjectTest, NewVersionShadowsOldForNewReaders) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  std::string value;
+  // Snapshot between the two commits still sees v1 (time travel).
+  ASSERT_TRUE(object.GetVisible(15, &value));
+  EXPECT_EQ(value, "v1");
+  ASSERT_TRUE(object.GetVisible(20, &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(object.LatestCts(), 20u);
+  EXPECT_EQ(object.VersionCount(), 2);
+}
+
+TEST(MvccObjectTest, DeleteEndsVisibility) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.MarkDeleted(30).ok());
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(29, &value));  // still sees it
+  EXPECT_FALSE(object.GetVisible(30, &value));  // deleted from 30 on
+  EXPECT_FALSE(object.HasLiveVersion());
+}
+
+TEST(MvccObjectTest, DeleteWithoutLiveVersionIsNotFound) {
+  MvccObject object(4);
+  EXPECT_TRUE(object.MarkDeleted(5).IsNotFound());
+  ASSERT_TRUE(object.Install("v", 10, 0).ok());
+  ASSERT_TRUE(object.MarkDeleted(20).ok());
+  EXPECT_TRUE(object.MarkDeleted(30).IsNotFound());
+}
+
+TEST(MvccObjectTest, ReinsertAfterDelete) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.MarkDeleted(20).ok());
+  ASSERT_TRUE(object.Install("v2", 30, 0).ok());
+  std::string value;
+  EXPECT_FALSE(object.GetVisible(25, &value));  // gap
+  ASSERT_TRUE(object.GetVisible(30, &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(MvccObjectTest, GcReclaimsInvisibleVersions) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  ASSERT_TRUE(object.Install("v3", 30, 0).ok());
+  EXPECT_EQ(object.VersionCount(), 3);
+  // Oldest active snapshot is 25: v1 ([10,20)) is invisible, v2 ([20,30))
+  // is still needed.
+  EXPECT_EQ(object.GarbageCollect(25), 1);
+  EXPECT_EQ(object.VersionCount(), 2);
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(25, &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(MvccObjectTest, OnDemandGcWhenArrayFull) {
+  MvccObject object(2);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  // Array full. Installing with oldest_active=25 reclaims v1's slot.
+  ASSERT_TRUE(object.Install("v3", 30, 25).ok());
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(30, &value));
+  EXPECT_EQ(value, "v3");
+  EXPECT_EQ(object.VersionCount(), 2);
+}
+
+TEST(MvccObjectTest, InstallFailsWhenNoReclaimableSlot) {
+  MvccObject object(2);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  // Oldest active snapshot 5 still needs everything.
+  EXPECT_TRUE(object.Install("v3", 30, 5).IsResourceExhausted());
+}
+
+TEST(MvccObjectTest, PurgeAfterRemovesUncommittedTail) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  // Simulate recovery where the group commit for cts=20 never finished.
+  EXPECT_EQ(object.PurgeAfter(15), 1);
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(100, &value));
+  EXPECT_EQ(value, "v1");  // v1 is live again (dts reopened)
+  EXPECT_TRUE(object.HasLiveVersion());
+  EXPECT_EQ(object.LatestCts(), 10u);
+}
+
+TEST(MvccObjectTest, PurgeAfterReopensDeletedVersion) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.MarkDeleted(20).ok());
+  EXPECT_EQ(object.PurgeAfter(15), 0);  // nothing installed after 15...
+  std::string value;
+  // ...but the delete at 20 is also rolled back.
+  ASSERT_TRUE(object.GetVisible(100, &value));
+  EXPECT_EQ(value, "v1");
+}
+
+TEST(MvccObjectTest, EncodeDecodeRoundTrip) {
+  MvccObject object(8);
+  ASSERT_TRUE(object.Install("first", 5, 0).ok());
+  ASSERT_TRUE(object.Install("second", 9, 0).ok());
+  std::string blob;
+  object.EncodeTo(&blob);
+
+  auto decoded = MvccObject::Decode(blob, 8);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::string value;
+  ASSERT_TRUE(decoded->GetVisible(7, &value));
+  EXPECT_EQ(value, "first");
+  ASSERT_TRUE(decoded->GetVisible(9, &value));
+  EXPECT_EQ(value, "second");
+  EXPECT_EQ(decoded->LatestCts(), 9u);
+  EXPECT_EQ(decoded->VersionCount(), 2);
+}
+
+TEST(MvccObjectTest, DecodeGarbageFails) {
+  EXPECT_FALSE(MvccObject::Decode("not a blob \xFF\xFF\xFF\xFF\xFF", 8).ok());
+}
+
+TEST(MvccObjectTest, CapacityClamped) {
+  // Minimum is 2: with a single slot an update could never install its new
+  // version next to the still-live predecessor.
+  MvccObject tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2);
+  MvccObject one(1);
+  EXPECT_EQ(one.capacity(), 2);
+  MvccObject huge(1000);
+  EXPECT_EQ(huge.capacity(), 64);
+}
+
+TEST(MvccObjectTest, HeadersReflectLifetimes) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());
+  auto headers = object.Headers();
+  ASSERT_EQ(headers.size(), 2u);
+  bool found_closed = false;
+  bool found_open = false;
+  for (const auto& h : headers) {
+    if (h.cts == 10 && h.dts == 20) found_closed = true;
+    if (h.cts == 20 && h.dts == kInfinityTs) found_open = true;
+  }
+  EXPECT_TRUE(found_closed);
+  EXPECT_TRUE(found_open);
+}
+
+class MvccCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MvccCapacitySweep, LongUpdateChainWithGc) {
+  const int capacity = GetParam();
+  MvccObject object(capacity);
+  // Continuously advancing oldest_active lets on-demand GC keep up
+  // regardless of capacity.
+  for (Timestamp ts = 1; ts <= 200; ++ts) {
+    ASSERT_TRUE(
+        object.Install("v" + std::to_string(ts), ts * 10, (ts - 1) * 10).ok())
+        << "capacity " << capacity << " ts " << ts;
+  }
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(2000, &value));
+  EXPECT_EQ(value, "v200");
+  EXPECT_LE(object.VersionCount(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MvccCapacitySweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace streamsi

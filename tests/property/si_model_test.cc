@@ -1,0 +1,183 @@
+// Property test: snapshot isolation against an executable model.
+//
+// Several transactions are interleaved by a seeded random scheduler (all on
+// one thread, so the interleaving is deterministic). The model mirrors the
+// SI contract exactly:
+//   * a transaction's first read captures a snapshot of the committed map;
+//   * reads see snapshot + own writes; writes buffer; deletes overlay;
+//   * commit fails iff another transaction committed one of its written
+//     keys after it began (First-Committer-Wins);
+//   * abort discards everything.
+// The implementation must agree with the model on every read result and
+// every commit outcome.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/random.h"
+#include "core/streamsi.h"
+
+namespace streamsi {
+namespace {
+
+struct ModelTxn {
+  bool began = false;
+  bool has_snapshot = false;
+  std::uint64_t begin_seq = 0;
+  std::map<std::string, std::string> snapshot;
+  std::map<std::string, std::optional<std::string>> writes;  // nullopt=del
+};
+
+class SiModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SiModelTest, RandomInterleavingsMatchModel) {
+  Xorshift rng(GetParam() * 7919 + 13);
+
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("s");
+  TransactionalTable<std::string, std::string> table(&(*db)->txn_manager(),
+                                                     *state);
+
+  // Model state.
+  std::map<std::string, std::string> committed;
+  // Sequence number of the last commit per key (for FCW).
+  std::map<std::string, std::uint64_t> last_commit_seq;
+  std::uint64_t seq = 0;  // advances on begin & commit
+
+  constexpr int kSlots = 4;
+  constexpr int kKeySpace = 12;
+  std::array<std::unique_ptr<TransactionHandle>, kSlots> impl;
+  std::array<ModelTxn, kSlots> model;
+
+  auto ensure_snapshot = [&](int slot) {
+    if (!model[slot].has_snapshot) {
+      model[slot].snapshot = committed;
+      model[slot].has_snapshot = true;
+    }
+  };
+
+  constexpr int kOps = 3000;
+  for (int op = 0; op < kOps; ++op) {
+    const int slot = static_cast<int>(rng.Uniform(kSlots));
+    const std::string key = "k" + std::to_string(rng.Uniform(kKeySpace));
+
+    if (!model[slot].began) {
+      auto handle = (*db)->Begin();
+      ASSERT_TRUE(handle.ok());
+      impl[slot] = std::move(handle).value();
+      model[slot] = ModelTxn{};
+      model[slot].began = true;
+      model[slot].begin_seq = ++seq;
+      continue;
+    }
+
+    switch (rng.Uniform(5)) {
+      case 0: {  // read
+        auto got = table.Get(impl[slot]->txn(), key);
+        // Model: own write first, then snapshot. The snapshot is pinned by
+        // the first read that *misses* the own-write set — reads served
+        // from the write set never touch the store, hence never pin
+        // (mirrors §4.2 exactly).
+        auto own = model[slot].writes.find(key);
+        if (own == model[slot].writes.end()) ensure_snapshot(slot);
+        if (own != model[slot].writes.end()) {
+          if (own->second.has_value()) {
+            ASSERT_TRUE(got.ok()) << "op " << op;
+            ASSERT_EQ(*got, *own->second);
+          } else {
+            ASSERT_TRUE(got.status().IsNotFound()) << "op " << op;
+          }
+        } else {
+          auto snap = model[slot].snapshot.find(key);
+          if (snap == model[slot].snapshot.end()) {
+            ASSERT_TRUE(got.status().IsNotFound())
+                << "op " << op << " key " << key;
+          } else {
+            ASSERT_TRUE(got.ok()) << "op " << op << " key " << key;
+            ASSERT_EQ(*got, snap->second);
+          }
+        }
+        break;
+      }
+      case 1: {  // write
+        ASSERT_TRUE(table.Put(impl[slot]->txn(), key,
+                              "v" + std::to_string(op))
+                        .ok());
+        model[slot].writes[key] = "v" + std::to_string(op);
+        break;
+      }
+      case 2: {  // delete
+        ASSERT_TRUE(table.Delete(impl[slot]->txn(), key).ok());
+        model[slot].writes[key] = std::nullopt;
+        break;
+      }
+      case 3: {  // commit
+        const Status status = impl[slot]->Commit();
+        bool expect_conflict = false;
+        for (const auto& [k, v] : model[slot].writes) {
+          auto it = last_commit_seq.find(k);
+          if (it != last_commit_seq.end() &&
+              it->second > model[slot].begin_seq) {
+            expect_conflict = true;
+          }
+        }
+        if (model[slot].writes.empty()) expect_conflict = false;
+        if (expect_conflict) {
+          ASSERT_TRUE(status.IsConflict())
+              << "op " << op << ": model expected FCW conflict, got "
+              << status.ToString();
+        } else {
+          ASSERT_TRUE(status.ok())
+              << "op " << op << ": model expected success, got "
+              << status.ToString();
+          const std::uint64_t commit_seq = ++seq;
+          for (const auto& [k, v] : model[slot].writes) {
+            last_commit_seq[k] = commit_seq;
+            if (v.has_value()) {
+              committed[k] = *v;
+            } else {
+              committed.erase(k);
+            }
+          }
+        }
+        impl[slot].reset();
+        model[slot] = ModelTxn{};
+        break;
+      }
+      case 4: {  // abort
+        ASSERT_TRUE(impl[slot]->Abort().ok());
+        impl[slot].reset();
+        model[slot] = ModelTxn{};
+        break;
+      }
+    }
+  }
+
+  // Drain open transactions and verify the final committed state.
+  for (int slot = 0; slot < kSlots; ++slot) {
+    if (impl[slot] != nullptr) (void)impl[slot]->Abort();
+  }
+  auto check = (*db)->Begin();
+  std::map<std::string, std::string> final_rows;
+  ASSERT_TRUE(table
+                  .Scan((*check)->txn(),
+                        [&](const std::string& k, const std::string& v) {
+                          final_rows[k] = v;
+                          return true;
+                        })
+                  .ok());
+  ASSERT_TRUE((*check)->Commit().ok());
+  EXPECT_EQ(final_rows, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,136 @@
+// Property test: the concurrent SkipList behaves exactly like std::map
+// under arbitrary sequential histories of upserts, deletes and lookups.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "storage/backend.h"
+#include "storage/skiplist.h"
+
+namespace streamsi {
+namespace {
+
+class SkipListModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkipListModelTest, MatchesStdMapUnderRandomOps) {
+  Xorshift rng(GetParam());
+  SkipList list;
+  std::map<std::string, std::optional<std::string>> model;  // nullopt=tomb
+
+  constexpr int kOps = 20000;
+  constexpr int kKeySpace = 500;
+  for (int op = 0; op < kOps; ++op) {
+    const std::string key = "key" + std::to_string(rng.Uniform(kKeySpace));
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // upsert
+        const std::string value = "v" + std::to_string(rng.Next() % 100000);
+        list.Upsert(key, value);
+        model[key] = value;
+        break;
+      }
+      case 2: {  // delete (tombstone)
+        list.Upsert(key, "", /*tombstone=*/true);
+        model[key] = std::nullopt;
+        break;
+      }
+      case 3: {  // lookup
+        std::string value;
+        const bool found = list.Get(key, &value);
+        auto it = model.find(key);
+        const bool expect_found =
+            it != model.end() && it->second.has_value();
+        ASSERT_EQ(found, expect_found) << "op " << op << " key " << key;
+        if (found) ASSERT_EQ(value, *it->second);
+        break;
+      }
+    }
+  }
+
+  // Full iteration must visit exactly the model's keys, in order.
+  auto it = model.begin();
+  std::size_t visited = 0;
+  list.Iterate([&](std::string_view key, std::string_view value,
+                   bool tombstone) {
+    EXPECT_NE(it, model.end());
+    if (it == model.end()) return false;
+    EXPECT_EQ(std::string(key), it->first);
+    EXPECT_EQ(tombstone, !it->second.has_value());
+    if (it->second.has_value()) EXPECT_EQ(std::string(value), *it->second);
+    ++it;
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListModelTest,
+                         ::testing::Values(1, 7, 42, 1337, 99991));
+
+class LsmModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LsmModelTest, MatchesStdMapAcrossFlushesAndCompactions) {
+  Xorshift rng(GetParam() * 31 + 5);
+  BackendOptions options;
+  options.path = "/tmp/streamsi_lsm_model_" + std::to_string(::getpid()) +
+                 "_" + std::to_string(GetParam());
+  fsutil::RemoveDirRecursive(options.path);
+  options.memtable_bytes = 4 * 1024;  // force frequent flushes
+  options.l0_compaction_trigger = 2;  // force frequent compactions
+  auto backend_or = OpenBackend(BackendType::kLsm, options);
+  ASSERT_TRUE(backend_or.ok());
+  auto& backend = *backend_or.value();
+
+  std::map<std::string, std::string> model;
+  constexpr int kOps = 4000;
+  constexpr int kKeySpace = 200;
+  for (int op = 0; op < kOps; ++op) {
+    const std::string key = "k" + std::to_string(rng.Uniform(kKeySpace));
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const std::string value = "value-" + std::to_string(rng.Next());
+        ASSERT_TRUE(backend.Put(key, value, false).ok());
+        model[key] = value;
+        break;
+      }
+      case 1: {
+        ASSERT_TRUE(backend.Delete(key, false).ok());
+        model.erase(key);
+        break;
+      }
+      case 2: {
+        std::string value;
+        const Status status = backend.Get(key, &value);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          ASSERT_TRUE(status.IsNotFound()) << "op " << op;
+        } else {
+          ASSERT_TRUE(status.ok()) << "op " << op;
+          ASSERT_EQ(value, it->second);
+        }
+        break;
+      }
+    }
+  }
+
+  // Final scan must match exactly.
+  std::map<std::string, std::string> scanned;
+  ASSERT_TRUE(backend
+                  .Scan([&](std::string_view k, std::string_view v) {
+                    scanned[std::string(k)] = std::string(v);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(scanned, model);
+  fsutil::RemoveDirRecursive(options.path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmModelTest,
+                         ::testing::Values(1, 2, 3, 11, 123));
+
+}  // namespace
+}  // namespace streamsi

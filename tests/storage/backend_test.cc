@@ -1,0 +1,159 @@
+// Conformance tests run against every TableBackend implementation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "storage/backend.h"
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class BackendConformanceTest
+    : public ::testing::TestWithParam<BackendType> {
+ protected:
+  void SetUp() override {
+    BackendOptions options;
+    options.path = dir_.path() + "/db";
+    options.sync_mode = SyncMode::kNone;
+    auto backend = OpenBackend(GetParam(), options);
+    ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+    backend_ = std::move(backend).value();
+  }
+
+  testing::TempDir dir_;
+  std::unique_ptr<TableBackend> backend_;
+};
+
+TEST_P(BackendConformanceTest, GetMissingIsNotFound) {
+  std::string value;
+  EXPECT_TRUE(backend_->Get("nope", &value).IsNotFound());
+}
+
+TEST_P(BackendConformanceTest, PutThenGet) {
+  ASSERT_TRUE(backend_->Put("k", "v", false).ok());
+  std::string value;
+  ASSERT_TRUE(backend_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST_P(BackendConformanceTest, PutOverwrites) {
+  ASSERT_TRUE(backend_->Put("k", "v1", false).ok());
+  ASSERT_TRUE(backend_->Put("k", "v2", false).ok());
+  std::string value;
+  ASSERT_TRUE(backend_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST_P(BackendConformanceTest, DeleteRemoves) {
+  ASSERT_TRUE(backend_->Put("k", "v", false).ok());
+  ASSERT_TRUE(backend_->Delete("k", false).ok());
+  std::string value;
+  EXPECT_TRUE(backend_->Get("k", &value).IsNotFound());
+}
+
+TEST_P(BackendConformanceTest, DeleteMissingIsOk) {
+  EXPECT_TRUE(backend_->Delete("never-existed", false).ok());
+}
+
+TEST_P(BackendConformanceTest, ScanSeesAllLiveEntries) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        backend_->Put("key" + std::to_string(i), std::to_string(i), false)
+            .ok());
+  }
+  ASSERT_TRUE(backend_->Delete("key50", false).ok());
+  std::set<std::string> seen;
+  ASSERT_TRUE(backend_
+                  ->Scan([&](std::string_view key, std::string_view) {
+                    seen.insert(std::string(key));
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 99u);
+  EXPECT_EQ(seen.count("key50"), 0u);
+  EXPECT_EQ(seen.count("key99"), 1u);
+}
+
+TEST_P(BackendConformanceTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(backend_->Put("k" + std::to_string(i), "v", false).ok());
+  }
+  int visited = 0;
+  ASSERT_TRUE(backend_
+                  ->Scan([&](std::string_view, std::string_view) {
+                    return ++visited < 4;
+                  })
+                  .ok());
+  EXPECT_EQ(visited, 4);
+}
+
+TEST_P(BackendConformanceTest, EmptyValueAllowed) {
+  ASSERT_TRUE(backend_->Put("k", "", false).ok());
+  std::string value = "sentinel";
+  ASSERT_TRUE(backend_->Get("k", &value).ok());
+  EXPECT_TRUE(value.empty());
+}
+
+TEST_P(BackendConformanceTest, BinaryKeysAndValues) {
+  const std::string key("\x00\x01\xFF\x7F", 4);
+  const std::string value("\xDE\xAD\x00\xBE\xEF", 5);
+  ASSERT_TRUE(backend_->Put(key, value, false).ok());
+  std::string out;
+  ASSERT_TRUE(backend_->Get(key, &out).ok());
+  EXPECT_EQ(out, value);
+}
+
+TEST_P(BackendConformanceTest, ApproximateCountTracksInserts) {
+  EXPECT_EQ(backend_->ApproximateCount(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(backend_->Put("k" + std::to_string(i), "v", false).ok());
+  }
+  EXPECT_GE(backend_->ApproximateCount(), 50u);
+}
+
+TEST_P(BackendConformanceTest, ManyEntries) {
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(
+        backend_->Put("key" + std::to_string(i), std::to_string(i * 3), false)
+            .ok());
+  }
+  std::string value;
+  ASSERT_TRUE(backend_->Get("key19999", &value).ok());
+  EXPECT_EQ(value, "59997");
+  ASSERT_TRUE(backend_->Get("key0", &value).ok());
+  EXPECT_EQ(value, "0");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformanceTest,
+                         ::testing::Values(BackendType::kHash,
+                                           BackendType::kSkipList,
+                                           BackendType::kLsm),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BackendType::kHash:
+                               return "Hash";
+                             case BackendType::kSkipList:
+                               return "SkipList";
+                             case BackendType::kLsm:
+                               return "Lsm";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(BackendFactoryTest, ParseNames) {
+  EXPECT_TRUE(ParseBackendType("hash").ok());
+  EXPECT_TRUE(ParseBackendType("skiplist").ok());
+  EXPECT_TRUE(ParseBackendType("lsm").ok());
+  EXPECT_FALSE(ParseBackendType("rocksdb").ok());
+}
+
+TEST(BackendFactoryTest, LsmRequiresPath) {
+  BackendOptions options;  // empty path
+  EXPECT_FALSE(OpenBackend(BackendType::kLsm, options).ok());
+}
+
+}  // namespace
+}  // namespace streamsi

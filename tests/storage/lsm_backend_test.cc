@@ -1,0 +1,171 @@
+#include "storage/lsm_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class LsmBackendTest : public ::testing::Test {
+ protected:
+  BackendOptions Options() {
+    BackendOptions options;
+    options.path = dir_.path() + "/lsm";
+    options.sync_mode = SyncMode::kNone;
+    options.memtable_bytes = 16 * 1024;  // small: force flushes
+    options.l0_compaction_trigger = 3;
+    return options;
+  }
+
+  testing::TempDir dir_;
+};
+
+TEST_F(LsmBackendTest, SurvivesReopenViaWal) {
+  auto options = Options();
+  {
+    auto backend = LsmBackend::Open(options);
+    ASSERT_TRUE(backend.ok());
+    ASSERT_TRUE((*backend)->Put("persist", "me", true).ok());
+    ASSERT_TRUE((*backend)->Put("and", "me-too", true).ok());
+    // No Flush: data only in WAL + memtable.
+  }
+  auto backend = LsmBackend::Open(options);
+  ASSERT_TRUE(backend.ok());
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("persist", &value).ok());
+  EXPECT_EQ(value, "me");
+  ASSERT_TRUE((*backend)->Get("and", &value).ok());
+  EXPECT_EQ(value, "me-too");
+}
+
+TEST_F(LsmBackendTest, SurvivesReopenViaSsTables) {
+  auto options = Options();
+  {
+    auto backend = LsmBackend::Open(options);
+    ASSERT_TRUE(backend.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          (*backend)->Put("k" + std::to_string(i), std::to_string(i), false)
+              .ok());
+    }
+    ASSERT_TRUE((*backend)->Flush().ok());
+    EXPECT_GE((*backend)->FlushCount(), 1u);
+  }
+  auto backend = LsmBackend::Open(options);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_GE((*backend)->SsTableCount(), 1);
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("k42", &value).ok());
+  EXPECT_EQ(value, "42");
+}
+
+TEST_F(LsmBackendTest, DeleteSurvivesFlushAndReopen) {
+  auto options = Options();
+  {
+    auto backend = LsmBackend::Open(options);
+    ASSERT_TRUE(backend.ok());
+    ASSERT_TRUE((*backend)->Put("gone", "soon", false).ok());
+    ASSERT_TRUE((*backend)->Flush().ok());
+    ASSERT_TRUE((*backend)->Delete("gone", true).ok());
+  }
+  auto backend = LsmBackend::Open(options);
+  ASSERT_TRUE(backend.ok());
+  std::string value;
+  EXPECT_TRUE((*backend)->Get("gone", &value).IsNotFound());
+}
+
+TEST_F(LsmBackendTest, NewerSsTableShadowsOlder) {
+  auto backend = LsmBackend::Open(Options());
+  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE((*backend)->Put("k", "old", false).ok());
+  ASSERT_TRUE((*backend)->Flush().ok());
+  ASSERT_TRUE((*backend)->Put("k", "new", false).ok());
+  ASSERT_TRUE((*backend)->Flush().ok());
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("k", &value).ok());
+  EXPECT_EQ(value, "new");
+}
+
+TEST_F(LsmBackendTest, CompactionMergesAndDropsTombstones) {
+  auto options = Options();
+  options.l0_compaction_trigger = 2;
+  auto backend = LsmBackend::Open(options);
+  ASSERT_TRUE(backend.ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*backend)
+                      ->Put("k" + std::to_string(i),
+                            "r" + std::to_string(round), false)
+                      .ok());
+    }
+    ASSERT_TRUE((*backend)->Delete("k0", false).ok());
+    ASSERT_TRUE((*backend)->Flush().ok());
+  }
+  EXPECT_GE((*backend)->CompactionCount(), 1u);
+  EXPECT_LE((*backend)->SsTableCount(), options.l0_compaction_trigger + 1);
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("k1", &value).ok());
+  EXPECT_EQ(value, "r3");
+  EXPECT_TRUE((*backend)->Get("k0", &value).IsNotFound());
+}
+
+TEST_F(LsmBackendTest, AutomaticFlushOnMemtableFull) {
+  auto backend = LsmBackend::Open(Options());
+  ASSERT_TRUE(backend.ok());
+  const std::string big_value(1024, 'x');
+  for (int i = 0; i < 64; ++i) {  // 64 KiB >> 16 KiB memtable
+    ASSERT_TRUE(
+        (*backend)->Put("key" + std::to_string(i), big_value, false).ok());
+  }
+  EXPECT_GE((*backend)->FlushCount(), 1u);
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("key0", &value).ok());
+  EXPECT_EQ(value, big_value);
+}
+
+TEST_F(LsmBackendTest, ScanMergesMemtableAndTables) {
+  auto backend = LsmBackend::Open(Options());
+  ASSERT_TRUE(backend.ok());
+  ASSERT_TRUE((*backend)->Put("a", "sst", false).ok());
+  ASSERT_TRUE((*backend)->Put("b", "sst", false).ok());
+  ASSERT_TRUE((*backend)->Flush().ok());
+  ASSERT_TRUE((*backend)->Put("b", "mem", false).ok());  // shadow
+  ASSERT_TRUE((*backend)->Put("c", "mem", false).ok());
+  ASSERT_TRUE((*backend)->Delete("a", false).ok());
+
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE((*backend)
+                  ->Scan([&](std::string_view key, std::string_view value) {
+                    seen[std::string(key)] = std::string(value);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen["b"], "mem");
+  EXPECT_EQ(seen["c"], "mem");
+}
+
+TEST_F(LsmBackendTest, RecoversAfterCrashTornWalTail) {
+  auto options = Options();
+  {
+    auto backend = LsmBackend::Open(options);
+    ASSERT_TRUE(backend.ok());
+    ASSERT_TRUE((*backend)->Put("good", "data", true).ok());
+  }
+  // Append garbage to the WAL to simulate a torn write.
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(options.path + "/wal.log", false).ok());
+    ASSERT_TRUE(file.Append("\x01\x02\x03garbage-torn-tail").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  auto backend = LsmBackend::Open(options);
+  ASSERT_TRUE(backend.ok());
+  std::string value;
+  ASSERT_TRUE((*backend)->Get("good", &value).ok());
+  EXPECT_EQ(value, "data");
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,152 @@
+#include "storage/skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace streamsi {
+namespace {
+
+TEST(SkipListTest, GetMissingReturnsFalse) {
+  SkipList list;
+  std::string value;
+  EXPECT_FALSE(list.Get("missing", &value));
+}
+
+TEST(SkipListTest, UpsertThenGet) {
+  SkipList list;
+  list.Upsert("a", "1");
+  list.Upsert("b", "2");
+  std::string value;
+  ASSERT_TRUE(list.Get("a", &value));
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(list.Get("b", &value));
+  EXPECT_EQ(value, "2");
+}
+
+TEST(SkipListTest, UpsertOverwrites) {
+  SkipList list;
+  list.Upsert("k", "old");
+  list.Upsert("k", "new");
+  std::string value;
+  ASSERT_TRUE(list.Get("k", &value));
+  EXPECT_EQ(value, "new");
+  EXPECT_EQ(list.NodeCount(), 1u);
+}
+
+TEST(SkipListTest, TombstoneHidesKey) {
+  SkipList list;
+  list.Upsert("k", "v");
+  list.Upsert("k", "", /*tombstone=*/true);
+  std::string value;
+  bool tombstone = false;
+  EXPECT_FALSE(list.Get("k", &value, &tombstone));
+  EXPECT_TRUE(tombstone);
+  // Re-inserting revives it.
+  list.Upsert("k", "v2");
+  ASSERT_TRUE(list.Get("k", &value));
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(SkipListTest, IterateInKeyOrder) {
+  SkipList list;
+  list.Upsert("delta", "4");
+  list.Upsert("alpha", "1");
+  list.Upsert("charlie", "3");
+  list.Upsert("bravo", "2");
+  std::vector<std::string> keys;
+  list.Iterate([&](std::string_view key, std::string_view, bool) {
+    keys.emplace_back(key);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "bravo");
+  EXPECT_EQ(keys[2], "charlie");
+  EXPECT_EQ(keys[3], "delta");
+}
+
+TEST(SkipListTest, IterateEarlyStop) {
+  SkipList list;
+  for (int i = 0; i < 10; ++i) list.Upsert("k" + std::to_string(i), "v");
+  int visited = 0;
+  list.Iterate([&](std::string_view, std::string_view, bool) {
+    return ++visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(SkipListTest, ManyKeysSorted) {
+  SkipList list;
+  for (int i = 9999; i >= 0; --i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%05d", i);
+    list.Upsert(buf, std::to_string(i));
+  }
+  EXPECT_EQ(list.NodeCount(), 10000u);
+  std::string prev;
+  bool sorted = true;
+  list.Iterate([&](std::string_view key, std::string_view, bool) {
+    if (!prev.empty() && std::string(key) <= prev) sorted = false;
+    prev = std::string(key);
+    return true;
+  });
+  EXPECT_TRUE(sorted);
+}
+
+TEST(SkipListTest, ApproximateBytesGrows) {
+  SkipList list;
+  const auto before = list.ApproximateBytes();
+  list.Upsert("key", std::string(1000, 'v'));
+  EXPECT_GT(list.ApproximateBytes(), before + 1000);
+}
+
+TEST(SkipListTest, ConcurrentDisjointWriters) {
+  SkipList list;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        list.Upsert("t" + std::to_string(t) + "_" + std::to_string(i),
+                    std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(list.NodeCount(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::string value;
+  ASSERT_TRUE(list.Get("t2_4999", &value));
+  EXPECT_EQ(value, "4999");
+}
+
+TEST(SkipListTest, ConcurrentReadersDuringWrites) {
+  SkipList list;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> fail{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i) {
+      list.Upsert("w" + std::to_string(i), std::to_string(i));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        std::string value;
+        if (list.Get("w100", &value) && value != "100") fail.store(true);
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(fail.load());
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,173 @@
+#include "storage/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage/bloom.h"
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class SsTableTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name = "t.sst") const {
+    return dir_.path() + "/" + name;
+  }
+  testing::TempDir dir_;
+};
+
+TEST_F(SsTableTest, WriteAndPointLookup) {
+  SsTableWriter writer(4096, 10);
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  for (int i = 0; i < 1000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "key%05d", i);
+    ASSERT_TRUE(writer.Add(key, "value" + std::to_string(i), false).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = SsTableReader::Open(Path());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->entry_count(), 1000u);
+
+  std::string value;
+  bool found = false;
+  bool tombstone = false;
+  ASSERT_TRUE((*reader)->Get("key00500", &value, &found, &tombstone).ok());
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(tombstone);
+  EXPECT_EQ(value, "value500");
+
+  ASSERT_TRUE((*reader)->Get("key99999", &value, &found, &tombstone).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(SsTableTest, OutOfOrderKeysRejected) {
+  SsTableWriter writer(4096, 10);
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  ASSERT_TRUE(writer.Add("b", "1", false).ok());
+  EXPECT_TRUE(writer.Add("a", "2", false).IsInvalidArgument());
+  EXPECT_TRUE(writer.Add("b", "dup", false).IsInvalidArgument());
+}
+
+TEST_F(SsTableTest, TombstonesRoundTrip) {
+  SsTableWriter writer(4096, 10);
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  ASSERT_TRUE(writer.Add("dead", "", true).ok());
+  ASSERT_TRUE(writer.Add("live", "v", false).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = SsTableReader::Open(Path());
+  ASSERT_TRUE(reader.ok());
+  std::string value;
+  bool found = false;
+  bool tombstone = false;
+  ASSERT_TRUE((*reader)->Get("dead", &value, &found, &tombstone).ok());
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(tombstone);
+  ASSERT_TRUE((*reader)->Get("live", &value, &found, &tombstone).ok());
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(tombstone);
+}
+
+TEST_F(SsTableTest, IterateVisitsAllInOrder) {
+  SsTableWriter writer(256, 10);  // small blocks: force many blocks
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%04d", i);
+    expected[key] = std::to_string(i);
+    ASSERT_TRUE(writer.Add(key, std::to_string(i), false).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = SsTableReader::Open(Path());
+  ASSERT_TRUE(reader.ok());
+  std::string prev;
+  std::size_t count = 0;
+  ASSERT_TRUE((*reader)
+                  ->Iterate([&](std::string_view key, std::string_view value,
+                                bool tombstone) {
+                    EXPECT_FALSE(tombstone);
+                    EXPECT_GT(std::string(key), prev);
+                    prev = std::string(key);
+                    EXPECT_EQ(expected[std::string(key)], value);
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 500u);
+}
+
+TEST_F(SsTableTest, EmptyTableIsValid) {
+  SsTableWriter writer(4096, 10);
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  auto reader = SsTableReader::Open(Path());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->entry_count(), 0u);
+  std::string value;
+  bool found = true;
+  bool tombstone = false;
+  ASSERT_TRUE((*reader)->Get("anything", &value, &found, &tombstone).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(SsTableTest, CorruptedBlockDetected) {
+  SsTableWriter writer(4096, 0);  // no bloom (we want the read to happen)
+  ASSERT_TRUE(writer.Open(Path()).ok());
+  ASSERT_TRUE(writer.Add("key", std::string(100, 'v'), false).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  contents[10] ^= 0xFF;  // corrupt inside the data block
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  auto reader = SsTableReader::Open(Path());
+  ASSERT_TRUE(reader.ok());  // footer/index still fine
+  std::string value;
+  bool found = false;
+  bool tombstone = false;
+  EXPECT_TRUE(
+      (*reader)->Get("key", &value, &found, &tombstone).IsCorruption());
+}
+
+TEST_F(SsTableTest, TruncatedFileRejected) {
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), "short").ok());
+  EXPECT_TRUE(SsTableReader::Open(Path()).status().IsCorruption());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("key" + std::to_string(i));
+  const std::string filter = BloomFilter::Build(keys, 10);
+  for (const auto& key : keys) {
+    EXPECT_TRUE(BloomFilter::MayContain(filter, key)) << key;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back("in" + std::to_string(i));
+  const std::string filter = BloomFilter::Build(keys, 10);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (BloomFilter::MayContain(filter, "out" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/key gives ~1 % theoretical; allow ample slack.
+  EXPECT_LT(false_positives, 500);
+}
+
+TEST(BloomFilterTest, EmptyFilterFailsOpen) {
+  EXPECT_TRUE(BloomFilter::MayContain("", "anything"));
+  EXPECT_TRUE(BloomFilter::MayContain(BloomFilter::Build({}, 10), "x"));
+}
+
+}  // namespace
+}  // namespace streamsi

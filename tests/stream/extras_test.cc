@@ -1,0 +1,202 @@
+// Tests for the extended operators: joins, merge, CSV source/sink, and the
+// each-update trigger policy.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/streamsi.h"
+#include "stream/stream.h"
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+template <typename T>
+std::vector<StreamElement<T>> DataElements(std::vector<T> values) {
+  std::vector<StreamElement<T>> out;
+  Timestamp ts = 0;
+  for (auto& v : values) out.emplace_back(std::move(v), ts++);
+  return out;
+}
+
+TEST(SymmetricHashJoinTest, JoinsMatchingKeys) {
+  Topology topology;
+  using L = std::pair<int, std::string>;
+  using R = std::pair<int, double>;
+  using Out = std::tuple<int, std::string, double>;
+  auto* left = topology.Add<VectorSource<L>>(
+      DataElements<L>({{1, "a"}, {2, "b"}, {3, "c"}}));
+  auto* right = topology.Add<VectorSource<R>>(
+      DataElements<R>({{2, 2.5}, {3, 3.5}, {4, 4.5}}));
+  auto* join = topology.Add<SymmetricHashJoin<L, R, int, Out>>(
+      left, right, [](const L& l) { return l.first; },
+      [](const R& r) { return r.first; },
+      [](const L& l, const R& r) {
+        return Out{l.first, l.second, r.second};
+      });
+  auto* collect = topology.Add<Collect<Out>>(join);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto results = collect->Elements();
+  ASSERT_EQ(results.size(), 2u);
+  std::set<int> keys;
+  for (const auto& [k, s, d] : results) keys.insert(k);
+  EXPECT_EQ(keys, (std::set<int>{2, 3}));
+}
+
+TEST(SymmetricHashJoinTest, WindowBoundsBuffer) {
+  // With window=1, only the most recent left tuple per key matches.
+  Publisher<std::pair<int, int>> left;
+  Publisher<std::pair<int, int>> right;
+  using Out = std::pair<int, int>;
+  SymmetricHashJoin<std::pair<int, int>, std::pair<int, int>, int, Out> join(
+      &left, &right, [](const auto& l) { return l.first; },
+      [](const auto& r) { return r.first; },
+      [](const auto& l, const auto& r) {
+        return Out{l.second, r.second};
+      },
+      /*window=*/1);
+  std::vector<Out> results;
+  ForEach<Out> sink(&join, [&](const Out& o) { results.push_back(o); });
+
+  left.Publish(StreamElement<std::pair<int, int>>({7, 100}));
+  left.Publish(StreamElement<std::pair<int, int>>({7, 200}));  // evicts 100
+  right.Publish(StreamElement<std::pair<int, int>>({7, 1}));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], (Out{200, 1}));
+}
+
+TEST(StreamTableJoinTest, EnrichesFromTable) {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  auto table = TransactionalTable<std::uint32_t, double>(
+      &(*db)->txn_manager(), *(*db)->CreateState("limits"));
+  table.BulkLoad(1, 10.0);
+  table.BulkLoad(2, 20.0);
+
+  Topology topology;
+  using In = std::pair<std::uint32_t, double>;  // (meter, reading)
+  using Out = std::pair<std::uint32_t, bool>;   // (meter, over_limit)
+  auto* source = topology.Add<VectorSource<In>>(
+      DataElements<In>({{1, 15.0}, {2, 5.0}, {9, 1.0}}));
+  auto* join =
+      topology.Add<StreamTableJoin<In, std::uint32_t, double, Out>>(
+          source, &(*db)->txn_manager(), table,
+          [](const In& in) { return in.first; },
+          [](const In& in, const double& limit) {
+            return Out{in.first, in.second > limit};
+          });
+  auto* collect = topology.Add<Collect<Out>>(join);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto results = collect->Elements();
+  ASSERT_EQ(results.size(), 2u);  // meter 9 has no spec row: dropped
+  EXPECT_EQ(results[0], (Out{1, true}));
+  EXPECT_EQ(results[1], (Out{2, false}));
+  EXPECT_EQ(join->matched(), 2u);
+  EXPECT_EQ(join->unmatched(), 1u);
+}
+
+TEST(MergeTest, CombinesStreamsAndWaitsForAllEos) {
+  Topology topology;
+  auto* s1 = topology.Add<VectorSource<int>>(DataElements<int>({1, 2}));
+  auto* s2 = topology.Add<VectorSource<int>>(DataElements<int>({10, 20}));
+  auto* merge =
+      topology.Add<Merge<int>>(std::vector<Publisher<int>*>{s1, s2});
+  auto* collect = topology.Add<Collect<int>>(merge);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto results = collect->Elements();
+  std::multiset<int> got(results.begin(), results.end());
+  EXPECT_EQ(got, (std::multiset<int>{1, 2, 10, 20}));
+}
+
+TEST(CsvTest, SourceParsesAndSinkWrites) {
+  testing::TempDir dir;
+  const std::string in_path = dir.path() + "/in.csv";
+  const std::string out_path = dir.path() + "/out.csv";
+  {
+    std::ofstream out(in_path);
+    out << "meter,kwh\n";  // header
+    out << "1,2.5\n";
+    out << "2,3.5\n";
+    out << "garbage-row\n";
+    out << "3,4.5\n";
+  }
+
+  struct Reading {
+    std::uint32_t meter;
+    double kwh;
+  };
+  Topology topology;
+  auto* source = topology.Add<CsvSource<Reading>>(
+      in_path,
+      [](const std::vector<std::string>& fields)
+          -> std::optional<Reading> {
+        if (fields.size() != 2) return std::nullopt;
+        char* end = nullptr;
+        Reading r;
+        r.meter = static_cast<std::uint32_t>(
+            std::strtoul(fields[0].c_str(), &end, 10));
+        if (end == fields[0].c_str()) return std::nullopt;
+        r.kwh = std::strtod(fields[1].c_str(), nullptr);
+        return r;
+      },
+      /*skip_header=*/true);
+  auto* sink = topology.Add<CsvSink<Reading>>(
+      source, out_path,
+      [](const Reading& r) {
+        return std::to_string(r.meter) + "," + std::to_string(r.kwh);
+      },
+      "meter,kwh");
+  topology.Start();
+  topology.Join();
+
+  EXPECT_EQ(source->parse_errors(), 1u);
+  EXPECT_EQ(sink->rows(), 3u);
+  std::ifstream check(out_path);
+  std::string line;
+  std::getline(check, line);
+  EXPECT_EQ(line, "meter,kwh");
+  std::getline(check, line);
+  EXPECT_EQ(line.substr(0, 2), "1,");
+}
+
+TEST(EachUpdateTest, EmitsUncommittedChangesImmediately) {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  auto table = TransactionalTable<std::uint32_t, double>(
+      &(*db)->txn_manager(), *(*db)->CreateState("s"));
+  auto ctx = std::make_shared<StreamTxnContext>(&(*db)->txn_manager());
+
+  using In = std::pair<std::uint32_t, double>;
+  Publisher<In> input;
+  ToTable<In, std::uint32_t, double> to_table(
+      &input, table, ctx, [](const In& t) { return t.first; },
+      [](const In& t) { return t.second; });
+  EachUpdateToStream<In, std::uint32_t, double> each_update(
+      &to_table, [](const In& t) { return t.first; },
+      [](const In& t) { return t.second; });
+  std::vector<ChangeEvent<std::uint32_t, double>> events;
+  ForEach<ChangeEvent<std::uint32_t, double>> sink(
+      &each_update, [&](const ChangeEvent<std::uint32_t, double>& e) {
+        events.push_back(e);
+      });
+
+  input.Publish(StreamElement<In>(Punctuation::kBeginTxn));
+  input.Publish(StreamElement<In>({1, 1.5}));
+  // Event arrives before any commit — that is the point of this policy.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, 1u);
+  EXPECT_EQ(events[0].commit_ts, 0u) << "uncommitted marker";
+  input.Publish(StreamElement<In>(Punctuation::kRollbackTxn));
+  // The rolled-back change was still emitted (dirty-read semantics).
+  EXPECT_EQ(events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace streamsi

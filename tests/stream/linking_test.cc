@@ -1,0 +1,239 @@
+// The linking operators of §3 (Figure 2): TO_TABLE, TO_STREAM, FROM(table)
+// — wired through real transactions against the MVCC protocol.
+
+#include <gtest/gtest.h>
+
+#include "core/streamsi.h"
+#include "stream/stream.h"
+
+namespace streamsi {
+namespace {
+
+struct Meter {
+  std::uint64_t id;
+  double kwh;
+  bool retired;  // delete marker
+};
+
+template <typename T>
+std::vector<StreamElement<T>> DataElements(std::vector<T> values) {
+  std::vector<StreamElement<T>> out;
+  Timestamp ts = 0;
+  for (auto& v : values) out.emplace_back(std::move(v), ts++);
+  return out;
+}
+
+class LinkingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto state = db_->CreateState("meters");
+    ASSERT_TRUE(state.ok());
+    table_ = TransactionalTable<std::uint64_t, double>(&db_->txn_manager(),
+                                                       *state);
+  }
+
+  std::unique_ptr<Database> db_;
+  TransactionalTable<std::uint64_t, double> table_;
+};
+
+TEST_F(LinkingTest, ToTableUpsertsWithPunctuationBoundaries) {
+  Topology topology;
+  std::vector<StreamElement<Meter>> elements;
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{1, 10.0, false});
+  elements.emplace_back(Meter{2, 20.0, false});
+  elements.emplace_back(Punctuation::kCommitTxn);
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{1, 11.5, false});  // update
+  elements.emplace_back(Punctuation::kCommitTxn);
+
+  auto ctx = std::make_shared<StreamTxnContext>(&db_->txn_manager());
+  auto* source = topology.Add<VectorSource<Meter>>(std::move(elements));
+  auto* to_table = topology.Add<ToTable<Meter, std::uint64_t, double>>(
+      source, table_, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; },
+      [](const Meter& m) { return m.retired; });
+  topology.Start();
+  topology.Join();
+  EXPECT_EQ(to_table->error_count(), 0u);
+  EXPECT_EQ(to_table->write_count(), 3u);
+
+  auto rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  std::map<std::uint64_t, double> by_key(rows->begin(), rows->end());
+  EXPECT_EQ(by_key.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_key[1], 11.5);
+  EXPECT_DOUBLE_EQ(by_key[2], 20.0);
+}
+
+TEST_F(LinkingTest, ToTableRollbackDiscardsBatch) {
+  Topology topology;
+  std::vector<StreamElement<Meter>> elements;
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{1, 10.0, false});
+  elements.emplace_back(Punctuation::kCommitTxn);
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{2, 99.0, false});
+  elements.emplace_back(Punctuation::kRollbackTxn);  // discard meter 2
+
+  auto ctx = std::make_shared<StreamTxnContext>(&db_->txn_manager());
+  auto* source = topology.Add<VectorSource<Meter>>(std::move(elements));
+  topology.Add<ToTable<Meter, std::uint64_t, double>>(
+      source, table_, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; });
+  topology.Start();
+  topology.Join();
+
+  auto rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].first, 1u);
+}
+
+TEST_F(LinkingTest, ToTableDeleteTuples) {
+  Topology topology;
+  std::vector<StreamElement<Meter>> elements;
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{1, 10.0, false});
+  elements.emplace_back(Meter{2, 20.0, false});
+  elements.emplace_back(Punctuation::kCommitTxn);
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(Meter{1, 0.0, true});  // explicit delete tuple
+  elements.emplace_back(Punctuation::kCommitTxn);
+
+  auto ctx = std::make_shared<StreamTxnContext>(&db_->txn_manager());
+  auto* source = topology.Add<VectorSource<Meter>>(std::move(elements));
+  topology.Add<ToTable<Meter, std::uint64_t, double>>(
+      source, table_, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; },
+      [](const Meter& m) { return m.retired; });
+  topology.Start();
+  topology.Join();
+
+  auto rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].first, 2u);
+}
+
+TEST_F(LinkingTest, ToTableAutoCommitViaBatcher) {
+  Topology topology;
+  auto ctx = std::make_shared<StreamTxnContext>(&db_->txn_manager());
+  auto* source = topology.Add<VectorSource<Meter>>(DataElements<Meter>(
+      {{1, 1.0, false}, {2, 2.0, false}, {3, 3.0, false}}));
+  auto* batcher = topology.Add<Batcher<Meter>>(source, 1);  // auto-commit
+  topology.Add<ToTable<Meter, std::uint64_t, double>>(
+      batcher, table_, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; });
+  topology.Start();
+  topology.Join();
+  EXPECT_EQ(db_->txn_manager().counters().committed.load(), 3u);
+  auto rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(LinkingTest, ToStreamEmitsCommittedChangesOnly) {
+  // TO_STREAM with the kOnCommit trigger policy: nothing is emitted for the
+  // rolled-back batch.
+  ToStream<std::uint64_t, double> to_stream(&db_->txn_manager(), table_.id());
+  std::vector<ChangeEvent<std::uint64_t, double>> events;
+  std::mutex events_mutex;
+  to_stream.Subscribe(
+      [&](const StreamElement<ChangeEvent<std::uint64_t, double>>& e) {
+        if (e.is_data()) {
+          std::lock_guard<std::mutex> guard(events_mutex);
+          events.push_back(e.data());
+        }
+      });
+
+  // Committed txn.
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(table_.Put((*t)->txn(), 1, 10.0).ok());
+    ASSERT_TRUE(table_.Put((*t)->txn(), 2, 20.0).ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Aborted txn: must not emit.
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(table_.Put((*t)->txn(), 3, 30.0).ok());
+    ASSERT_TRUE((*t)->Abort().ok());
+  }
+  // Delete: emitted with empty value.
+  {
+    auto t = db_->Begin();
+    ASSERT_TRUE(table_.Delete((*t)->txn(), 1).ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].key, 1u);
+  ASSERT_TRUE(events[0].value.has_value());
+  EXPECT_DOUBLE_EQ(*events[0].value, 10.0);
+  EXPECT_EQ(events[1].key, 2u);
+  EXPECT_EQ(events[2].key, 1u);
+  EXPECT_FALSE(events[2].value.has_value()) << "delete must have no value";
+  EXPECT_GT(events[2].commit_ts, events[0].commit_ts);
+}
+
+TEST_F(LinkingTest, ToStreamConditionFilters) {
+  // "Whenever a certain condition on a table is fulfilled" — only values
+  // above threshold are emitted.
+  ToStream<std::uint64_t, double> to_stream(
+      &db_->txn_manager(), table_.id(),
+      [](const ChangeEvent<std::uint64_t, double>& e) {
+        return e.value.has_value() && *e.value > 15.0;
+      });
+  std::atomic<int> emitted{0};
+  to_stream.Subscribe(
+      [&](const StreamElement<ChangeEvent<std::uint64_t, double>>& e) {
+        if (e.is_data()) emitted.fetch_add(1);
+      });
+  auto t = db_->Begin();
+  ASSERT_TRUE(table_.Put((*t)->txn(), 1, 10.0).ok());
+  ASSERT_TRUE(table_.Put((*t)->txn(), 2, 20.0).ok());
+  ASSERT_TRUE((*t)->Commit().ok());
+  EXPECT_EQ(emitted.load(), 1);
+}
+
+TEST_F(LinkingTest, FromTableScansSnapshot) {
+  {
+    auto t = db_->Begin();
+    for (std::uint64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(table_.Put((*t)->txn(), k, static_cast<double>(k)).ok());
+    }
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  Topology topology;
+  auto* from = topology.Add<FromTable<std::uint64_t, double>>(
+      &db_->txn_manager(), table_);
+  auto* collect =
+      topology.Add<Collect<std::pair<std::uint64_t, double>>>(from);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->size(), 10u);
+}
+
+TEST_F(LinkingTest, UnregisterStopsToStream) {
+  auto to_stream = std::make_unique<ToStream<std::uint64_t, double>>(
+      &db_->txn_manager(), table_.id());
+  std::atomic<int> emitted{0};
+  to_stream->Subscribe(
+      [&](const StreamElement<ChangeEvent<std::uint64_t, double>>&) {
+        emitted.fetch_add(1);
+      });
+  to_stream->Stop();
+  auto t = db_->Begin();
+  ASSERT_TRUE(table_.Put((*t)->txn(), 1, 1.0).ok());
+  ASSERT_TRUE((*t)->Commit().ok());
+  EXPECT_EQ(emitted.load(), 0);
+}
+
+}  // namespace
+}  // namespace streamsi

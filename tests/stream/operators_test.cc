@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "stream/stream.h"
+
+namespace streamsi {
+namespace {
+
+template <typename T>
+std::vector<StreamElement<T>> DataElements(std::vector<T> values) {
+  std::vector<StreamElement<T>> out;
+  Timestamp ts = 0;
+  for (auto& v : values) out.emplace_back(std::move(v), ts++);
+  return out;
+}
+
+TEST(ElementTest, DataAndPunctuation) {
+  StreamElement<int> data(42, 7);
+  EXPECT_TRUE(data.is_data());
+  EXPECT_EQ(data.data(), 42);
+  EXPECT_EQ(data.ts(), 7u);
+
+  StreamElement<int> punct(Punctuation::kCommitTxn, 9);
+  EXPECT_TRUE(punct.is_punctuation());
+  EXPECT_EQ(punct.punctuation(), Punctuation::kCommitTxn);
+  auto forwarded = punct.ForwardPunctuation<std::string>();
+  EXPECT_EQ(forwarded.punctuation(), Punctuation::kCommitTxn);
+  EXPECT_EQ(forwarded.ts(), 9u);
+}
+
+TEST(SourceTest, VectorSourceEmitsAllThenEos) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3}));
+  auto* collect = topology.Add<Collect<int>>(source);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->Elements(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SourceTest, GeneratorSourceStopsOnNullopt) {
+  Topology topology;
+  int i = 0;
+  auto* source = topology.Add<GeneratorSource<int>>(
+      [&]() -> std::optional<StreamElement<int>> {
+        if (i >= 5) return std::nullopt;
+        return StreamElement<int>(i++);
+      });
+  auto* collect = topology.Add<Collect<int>>(source);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->size(), 5u);
+}
+
+TEST(MapTest, TransformsAndForwardsPunctuations) {
+  Topology topology;
+  std::vector<StreamElement<int>> elements = DataElements<int>({1, 2, 3});
+  elements.insert(elements.begin() + 1,
+                  StreamElement<int>(Punctuation::kCommitTxn));
+  auto* source = topology.Add<VectorSource<int>>(std::move(elements));
+  auto* map = topology.Add<Map<int, std::string>>(
+      source, [](const int& v) { return "v" + std::to_string(v * 10); });
+  std::vector<std::string> data;
+  std::vector<Punctuation> puncts;
+  auto* sink = topology.Add<ForEach<std::string>>(
+      map, [&](const std::string& s) { data.push_back(s); },
+      [&](Punctuation p) { puncts.push_back(p); });
+  (void)sink;
+  topology.Start();
+  topology.Join();
+  EXPECT_EQ(data, (std::vector<std::string>{"v10", "v20", "v30"}));
+  ASSERT_EQ(puncts.size(), 2u);
+  EXPECT_EQ(puncts[0], Punctuation::kCommitTxn);
+  EXPECT_EQ(puncts[1], Punctuation::kEndOfStream);
+}
+
+TEST(WhereTest, FiltersData) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5, 6}));
+  auto* where =
+      topology.Add<Where<int>>(source, [](const int& v) { return v % 2 == 0; });
+  auto* collect = topology.Add<Collect<int>>(where);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->Elements(), (std::vector<int>{2, 4, 6}));
+}
+
+TEST(BatcherTest, InjectsBotAndCommitEveryN) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5}));
+  auto* batcher = topology.Add<Batcher<int>>(source, 2);
+  std::vector<std::string> trace;
+  auto* sink = topology.Add<ForEach<int>>(
+      batcher, [&](const int& v) { trace.push_back(std::to_string(v)); },
+      [&](Punctuation p) { trace.emplace_back(PunctuationName(p)); });
+  (void)sink;
+  topology.Start();
+  topology.Join();
+  EXPECT_EQ(trace, (std::vector<std::string>{
+                       "BOT", "1", "2", "COMMIT",      // batch 1
+                       "BOT", "3", "4", "COMMIT",      // batch 2
+                       "BOT", "5", "COMMIT", "EOS"}))  // flushed at EOS
+      << "data-centric boundaries misplaced";
+}
+
+TEST(QueueHandoffTest, CrossesThreadBoundary) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4}));
+  auto* handoff = topology.Add<QueueHandoff<int>>(source);
+  auto* collect = topology.Add<Collect<int>>(handoff);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->Elements(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BlockingQueueTest, PopAfterCloseDrains) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(TopologyTest, StopInterruptsSource) {
+  Topology topology;
+  std::atomic<int> produced{0};
+  auto* source = topology.Add<GeneratorSource<int>>(
+      [&]() -> std::optional<StreamElement<int>> {
+        produced.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return StreamElement<int>(1);
+      });
+  auto* collect = topology.Add<Collect<int>>(source);
+  (void)collect;
+  topology.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  topology.StopAndJoin();
+  const int after_stop = produced.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(produced.load(), after_stop) << "source kept running after stop";
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "stream/stream.h"
+
+namespace streamsi {
+namespace {
+
+template <typename T>
+std::vector<StreamElement<T>> DataElements(std::vector<T> values) {
+  std::vector<StreamElement<T>> out;
+  Timestamp ts = 0;
+  for (auto& v : values) out.emplace_back(std::move(v), ts++);
+  return out;
+}
+
+TEST(TumblingCountWindowTest, BatchesOfN) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5, 6}));
+  auto* window = topology.Add<TumblingCountWindow<int>>(source, 3);
+  auto* collect = topology.Add<Collect<WindowBatch<int>>>(window);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto batches = collect->Elements();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].window_id, 0u);
+  EXPECT_EQ(batches[0].elements, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(batches[1].elements, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(TumblingCountWindowTest, PartialWindowFlushedAtEos) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5}));
+  auto* window = topology.Add<TumblingCountWindow<int>>(source, 3);
+  auto* collect = topology.Add<Collect<WindowBatch<int>>>(window);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto batches = collect->Elements();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[1].elements, (std::vector<int>{4, 5}));
+}
+
+TEST(SlidingCountWindowTest, OverlappingBatches) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5}));
+  auto* window = topology.Add<SlidingCountWindow<int>>(source, 3, 1);
+  auto* collect = topology.Add<Collect<WindowBatch<int>>>(window);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto batches = collect->Elements();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].elements, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(batches[1].elements, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(batches[2].elements, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(SlidingCountWindowTest, SlideBiggerThanOne) {
+  Topology topology;
+  auto* source = topology.Add<VectorSource<int>>(
+      DataElements<int>({1, 2, 3, 4, 5, 6, 7}));
+  auto* window = topology.Add<SlidingCountWindow<int>>(source, 2, 3);
+  auto* collect = topology.Add<Collect<WindowBatch<int>>>(window);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto batches = collect->Elements();
+  // Emissions at elements 3 (window {2,3}) and 6 (window {5,6}).
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].elements, (std::vector<int>{2, 3}));
+  EXPECT_EQ(batches[1].elements, (std::vector<int>{5, 6}));
+}
+
+struct Reading {
+  std::uint64_t time;
+  double value;
+};
+
+TEST(TumblingTimeWindowTest, BucketsByEventTime) {
+  Topology topology;
+  auto* source = topology.Add<VectorSource<Reading>>(DataElements<Reading>(
+      {{0, 1.0}, {5, 2.0}, {12, 3.0}, {19, 4.0}, {25, 5.0}}));
+  auto* window = topology.Add<TumblingTimeWindow<Reading>>(
+      source, 10, [](const Reading& r) { return r.time; });
+  auto* collect = topology.Add<Collect<WindowBatch<Reading>>>(window);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto batches = collect->Elements();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].elements.size(), 2u);  // t=0, t=5
+  EXPECT_EQ(batches[0].window_id, 0u);
+  EXPECT_EQ(batches[1].elements.size(), 2u);  // t=12, t=19
+  EXPECT_EQ(batches[1].window_id, 1u);
+  EXPECT_EQ(batches[2].elements.size(), 1u);  // t=25 flushed at EOS
+  EXPECT_EQ(batches[2].window_id, 2u);
+}
+
+TEST(WindowAggregateTest, FoldsEachBatch) {
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2, 3, 4, 5, 6}));
+  auto* window = topology.Add<TumblingCountWindow<int>>(source, 3);
+  auto* sum = topology.Add<WindowAggregate<int, int>>(
+      window, 0, [](int& acc, const int& v) { acc += v; });
+  auto* collect = topology.Add<Collect<int>>(sum);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->Elements(), (std::vector<int>{6, 15}));
+}
+
+TEST(NumericSummaryTest, TracksAllStatistics) {
+  NumericSummary summary;
+  summary.Add(2.0);
+  summary.Add(4.0);
+  summary.Add(9.0);
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_DOUBLE_EQ(summary.sum, 15.0);
+  EXPECT_DOUBLE_EQ(summary.avg(), 5.0);
+  EXPECT_DOUBLE_EQ(summary.min, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 9.0);
+}
+
+TEST(GroupedAggregateTest, PerKeyRunningState) {
+  Topology topology;
+  using Pair = std::pair<int, int>;  // (key, value)
+  auto* source = topology.Add<VectorSource<Pair>>(DataElements<Pair>(
+      {{1, 10}, {2, 20}, {1, 5}, {2, 1}, {1, 1}}));
+  auto* agg = topology.Add<GroupedAggregate<Pair, int, int>>(
+      source, [](const Pair& p) { return p.first; }, 0,
+      [](int& acc, const Pair& p) { acc += p.second; });
+  auto* collect = topology.Add<Collect<std::pair<int, int>>>(agg);
+  topology.Start();
+  collect->WaitForEos();
+  topology.Join();
+  auto updates = collect->Elements();
+  ASSERT_EQ(updates.size(), 5u);
+  EXPECT_EQ(updates.back(), (std::pair<int, int>{1, 16}));
+  EXPECT_EQ(agg->groups().at(1), 16);
+  EXPECT_EQ(agg->groups().at(2), 21);
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,37 @@
+// Shared test helpers.
+
+#ifndef STREAMSI_TESTS_TEST_UTIL_H_
+#define STREAMSI_TESTS_TEST_UTIL_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/env.h"
+
+namespace streamsi::testing {
+
+/// Unique scratch directory, recursively deleted on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<int> counter{0};
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/streamsi_test_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1));
+    fsutil::RemoveDirRecursive(path_);
+    fsutil::CreateDirIfMissing(path_);
+  }
+
+  ~TempDir() { fsutil::RemoveDirRecursive(path_); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace streamsi::testing
+
+#endif  // STREAMSI_TESTS_TEST_UTIL_H_

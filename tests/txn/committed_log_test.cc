@@ -1,0 +1,75 @@
+#include "txn/committed_log.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsi {
+namespace {
+
+std::unordered_set<std::string> Keys(std::initializer_list<const char*> ks) {
+  std::unordered_set<std::string> out;
+  for (const char* k : ks) out.insert(k);
+  return out;
+}
+
+TEST(CommittedLogTest, EmptyLogHasNoConflict) {
+  CommittedTxnLog log;
+  EXPECT_FALSE(log.HasConflict(0, Keys({"0/a"})));
+}
+
+TEST(CommittedLogTest, ConflictWhenCommittedAfterBegin) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"0/a", "0/b"}));
+  // Txn began at 5: the commit at 10 wrote a key it read => conflict.
+  EXPECT_TRUE(log.HasConflict(5, Keys({"0/a"})));
+  // Txn began at 10: commit_ts 10 <= begin => no conflict.
+  EXPECT_FALSE(log.HasConflict(10, Keys({"0/a"})));
+}
+
+TEST(CommittedLogTest, DisjointKeySetsNoConflict) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"0/x"}));
+  EXPECT_FALSE(log.HasConflict(5, Keys({"0/a", "0/b"})));
+}
+
+TEST(CommittedLogTest, StateNamespacingSeparatesKeys) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"1/a"}));
+  EXPECT_FALSE(log.HasConflict(5, Keys({"0/a"})));  // same key, other state
+  EXPECT_TRUE(log.HasConflict(5, Keys({"1/a"})));
+}
+
+TEST(CommittedLogTest, ScansOnlyNewerRecords) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"0/old"}));
+  log.Append(20, Keys({"0/new"}));
+  EXPECT_FALSE(log.HasConflict(15, Keys({"0/old"})));
+  EXPECT_TRUE(log.HasConflict(15, Keys({"0/new"})));
+}
+
+TEST(CommittedLogTest, PruneDropsOldRecords) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"0/a"}));
+  log.Append(20, Keys({"0/b"}));
+  log.Append(30, Keys({"0/c"}));
+  EXPECT_EQ(log.size(), 3u);
+  log.Prune(20);
+  EXPECT_EQ(log.size(), 1u);
+  // Records <= 20 are gone; conflicts against them can no longer be
+  // detected — safe, because Prune's argument is the oldest active BOT.
+  EXPECT_TRUE(log.HasConflict(25, Keys({"0/c"})));
+  EXPECT_FALSE(log.HasConflict(25, Keys({"0/b"})));
+}
+
+TEST(CommittedLogTest, LargeReadSetUsesSmallerSideIteration) {
+  CommittedTxnLog log;
+  log.Append(10, Keys({"0/hot"}));
+  std::unordered_set<std::string> big_read_set;
+  for (int i = 0; i < 10000; ++i) {
+    big_read_set.insert("0/k" + std::to_string(i));
+  }
+  big_read_set.insert("0/hot");
+  EXPECT_TRUE(log.HasConflict(5, big_read_set));
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,129 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace streamsi {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.LockShared("k", 1).ok());
+  EXPECT_TRUE(lm.LockShared("k", 2).ok());
+  EXPECT_TRUE(lm.LockShared("k", 3).ok());
+  lm.Unlock("k", 1);
+  lm.Unlock("k", 2);
+  lm.Unlock("k", 3);
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveExcludesYoungerReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.LockExclusive("k", 10).ok());
+  // Requester 20 is younger than holder 10 => dies.
+  EXPECT_TRUE(lm.LockShared("k", 20).IsBusy());
+  lm.Unlock("k", 10);
+  EXPECT_TRUE(lm.LockShared("k", 20).ok());
+}
+
+TEST(LockManagerTest, YoungerWriterDiesOnSharedHolders) {
+  LockManager lm;
+  ASSERT_TRUE(lm.LockShared("k", 10).ok());
+  EXPECT_TRUE(lm.LockExclusive("k", 20).IsBusy());
+  lm.Unlock("k", 10);
+  EXPECT_TRUE(lm.LockExclusive("k", 20).ok());
+}
+
+TEST(LockManagerTest, OlderWriterWaitsForYoungerReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.LockShared("k", 20).ok());  // young reader
+  std::atomic<bool> acquired{false};
+  std::thread older([&] {
+    // txn 10 is older than holder 20 => waits instead of dying.
+    EXPECT_TRUE(lm.LockExclusive("k", 10).ok());
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  lm.Unlock("k", 20);
+  older.join();
+  EXPECT_TRUE(acquired.load());
+  lm.Unlock("k", 10);
+}
+
+TEST(LockManagerTest, ReentrantShared) {
+  LockManager lm;
+  EXPECT_TRUE(lm.LockShared("k", 1).ok());
+  EXPECT_TRUE(lm.LockShared("k", 1).ok());  // no duplicate registration
+  lm.Unlock("k", 1);
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+}
+
+TEST(LockManagerTest, ReentrantExclusive) {
+  LockManager lm;
+  EXPECT_TRUE(lm.LockExclusive("k", 1).ok());
+  EXPECT_TRUE(lm.LockExclusive("k", 1).ok());
+  EXPECT_TRUE(lm.LockShared("k", 1).ok());  // covered by exclusive
+  lm.Unlock("k", 1);
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleSharedHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.LockShared("k", 5).ok());
+  EXPECT_TRUE(lm.LockExclusive("k", 5).ok());
+  // Now exclusive: a younger reader dies.
+  EXPECT_TRUE(lm.LockShared("k", 9).IsBusy());
+  lm.Unlock("k", 5);
+}
+
+TEST(LockManagerTest, DifferentKeysIndependent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.LockExclusive("a", 10).ok());
+  EXPECT_TRUE(lm.LockExclusive("b", 20).ok());
+  EXPECT_TRUE(lm.LockShared("c", 30).ok());
+  lm.Unlock("a", 10);
+  lm.Unlock("b", 20);
+  lm.Unlock("c", 30);
+}
+
+TEST(LockManagerTest, NoDeadlockUnderContention) {
+  // Wait-die guarantees progress: many threads locking two keys in
+  // opposite orders must all eventually finish (some after Busy-aborts).
+  LockManager lm;
+  std::atomic<int> completed{0};
+  std::atomic<TxnId> next_txn{1};
+  auto worker = [&](bool forward) {
+    for (int i = 0; i < 300; ++i) {
+      for (;;) {
+        const TxnId txn = next_txn.fetch_add(1);
+        const std::string first = forward ? "x" : "y";
+        const std::string second = forward ? "y" : "x";
+        if (!lm.LockExclusive(first, txn).ok()) continue;  // died: retry
+        if (!lm.LockExclusive(second, txn).ok()) {
+          lm.Unlock(first, txn);
+          continue;
+        }
+        lm.Unlock(second, txn);
+        lm.Unlock(first, txn);
+        break;
+      }
+      completed.fetch_add(1);
+    }
+  };
+  std::thread t1(worker, true);
+  std::thread t2(worker, false);
+  std::thread t3(worker, true);
+  std::thread t4(worker, false);
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+  EXPECT_EQ(completed.load(), 4 * 300);
+  EXPECT_EQ(lm.LockedKeyCount(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -1,0 +1,215 @@
+#include "txn/state_context.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace streamsi {
+namespace {
+
+TEST(StateContextTest, RegisterStatesAssignsSequentialIds) {
+  StateContext ctx;
+  EXPECT_EQ(ctx.RegisterState("a"), 0u);
+  EXPECT_EQ(ctx.RegisterState("b", "/data/b"), 1u);
+  EXPECT_EQ(ctx.StateCount(), 2u);
+  ASSERT_NE(ctx.GetState(1), nullptr);
+  EXPECT_EQ(ctx.GetState(1)->name, "b");
+  EXPECT_EQ(ctx.GetState(1)->location, "/data/b");
+  EXPECT_EQ(ctx.GetState(99), nullptr);
+}
+
+TEST(StateContextTest, GroupsTrackMembership) {
+  StateContext ctx;
+  const StateId a = ctx.RegisterState("a");
+  const StateId b = ctx.RegisterState("b");
+  const StateId c = ctx.RegisterState("c");
+  const GroupId g1 = ctx.RegisterGroup({a, b});
+  const GroupId g2 = ctx.RegisterGroup({b, c});
+  EXPECT_EQ(ctx.GroupsOf(a), std::vector<GroupId>{g1});
+  EXPECT_EQ(ctx.GroupsOf(b), (std::vector<GroupId>{g1, g2}));
+  EXPECT_EQ(ctx.GroupsOf(c), std::vector<GroupId>{g2});
+}
+
+TEST(StateContextTest, LastCtsAdvancesMonotonically) {
+  StateContext ctx;
+  const GroupId g = ctx.RegisterGroup({ctx.RegisterState("a")});
+  EXPECT_EQ(ctx.LastCts(g), kInitialTs);
+  ctx.AdvanceLastCts(g, 10);
+  EXPECT_EQ(ctx.LastCts(g), 10u);
+  ctx.AdvanceLastCts(g, 5);  // no regression
+  EXPECT_EQ(ctx.LastCts(g), 10u);
+  ctx.SetLastCts(g, 3);  // recovery override is allowed
+  EXPECT_EQ(ctx.LastCts(g), 3u);
+}
+
+TEST(StateContextTest, BeginAssignsUniqueIncreasingTxnIds) {
+  StateContext ctx;
+  TxnId id1 = 0;
+  TxnId id2 = 0;
+  auto s1 = ctx.BeginTransaction(&id1);
+  auto s2 = ctx.BeginTransaction(&id2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(s1.value(), s2.value());
+  EXPECT_LT(id1, id2);
+  EXPECT_EQ(ctx.ActiveTransactionCount(), 2);
+  ctx.EndTransaction(s1.value());
+  ctx.EndTransaction(s2.value());
+  EXPECT_EQ(ctx.ActiveTransactionCount(), 0);
+}
+
+TEST(StateContextTest, SlotExhaustion) {
+  StateContext ctx;
+  std::vector<int> slots;
+  TxnId id;
+  for (int i = 0; i < StateContext::kMaxActiveTxns; ++i) {
+    auto slot = ctx.BeginTransaction(&id);
+    ASSERT_TRUE(slot.ok());
+    slots.push_back(slot.value());
+  }
+  EXPECT_TRUE(ctx.BeginTransaction(&id).status().IsResourceExhausted());
+  ctx.EndTransaction(slots.back());
+  EXPECT_TRUE(ctx.BeginTransaction(&id).ok());
+}
+
+TEST(StateContextTest, StateStatusFlags) {
+  StateContext ctx;
+  const StateId a = ctx.RegisterState("a");
+  const StateId b = ctx.RegisterState("b");
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+
+  ctx.RegisterStateAccess(*slot, a);
+  ctx.RegisterStateAccess(*slot, b);
+  ctx.RegisterStateAccess(*slot, a);  // idempotent
+  EXPECT_EQ(ctx.StatesOf(*slot).size(), 2u);
+  EXPECT_FALSE(ctx.AllRegisteredStatesReady(*slot));
+  EXPECT_FALSE(ctx.AnyStateAborted(*slot));
+
+  ctx.SetStateStatus(*slot, a, TxnStatus::kCommit);
+  EXPECT_FALSE(ctx.AllRegisteredStatesReady(*slot));
+  ctx.SetStateStatus(*slot, b, TxnStatus::kCommit);
+  EXPECT_TRUE(ctx.AllRegisteredStatesReady(*slot));
+
+  ctx.SetStateStatus(*slot, a, TxnStatus::kAbort);
+  EXPECT_TRUE(ctx.AnyStateAborted(*slot));
+  ctx.EndTransaction(*slot);
+}
+
+TEST(StateContextTest, NoRegisteredStatesIsNotReady) {
+  StateContext ctx;
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_FALSE(ctx.AllRegisteredStatesReady(*slot));
+  ctx.EndTransaction(*slot);
+}
+
+TEST(StateContextTest, ReadCtsPinnedOnFirstRead) {
+  StateContext ctx;
+  const StateId a = ctx.RegisterState("a");
+  const GroupId g = ctx.RegisterGroup({a});
+  ctx.AdvanceLastCts(g, 42);
+
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_FALSE(ctx.GetReadCts(*slot, g).has_value());
+  EXPECT_EQ(ctx.PinReadCts(*slot, g), 42u);
+  // A commit in between must not move the pin.
+  ctx.AdvanceLastCts(g, 100);
+  EXPECT_EQ(ctx.PinReadCts(*slot, g), 42u);
+  EXPECT_EQ(ctx.GetReadCts(*slot, g).value(), 42u);
+  ctx.EndTransaction(*slot);
+}
+
+TEST(StateContextTest, OverlapRuleUsesOlderPin) {
+  // §4.3: reading states from two topologies with different LastCTS must
+  // use the older version.
+  StateContext ctx;
+  const StateId a = ctx.RegisterState("a");
+  const StateId b = ctx.RegisterState("b");
+  const StateId shared = ctx.RegisterState("shared");
+  const GroupId g1 = ctx.RegisterGroup({a, shared});
+  const GroupId g2 = ctx.RegisterGroup({b, shared});
+  ctx.AdvanceLastCts(g1, 10);
+  ctx.AdvanceLastCts(g2, 20);
+
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+  // `shared` is in both groups: the snapshot is the older LastCTS.
+  EXPECT_EQ(ctx.PinReadCtsForState(*slot, shared), 10u);
+  // Reading state b alone still uses g2's pin (pinned at 20 already).
+  EXPECT_EQ(ctx.PinReadCtsForState(*slot, b), 20u);
+  ctx.EndTransaction(*slot);
+}
+
+TEST(StateContextTest, OldestActiveVersionTracksMinimum) {
+  StateContext ctx;
+  ctx.clock().AdvanceTo(100);  // keep LastCTS values below clock.Now()
+  const StateId a = ctx.RegisterState("a");
+  const GroupId g = ctx.RegisterGroup({a});
+  // No group has committed yet: any future pin would read LastCTS == 0, so
+  // nothing beyond the initial versions may be reclaimed.
+  EXPECT_EQ(ctx.OldestActiveVersion(), kInitialTs);
+
+  ctx.AdvanceLastCts(g, 5);
+  // Idle: the floor is the minimum group LastCTS — a future transaction
+  // could still pin exactly 5.
+  EXPECT_EQ(ctx.OldestActiveVersion(), 5u);
+
+  TxnId id1;
+  auto slot1 = ctx.BeginTransaction(&id1);
+  ASSERT_TRUE(slot1.ok());
+  const Timestamp pinned = ctx.PinReadCts(*slot1, g);  // pin at 5
+  EXPECT_EQ(pinned, 5u);
+  ctx.AdvanceLastCts(g, 50);
+  // Active pin at 5 holds the watermark down even after LastCTS advanced.
+  EXPECT_EQ(ctx.OldestActiveVersion(), 5u);
+  ctx.EndTransaction(*slot1);
+  EXPECT_EQ(ctx.OldestActiveVersion(), 50u);
+}
+
+TEST(StateContextTest, OldestActiveBeginTracksBotTimestamps) {
+  StateContext ctx;
+  EXPECT_EQ(ctx.OldestActiveBegin(), ctx.clock().Now());
+  TxnId id1;
+  auto slot1 = ctx.BeginTransaction(&id1);
+  ASSERT_TRUE(slot1.ok());
+  TxnId id2;
+  auto slot2 = ctx.BeginTransaction(&id2);
+  ASSERT_TRUE(slot2.ok());
+  EXPECT_EQ(ctx.OldestActiveBegin(), id1);
+  ctx.EndTransaction(*slot1);
+  EXPECT_EQ(ctx.OldestActiveBegin(), id2);
+  ctx.EndTransaction(*slot2);
+}
+
+TEST(StateContextTest, ConcurrentBeginEndChurn) {
+  StateContext ctx;
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        TxnId id;
+        auto slot = ctx.BeginTransaction(&id);
+        if (!slot.ok()) {
+          failed.store(true);
+          return;
+        }
+        ctx.RegisterStateAccess(*slot, 0);
+        ctx.EndTransaction(*slot);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ctx.ActiveTransactionCount(), 0);
+}
+
+}  // namespace
+}  // namespace streamsi

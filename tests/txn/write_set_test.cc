@@ -1,0 +1,95 @@
+#include "txn/write_set.h"
+
+#include <gtest/gtest.h>
+
+namespace streamsi {
+namespace {
+
+TEST(WriteSetTest, EmptyByDefault) {
+  WriteSet ws;
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.size(), 0u);
+  EXPECT_FALSE(ws.Get("k").has_value());
+}
+
+TEST(WriteSetTest, PutThenGet) {
+  WriteSet ws;
+  ws.Put("k", "v");
+  auto got = ws.Get("k");
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "v");
+}
+
+TEST(WriteSetTest, LastWritePerKeyWins) {
+  WriteSet ws;
+  ws.Put("k", "v1");
+  ws.Put("k", "v2");
+  EXPECT_EQ(ws.size(), 1u);  // in-place update, one dirty entry
+  auto got = ws.Get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, "v2");
+}
+
+TEST(WriteSetTest, DeleteIsVisibleAsNullopt) {
+  WriteSet ws;
+  ws.Put("k", "v");
+  ws.Delete("k");
+  auto got = ws.Get("k");
+  ASSERT_TRUE(got.has_value());        // the txn did write the key...
+  EXPECT_FALSE(got->has_value());      // ...and the write is a delete
+}
+
+TEST(WriteSetTest, PutAfterDeleteRevives) {
+  WriteSet ws;
+  ws.Delete("k");
+  ws.Put("k", "again");
+  auto got = ws.Get("k");
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ(**got, "again");
+}
+
+TEST(WriteSetTest, PreservesFirstTouchOrder) {
+  WriteSet ws;
+  ws.Put("c", "1");
+  ws.Put("a", "2");
+  ws.Put("b", "3");
+  ws.Put("a", "4");  // update must not move 'a' to the back
+  ASSERT_EQ(ws.entries().size(), 3u);
+  EXPECT_EQ(ws.entries()[0].key, "c");
+  EXPECT_EQ(ws.entries()[1].key, "a");
+  EXPECT_EQ(ws.entries()[1].value, "4");
+  EXPECT_EQ(ws.entries()[2].key, "b");
+}
+
+TEST(WriteSetTest, ForEachEffectiveVisitsCurrentValues) {
+  WriteSet ws;
+  ws.Put("a", "old");
+  ws.Put("a", "new");
+  ws.Delete("b");
+  int count = 0;
+  ws.ForEachEffective([&](const std::string& key, const std::string& value,
+                          bool is_delete) {
+    ++count;
+    if (key == "a") {
+      EXPECT_EQ(value, "new");
+      EXPECT_FALSE(is_delete);
+    } else {
+      EXPECT_EQ(key, "b");
+      EXPECT_TRUE(is_delete);
+    }
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WriteSetTest, ClearReleasesEverything) {
+  WriteSet ws;
+  for (int i = 0; i < 100; ++i) ws.Put("k" + std::to_string(i), "v");
+  ws.Clear();
+  EXPECT_TRUE(ws.empty());
+  EXPECT_FALSE(ws.Contains("k5"));
+}
+
+}  // namespace
+}  // namespace streamsi
