@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness: builds and runs the read-path microbenchmark and
+# the multi-writer commit benchmark, archiving the read-path numbers as
+# BENCH_read_path.json at the repo root so successive PRs can be compared.
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSTREAMSI_BUILD_BENCH=ON >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_read_path bench_writers
+
+echo "== bench_read_path (archived to BENCH_read_path.json) =="
+"$BUILD_DIR/bench_read_path" | tee "$REPO_ROOT/BENCH_read_path.json"
+
+echo "== bench_writers =="
+# Keep the writer sweep short: it is context, not the archived trajectory.
+"$BUILD_DIR/bench_writers" --benchmark_min_time=0.05 || true

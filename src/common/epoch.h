@@ -1,0 +1,235 @@
+// Epoch-based memory reclamation for the latch-free read path.
+//
+// Readers wrap their critical section in an EpochGuard: a single store to a
+// thread-private, cache-line-padded slot (no shared-cacheline CAS, no latch).
+// Writers that unlink shared objects (shard bucket tables replaced on growth,
+// MVCC value buffers replaced by installs or reclaimed by GC) hand them to
+// Retire() instead of deleting them; the manager frees a retired object only
+// after every reader that could still hold a pointer to it has exited its
+// critical section (quiescence).
+//
+// The scheme is classic three-epoch EBR (Fraser '04; crossbeam/folly do the
+// same): the global epoch advances only when every active reader slot has
+// caught up to it, and garbage retired in epoch `e` is freed once the global
+// epoch reaches `e + 2`. A reader that might have obtained a pointer to an
+// object before it was unlinked pins an epoch <= e + 1 and therefore blocks
+// the second advance until it exits.
+//
+// Guards are reentrant (nesting tracked per thread); Enter costs one relaxed
+// load + one store + one fence, Exit one store. Neither allocates.
+
+#ifndef STREAMSI_COMMON_EPOCH_H_
+#define STREAMSI_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/latch.h"
+
+namespace streamsi {
+
+class EpochManager {
+ public:
+  /// Hard cap on concurrently registered threads. Slots are recycled when a
+  /// thread exits, so this bounds *live* threads, not total ever created.
+  static constexpr int kMaxThreads = 1024;
+
+  /// Process-wide manager. Leaked on purpose: stores retire garbage from
+  /// their destructors, which may run during static destruction.
+  static EpochManager& Global() {
+    static EpochManager* manager = new EpochManager();
+    return *manager;
+  }
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // ------------------------------------------------------------- readers ---
+
+  /// Marks this thread as inside an epoch-protected critical section.
+  /// Pointers obtained from epoch-protected structures stay valid until the
+  /// matching Exit().
+  void Enter(int slot) {
+    // The seq_cst fence orders the slot publication before every subsequent
+    // load of protected pointers: a reclaimer that does not observe this
+    // slot as active is guaranteed the reader entered after the unlink.
+    slots_[slot].epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  void Exit(int slot) {
+    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+  }
+
+  /// Claims a reader slot for a new thread. Aborts if more than kMaxThreads
+  /// threads are simultaneously registered (not a realistic configuration).
+  int AcquireSlot() {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (!slots_[i].claimed.load(std::memory_order_relaxed) &&
+          slots_[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    std::fprintf(stderr, "EpochManager: more than %d live threads\n",
+                 kMaxThreads);
+    std::abort();
+  }
+
+  void ReleaseSlot(int slot) {
+    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+    slots_[slot].claimed.store(false, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------- writers ---
+
+  /// Transfers ownership of `object` to the manager; it is deleted once all
+  /// readers active at retire time have exited.
+  template <typename T>
+  void Retire(T* object) {
+    RetireRaw(const_cast<void*>(static_cast<const void*>(object)),
+              [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void RetireRaw(void* object, void (*deleter)(void*)) {
+    if (object == nullptr) return;
+    // The unlink (e.g. the release store that replaced a bucket table) must
+    // be globally visible before the retire epoch is sampled: otherwise a
+    // reader pinning epoch e+1 could still load the old pointer while the
+    // garbage is tagged e, and TryReclaim would free it one advance too
+    // early. The seq_cst fence orders the caller's unlink store before this
+    // epoch load.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<SpinLock> guard(garbage_lock_);
+      garbage_.push_back(Garbage{epoch, object, deleter});
+    }
+    if (retire_count_.fetch_add(1, std::memory_order_relaxed) %
+            kReclaimInterval ==
+        kReclaimInterval - 1) {
+      TryReclaim();
+    }
+  }
+
+  /// Tries to advance the global epoch (possible only when every active
+  /// reader has caught up to it) and frees all garbage two epochs old.
+  /// Returns the number of objects freed.
+  std::size_t TryReclaim() {
+    const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool can_advance = true;
+    for (int i = 0; i < kMaxThreads; ++i) {
+      const std::uint64_t slot_epoch =
+          slots_[i].epoch.load(std::memory_order_acquire);
+      if (slot_epoch != kIdle && slot_epoch < epoch) {
+        can_advance = false;
+        break;
+      }
+    }
+    std::uint64_t next = epoch;
+    if (can_advance) {
+      std::uint64_t expected = epoch;
+      if (global_epoch_.compare_exchange_strong(expected, epoch + 1,
+                                                std::memory_order_acq_rel)) {
+        next = epoch + 1;
+      } else {
+        next = expected;  // someone else advanced; their view is current
+      }
+    }
+
+    std::vector<Garbage> to_free;
+    {
+      std::lock_guard<SpinLock> guard(garbage_lock_);
+      std::size_t kept = 0;
+      for (Garbage& g : garbage_) {
+        if (g.epoch + 2 <= next) {
+          to_free.push_back(g);
+        } else {
+          garbage_[kept++] = g;
+        }
+      }
+      garbage_.resize(kept);
+    }
+    for (const Garbage& g : to_free) g.deleter(g.object);
+    return to_free.size();
+  }
+
+  /// Test/shutdown helper: reclaims until no garbage remains. Must only be
+  /// called while no reader is inside a guard.
+  void DrainForTesting() {
+    while (GarbageCount() > 0) {
+      if (TryReclaim() == 0) CpuRelax();
+    }
+  }
+
+  std::size_t GarbageCount() {
+    std::lock_guard<SpinLock> guard(garbage_lock_);
+    return garbage_.size();
+  }
+
+  std::uint64_t CurrentEpoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;  // epochs start at 1
+  static constexpr std::uint64_t kReclaimInterval = 64;
+
+  struct Garbage {
+    std::uint64_t epoch;
+    void* object;
+    void (*deleter)(void*);
+  };
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::uint64_t> retire_count_{0};
+  Slot slots_[kMaxThreads];
+  SpinLock garbage_lock_;
+  std::vector<Garbage> garbage_;  // guarded by garbage_lock_
+};
+
+/// RAII epoch critical section. Reentrant: nested guards on the same thread
+/// only pin the epoch once. Never allocates (the thread's slot is claimed on
+/// first use and recycled at thread exit).
+class EpochGuard {
+ public:
+  EpochGuard() {
+    ThreadState& state = State();
+    if (state.depth++ == 0) EpochManager::Global().Enter(state.slot);
+  }
+  ~EpochGuard() {
+    ThreadState& state = State();
+    if (--state.depth == 0) EpochManager::Global().Exit(state.slot);
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  struct ThreadState {
+    ThreadState() : slot(EpochManager::Global().AcquireSlot()) {}
+    ~ThreadState() { EpochManager::Global().ReleaseSlot(slot); }
+    const int slot;
+    int depth = 0;
+  };
+
+  static ThreadState& State() {
+    thread_local ThreadState state;
+    return state;
+  }
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_EPOCH_H_

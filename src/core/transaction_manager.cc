@@ -211,6 +211,9 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
   for (StateId state : written) {
     for (GroupId group : context_->GroupsOf(state)) groups.insert(group);
   }
+  // Durable log records first, then one atomic multi-group publication:
+  // readers sweeping their snapshot pins must never observe a commit that
+  // has advanced only some of its groups (§4.3 overlap-rule consistency).
   for (GroupId group : groups) {
     if (group_log_ != nullptr && durable_group_log_) {
       const Status log_status =
@@ -220,8 +223,9 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
                       << log_status.ToString());
       }
     }
-    context_->AdvanceLastCts(group, commit_ts);
   }
+  context_->PublishCommit(
+      std::vector<GroupId>(groups.begin(), groups.end()), commit_ts);
 
   // Commit listeners fire after publication: the changes are now visible
   // to new snapshots (TO_STREAM kOnCommit trigger).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/epoch.h"
 
 namespace streamsi {
 
@@ -11,27 +12,42 @@ namespace streamsi {
 // becomes reclaimable after its dts falls behind OldestActiveVersion).
 MvccObject::MvccObject(int capacity)
     : capacity_(std::clamp(capacity, 2, AtomicSlotMask::kMaxSlots)),
-      headers_(static_cast<std::size_t>(capacity_)),
-      values_(static_cast<std::size_t>(capacity_)) {}
+      slots_(new Slot[static_cast<std::size_t>(capacity_)]) {}
 
 MvccObject::MvccObject(MvccObject&& other) noexcept
     : capacity_(other.capacity_),
       used_(other.used_.Raw()),
-      headers_(std::move(other.headers_)),
-      values_(std::move(other.values_)) {}
+      slots_(std::move(other.slots_)),
+      seq_(other.seq_.load(std::memory_order_relaxed)) {
+  other.capacity_ = 0;
+}
+
+MvccObject::~MvccObject() {
+  // The object is being destroyed: no readers may touch it anymore (same
+  // contract as deleting the owning store). Buffers already retired through
+  // the EpochManager were unlinked (slot pointer nulled) first, so nothing
+  // is freed twice.
+  if (slots_ == nullptr) return;
+  for (int i = 0; i < capacity_; ++i) {
+    delete slots_[static_cast<std::size_t>(i)].value.load(
+        std::memory_order_acquire);
+  }
+}
 
 int MvccObject::FindVisibleSlot(Timestamp read_ts) const {
   int best = -1;
   Timestamp best_cts = 0;
   for (int i = 0; i < capacity_; ++i) {
     if (!used_.IsSet(i)) continue;
-    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
-    if (h.cts <= read_ts && read_ts < h.dts) {
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const Timestamp cts = slot.cts.load(std::memory_order_acquire);
+    const Timestamp dts = slot.dts.load(std::memory_order_acquire);
+    if (cts <= read_ts && read_ts < dts) {
       // At most one version can satisfy this, but be defensive: take the
       // newest matching version.
-      if (best == -1 || h.cts > best_cts) {
+      if (best == -1 || cts > best_cts) {
         best = i;
-        best_cts = h.cts;
+        best_cts = cts;
       }
     }
   }
@@ -41,17 +57,83 @@ int MvccObject::FindVisibleSlot(Timestamp read_ts) const {
 int MvccObject::FindLiveSlot() const {
   for (int i = 0; i < capacity_; ++i) {
     if (used_.IsSet(i) &&
-        headers_[static_cast<std::size_t>(i)].dts == kInfinityTs) {
+        slots_[static_cast<std::size_t>(i)].dts.load(
+            std::memory_order_acquire) == kInfinityTs) {
       return i;
     }
   }
   return -1;
 }
 
+// ------------------------------------------------------ optimistic reads ---
+
+namespace {
+
+/// Copies `*buffer` into `*value` without shrinking capacity (so a reused
+/// output string stops allocating once it reaches its high-water mark).
+inline void CopyValue(const std::string* buffer, std::string* value) {
+  if (value != nullptr && buffer != nullptr) {
+    value->assign(buffer->data(), buffer->size());
+  }
+}
+
+}  // namespace
+
+MvccObject::ReadResult MvccObject::TryGetVisible(Timestamp read_ts,
+                                                 std::string* value) const {
+  return ValidatedRead([&]() -> ReadResult {
+    const int slot = FindVisibleSlot(read_ts);
+    if (slot < 0) return ReadResult::kMiss;
+    const std::string* buffer =
+        slots_[static_cast<std::size_t>(slot)].value.load(
+            std::memory_order_acquire);
+    if (buffer == nullptr) return ReadResult::kRetry;  // mid-install slot
+    // Copy before validating: the bytes are immutable and the buffer cannot
+    // be freed while the caller's EpochGuard pins the epoch, so the copy is
+    // safe even if the slot was concurrently reused — validation then
+    // discards it.
+    CopyValue(buffer, value);
+    return ReadResult::kHit;
+  });
+}
+
+MvccObject::ReadResult MvccObject::TryGetLatestLive(std::string* value) const {
+  return ValidatedRead([&]() -> ReadResult {
+    const int slot = FindLiveSlot();
+    if (slot < 0) return ReadResult::kMiss;
+    const std::string* buffer =
+        slots_[static_cast<std::size_t>(slot)].value.load(
+            std::memory_order_acquire);
+    if (buffer == nullptr) return ReadResult::kRetry;  // mid-install slot
+    CopyValue(buffer, value);
+    return ReadResult::kHit;
+  });
+}
+
+MvccObject::ReadResult MvccObject::TryLatestCts(Timestamp* cts) const {
+  return ValidatedRead([&]() -> ReadResult {
+    *cts = LatestCts();
+    return ReadResult::kHit;
+  });
+}
+
+// --------------------------------------------------------- latched reads ---
+
 bool MvccObject::GetVisible(Timestamp read_ts, std::string* value) const {
   const int slot = FindVisibleSlot(read_ts);
   if (slot < 0) return false;
-  if (value != nullptr) *value = values_[static_cast<std::size_t>(slot)];
+  CopyValue(slots_[static_cast<std::size_t>(slot)].value.load(
+                std::memory_order_acquire),
+            value);
+  return true;
+}
+
+bool MvccObject::GetLatestLive(std::string* value) const {
+  const int slot = FindLiveSlot();
+  if (slot < 0) return false;
+  CopyValue(slots_[static_cast<std::size_t>(slot)].value.load(
+                std::memory_order_acquire),
+            value);
   return true;
 }
 
@@ -59,7 +141,8 @@ Timestamp MvccObject::LatestCts() const {
   Timestamp latest = kInitialTs;
   for (int i = 0; i < capacity_; ++i) {
     if (used_.IsSet(i)) {
-      latest = std::max(latest, headers_[static_cast<std::size_t>(i)].cts);
+      latest = std::max(latest, slots_[static_cast<std::size_t>(i)].cts.load(
+                                    std::memory_order_acquire));
     }
   }
   return latest;
@@ -69,52 +152,90 @@ Timestamp MvccObject::LatestModification() const {
   Timestamp latest = kInitialTs;
   for (int i = 0; i < capacity_; ++i) {
     if (!used_.IsSet(i)) continue;
-    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
-    latest = std::max(latest, h.cts);
-    if (h.dts != kInfinityTs) latest = std::max(latest, h.dts);
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    latest = std::max(latest, slot.cts.load(std::memory_order_acquire));
+    const Timestamp dts = slot.dts.load(std::memory_order_acquire);
+    if (dts != kInfinityTs) latest = std::max(latest, dts);
   }
   return latest;
 }
 
 bool MvccObject::HasLiveVersion() const { return FindLiveSlot() >= 0; }
 
+// -------------------------------------------------------------- mutators ---
+
+MvccObject::RetireList::~RetireList() {
+  for (int i = 0; i < count_; ++i) {
+    EpochManager::Global().Retire(buffers_[i]);
+  }
+}
+
+const std::string* MvccObject::UnlinkSlotValue(int slot) {
+  Slot& target = slots_[static_cast<std::size_t>(slot)];
+  const std::string* old =
+      target.value.exchange(nullptr, std::memory_order_acq_rel);
+  // Scrub the header so a later re-acquisition never observes a stale
+  // lifetime (in particular a stale open dts).
+  target.cts.store(kInfinityTs, std::memory_order_release);
+  target.dts.store(kInfinityTs, std::memory_order_release);
+  return old;
+}
+
 Status MvccObject::Install(std::string_view value, Timestamp commit_ts,
                            Timestamp oldest_active) {
+  // The buffer is built before the write section so the seqlock stays odd
+  // for as short as possible; unlinked buffers are retired after it closes
+  // (RetireList destructs last) for the same reason.
+  auto buffer = std::make_unique<const std::string>(value);
+
+  RetireList retired;
+  WriteSection section(*this);
+  // Locate the live predecessor BEFORE acquiring a slot: a freshly acquired
+  // slot still carries the header of its previous occupant (possibly with an
+  // open dts) and must never be mistaken for the live version.
+  const int live = FindLiveSlot();
   int slot = used_.Acquire(capacity_);
   if (slot == AtomicSlotMask::kNoSlot) {
     // On-demand GC (§4.1): reclaim versions invisible to all active txns.
-    GarbageCollect(oldest_active);
+    GarbageCollectLocked(oldest_active, &retired);
     slot = used_.Acquire(capacity_);
     if (slot == AtomicSlotMask::kNoSlot) {
       return Status::ResourceExhausted("MVCC version array full");
     }
   }
-  // Terminate the previously live version.
-  const int live = FindLiveSlot();
-  if (live >= 0 && live != slot) {
-    headers_[static_cast<std::size_t>(live)].dts = commit_ts;
+  // Terminate the previously live version (GC never reclaims it: its dts is
+  // still open, so `live` remains valid across the collection above).
+  if (live >= 0) {
+    slots_[static_cast<std::size_t>(live)].dts.store(
+        commit_ts, std::memory_order_release);
   }
-  headers_[static_cast<std::size_t>(slot)] = {commit_ts, kInfinityTs};
-  values_[static_cast<std::size_t>(slot)].assign(value.data(), value.size());
+  Slot& target = slots_[static_cast<std::size_t>(slot)];
+  target.cts.store(commit_ts, std::memory_order_release);
+  target.dts.store(kInfinityTs, std::memory_order_release);
+  retired.Add(target.value.exchange(buffer.release(),
+                                    std::memory_order_acq_rel));
   return Status::OK();
 }
 
 Status MvccObject::MarkDeleted(Timestamp commit_ts) {
+  WriteSection section(*this);
   const int live = FindLiveSlot();
   if (live < 0) return Status::NotFound("delete of non-existing version");
-  headers_[static_cast<std::size_t>(live)].dts = commit_ts;
+  slots_[static_cast<std::size_t>(live)].dts.store(commit_ts,
+                                                   std::memory_order_release);
   return Status::OK();
 }
 
-int MvccObject::GarbageCollect(Timestamp oldest_active) {
+int MvccObject::GarbageCollectLocked(Timestamp oldest_active,
+                                     RetireList* retired) {
   int reclaimed = 0;
   for (int i = 0; i < capacity_; ++i) {
     if (!used_.IsSet(i)) continue;
-    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    const Timestamp dts = slot.dts.load(std::memory_order_acquire);
     // dts <= oldest_active: no active or future snapshot can see it.
-    if (h.dts != kInfinityTs && h.dts <= oldest_active) {
-      values_[static_cast<std::size_t>(i)].clear();
-      values_[static_cast<std::size_t>(i)].shrink_to_fit();
+    if (dts != kInfinityTs && dts <= oldest_active) {
+      retired->Add(UnlinkSlotValue(i));
       used_.Release(i);
       ++reclaimed;
     }
@@ -122,22 +243,35 @@ int MvccObject::GarbageCollect(Timestamp oldest_active) {
   return reclaimed;
 }
 
+int MvccObject::GarbageCollect(Timestamp oldest_active) {
+  RetireList retired;
+  WriteSection section(*this);
+  return GarbageCollectLocked(oldest_active, &retired);
+}
+
 int MvccObject::PurgeAfter(Timestamp max_cts) {
+  RetireList retired;
+  WriteSection section(*this);
   int purged = 0;
   for (int i = 0; i < capacity_; ++i) {
     if (!used_.IsSet(i)) continue;
-    VersionHeader& h = headers_[static_cast<std::size_t>(i)];
-    if (h.cts > max_cts) {
-      values_[static_cast<std::size_t>(i)].clear();
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    if (slot.cts.load(std::memory_order_acquire) > max_cts) {
+      retired.Add(UnlinkSlotValue(i));
       used_.Release(i);
       ++purged;
-    } else if (h.dts != kInfinityTs && h.dts > max_cts) {
-      // The version that superseded this one was purged: it is live again.
-      h.dts = kInfinityTs;
+    } else {
+      const Timestamp dts = slot.dts.load(std::memory_order_acquire);
+      if (dts != kInfinityTs && dts > max_cts) {
+        // The version that superseded this one was purged: it is live again.
+        slot.dts.store(kInfinityTs, std::memory_order_release);
+      }
     }
   }
   return purged;
 }
+
+// --------------------------------------------------------- serialization ---
 
 void MvccObject::EncodeTo(std::string* out) const {
   PutVarint32(out, static_cast<std::uint32_t>(capacity_));
@@ -148,10 +282,11 @@ void MvccObject::EncodeTo(std::string* out) const {
   PutVarint32(out, count);
   for (int i = 0; i < capacity_; ++i) {
     if (!used_.IsSet(i)) continue;
-    const VersionHeader& h = headers_[static_cast<std::size_t>(i)];
-    PutVarint64(out, h.cts);
-    PutVarint64(out, h.dts);
-    PutLengthPrefixed(out, values_[static_cast<std::size_t>(i)]);
+    const Slot& slot = slots_[static_cast<std::size_t>(i)];
+    PutVarint64(out, slot.cts.load(std::memory_order_acquire));
+    PutVarint64(out, slot.dts.load(std::memory_order_acquire));
+    const std::string* buffer = slot.value.load(std::memory_order_acquire);
+    PutLengthPrefixed(out, buffer != nullptr ? *buffer : std::string_view());
   }
 }
 
@@ -171,18 +306,20 @@ Result<MvccObject> MvccObject::Decode(std::string_view in, int capacity) {
     return Status::Corruption("MVCC version count exceeds capacity");
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    VersionHeader h;
-    p = GetVarint64(p, limit, &h.cts);
+    Timestamp cts = 0;
+    Timestamp dts = 0;
+    p = GetVarint64(p, limit, &cts);
     if (p == nullptr) return Status::Corruption("bad MVCC cts");
-    p = GetVarint64(p, limit, &h.dts);
+    p = GetVarint64(p, limit, &dts);
     if (p == nullptr) return Status::Corruption("bad MVCC dts");
     std::string_view value;
     p = GetLengthPrefixed(p, limit, &value);
     if (p == nullptr) return Status::Corruption("bad MVCC value");
     const int slot = object.used_.Acquire(object.capacity_);
-    object.headers_[static_cast<std::size_t>(slot)] = h;
-    object.values_[static_cast<std::size_t>(slot)].assign(value.data(),
-                                                          value.size());
+    Slot& target = object.slots_[static_cast<std::size_t>(slot)];
+    target.cts.store(cts, std::memory_order_relaxed);
+    target.dts.store(dts, std::memory_order_relaxed);
+    target.value.store(new std::string(value), std::memory_order_relaxed);
   }
   return object;
 }
@@ -190,7 +327,12 @@ Result<MvccObject> MvccObject::Decode(std::string_view in, int capacity) {
 std::vector<VersionHeader> MvccObject::Headers() const {
   std::vector<VersionHeader> result;
   for (int i = 0; i < capacity_; ++i) {
-    if (used_.IsSet(i)) result.push_back(headers_[static_cast<std::size_t>(i)]);
+    if (used_.IsSet(i)) {
+      const Slot& slot = slots_[static_cast<std::size_t>(i)];
+      result.push_back(
+          VersionHeader{slot.cts.load(std::memory_order_acquire),
+                        slot.dts.load(std::memory_order_acquire)});
+    }
   }
   return result;
 }

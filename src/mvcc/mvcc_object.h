@@ -12,13 +12,29 @@
 // installed and no slot is free, versions no active transaction can see
 // (dts <= OldestActiveVersion) are reclaimed (§4.1).
 //
-// Synchronization: structural mutation happens under the owning table's
-// per-object latch (§4.2 "lightweight locking strategy with read-write
-// locks"); the UsedSlots mask is CAS-maintained as in the paper.
+// Synchronization — the seqlock read protocol ("readers mostly only access
+// memory", §5.2):
+//   * Mutators (Install / MarkDeleted / GarbageCollect / PurgeAfter) run
+//     under the owning table's exclusive per-entry latch and additionally
+//     bump the object's sequence number to an odd value for the duration of
+//     the mutation (WriteSection).
+//   * Optimistic readers (TryGetVisible and friends) never take the latch:
+//     they read the sequence number, probe the version slots — every shared
+//     field is an atomic, so there are no data races — and re-validate the
+//     sequence number. An odd or changed sequence means a concurrent mutation
+//     interfered; the caller retries (and may eventually fall back to the
+//     shared latch for guaranteed progress).
+//   * Value payloads are immutable heap buffers published with a release
+//     store of the slot's value pointer. Replaced or reclaimed buffers are
+//     handed to the EpochManager, so a reader inside an EpochGuard can
+//     safely copy a buffer even if the slot was concurrently reused — the
+//     sequence validation then rejects the read and the reader retries.
 
 #ifndef STREAMSI_MVCC_MVCC_OBJECT_H_
 #define STREAMSI_MVCC_MVCC_OBJECT_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,15 +56,45 @@ class MvccObject {
  public:
   static constexpr int kDefaultCapacity = 8;
 
+  /// Outcome of one optimistic (latch-free) read attempt.
+  enum class ReadResult {
+    kHit,    ///< visible version found, *value filled
+    kMiss,   ///< validated: no visible version exists
+    kRetry,  ///< concurrent mutation interfered; try again
+  };
+
   explicit MvccObject(int capacity = kDefaultCapacity);
+  ~MvccObject();
 
   MvccObject(MvccObject&& other) noexcept;
   MvccObject& operator=(MvccObject&&) = delete;
   MvccObject(const MvccObject&) = delete;
 
+  // ------------------------------------------------ optimistic read path ---
+  // Latch-free seqlock reads. Caller must hold an EpochGuard (the value
+  // buffer may be retired concurrently). kRetry means writer interference;
+  // retry a bounded number of times, then fall back to the latched variants.
+
+  /// One optimistic attempt at the snapshot-visibility rule
+  /// (cts <= read_ts < dts).
+  ReadResult TryGetVisible(Timestamp read_ts, std::string* value) const;
+
+  /// One optimistic attempt at the newest *live* version (dts == inf) —
+  /// the direct ReadLatest probe (no magic read_ts needed).
+  ReadResult TryGetLatestLive(std::string* value) const;
+
+  /// One optimistic attempt at LatestCts().
+  ReadResult TryLatestCts(Timestamp* cts) const;
+
+  // --------------------------------------------------- latched read path ---
+  // Stable reads: caller must exclude mutators (shared per-entry latch).
+
   /// Returns the version visible to a snapshot at `read_ts`
   /// (cts <= read_ts < dts). False if no visible version exists.
   bool GetVisible(Timestamp read_ts, std::string* value) const;
+
+  /// Newest live (non-deleted) version; false if none.
+  bool GetLatestLive(std::string* value) const;
 
   /// CTS of the newest committed version (kInitialTs if none).
   Timestamp LatestCts() const;
@@ -61,6 +107,10 @@ class MvccObject {
 
   /// True if the newest version is a live (non-deleted) value.
   bool HasLiveVersion() const;
+
+  // ----------------------------------------------------------- mutations ---
+  // All mutators require the owning table's exclusive per-entry latch; they
+  // bump the seqlock internally so optimistic readers notice.
 
   /// Installs a new version committed at `commit_ts`; terminates the
   /// previously live version (its dts becomes commit_ts). When no slot is
@@ -95,15 +145,107 @@ class MvccObject {
   std::vector<VersionHeader> Headers() const;
 
  private:
+  /// One version slot. cts/dts/value are individually atomic so optimistic
+  /// readers race-freely observe them; logical consistency across fields is
+  /// enforced by the seqlock, not by the individual orderings.
+  struct Slot {
+    std::atomic<Timestamp> cts{kInfinityTs};
+    std::atomic<Timestamp> dts{kInfinityTs};
+    /// Immutable once published; retired through the EpochManager when the
+    /// slot is reclaimed or overwritten.
+    std::atomic<const std::string*> value{nullptr};
+  };
+
+  /// RAII seqlock write section: seq_ odd while a mutation is in flight.
+  class WriteSection {
+   public:
+    explicit WriteSection(const MvccObject& object) : seq_(object.seq_) {
+      seq_.fetch_add(1, std::memory_order_release);
+    }
+    ~WriteSection() { seq_.fetch_add(1, std::memory_order_release); }
+
+   private:
+    std::atomic<std::uint32_t>& seq_;
+  };
+
+  /// Buffers unlinked during a mutation, handed to the EpochManager only
+  /// after the seqlock write section closes — retiring (and the occasional
+  /// reclaim sweep it triggers) must never extend the window in which
+  /// optimistic readers see an odd sequence number.
+  class RetireList {
+   public:
+    void Add(const std::string* buffer) {
+      if (buffer != nullptr) buffers_[count_++] = buffer;
+    }
+    ~RetireList();  // retires everything collected
+
+   private:
+    const std::string* buffers_[AtomicSlotMask::kMaxSlots];
+    int count_ = 0;
+  };
+
+  /// The seqlock validation protocol, in exactly one place: snapshot the
+  /// sequence number, reject in-flight mutations, run the probe, fence, and
+  /// revalidate. Every optimistic accessor goes through this helper so the
+  /// memory-ordering-critical steps cannot drift apart.
+  template <typename ProbeFn>
+  ReadResult ValidatedRead(ProbeFn&& probe) const {
+    const std::uint32_t before = seq_.load(std::memory_order_acquire);
+    if (before & 1u) return ReadResult::kRetry;
+    const ReadResult result = probe();
+    if (result == ReadResult::kRetry) return result;
+    // The acquire fence orders the probe's loads before the revalidation
+    // load: an unchanged (even) sequence proves no mutation overlapped.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != before) {
+      return ReadResult::kRetry;
+    }
+    return result;
+  }
+
   int FindVisibleSlot(Timestamp read_ts) const;
   int FindLiveSlot() const;
+  /// GC body shared by GarbageCollect() and Install(); caller already holds
+  /// an open WriteSection and flushes `retired` after closing it.
+  int GarbageCollectLocked(Timestamp oldest_active, RetireList* retired);
+  /// Unlinks and returns the value buffer of `slot`, scrubbing its header.
+  const std::string* UnlinkSlotValue(int slot);
 
   int capacity_;
   AtomicSlotMask used_;
-  std::vector<VersionHeader> headers_;
-  std::vector<std::string> values_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Seqlock word: odd = mutation in progress. Mutable so read-only users
+  /// can share the object while mutators (holding the exclusive latch)
+  /// version it.
+  mutable std::atomic<std::uint32_t> seq_{0};
 };
 
 }  // namespace streamsi
+
+#ifdef STREAMSI_READ_DEBUG
+#include <cstdio>
+namespace streamsi {
+/// Diagnostic-only: formatted dump of every slot (caller must exclude
+/// mutators).
+inline std::string DebugDumpObject(const MvccObject& object) {
+  std::string out;
+  char buf[160];
+  const auto headers = object.Headers();
+  std::snprintf(buf, sizeof(buf), "versions=%zu cap=%d latest_cts=%llu; ",
+                headers.size(), object.capacity(),
+                (unsigned long long)object.LatestCts());
+  out += buf;
+  std::string value;
+  for (const VersionHeader& h : headers) {
+    const bool vis = object.GetVisible(h.cts, &value);
+    std::snprintf(buf, sizeof(buf), "[cts=%llu dts=%llu val@cts='%s'] ",
+                  (unsigned long long)h.cts, (unsigned long long)h.dts,
+                  vis ? value.c_str() : "?");
+    out += buf;
+  }
+  return out;
+}
+}  // namespace streamsi
+#endif
 
 #endif  // STREAMSI_MVCC_MVCC_OBJECT_H_

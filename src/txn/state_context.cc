@@ -70,6 +70,15 @@ void StateContext::AdvanceLastCts(GroupId group, Timestamp cts) {
   }
 }
 
+void StateContext::PublishCommit(const std::vector<GroupId>& groups,
+                                 Timestamp cts) {
+  publish_seq_.fetch_add(1, std::memory_order_release);  // odd: in flight
+  for (GroupId group : groups) {
+    AdvanceLastCts(group, cts);
+  }
+  publish_seq_.fetch_add(1, std::memory_order_release);  // even: published
+}
+
 void StateContext::SetLastCts(GroupId group, Timestamp cts) {
   SharedGuard guard(registry_latch_);
   if (group >= groups_.size()) return;
@@ -162,6 +171,75 @@ bool StateContext::AnyStateAborted(int slot) const {
   return false;
 }
 
+void StateContext::SweepAndPin(int slot) {
+  TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+  for (;;) {
+    // One seqlock-consistent cut of every group's LastCTS: a commit that is
+    // mid-publication (some of its groups advanced, some not) keeps the
+    // sequence odd and forces a retry, so the cut never straddles it.
+    const std::uint64_t before =
+        publish_seq_.load(std::memory_order_acquire);
+    if (before & 1u) {
+      CpuRelax();
+      continue;
+    }
+    std::vector<std::pair<GroupId, Timestamp>> cut;
+    {
+      SharedGuard registry_guard(registry_latch_);
+      cut.reserve(groups_.size());
+      for (const auto& group : groups_) {
+        cut.emplace_back(group->info.id,
+                         group->last_cts.load(std::memory_order_acquire));
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (publish_seq_.load(std::memory_order_relaxed) != before) continue;
+
+    // Register + floor-validate + (rollback | commit) under ONE continuous
+    // s.lock hold: a concurrent operator's fast-path (also under s.lock)
+    // can therefore never adopt a pin this sweep later withdraws.
+    std::lock_guard<SpinLock> guard(s.lock);
+    std::size_t first_added = s.read_cts.size();
+    for (const auto& [gid, ts] : cut) {
+      bool present = false;
+      for (const auto& [existing, pin] : s.read_cts) {
+        if (existing == gid) {
+          present = true;
+          break;
+        }
+      }
+      // First pin wins: never overwrite pins of an earlier (validated)
+      // sweep — only append the missing ones.
+      if (!present) s.read_cts.emplace_back(gid, ts);
+    }
+    // Close the pin/GC race: a collector that computed its watermark before
+    // our registration could not see these pins and may already be
+    // reclaiming versions up to the published gc_floor. Only the pins THIS
+    // sweep appended are validated (and possibly withdrawn): earlier pins
+    // were validated by their own sweep and may be in use by other
+    // operators of this transaction.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    bool stale = false;
+    {
+      SharedGuard registry_guard(registry_latch_);
+      for (std::size_t i = first_added; i < s.read_cts.size(); ++i) {
+        const GroupId gid = s.read_cts[i].first;
+        if (gid < groups_.size() &&
+            groups_[gid]->gc_floor.load(std::memory_order_seq_cst) >
+                s.read_cts[i].second) {
+          stale = true;
+          break;
+        }
+      }
+    }
+    if (!stale) return;
+    // A violated floor means the cut is too old — withdraw this sweep's
+    // pins (nobody observed them: we never released s.lock) and retake it.
+    // LastCTS is never below a published floor, so this converges.
+    s.read_cts.resize(first_added);
+  }
+}
+
 Timestamp StateContext::PinReadCts(int slot, GroupId group) {
   TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
   {
@@ -170,12 +248,28 @@ Timestamp StateContext::PinReadCts(int slot, GroupId group) {
       if (gid == group) return ts;
     }
   }
-  const Timestamp pin = LastCts(group);
+  // First grouped access of this transaction: pin every group from one
+  // consistent cut, then return ours.
+  SweepAndPin(slot);
   std::lock_guard<SpinLock> guard(s.lock);
-  // Re-check: another operator of the same transaction may have pinned it
-  // concurrently; first pin wins so all operators share one snapshot.
   for (const auto& [gid, ts] : s.read_cts) {
     if (gid == group) return ts;
+  }
+  // The group was created after this transaction's sweep (online DDL).
+  // Clamp its pin to the transaction's existing snapshot so a commit that
+  // spans the new group and an already-pinned one can never be half
+  // visible; the floor loop keeps the pin GC-safe (if the floor forces a
+  // raise above the clamp, snapshot-consistency with a concurrent DDL
+  // commit is best-effort — the paper does not define online DDL).
+  Timestamp pin = LastCts(group);
+  for (const auto& [gid, ts] : s.read_cts) {
+    (void)gid;
+    pin = std::min(pin, ts);
+  }
+  for (;;) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (GcFloor(group) <= pin) break;
+    pin = LastCts(group);
   }
   s.read_cts.emplace_back(group, pin);
   return pin;
@@ -215,6 +309,47 @@ TxnId StateContext::TxnIdOf(int slot) const {
       std::memory_order_acquire);
 }
 
+Timestamp StateContext::OldestPinnedCts(const std::vector<GroupId>& groups,
+                                        bool any_group) const {
+  Timestamp oldest = kInfinityTs;
+  for (int i = 0; i < kMaxActiveTxns; ++i) {
+    if (!active_mask_.IsSet(i)) continue;
+    const TxnSlot& s = slots_[static_cast<std::size_t>(i)];
+    if (s.txn_id.load(std::memory_order_acquire) == 0) {
+      continue;  // slot being set up / torn down
+    }
+    std::lock_guard<SpinLock> guard(s.lock);
+    for (const auto& [gid, ts] : s.read_cts) {
+      if (any_group ||
+          std::find(groups.begin(), groups.end(), gid) != groups.end()) {
+        oldest = std::min(oldest, ts);
+      }
+    }
+  }
+  return oldest;
+}
+
+Timestamp StateContext::GcFloor(GroupId group) const {
+  SharedGuard guard(registry_latch_);
+  if (group >= groups_.size()) return kInitialTs;
+  return groups_[group]->gc_floor.load(std::memory_order_seq_cst);
+}
+
+void StateContext::PublishGcFloor(const std::vector<GroupId>& groups,
+                                  bool any_group, Timestamp floor) const {
+  SharedGuard guard(registry_latch_);
+  for (const auto& group : groups_) {
+    if (!any_group && std::find(groups.begin(), groups.end(),
+                                group->info.id) == groups.end()) {
+      continue;
+    }
+    Timestamp cur = group->gc_floor.load(std::memory_order_relaxed);
+    while (cur < floor && !group->gc_floor.compare_exchange_weak(
+                              cur, floor, std::memory_order_seq_cst)) {
+    }
+  }
+}
+
 Timestamp StateContext::OldestActiveVersion() const {
   // Snapshots are pinned from group LastCTS values, so the oldest snapshot
   // any *future* read can pin is the minimum LastCTS across groups — not
@@ -228,18 +363,16 @@ Timestamp StateContext::OldestActiveVersion() const {
           std::min(oldest, group->last_cts.load(std::memory_order_acquire));
     }
   }
-  for (int i = 0; i < kMaxActiveTxns; ++i) {
-    if (!active_mask_.IsSet(i)) continue;
-    const TxnSlot& s = slots_[static_cast<std::size_t>(i)];
-    if (s.txn_id.load(std::memory_order_acquire) == 0) {
-      continue;  // slot being set up / torn down
-    }
-    std::lock_guard<SpinLock> guard(s.lock);
-    for (const auto& [gid, ts] : s.read_cts) {
-      (void)gid;
-      oldest = std::min(oldest, ts);
-    }
-  }
+  static const std::vector<GroupId> kNoGroups;
+  oldest = std::min(oldest, OldestPinnedCts(kNoGroups, /*any_group=*/true));
+  // Publish the intended watermark, then re-scan: a reader that registered
+  // its pin after the first scan re-validates against this floor (see
+  // PinReadCts), and the second scan picks up any pin registered before the
+  // floor became visible — between them every in-flight pin is accounted
+  // for before a single version is reclaimed at this watermark.
+  PublishGcFloor(kNoGroups, /*any_group=*/true, oldest);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  oldest = std::min(oldest, OldestPinnedCts(kNoGroups, /*any_group=*/true));
   return oldest;
 }
 
@@ -249,17 +382,14 @@ Timestamp StateContext::OldestActiveVersionFor(StateId state) const {
   for (GroupId group : groups) {
     oldest = std::min(oldest, LastCts(group));
   }
-  for (int i = 0; i < kMaxActiveTxns; ++i) {
-    if (!active_mask_.IsSet(i)) continue;
-    const TxnSlot& s = slots_[static_cast<std::size_t>(i)];
-    if (s.txn_id.load(std::memory_order_acquire) == 0) continue;
-    std::lock_guard<SpinLock> guard(s.lock);
-    for (const auto& [gid, ts] : s.read_cts) {
-      if (std::find(groups.begin(), groups.end(), gid) != groups.end()) {
-        oldest = std::min(oldest, ts);
-      }
-    }
-  }
+  oldest = std::min(oldest, OldestPinnedCts(groups, /*any_group=*/false));
+  // Same publish-floor / re-scan handshake as OldestActiveVersion(): no pin
+  // registered concurrently with this computation can fall below the
+  // returned watermark without either being seen by the second scan or
+  // re-pinning itself above the published floor.
+  PublishGcFloor(groups, /*any_group=*/false, oldest);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  oldest = std::min(oldest, OldestPinnedCts(groups, /*any_group=*/false));
   return oldest;
 }
 

@@ -72,6 +72,11 @@ class StateContext {
   Timestamp LastCts(GroupId group) const;
   /// Monotonically advances the group's LastCTS (CAS max).
   void AdvanceLastCts(GroupId group, Timestamp cts);
+  /// Atomically publishes one commit's LastCTS to several groups: wraps the
+  /// per-group advances in the publication seqlock so a reader's pin sweep
+  /// never observes a half-published commit (the §4.3 overlap rule is only
+  /// sound over pins taken from one consistent cut).
+  void PublishCommit(const std::vector<GroupId>& groups, Timestamp cts);
   /// Recovery: forces LastCTS (no monotonicity check).
   void SetLastCts(GroupId group, Timestamp cts);
 
@@ -156,9 +161,40 @@ class StateContext {
   struct GroupSlot {
     GroupInfo info;
     std::atomic<Timestamp> last_cts{kInitialTs};
+    /// Highest GC watermark any collector may already be using for states
+    /// of this group. A reader that registered a snapshot pin BELOW this
+    /// floor raced an in-flight watermark computation (the collector could
+    /// not see the pin) and must re-pin from the current LastCTS; the
+    /// publish-floor / re-scan-pins handshake in OldestActiveVersion[For]
+    /// and PinReadCts closes that window (the multi-state snapshot
+    /// guarantee of §4.3 depends on it).
+    std::atomic<Timestamp> gc_floor{kInitialTs};
   };
 
+  /// Smallest snapshot pin any active transaction holds on one of `groups`
+  /// (kInfinityTs if none). Used twice by the watermark computations —
+  /// before and after publishing the floor.
+  Timestamp OldestPinnedCts(const std::vector<GroupId>& groups,
+                            bool any_group) const;
+  Timestamp GcFloor(GroupId group) const;
+  /// Raises gc_floor (monotonic) on `groups`, or on every group when
+  /// any_group is set.
+  void PublishGcFloor(const std::vector<GroupId>& groups, bool any_group,
+                      Timestamp floor) const;
+  /// First grouped access of a transaction: registers a pin for EVERY
+  /// existing group from one seqlock-consistent cut of the LastCTS values,
+  /// re-validated against the groups' gc_floor. Taking the whole cut at
+  /// once is what makes the §4.3 min() overlap rule sound — pins taken at
+  /// different moments (as states are first touched) can straddle
+  /// publications and yield different effective snapshots for states that
+  /// share only some groups.
+  void SweepAndPin(int slot);
+
   LogicalClock clock_;
+
+  /// Publication seqlock: odd while a commit's LastCTS values are being
+  /// advanced across its groups (see PublishCommit / SweepAndPin).
+  std::atomic<std::uint64_t> publish_seq_{0};
 
   mutable RwLatch registry_latch_;  // guards states_/groups_ vectors
   std::vector<StateInfo> states_;

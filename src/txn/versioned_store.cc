@@ -15,64 +15,136 @@ VersionedStore::VersionedStore(StateId id, std::string name,
       options_(options),
       shards_(kShards) {}
 
-VersionedStore::~VersionedStore() = default;
-
-std::size_t VersionedStore::ShardFor(std::string_view key) const {
-  return std::hash<std::string_view>{}(key) % kShards;
+VersionedStore::~VersionedStore() {
+  // Drop bucket tables / value buffers this store retired (entries and
+  // current tables are freed by the shard destructors directly — no reader
+  // may be active at this point). Freeing needs the epoch to advance twice
+  // past the retire epoch, hence multiple passes; bounded, because other
+  // stores' readers may legitimately pin the epoch.
+  EpochManager& manager = EpochManager::Global();
+  for (int i = 0; i < 3 && manager.GarbageCount() > 0; ++i) {
+    manager.TryReclaim();
+  }
 }
 
-VersionedStore::Entry* VersionedStore::FindEntry(std::string_view key) const {
-  const Shard& shard = shards_[ShardFor(key)];
-  SharedGuard guard(shard.latch);
-  auto it = shard.map.find(std::string(key));
-  return it == shard.map.end() ? nullptr : it->second.get();
+// ------------------------------------------------------------ shard index ---
+
+VersionedStore::Entry* VersionedStore::FindEntry(std::string_view key,
+                                                 std::size_t hash) const {
+  const Shard& shard = shards_[ShardIndex(hash)];
+  const BucketTable* table = shard.table.load(std::memory_order_acquire);
+  for (std::size_t i = hash & table->mask, probes = 0; probes <= table->mask;
+       ++probes, i = (i + 1) & table->mask) {
+    Entry* entry = table->buckets[i].load(std::memory_order_acquire);
+    if (entry == nullptr) return nullptr;  // no deletions => probe ends here
+    if (entry->hash == hash && entry->key == key) return entry;
+  }
+  return nullptr;
+}
+
+void VersionedStore::InsertEntryLocked(Shard& shard,
+                                       std::unique_ptr<Entry> entry) {
+  BucketTable* table = shard.table.load(std::memory_order_relaxed);
+  if ((shard.size + 1) * 4 > table->capacity * 3) {
+    auto* grown = new BucketTable(table->capacity * 2);
+    for (std::size_t i = 0; i < table->capacity; ++i) {
+      Entry* existing = table->buckets[i].load(std::memory_order_relaxed);
+      if (existing == nullptr) continue;
+      std::size_t j = existing->hash & grown->mask;
+      while (grown->buckets[j].load(std::memory_order_relaxed) != nullptr) {
+        j = (j + 1) & grown->mask;
+      }
+      grown->buckets[j].store(existing, std::memory_order_relaxed);
+    }
+    // Publish the grown table, then retire the old one: readers that loaded
+    // the old pointer keep probing a consistent (frozen) table until their
+    // epoch guard closes.
+    shard.table.store(grown, std::memory_order_release);
+    EpochManager::Global().Retire(table);
+    table = grown;
+  }
+  Entry* raw = entry.get();
+  std::size_t i = raw->hash & table->mask;
+  while (table->buckets[i].load(std::memory_order_relaxed) != nullptr) {
+    i = (i + 1) & table->mask;
+  }
+  shard.entries.push_back(std::move(entry));
+  ++shard.size;
+  table->buckets[i].store(raw, std::memory_order_release);
+  key_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 VersionedStore::Entry* VersionedStore::GetOrCreateEntry(std::string_view key) {
-  Shard& shard = shards_[ShardFor(key)];
+  const std::size_t hash = HashKey(key);
   {
-    SharedGuard guard(shard.latch);
-    auto it = shard.map.find(std::string(key));
-    if (it != shard.map.end()) return it->second.get();
+    EpochGuard guard;
+    if (Entry* entry = FindEntry(key, hash)) return entry;
   }
+  Shard& shard = shards_[ShardIndex(hash)];
   ExclusiveGuard guard(shard.latch);
-  auto [it, inserted] = shard.map.try_emplace(
-      std::string(key), std::make_unique<Entry>(options_.mvcc_slots));
-  if (inserted) key_count_.fetch_add(1, std::memory_order_relaxed);
-  return it->second.get();
+  // Re-probe under the latch: another writer may have inserted the key
+  // between our optimistic miss and latch acquisition. No epoch guard is
+  // needed — the latch excludes table replacement.
+  if (Entry* entry = FindEntry(key, hash)) return entry;
+  auto entry =
+      std::make_unique<Entry>(std::string(key), hash, options_.mvcc_slots);
+  Entry* raw = entry.get();
+  InsertEntryLocked(shard, std::move(entry));
+  return raw;
 }
+
+// -------------------------------------------------------------- read path ---
 
 Status VersionedStore::ReadCommitted(Timestamp read_ts, std::string_view key,
                                      std::string* value) const {
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  const Entry* entry = FindEntry(key);
-  if (entry == nullptr) {
-    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
-    return Status::NotFound();
+  EpochGuard epoch_guard;
+  const Entry* entry = FindEntry(key, HashKey(key));
+  if (entry != nullptr &&
+      ReadOptimistic(
+          entry,
+          [&] { return entry->object.TryGetVisible(read_ts, value); },
+          [&] { return entry->object.GetVisible(read_ts, value); }) ==
+          MvccObject::ReadResult::kHit) {
+    return Status::OK();
   }
-  SharedGuard guard(entry->latch);
-  if (!entry->object.GetVisible(read_ts, value)) {
-    stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
-    return Status::NotFound();
-  }
-  return Status::OK();
+  stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+  return Status::NotFound();
 }
 
 Status VersionedStore::ReadLatest(std::string_view key,
                                   std::string* value) const {
-  // A snapshot "just before infinity" sees exactly the live version.
-  return ReadCommitted(kInfinityTs - 1, key, value);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard epoch_guard;
+  const Entry* entry = FindEntry(key, HashKey(key));
+  if (entry != nullptr &&
+      ReadOptimistic(
+          entry, [&] { return entry->object.TryGetLatestLive(value); },
+          [&] { return entry->object.GetLatestLive(value); }) ==
+          MvccObject::ReadResult::kHit) {
+    return Status::OK();
+  }
+  stats_.read_misses.fetch_add(1, std::memory_order_relaxed);
+  return Status::NotFound();
 }
 
 Timestamp VersionedStore::LatestCts(std::string_view key) const {
-  const Entry* entry = FindEntry(key);
+  EpochGuard epoch_guard;
+  const Entry* entry = FindEntry(key, HashKey(key));
   if (entry == nullptr) return kInitialTs;
-  SharedGuard guard(entry->latch);
-  return entry->object.LatestCts();
+  Timestamp cts = kInitialTs;
+  ReadOptimistic(
+      entry, [&] { return entry->object.TryLatestCts(&cts); },
+      [&] {
+        cts = entry->object.LatestCts();
+        return true;
+      });
+  return cts;
 }
 
 Timestamp VersionedStore::LatestModification(std::string_view key) const {
-  const Entry* entry = FindEntry(key);
+  EpochGuard epoch_guard;
+  const Entry* entry = FindEntry(key, HashKey(key));
   if (entry == nullptr) return kInitialTs;
   return entry->latest_modification.load(std::memory_order_acquire);
 }
@@ -84,18 +156,30 @@ Status VersionedStore::ScanCommitted(
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
   std::string value;
   for (const Shard& shard : shards_) {
+    // Shared shard latch: stabilizes the entries vector (inserts are
+    // exclusive) without affecting latch-free point reads. The epoch is
+    // pinned only around each version probe — never across the user
+    // callback, which could run long and stall reclamation store-wide.
     SharedGuard shard_guard(shard.latch);
-    for (const auto& [key, entry] : shard.map) {
+    for (const auto& entry : shard.entries) {
       bool visible;
       {
-        SharedGuard guard(entry->latch);
-        visible = entry->object.GetVisible(read_ts, &value);
+        EpochGuard epoch_guard;
+        visible = ReadOptimistic(
+                      entry.get(),
+                      [&] { return entry->object.TryGetVisible(read_ts,
+                                                               &value); },
+                      [&] { return entry->object.GetVisible(read_ts,
+                                                            &value); }) ==
+                  MvccObject::ReadResult::kHit;
       }
-      if (visible && !callback(key, value)) return Status::OK();
+      if (visible && !callback(entry->key, value)) return Status::OK();
     }
   }
   return Status::OK();
 }
+
+// ------------------------------------------------------------ commit path ---
 
 Status VersionedStore::LockForCommit(std::string_view key, TxnId txn) {
   Entry* entry = GetOrCreateEntry(key);
@@ -110,7 +194,8 @@ Status VersionedStore::LockForCommit(std::string_view key, TxnId txn) {
 }
 
 void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {
-  Entry* entry = FindEntry(key);
+  EpochGuard epoch_guard;
+  Entry* entry = FindEntry(key, HashKey(key));
   if (entry == nullptr) return;
   TxnId expected = txn;
   entry->commit_owner.compare_exchange_strong(expected, 0,
@@ -155,12 +240,12 @@ Status VersionedStore::ApplyCommitted(std::string_view key,
              cur, commit_ts, std::memory_order_acq_rel)) {
   }
   if (options_.write_through) {
-    return PersistEntry(std::string(key), entry, sync_hint);
+    return PersistEntry(key, entry, sync_hint);
   }
   return Status::OK();
 }
 
-Status VersionedStore::PersistEntry(const std::string& key, Entry* entry,
+Status VersionedStore::PersistEntry(std::string_view key, Entry* entry,
                                     bool sync) {
   // Snapshot the blob under the shared latch, then write back outside it so
   // readers are never blocked behind an fsync. The persist_lock +
@@ -184,16 +269,21 @@ Status VersionedStore::PersistEntry(const std::string& key, Entry* entry,
   return Status::OK();
 }
 
+// ------------------------------------------------------------ maintenance ---
+
 std::uint64_t VersionedStore::GarbageCollectAll(Timestamp oldest_active) {
   std::uint64_t reclaimed = 0;
   for (Shard& shard : shards_) {
+    // Shared shard latch: blocks inserts (which are exclusive) so the
+    // entries vector is stable; concurrent point reads stay latch-free.
     SharedGuard shard_guard(shard.latch);
-    for (auto& [key, entry] : shard.map) {
+    for (auto& entry : shard.entries) {
       ExclusiveGuard guard(entry->latch);
-      reclaimed +=
-          static_cast<std::uint64_t>(entry->object.GarbageCollect(oldest_active));
+      reclaimed += static_cast<std::uint64_t>(
+          entry->object.GarbageCollect(oldest_active));
     }
   }
+  stats_.gc_reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
   return reclaimed;
 }
 
@@ -206,13 +296,47 @@ Status VersionedStore::LoadFromBackend() {
           load_status = object.status();
           return false;
         }
-        Shard& shard = shards_[ShardFor(key)];
+        const std::size_t hash = HashKey(key);
+        Shard& shard = shards_[ShardIndex(hash)];
         ExclusiveGuard guard(shard.latch);
-        auto entry = std::make_unique<Entry>(std::move(object).value());
-        auto [it, inserted] =
-            shard.map.insert_or_assign(std::string(key), std::move(entry));
-        (void)it;
-        if (inserted) key_count_.fetch_add(1, std::memory_order_relaxed);
+        if (Entry* existing = FindEntry(key, hash)) {
+          // Key already resident (reload onto a warm store): replace the
+          // bucket's entry with the recovered one. The superseded entry
+          // moves to the shard's graveyard — kept alive for stale Entry*
+          // handles, but invisible to maintenance iteration (scan, GC,
+          // MaxCommittedCts must only see reachable state).
+          auto entry = std::make_unique<Entry>(std::string(key), hash,
+                                               std::move(object).value());
+          // Carry live commit ownership across the swap: a transaction that
+          // holds the FCW commit lock on the superseded entry must still own
+          // the key afterwards (its UnlockCommit will resolve to this
+          // entry). The FCW watermark is intentionally NOT carried over —
+          // reload semantics roll the key back to the persisted state.
+          entry->commit_owner.store(
+              existing->commit_owner.load(std::memory_order_acquire),
+              std::memory_order_release);
+          Entry* raw = entry.get();
+          BucketTable* table = shard.table.load(std::memory_order_relaxed);
+          for (std::size_t i = hash & table->mask, probes = 0;
+               probes <= table->mask; ++probes, i = (i + 1) & table->mask) {
+            if (table->buckets[i].load(std::memory_order_relaxed) ==
+                existing) {
+              table->buckets[i].store(raw, std::memory_order_release);
+              break;
+            }
+          }
+          for (auto& owned : shard.entries) {
+            if (owned.get() == existing) {
+              shard.retired_entries.push_back(std::move(owned));
+              owned = std::move(entry);
+              break;
+            }
+          }
+        } else {
+          InsertEntryLocked(shard,
+                            std::make_unique<Entry>(std::string(key), hash,
+                                                    std::move(object).value()));
+        }
         return true;
       });
   STREAMSI_RETURN_NOT_OK(scan_status);
@@ -223,7 +347,7 @@ std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {
   std::uint64_t purged = 0;
   for (Shard& shard : shards_) {
     SharedGuard shard_guard(shard.latch);
-    for (auto& [key, entry] : shard.map) {
+    for (auto& entry : shard.entries) {
       ExclusiveGuard guard(entry->latch);
       purged += static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
       // Roll the FCW watermark back alongside the purged versions.
@@ -247,10 +371,20 @@ Status VersionedStore::BulkLoad(std::string_view key, std::string_view value) {
     ++entry->blob_version;
   }
   if (options_.write_through) {
-    return PersistEntry(std::string(key), entry, /*sync=*/false);
+    return PersistEntry(key, entry, /*sync=*/false);
   }
   return Status::OK();
 }
+
+#ifdef STREAMSI_READ_DEBUG
+std::string VersionedStore::DebugDump(std::string_view key) const {
+  EpochGuard epoch_guard;
+  const Entry* entry = FindEntry(key, HashKey(key));
+  if (entry == nullptr) return "<no entry>";
+  SharedGuard guard(entry->latch);
+  return DebugDumpObject(entry->object);
+}
+#endif
 
 std::uint64_t VersionedStore::KeyCount() const {
   return key_count_.load(std::memory_order_relaxed);
@@ -260,7 +394,7 @@ Timestamp VersionedStore::MaxCommittedCts() const {
   Timestamp max_cts = kInitialTs;
   for (const Shard& shard : shards_) {
     SharedGuard shard_guard(shard.latch);
-    for (const auto& [key, entry] : shard.map) {
+    for (const auto& entry : shard.entries) {
       SharedGuard guard(entry->latch);
       max_cts = std::max(max_cts, entry->object.LatestCts());
     }

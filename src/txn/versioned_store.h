@@ -7,16 +7,34 @@
 // only accessing memory)", §5.2); the base table is the durability story:
 // commits write the serialized MVCC object through to the backend, with the
 // backend's SyncMode deciding the fsync behaviour.
+//
+// Read-path design (zero allocation, latch-minimal):
+//   * Each shard's key index is an open-addressed bucket table of atomic
+//     Entry pointers, probed directly with the caller's std::string_view —
+//     no std::string is ever materialized for a lookup, and readers take no
+//     latch at all. Inserts take the shard latch exclusively; growth
+//     publishes a new table with a release store and retires the old one to
+//     the EpochManager, so in-flight readers finish their probe on the old
+//     table safely. Entries themselves are never freed before the store
+//     dies, so an Entry* stays valid once obtained.
+//   * Version access is an optimistic seqlock read (see MvccObject): probe,
+//     validate, retry on writer interference, and only after
+//     kOptimisticRetries failed attempts fall back to the shared per-entry
+//     latch for guaranteed progress. Readers therefore never block writers
+//     and writers never wait for readers.
+//   * A read's only synchronization is one epoch-guard store on entry/exit
+//     of the critical section plus the seqlock validation loads.
 
 #ifndef STREAMSI_TXN_VERSIONED_STORE_H_
 #define STREAMSI_TXN_VERSIONED_STORE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/latch.h"
 #include "mvcc/mvcc_object.h"
 #include "storage/backend.h"
@@ -39,6 +57,7 @@ struct StoreOptions {
 struct StoreStats {
   std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> read_misses{0};
+  std::atomic<std::uint64_t> read_retries{0};  ///< seqlock interference
   std::atomic<std::uint64_t> installs{0};
   std::atomic<std::uint64_t> deletes{0};
   std::atomic<std::uint64_t> scans{0};
@@ -68,7 +87,8 @@ class VersionedStore {
   Status ReadCommitted(Timestamp read_ts, std::string_view key,
                        std::string* value) const;
 
-  /// Latest committed live version (S2PL/BOCC read path).
+  /// Latest committed live version (S2PL/BOCC read path): a direct probe
+  /// for the newest live version, no snapshot timestamp involved.
   Status ReadLatest(std::string_view key, std::string* value) const;
 
   /// CTS of the newest committed version of `key` (kInitialTs if none).
@@ -79,7 +99,11 @@ class VersionedStore {
   Timestamp LatestModification(std::string_view key) const;
 
   /// Snapshot scan over all keys; callback(key, value); stable w.r.t.
-  /// concurrent commits thanks to version visibility.
+  /// concurrent commits thanks to version visibility. The callback runs
+  /// without the per-entry latch or an epoch pinned (a long callback never
+  /// stalls reclamation); the shard latch is held in shared mode, so the
+  /// callback must not create NEW keys in this store (updates are fine —
+  /// as in the seed implementation).
   Status ScanCommitted(
       Timestamp read_ts,
       const std::function<bool(std::string_view, std::string_view)>& callback)
@@ -121,18 +145,32 @@ class VersionedStore {
   // -------------------------------------------------------- diagnostics ---
 
   std::uint64_t KeyCount() const;
+#ifdef STREAMSI_READ_DEBUG
+  /// Diagnostic-only: latched dump of a key's version array.
+  std::string DebugDump(std::string_view key) const;
+#endif
   /// Largest observed CTS across all keys (recovery diagnostics).
   Timestamp MaxCommittedCts() const;
   const StoreStats& stats() const { return stats_; }
 
  private:
-  static constexpr std::size_t kShards = 256;
+  static constexpr std::size_t kShards = 256;          // power of two
+  static constexpr std::size_t kInitialBuckets = 16;   // power of two
+  static constexpr int kOptimisticRetries = 64;
 
   struct Entry {
-    explicit Entry(int capacity) : object(capacity) {}
-    explicit Entry(MvccObject&& recovered)
-        : object(std::move(recovered)),
+    Entry(std::string key_arg, std::size_t hash_arg, int capacity)
+        : key(std::move(key_arg)), hash(hash_arg), object(capacity) {}
+    Entry(std::string key_arg, std::size_t hash_arg, MvccObject&& recovered)
+        : key(std::move(key_arg)),
+          hash(hash_arg),
+          object(std::move(recovered)),
           latest_modification(object.LatestModification()) {}
+
+    /// Key bytes live inside the entry: the bucket table stores only Entry
+    /// pointers and lookups compare against this string in place.
+    const std::string key;
+    const std::size_t hash;
     mutable RwLatch latch;
     MvccObject object;
     /// First-Committer-Wins watermark: timestamp of the newest committed
@@ -143,20 +181,84 @@ class VersionedStore {
     /// First-committer-wins commit ownership (0 = free).
     std::atomic<TxnId> commit_owner{0};
     /// Monotonic snapshot counter for ordered backend write-back.
-    std::uint64_t blob_version = 0;             // under latch
+    std::uint64_t blob_version = 0;  // under latch
     std::atomic<std::uint64_t> persisted_version{0};
     SpinLock persist_lock;
   };
 
-  struct Shard {
-    mutable RwLatch latch;
-    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+  /// Open-addressed (linear probing) table of atomic Entry pointers.
+  /// Published via Shard::table with release/acquire; immutable once
+  /// superseded (readers drain via epochs before it is freed). Load factor
+  /// stays <= 3/4, so probes for absent keys always hit an empty bucket.
+  struct BucketTable {
+    explicit BucketTable(std::size_t capacity_arg)
+        : capacity(capacity_arg),
+          mask(capacity_arg - 1),
+          buckets(new std::atomic<Entry*>[capacity_arg]) {
+      for (std::size_t i = 0; i < capacity; ++i) {
+        buckets[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<Entry*>[]> buckets;
   };
 
-  std::size_t ShardFor(std::string_view key) const;
-  Entry* FindEntry(std::string_view key) const;
+  struct Shard {
+    Shard() : table(new BucketTable(kInitialBuckets)) {}
+    ~Shard() { delete table.load(std::memory_order_acquire); }
+    /// Writers (insert/growth) exclusive; maintenance iteration shared.
+    /// Point readers take it only as the seqlock fallback — never on the
+    /// optimistic path.
+    mutable RwLatch latch;
+    std::atomic<BucketTable*> table;
+    /// Owns the live entries; append-only under the shard latch. Entries
+    /// are never destroyed before the store, so Entry* handles remain
+    /// valid. Maintenance (scan, GC, purge, MaxCommittedCts) iterates this
+    /// vector, so it must contain exactly the reachable entries.
+    std::vector<std::unique_ptr<Entry>> entries;
+    /// Entries superseded by LoadFromBackend on a warm store: unreachable
+    /// from the bucket table and skipped by maintenance, but kept alive for
+    /// stale Entry* handles.
+    std::vector<std::unique_ptr<Entry>> retired_entries;
+    std::size_t size = 0;  // occupied buckets, under latch
+  };
+
+  static std::size_t HashKey(std::string_view key) {
+    return std::hash<std::string_view>{}(key);
+  }
+  /// Shard selection uses the top bits, bucket probing the bottom bits, so
+  /// keys of one shard still disperse over its buckets.
+  static std::size_t ShardIndex(std::size_t hash) {
+    return hash >> (8 * sizeof(std::size_t) - 8);
+  }
+
+  /// Latch-free probe. Caller must hold an EpochGuard; the returned Entry*
+  /// stays valid for the store's lifetime.
+  Entry* FindEntry(std::string_view key, std::size_t hash) const;
   Entry* GetOrCreateEntry(std::string_view key);
-  Status PersistEntry(const std::string& key, Entry* entry, bool sync);
+  /// Shared scaffold of every optimistic read: runs `try_fn` (one seqlock
+  /// attempt, returning MvccObject::ReadResult) up to kOptimisticRetries
+  /// times, then takes the shared per-entry latch and resolves via
+  /// `locked_fn` (returning hit=true/miss=false). Never returns kRetry.
+  template <typename TryFn, typename LockedFn>
+  MvccObject::ReadResult ReadOptimistic(const Entry* entry, TryFn&& try_fn,
+                                        LockedFn&& locked_fn) const {
+    for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+      const MvccObject::ReadResult result = try_fn();
+      if (result != MvccObject::ReadResult::kRetry) return result;
+      stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
+      CpuRelax();
+    }
+    // Sustained writer interference: the latched path guarantees progress.
+    SharedGuard guard(entry->latch);
+    return locked_fn() ? MvccObject::ReadResult::kHit
+                       : MvccObject::ReadResult::kMiss;
+  }
+  /// Inserts `entry` into `shard` (exclusive latch held), growing the
+  /// bucket table when the load factor would exceed 3/4.
+  void InsertEntryLocked(Shard& shard, std::unique_ptr<Entry> entry);
+  Status PersistEntry(std::string_view key, Entry* entry, bool sync);
 
   StateId id_;
   std::string name_;

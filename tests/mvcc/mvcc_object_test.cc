@@ -196,5 +196,58 @@ TEST_P(MvccCapacitySweep, LongUpdateChainWithGc) {
 INSTANTIATE_TEST_SUITE_P(Capacities, MvccCapacitySweep,
                          ::testing::Values(2, 3, 4, 8, 16, 64));
 
+// Regression: a slot freed by PurgeAfter keeps no stale "live" header. The
+// next Install must still terminate the real live version — before the fix,
+// Install could mistake its freshly acquired slot (carrying the purged
+// version's open dts) for the live one and leave two live versions behind.
+TEST(MvccObjectTest, InstallAfterPurgeTerminatesRealLiveVersion) {
+  MvccObject object(4);
+  ASSERT_TRUE(object.Install("v1", 10, 0).ok());
+  ASSERT_TRUE(object.Install("v2", 20, 0).ok());   // v1 dts=20
+  ASSERT_TRUE(object.Install("v3", 30, 0).ok());   // v2 dts=30
+  EXPECT_EQ(object.PurgeAfter(25), 1);             // drops v3, reopens v2
+  ASSERT_TRUE(object.Install("v4", 40, 0).ok());   // must close v2
+  int live_count = 0;
+  for (const VersionHeader& h : object.Headers()) {
+    if (h.dts == kInfinityTs) ++live_count;
+  }
+  EXPECT_EQ(live_count, 1) << "exactly one live version after reinstall";
+  std::string value;
+  ASSERT_TRUE(object.GetVisible(35, &value));
+  EXPECT_EQ(value, "v2");  // v2 lived in [20, 40)
+  ASSERT_TRUE(object.GetVisible(45, &value));
+  EXPECT_EQ(value, "v4");
+}
+
+// The optimistic seqlock accessors must agree with the latched ones when no
+// writer interferes, for every probe kind.
+TEST(MvccObjectTest, OptimisticReadsAgreeWithLatchedReads) {
+  MvccObject object(8);
+  ASSERT_TRUE(object.Install("a", 10, 0).ok());
+  ASSERT_TRUE(object.Install("b", 20, 0).ok());
+  ASSERT_TRUE(object.MarkDeleted(30).ok());
+
+  std::string value;
+  EXPECT_EQ(object.TryGetVisible(15, &value), MvccObject::ReadResult::kHit);
+  EXPECT_EQ(value, "a");
+  EXPECT_EQ(object.TryGetVisible(25, &value), MvccObject::ReadResult::kHit);
+  EXPECT_EQ(value, "b");
+  EXPECT_EQ(object.TryGetVisible(35, &value), MvccObject::ReadResult::kMiss);
+  EXPECT_EQ(object.TryGetVisible(5, &value), MvccObject::ReadResult::kMiss);
+
+  // Deleted: no live version for the direct probe.
+  EXPECT_EQ(object.TryGetLatestLive(&value), MvccObject::ReadResult::kMiss);
+  EXPECT_FALSE(object.GetLatestLive(&value));
+
+  Timestamp cts = 0;
+  EXPECT_EQ(object.TryLatestCts(&cts), MvccObject::ReadResult::kHit);
+  EXPECT_EQ(cts, object.LatestCts());
+  EXPECT_EQ(cts, 20u);
+
+  ASSERT_TRUE(object.Install("c", 40, 0).ok());
+  EXPECT_EQ(object.TryGetLatestLive(&value), MvccObject::ReadResult::kHit);
+  EXPECT_EQ(value, "c");
+}
+
 }  // namespace
 }  // namespace streamsi
