@@ -23,8 +23,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "common/latch.h"
@@ -33,10 +31,6 @@ namespace streamsi {
 
 class EpochManager {
  public:
-  /// Hard cap on concurrently registered threads. Slots are recycled when a
-  /// thread exits, so this bounds *live* threads, not total ever created.
-  static constexpr int kMaxThreads = 1024;
-
   /// Process-wide manager. Leaked on purpose: stores retire garbage from
   /// their destructors, which may run during static destruction.
   static EpochManager& Global() {
@@ -48,43 +42,67 @@ class EpochManager {
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
+  /// Sentinel epoch for slots with no active reader (epochs start at 1).
+  static constexpr std::uint64_t kIdle = 0;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
   // ------------------------------------------------------------- readers ---
 
   /// Marks this thread as inside an epoch-protected critical section.
   /// Pointers obtained from epoch-protected structures stay valid until the
   /// matching Exit().
-  void Enter(int slot) {
+  void Enter(Slot* slot) {
     // The seq_cst fence orders the slot publication before every subsequent
     // load of protected pointers: a reclaimer that does not observe this
     // slot as active is guaranteed the reader entered after the unlink.
-    slots_[slot].epoch.store(global_epoch_.load(std::memory_order_relaxed),
-                             std::memory_order_relaxed);
+    slot->epoch.store(global_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  void Exit(int slot) {
-    slots_[slot].epoch.store(kIdle, std::memory_order_release);
+  void Exit(Slot* slot) {
+    slot->epoch.store(kIdle, std::memory_order_release);
   }
 
-  /// Claims a reader slot for a new thread. Aborts if more than kMaxThreads
-  /// threads are simultaneously registered (not a realistic configuration).
-  int AcquireSlot() {
-    for (int i = 0; i < kMaxThreads; ++i) {
-      bool expected = false;
-      if (!slots_[i].claimed.load(std::memory_order_relaxed) &&
-          slots_[i].claimed.compare_exchange_strong(
-              expected, true, std::memory_order_acq_rel)) {
-        return i;
+  /// Claims a reader slot for a new thread. Slots live in fixed-size blocks
+  /// chained on demand, so there is no hard cap on simultaneously
+  /// registered threads — exhausting the existing blocks appends a new one
+  /// instead of failing. Blocks are never freed (total footprint is bounded
+  /// by the peak live-thread count, one cache line per slot), and released
+  /// slots are recycled by later threads.
+  Slot* AcquireSlot() {
+    for (SlotBlock* block = &head_block_;;) {
+      for (Slot& slot : block->slots) {
+        bool expected = false;
+        if (!slot.claimed.load(std::memory_order_relaxed) &&
+            slot.claimed.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          return &slot;
+        }
       }
+      SlotBlock* next = block->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        auto* fresh = new SlotBlock();
+        fresh->slots[0].claimed.store(true, std::memory_order_relaxed);
+        SlotBlock* expected = nullptr;
+        if (block->next.compare_exchange_strong(expected, fresh,
+                                                std::memory_order_acq_rel)) {
+          return &fresh->slots[0];
+        }
+        delete fresh;  // another thread appended first; scan its block
+        next = expected;
+      }
+      block = next;
     }
-    std::fprintf(stderr, "EpochManager: more than %d live threads\n",
-                 kMaxThreads);
-    std::abort();
   }
 
-  void ReleaseSlot(int slot) {
-    slots_[slot].epoch.store(kIdle, std::memory_order_release);
-    slots_[slot].claimed.store(false, std::memory_order_release);
+  void ReleaseSlot(Slot* slot) {
+    slot->epoch.store(kIdle, std::memory_order_release);
+    slot->claimed.store(false, std::memory_order_release);
   }
 
   // ------------------------------------------------------------- writers ---
@@ -125,12 +143,15 @@ class EpochManager {
     const std::uint64_t epoch = global_epoch_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     bool can_advance = true;
-    for (int i = 0; i < kMaxThreads; ++i) {
-      const std::uint64_t slot_epoch =
-          slots_[i].epoch.load(std::memory_order_acquire);
-      if (slot_epoch != kIdle && slot_epoch < epoch) {
-        can_advance = false;
-        break;
+    for (const SlotBlock* block = &head_block_; block != nullptr && can_advance;
+         block = block->next.load(std::memory_order_acquire)) {
+      for (const Slot& slot : block->slots) {
+        const std::uint64_t slot_epoch =
+            slot.epoch.load(std::memory_order_acquire);
+        if (slot_epoch != kIdle && slot_epoch < epoch) {
+          can_advance = false;
+          break;
+        }
       }
     }
     std::uint64_t next = epoch;
@@ -179,7 +200,6 @@ class EpochManager {
   }
 
  private:
-  static constexpr std::uint64_t kIdle = 0;  // epochs start at 1
   static constexpr std::uint64_t kReclaimInterval = 64;
 
   struct Garbage {
@@ -188,14 +208,17 @@ class EpochManager {
     void (*deleter)(void*);
   };
 
-  struct alignas(64) Slot {
-    std::atomic<std::uint64_t> epoch{kIdle};
-    std::atomic<bool> claimed{false};
+  /// One chunk of reader slots. Blocks are appended (never removed) under
+  /// CAS on `next`, so reclaimers can walk the chain without locking.
+  struct SlotBlock {
+    static constexpr int kSlotsPerBlock = 256;
+    Slot slots[kSlotsPerBlock];
+    std::atomic<SlotBlock*> next{nullptr};
   };
 
   std::atomic<std::uint64_t> global_epoch_{1};
   std::atomic<std::uint64_t> retire_count_{0};
-  Slot slots_[kMaxThreads];
+  SlotBlock head_block_;
   SpinLock garbage_lock_;
   std::vector<Garbage> garbage_;  // guarded by garbage_lock_
 };
@@ -220,7 +243,7 @@ class EpochGuard {
   struct ThreadState {
     ThreadState() : slot(EpochManager::Global().AcquireSlot()) {}
     ~ThreadState() { EpochManager::Global().ReleaseSlot(slot); }
-    const int slot;
+    EpochManager::Slot* const slot;
     int depth = 0;
   };
 

@@ -60,21 +60,29 @@ Timestamp StateContext::LastCts(GroupId group) const {
   return groups_[group]->last_cts.load(std::memory_order_acquire);
 }
 
-void StateContext::AdvanceLastCts(GroupId group, Timestamp cts) {
-  SharedGuard guard(registry_latch_);
-  if (group >= groups_.size()) return;
-  auto& last = groups_[group]->last_cts;
-  Timestamp cur = last.load(std::memory_order_relaxed);
-  while (cur < cts &&
-         !last.compare_exchange_weak(cur, cts, std::memory_order_acq_rel)) {
-  }
-}
-
 void StateContext::PublishCommit(const std::vector<GroupId>& groups,
                                  Timestamp cts) {
+  // Publishers must be mutually exclusive: each GlobalCommit runs on its own
+  // coordinator thread, and two overlapping publications would both bump the
+  // sequence odd->even->odd->even, leaving it EVEN while both are still
+  // mid-flight — SweepAndPin would then accept a cut straddling a
+  // half-published multi-group commit. The lock keeps the parity protocol
+  // honest; readers stay lock-free.
+  std::lock_guard<SpinLock> publish_guard(publish_lock_);
   publish_seq_.fetch_add(1, std::memory_order_release);  // odd: in flight
-  for (GroupId group : groups) {
-    AdvanceLastCts(group, cts);
+  {
+    // One shared registry acquisition for the whole publication (not one
+    // per group): readers spin while the sequence is odd, so keep the
+    // window short.
+    SharedGuard guard(registry_latch_);
+    for (GroupId group : groups) {
+      if (group >= groups_.size()) continue;
+      auto& last = groups_[group]->last_cts;
+      Timestamp cur = last.load(std::memory_order_relaxed);
+      while (cur < cts && !last.compare_exchange_weak(
+                              cur, cts, std::memory_order_acq_rel)) {
+      }
+    }
   }
   publish_seq_.fetch_add(1, std::memory_order_release);  // even: published
 }

@@ -70,12 +70,12 @@ class StateContext {
   /// Last globally committed transaction of the group (§4.3: set at the
   /// *end* of a group commit; what readers pin).
   Timestamp LastCts(GroupId group) const;
-  /// Monotonically advances the group's LastCTS (CAS max).
-  void AdvanceLastCts(GroupId group, Timestamp cts);
-  /// Atomically publishes one commit's LastCTS to several groups: wraps the
-  /// per-group advances in the publication seqlock so a reader's pin sweep
-  /// never observes a half-published commit (the §4.3 overlap rule is only
-  /// sound over pins taken from one consistent cut).
+  /// Atomically publishes one commit's LastCTS to its groups (monotonic CAS
+  /// max per group): the advances run inside the publication seqlock so a
+  /// reader's pin sweep never observes a half-published commit (the §4.3
+  /// overlap rule is only sound over pins taken from one consistent cut).
+  /// This is the ONLY way to advance LastCTS — an unsynchronized per-group
+  /// advance would bypass the seqlock and reintroduce torn cuts.
   void PublishCommit(const std::vector<GroupId>& groups, Timestamp cts);
   /// Recovery: forces LastCTS (no monotonicity check).
   void SetLastCts(GroupId group, Timestamp cts);
@@ -193,7 +193,10 @@ class StateContext {
   LogicalClock clock_;
 
   /// Publication seqlock: odd while a commit's LastCTS values are being
-  /// advanced across its groups (see PublishCommit / SweepAndPin).
+  /// advanced across its groups (see PublishCommit / SweepAndPin). Writers
+  /// serialize on publish_lock_ — overlapping publishers would otherwise
+  /// leave the sequence even mid-publication and break reader validation.
+  SpinLock publish_lock_;
   std::atomic<std::uint64_t> publish_seq_{0};
 
   mutable RwLatch registry_latch_;  // guards states_/groups_ vectors

@@ -42,6 +42,15 @@ VersionedStore::Entry* VersionedStore::FindEntry(std::string_view key,
   return nullptr;
 }
 
+std::size_t VersionedStore::FindBucketOf(const BucketTable* table,
+                                         const Entry* entry) {
+  for (std::size_t i = entry->hash & table->mask, probes = 0;
+       probes <= table->mask; ++probes, i = (i + 1) & table->mask) {
+    if (table->buckets[i].load(std::memory_order_relaxed) == entry) return i;
+  }
+  return table->capacity;
+}
+
 void VersionedStore::InsertEntryLocked(Shard& shard,
                                        std::unique_ptr<Entry> entry) {
   BucketTable* table = shard.table.load(std::memory_order_relaxed);
@@ -155,25 +164,51 @@ Status VersionedStore::ScanCommitted(
     const {
   stats_.scans.fetch_add(1, std::memory_order_relaxed);
   std::string value;
+  // Copy entry pointers out in fixed-size batches under the shared shard
+  // latch (inserts are exclusive, and the entries vector is append-only, so
+  // index-based resume is stable), then release it before probing versions
+  // or invoking the callback. Entries are owned by the shard until the
+  // store dies, so the raw pointers outlive the latch — and a callback that
+  // writes back into this store (GetOrCreateEntry takes the same latch
+  // exclusively) cannot self-deadlock. The stack batch keeps the scan
+  // zero-allocation. The epoch is pinned only around each version probe —
+  // never across the user callback, which could run long and stall
+  // reclamation store-wide.
+  constexpr std::size_t kBatch = 64;
+  const Entry* batch[kBatch];
   for (const Shard& shard : shards_) {
-    // Shared shard latch: stabilizes the entries vector (inserts are
-    // exclusive) without affecting latch-free point reads. The epoch is
-    // pinned only around each version probe — never across the user
-    // callback, which could run long and stall reclamation store-wide.
-    SharedGuard shard_guard(shard.latch);
-    for (const auto& entry : shard.entries) {
-      bool visible;
+    // Bound the scan by the shard's size at entry: keys the callback
+    // appends to THIS shard are not visited (else a callback that derives a
+    // new key from every visited one could extend the scan forever).
+    std::size_t limit;
+    {
+      SharedGuard shard_guard(shard.latch);
+      limit = shard.entries.size();
+    }
+    std::size_t next = 0;
+    while (next < limit) {
+      std::size_t filled = 0;
       {
-        EpochGuard epoch_guard;
-        visible = ReadOptimistic(
-                      entry.get(),
-                      [&] { return entry->object.TryGetVisible(read_ts,
-                                                               &value); },
-                      [&] { return entry->object.GetVisible(read_ts,
-                                                            &value); }) ==
-                  MvccObject::ReadResult::kHit;
+        SharedGuard shard_guard(shard.latch);
+        while (filled < kBatch && next < limit) {
+          batch[filled++] = shard.entries[next++].get();
+        }
       }
-      if (visible && !callback(entry->key, value)) return Status::OK();
+      for (std::size_t i = 0; i < filled; ++i) {
+        const Entry* entry = batch[i];
+        bool visible;
+        {
+          EpochGuard epoch_guard;
+          visible = ReadOptimistic(
+                        entry,
+                        [&] { return entry->object.TryGetVisible(read_ts,
+                                                                 &value); },
+                        [&] { return entry->object.GetVisible(read_ts,
+                                                              &value); }) ==
+                    MvccObject::ReadResult::kHit;
+        }
+        if (visible && !callback(entry->key, value)) return Status::OK();
+      }
     }
   }
   return Status::OK();
@@ -317,13 +352,9 @@ Status VersionedStore::LoadFromBackend() {
               std::memory_order_release);
           Entry* raw = entry.get();
           BucketTable* table = shard.table.load(std::memory_order_relaxed);
-          for (std::size_t i = hash & table->mask, probes = 0;
-               probes <= table->mask; ++probes, i = (i + 1) & table->mask) {
-            if (table->buckets[i].load(std::memory_order_relaxed) ==
-                existing) {
-              table->buckets[i].store(raw, std::memory_order_release);
-              break;
-            }
+          const std::size_t bucket = FindBucketOf(table, existing);
+          if (bucket < table->capacity) {
+            table->buckets[bucket].store(raw, std::memory_order_release);
           }
           for (auto& owned : shard.entries) {
             if (owned.get() == existing) {

@@ -100,10 +100,10 @@ class VersionedStore {
 
   /// Snapshot scan over all keys; callback(key, value); stable w.r.t.
   /// concurrent commits thanks to version visibility. The callback runs
-  /// without the per-entry latch or an epoch pinned (a long callback never
-  /// stalls reclamation); the shard latch is held in shared mode, so the
-  /// callback must not create NEW keys in this store (updates are fine —
-  /// as in the seed implementation).
+  /// with no latch and no epoch pinned (a long callback never stalls
+  /// reclamation, and writing back into this store — including creating new
+  /// keys — is safe). Keys created after the per-shard pointer snapshot was
+  /// taken may or may not be visited by this scan.
   Status ScanCommitted(
       Timestamp read_ts,
       const std::function<bool(std::string_view, std::string_view)>& callback)
@@ -258,6 +258,11 @@ class VersionedStore {
   /// Inserts `entry` into `shard` (exclusive latch held), growing the
   /// bucket table when the load factor would exceed 3/4.
   void InsertEntryLocked(Shard& shard, std::unique_ptr<Entry> entry);
+  /// Linear-probes `table` for the bucket holding exactly `entry` (pointer
+  /// identity). Returns the bucket index, or table->capacity if absent.
+  /// Caller must hold the shard latch (any mode that freezes the table).
+  static std::size_t FindBucketOf(const BucketTable* table,
+                                  const Entry* entry);
   Status PersistEntry(std::string_view key, Entry* entry, bool sync);
 
   StateId id_;

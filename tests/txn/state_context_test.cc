@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -35,9 +36,9 @@ TEST(StateContextTest, LastCtsAdvancesMonotonically) {
   StateContext ctx;
   const GroupId g = ctx.RegisterGroup({ctx.RegisterState("a")});
   EXPECT_EQ(ctx.LastCts(g), kInitialTs);
-  ctx.AdvanceLastCts(g, 10);
+  ctx.PublishCommit({g}, 10);
   EXPECT_EQ(ctx.LastCts(g), 10u);
-  ctx.AdvanceLastCts(g, 5);  // no regression
+  ctx.PublishCommit({g}, 5);  // no regression
   EXPECT_EQ(ctx.LastCts(g), 10u);
   ctx.SetLastCts(g, 3);  // recovery override is allowed
   EXPECT_EQ(ctx.LastCts(g), 3u);
@@ -111,7 +112,7 @@ TEST(StateContextTest, ReadCtsPinnedOnFirstRead) {
   StateContext ctx;
   const StateId a = ctx.RegisterState("a");
   const GroupId g = ctx.RegisterGroup({a});
-  ctx.AdvanceLastCts(g, 42);
+  ctx.PublishCommit({g}, 42);
 
   TxnId id;
   auto slot = ctx.BeginTransaction(&id);
@@ -119,7 +120,7 @@ TEST(StateContextTest, ReadCtsPinnedOnFirstRead) {
   EXPECT_FALSE(ctx.GetReadCts(*slot, g).has_value());
   EXPECT_EQ(ctx.PinReadCts(*slot, g), 42u);
   // A commit in between must not move the pin.
-  ctx.AdvanceLastCts(g, 100);
+  ctx.PublishCommit({g}, 100);
   EXPECT_EQ(ctx.PinReadCts(*slot, g), 42u);
   EXPECT_EQ(ctx.GetReadCts(*slot, g).value(), 42u);
   ctx.EndTransaction(*slot);
@@ -134,8 +135,8 @@ TEST(StateContextTest, OverlapRuleUsesOlderPin) {
   const StateId shared = ctx.RegisterState("shared");
   const GroupId g1 = ctx.RegisterGroup({a, shared});
   const GroupId g2 = ctx.RegisterGroup({b, shared});
-  ctx.AdvanceLastCts(g1, 10);
-  ctx.AdvanceLastCts(g2, 20);
+  ctx.PublishCommit({g1}, 10);
+  ctx.PublishCommit({g2}, 20);
 
   TxnId id;
   auto slot = ctx.BeginTransaction(&id);
@@ -156,7 +157,7 @@ TEST(StateContextTest, OldestActiveVersionTracksMinimum) {
   // nothing beyond the initial versions may be reclaimed.
   EXPECT_EQ(ctx.OldestActiveVersion(), kInitialTs);
 
-  ctx.AdvanceLastCts(g, 5);
+  ctx.PublishCommit({g}, 5);
   // Idle: the floor is the minimum group LastCTS — a future transaction
   // could still pin exactly 5.
   EXPECT_EQ(ctx.OldestActiveVersion(), 5u);
@@ -166,7 +167,7 @@ TEST(StateContextTest, OldestActiveVersionTracksMinimum) {
   ASSERT_TRUE(slot1.ok());
   const Timestamp pinned = ctx.PinReadCts(*slot1, g);  // pin at 5
   EXPECT_EQ(pinned, 5u);
-  ctx.AdvanceLastCts(g, 50);
+  ctx.PublishCommit({g}, 50);
   // Active pin at 5 holds the watermark down even after LastCTS advanced.
   EXPECT_EQ(ctx.OldestActiveVersion(), 5u);
   ctx.EndTransaction(*slot1);
@@ -186,6 +187,61 @@ TEST(StateContextTest, OldestActiveBeginTracksBotTimestamps) {
   ctx.EndTransaction(*slot1);
   EXPECT_EQ(ctx.OldestActiveBegin(), id2);
   ctx.EndTransaction(*slot2);
+}
+
+TEST(StateContextTest, ConcurrentMultiGroupPublishesNeverTearReaderCuts) {
+  // Regression: PublishCommit publications must be mutually exclusive.
+  // Overlapping publishers each bump the seqlock twice, which can leave the
+  // sequence even while both publications are half-applied — a sweeping
+  // reader would then validate a cut that straddles one of them. Every
+  // publication below advances BOTH groups to the same cts (and LastCTS is
+  // a monotonic max), so any consistent cut has equal pins for g1 and g2;
+  // unequal pins mean a reader observed a torn publication.
+  StateContext ctx;
+  std::vector<GroupId> groups;
+  for (int g = 0; g < 8; ++g) {
+    groups.push_back(
+        ctx.RegisterGroup({ctx.RegisterState("s" + std::to_string(g))}));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<Timestamp> next_cts{1};
+  std::atomic<bool> torn{false};
+
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < 4; ++t) {
+    publishers.emplace_back([&] {
+      for (int i = 0; i < 20000 && !torn.load(std::memory_order_relaxed);
+           ++i) {
+        const Timestamp cts =
+            next_cts.fetch_add(1, std::memory_order_relaxed);
+        ctx.PublishCommit(groups, cts);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        TxnId id;
+        auto slot = ctx.BeginTransaction(&id);
+        if (!slot.ok()) continue;
+        Timestamp lo = kInfinityTs;
+        Timestamp hi = kInitialTs;
+        for (GroupId g : groups) {
+          const Timestamp pin = ctx.PinReadCts(*slot, g);
+          lo = std::min(lo, pin);
+          hi = std::max(hi, pin);
+        }
+        if (lo != hi) torn.store(true, std::memory_order_relaxed);
+        ctx.EndTransaction(*slot);
+      }
+    });
+  }
+  for (auto& thread : publishers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : readers) thread.join();
+  EXPECT_FALSE(torn.load());
 }
 
 TEST(StateContextTest, ConcurrentBeginEndChurn) {

@@ -341,6 +341,41 @@ TEST(VersionedStoreReadPathTest, ScanCommittedZeroAllocAfterWarmup) {
   EXPECT_EQ(seen, 64u);
 }
 
+TEST(VersionedStoreReadPathTest, ScanCallbackMayCreateKeysInSameStore) {
+  // Regression: ScanCommitted used to hold the shard latch in shared mode
+  // across the callback, so a callback creating a new key (exclusive latch
+  // on the same shard) self-deadlocked. The scan now releases the latch
+  // before every callback, making write-backs — including inserts — safe.
+  StoreOptions options;
+  options.write_through = false;
+  auto store = MakeStore(0, options);
+  for (int k = 0; k < 16; ++k) {
+    ASSERT_TRUE(store
+                    ->ApplyCommitted("key-" + std::to_string(k), "v", false,
+                                     10, 0, false)
+                    .ok());
+  }
+  std::size_t seen = 0;
+  ASSERT_TRUE(store
+                  ->ScanCommitted(
+                      50,
+                      [&](std::string_view key, std::string_view) {
+                        ++seen;
+                        EXPECT_TRUE(store
+                                        ->ApplyCommitted(
+                                            std::string("derived-") +
+                                                std::string(key),
+                                            "d", false, 20, 0, false)
+                                        .ok());
+                        return true;
+                      })
+                  .ok());
+  EXPECT_GE(seen, 16u);
+  std::string value;
+  EXPECT_TRUE(store->ReadCommitted(50, "derived-key-0", &value).ok());
+  EXPECT_EQ(value, "d");
+}
+
 TEST(VersionedStoreReadPathTest, ReadLatestSkipsDeletedAndOldVersions) {
   auto store = MakeStore();
   ASSERT_TRUE(store->ApplyCommitted("k", "v1", false, 10, 0, false).ok());
