@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI gate for every PR:
+#   1. tier-1: release-mode build + full ctest suite
+#   2. ThreadSanitizer build + the concurrency/stress tests (the read- and
+#      commit-path invariants are concurrency properties — races like the
+#      PR 1 pin/watermark TOCTOU or a torn multi-group publication only
+#      surface under TSan + stress, e.g.
+#      ConcurrentMultiGroupPublishesNeverTearReaderCuts).
+#
+# Usage: ./ci.sh [--tsan-only|--tier1-only]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")" && pwd)"
+JOBS="$(nproc)"
+MODE="${1:-all}"
+
+run_tier1() {
+  echo "==== tier-1: release build + ctest ===="
+  cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
+  cmake --build "$REPO_ROOT/build" -j "$JOBS"
+  (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_tsan() {
+  echo "==== TSan build + concurrency tests ===="
+  cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" -DSTREAMSI_TSAN=ON \
+      -DSTREAMSI_BUILD_BENCH=OFF -DSTREAMSI_BUILD_EXAMPLES=OFF >/dev/null
+  # The concurrency/stress suites: everything exercising the latch-free
+  # read path, the seqlock publication protocol and the group-commit WAL.
+  local tsan_tests=(
+    common_epoch_test
+    common_latch_test
+    core_commit_path_test
+    core_consistency_test
+    core_isolation_test
+    core_si_protocol_test
+    mvcc_mvcc_object_test
+    property_read_path_model_test
+    property_si_model_test
+    storage_wal_test
+    txn_state_context_test
+    txn_versioned_store_test
+  )
+  cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS" --target "${tsan_tests[@]}"
+  (cd "$REPO_ROOT/build-tsan" &&
+   ctest --output-on-failure -j "$JOBS" \
+       -R "^($(IFS='|'; echo "${tsan_tests[*]}"))$")
+}
+
+case "$MODE" in
+  --tier1-only) run_tier1 ;;
+  --tsan-only) run_tsan ;;
+  all|*) run_tier1; run_tsan ;;
+esac
+
+echo "==== ci.sh: all gates passed ===="

@@ -1,0 +1,79 @@
+// SmallVec: a minimal vector with inline storage for the first N elements.
+//
+// The commit path gathers small, bounded collections per transaction
+// (written states, resolved stores, affected groups): a std::vector would
+// heap-allocate on every commit. SmallVec keeps them on the coordinator's
+// stack and only spills to the heap past the inline capacity — the
+// steady-state commit bookkeeping stays allocation-free.
+//
+// Restricted to trivially destructible element types (ids, pointers, pairs
+// of such): spilling and clearing then need no element-wise destruction.
+
+#ifndef STREAMSI_COMMON_SMALL_VEC_H_
+#define STREAMSI_COMMON_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace streamsi {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SmallVec is for trivially destructible payloads");
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    data_[size_++] = value;
+  }
+
+  /// push_back only if the value is not already present (linear probe —
+  /// these collections are a handful of elements).
+  void push_back_unique(const T& value) {
+    if (!contains(value)) push_back(value);
+  }
+
+  bool contains(const T& value) const {
+    return std::find(begin(), end(), value) != end();
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() { size_ = 0; }
+
+ private:
+  void Grow() {
+    const std::size_t grown = capacity_ * 2;
+    auto heap = std::make_unique<T[]>(grown);
+    std::copy(data_, data_ + size_, heap.get());
+    heap_ = std::move(heap);
+    data_ = heap_.get();
+    capacity_ = grown;
+  }
+
+  T inline_[N];
+  std::unique_ptr<T[]> heap_;
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_SMALL_VEC_H_

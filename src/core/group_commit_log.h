@@ -4,20 +4,28 @@
 // §4.1: "the last committed transaction (LastCTS) per group is recorded.
 // For recovery purposes, this information needs to be persistent."
 //
-// The log is append-only (one record per group commit, written after the
-// state data is durable); recovery replays it and keeps the newest CTS per
-// group. Any state version with a CTS beyond its groups' recovered LastCTS
-// belongs to a commit that never finished globally and is purged, which is
-// what keeps multiple states of one query mutually consistent across
-// crashes.
+// The log is append-only, written after the state data is durable; recovery
+// replays it and keeps the newest CTS per group. Any state version with a
+// CTS beyond its groups' recovered LastCTS belongs to a commit that never
+// finished globally and is purged, which is what keeps multiple states of
+// one query mutually consistent across crashes.
+//
+// A commit that spans several groups is logged as ONE record (kGroupCommit:
+// all its group ids + the commit timestamp). That makes the publication
+// atomic on disk — recovery sees either every group advanced or none, so a
+// crash can no longer leave a multi-group commit half-recorded — and it
+// turns N per-group synced appends into a single append that rides one
+// group-commit batch of the underlying WalWriter.
 
 #ifndef STREAMSI_CORE_GROUP_COMMIT_LOG_H_
 #define STREAMSI_CORE_GROUP_COMMIT_LOG_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 
 #include "common/coding.h"
+#include "common/small_vec.h"
 #include "storage/wal.h"
 #include "txn/types.h"
 
@@ -34,13 +42,34 @@ class GroupCommitLog {
   }
 
   /// Appends "group committed through cts" (durable on return when the
-  /// log's SyncMode says so).
+  /// log's SyncMode says so). Single-group legacy record.
   Status Record(GroupId group, Timestamp cts, bool sync) {
     std::string payload;
     PutVarint32(&payload, group);
     PutVarint64(&payload, cts);
     return writer_.Append(WalRecordType::kCheckpoint, payload, sync);
   }
+
+  /// Appends one commit's whole publication — every affected group advances
+  /// to `cts` — as a single all-or-nothing record. The payload buffer is
+  /// thread-local and reused, so steady-state commits encode without heap
+  /// allocation.
+  Status RecordCommit(const GroupId* groups, std::size_t count, Timestamp cts,
+                      bool sync) {
+    if (failures_to_inject_.load(std::memory_order_relaxed) > 0 &&
+        failures_to_inject_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      return Status::IoError("injected group-commit log failure");
+    }
+    thread_local std::string payload;
+    payload.clear();
+    PutVarint32(&payload, static_cast<std::uint32_t>(count));
+    for (std::size_t i = 0; i < count; ++i) PutVarint32(&payload, groups[i]);
+    PutVarint64(&payload, cts);
+    return writer_.Append(WalRecordType::kGroupCommit, payload, sync);
+  }
+
+  /// Records written / batches synced (group-commit amortization ratio).
+  std::uint64_t batches_written() const { return writer_.batches_written(); }
 
   /// Replays `path` and returns the newest CTS per group.
   static Result<std::unordered_map<GroupId, Timestamp>> Replay(
@@ -49,9 +78,34 @@ class GroupCommitLog {
     if (!fsutil::FileExists(path)) return result;
     STREAMSI_RETURN_NOT_OK(WalReader::Replay(
         path,
-        [&](WalRecordType /*type*/, std::string_view payload) -> Status {
+        [&](WalRecordType type, std::string_view payload) -> Status {
           const char* p = payload.data();
           const char* limit = p + payload.size();
+          if (type == WalRecordType::kGroupCommit) {
+            std::uint32_t count = 0;
+            p = GetVarint32(p, limit, &count);
+            if (p == nullptr) return Status::Corruption("bad group count");
+            // Bounded by the payload itself: each group id is >= 1 byte.
+            if (count > payload.size()) {
+              return Status::Corruption("group count exceeds record");
+            }
+            SmallVec<GroupId, 64> ids;
+            for (std::uint32_t i = 0; i < count && p != nullptr; ++i) {
+              GroupId id = kInvalidGroupId;
+              p = GetVarint32(p, limit, &id);
+              if (p != nullptr) ids.push_back(id);
+            }
+            std::uint64_t cts = 0;
+            if (p != nullptr) p = GetVarint64(p, limit, &cts);
+            if (p == nullptr) {
+              return Status::Corruption("bad group commit record");
+            }
+            for (GroupId id : ids) {
+              Timestamp& entry = result[id];
+              entry = std::max(entry, cts);
+            }
+            return Status::OK();
+          }
           std::uint32_t group = 0;
           std::uint64_t cts = 0;
           p = GetVarint32(p, limit, &group);
@@ -68,9 +122,16 @@ class GroupCommitLog {
 
   Status Close() { return writer_.Close(); }
 
+  /// Fault injection: the next `n` RecordCommit calls fail with IoError
+  /// (durability-hole tests — a failed durable record must fail the commit).
+  void InjectRecordFailures(int n) {
+    failures_to_inject_.store(n, std::memory_order_relaxed);
+  }
+
  private:
   std::string path_;
   WalWriter writer_;
+  std::atomic<int> failures_to_inject_{0};
 };
 
 }  // namespace streamsi

@@ -1,7 +1,6 @@
 #include "core/transaction_manager.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/logging.h"
 
@@ -12,7 +11,12 @@ Result<std::unique_ptr<TransactionHandle>> TransactionManager::Begin() {
   auto slot = context_->BeginTransaction(&id);
   if (!slot.ok()) return slot.status();
   counters_.begun.fetch_add(1, std::memory_order_relaxed);
-  return std::make_unique<TransactionHandle>(this, context_, slot.value(), id);
+  // The slot is exclusively ours until EndTransaction: hand out its pooled
+  // scratch (allocated once per slot, then reused forever).
+  auto& scratch = scratch_pool_[static_cast<std::size_t>(slot.value())];
+  if (scratch == nullptr) scratch = std::make_unique<TxnScratch>();
+  return std::make_unique<TransactionHandle>(this, context_, slot.value(), id,
+                                             scratch.get());
 }
 
 Status TransactionManager::Read(Transaction& txn, StateId state,
@@ -105,7 +109,9 @@ Status TransactionManager::AbortState(Transaction& txn, StateId state) {
 
 Status TransactionManager::Commit(Transaction& txn) {
   if (!txn.running()) return Status::Aborted("transaction not running");
-  for (const auto& [state, status] : context_->StatesOf(txn.slot())) {
+  SmallVec<std::pair<StateId, TxnStatus>, kInlineCommitStates> touched;
+  context_->CopyStatesOf(txn.slot(), &touched);
+  for (const auto& [state, status] : touched) {
     (void)status;
     context_->SetStateStatus(txn.slot(), state, TxnStatus::kCommit);
   }
@@ -121,15 +127,46 @@ Status TransactionManager::Abort(Transaction& txn) {
   return Status::OK();
 }
 
+namespace {
+
+/// Context for the lazily computed per-store GC watermark.
+struct StoreFloorCtx {
+  StateContext* context;
+  VersionedStore* store;
+};
+
+}  // namespace
+
+Timestamp TransactionManager::ComputeStoreGcFloor(void* ctx) {
+  auto* c = static_cast<StoreFloorCtx*>(ctx);
+  // Generation-tagged cache: a watermark computed through the publish-floor
+  // handshake stays safe forever (future pins validate against the
+  // published floor), so serving a cached value is always sound. The
+  // generation — bumped on every transaction begin/end — bounds how
+  // conservative (stale-low) the served floor can get.
+  const std::uint64_t generation = c->context->TxnTableGeneration();
+  Timestamp floor = kInitialTs;
+  if (c->store->TryGetCachedGcFloor(generation, &floor)) return floor;
+  floor = c->context->OldestActiveVersionFor(c->store->id());
+  c->store->CacheGcFloor(generation, floor);
+  return floor;
+}
+
 Status TransactionManager::GlobalCommit(Transaction& txn) {
-  const std::vector<StateId> written = txn.WrittenStates();
+  // All commit bookkeeping lives on the coordinator's stack: written
+  // states, resolved stores and the affected group set spill to the heap
+  // only past kInlineCommitStates entries.
+  SmallVec<StateId, kInlineCommitStates> written;
+  txn.ForEachWrittenState([&](StateId state) { written.push_back(state); });
 
   if (written.empty()) {
     // Read-only fast path: no apply, no commit timestamp, no group
     // publication. Validation still runs (BOCC must check the read set).
     Status status = protocol_->PreCommit(txn);
     if (status.ok()) {
-      for (const auto& [state, st] : context_->StatesOf(txn.slot())) {
+      SmallVec<std::pair<StateId, TxnStatus>, kInlineCommitStates> touched;
+      context_->CopyStatesOf(txn.slot(), &touched);
+      for (const auto& [state, st] : touched) {
         (void)st;
         if (VersionedStore* store = resolver_(state); store != nullptr) {
           status = protocol_->Validate(txn, *store);
@@ -149,8 +186,7 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
   }
 
   // Resolve stores up front.
-  std::vector<VersionedStore*> stores;
-  stores.reserve(written.size());
+  SmallVec<VersionedStore*, kInlineCommitStates> stores;
   for (StateId state : written) {
     VersionedStore* store = resolver_(state);
     if (store == nullptr) {
@@ -168,12 +204,16 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
     GlobalAbort(txn);
     return status;
   }
-  for (const auto& [state, state_status] : context_->StatesOf(txn.slot())) {
-    (void)state_status;
-    VersionedStore* store = resolver_(state);
-    if (store == nullptr) continue;
-    status = protocol_->Validate(txn, *store);
-    if (!status.ok()) break;
+  {
+    SmallVec<std::pair<StateId, TxnStatus>, kInlineCommitStates> touched;
+    context_->CopyStatesOf(txn.slot(), &touched);
+    for (const auto& [state, state_status] : touched) {
+      (void)state_status;
+      VersionedStore* store = resolver_(state);
+      if (store == nullptr) continue;
+      status = protocol_->Validate(txn, *store);
+      if (!status.ok()) break;
+    }
   }
   if (!status.ok()) {
     counters_.conflicts.fetch_add(1, std::memory_order_relaxed);
@@ -184,53 +224,73 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
 
   // --- Phase 2: apply. All states become visible atomically because the
   // new versions carry a commit timestamp no reader has pinned yet; the
-  // groups' LastCTS advances only after every state is durable. -----------
+  // groups' LastCTS advances only after every state is durable. The GC
+  // watermark is LAZY: the two-scan OldestActiveVersionFor handshake runs
+  // only if some key's version array is actually full (generation-cached
+  // per store), instead of once per written store on every commit. --------
   const Timestamp commit_ts = context_->clock().Next();
+  // Undo helper for failed commits: drop ONLY this transaction's freshly
+  // installed versions (its write-set keys, which it still commit-owns). A
+  // store-wide PurgeVersionsAfter would also destroy concurrent
+  // committers' higher-timestamped — possibly already published — versions.
+  const auto purge_own_writes = [&] {
+    for (VersionedStore* store : stores) {
+      const WriteSet* ws = txn.FindWriteSet(store->id());
+      if (ws == nullptr) continue;
+      ws->ForEachEffective(
+          [&](std::string_view key, std::string_view, bool) {
+            (void)store->PurgeKeyVersionsAfter(key, commit_ts - 1);
+          });
+    }
+  };
   for (VersionedStore* store : stores) {
-    // Per-state GC watermark: only snapshots that can see this state pin
-    // its old versions (an idle group elsewhere must not block GC here).
-    const Timestamp oldest_active =
-        context_->OldestActiveVersionFor(store->id());
-    status = protocol_->Apply(txn, *store, commit_ts, oldest_active);
+    StoreFloorCtx floor_ctx{context_, store};
+    GcFloor floor(&TransactionManager::ComputeStoreGcFloor, &floor_ctx);
+    status = protocol_->Apply(txn, *store, commit_ts, floor);
     if (!status.ok()) {
       // Apply failures (e.g. IO errors) after partial installation are
       // resolved by recovery: LastCTS was never advanced, so the versions
       // of this commit are purged on restart. In-memory, purge right away.
-      for (VersionedStore* s : stores) {
-        s->PurgeVersionsAfter(commit_ts - 1);
-      }
+      purge_own_writes();
       protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
       GlobalAbort(txn);
       return status;
     }
   }
-  protocol_->PostCommit(txn, commit_ts, /*committed=*/true);
 
-  // --- Phase 3: publish. LastCTS per affected group, durably logged. ----
-  std::set<GroupId> groups;
+  // --- Phase 3: durability point. One group-commit record covers ALL of
+  // this commit's groups (atomic on disk) and rides a WAL group-commit
+  // batch shared with concurrent committers. A failed durable record FAILS
+  // THE COMMIT: nothing was published, so the installed versions are purged
+  // and the transaction aborts — publishing anyway would hand out data that
+  // recovery is guaranteed to roll back. ---------------------------------
+  SmallVec<GroupId, kInlineCommitStates> groups;
   for (StateId state : written) {
-    for (GroupId group : context_->GroupsOf(state)) groups.insert(group);
+    context_->CollectGroupsOf(state, &groups);
   }
-  // Durable log records first, then one atomic multi-group publication:
-  // readers sweeping their snapshot pins must never observe a commit that
-  // has advanced only some of its groups (§4.3 overlap-rule consistency).
-  for (GroupId group : groups) {
-    if (group_log_ != nullptr && durable_group_log_) {
-      const Status log_status =
-          group_log_->Record(group, commit_ts, /*sync=*/true);
-      if (!log_status.ok()) {
-        STREAMSI_WARN("group commit log write failed: "
-                      << log_status.ToString());
-      }
+  if (group_log_ != nullptr && durable_group_log_ && !groups.empty()) {
+    const Status log_status = group_log_->RecordCommit(
+        groups.data(), groups.size(), commit_ts, /*sync=*/true);
+    if (!log_status.ok()) {
+      STREAMSI_WARN("group commit log write failed, aborting commit: "
+                    << log_status.ToString());
+      purge_own_writes();
+      protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
+      GlobalAbort(txn);
+      return log_status;
     }
   }
-  context_->PublishCommit(
-      std::vector<GroupId>(groups.begin(), groups.end()), commit_ts);
+  protocol_->PostCommit(txn, commit_ts, /*committed=*/true);
+
+  // --- Phase 4: publish. One atomic multi-group LastCTS advance: readers
+  // sweeping their snapshot pins must never observe a commit that has
+  // advanced only some of its groups (§4.3 overlap-rule consistency). ----
+  context_->PublishCommit(groups.data(), groups.size(), commit_ts);
 
   // Commit listeners fire after publication: the changes are now visible
   // to new snapshots (TO_STREAM kOnCommit trigger).
   if (has_listeners_.load(std::memory_order_acquire)) {
-    NotifyCommitListeners(txn, commit_ts, written);
+    NotifyCommitListeners(txn, commit_ts, written.data(), written.size());
   }
 
   ReleaseAll(txn, /*committed=*/true);
@@ -238,10 +298,12 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
   return Status::OK();
 }
 
-void TransactionManager::NotifyCommitListeners(
-    Transaction& txn, Timestamp commit_ts,
-    const std::vector<StateId>& written) {
-  for (StateId state : written) {
+void TransactionManager::NotifyCommitListeners(Transaction& txn,
+                                               Timestamp commit_ts,
+                                               const StateId* written,
+                                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const StateId state = written[i];
     std::vector<std::pair<std::uint64_t, CommitListener>> listeners;
     {
       SharedGuard guard(listeners_latch_);
@@ -255,13 +317,7 @@ void TransactionManager::NotifyCommitListeners(
     CommitInfo info;
     info.txn_id = txn.id();
     info.commit_ts = commit_ts;
-    info.changes.reserve(ws->entries().size());
-    for (const auto& entry : ws->entries()) {
-      info.changes.push_back(CommitChange{
-          entry.key, entry.is_delete
-                         ? std::nullopt
-                         : std::optional<std::string>(entry.value)});
-    }
+    info.changes = ws;
     for (const auto& [token, listener] : listeners) {
       (void)token;
       listener(info);
@@ -293,15 +349,19 @@ void TransactionManager::UnregisterCommitListener(std::uint64_t token) {
 }
 
 void TransactionManager::GlobalAbort(Transaction& txn) {
+  // Release protocol resources FIRST: SI commit locks reference key bytes
+  // inside the write sets, so the locks must be gone before the sets reset.
+  ReleaseAll(txn, /*committed=*/false);
   // §4.2: "it is enough for the abort operation to simply clear the
   // corresponding write set and release the memory."
   txn.ClearWriteSets();
-  ReleaseAll(txn, /*committed=*/false);
   Finish(txn, /*committed=*/false);
 }
 
 void TransactionManager::ReleaseAll(Transaction& txn, bool committed) {
-  for (const auto& [state, status] : context_->StatesOf(txn.slot())) {
+  SmallVec<std::pair<StateId, TxnStatus>, kInlineCommitStates> touched;
+  context_->CopyStatesOf(txn.slot(), &touched);
+  for (const auto& [state, status] : touched) {
     (void)status;
     if (VersionedStore* store = resolver_(state); store != nullptr) {
       protocol_->ReleaseState(txn, *store, committed);
@@ -312,6 +372,10 @@ void TransactionManager::ReleaseAll(Transaction& txn, bool committed) {
 
 void TransactionManager::Finish(Transaction& txn, bool committed) {
   txn.set_phase(committed ? TxnPhase::kCommitted : TxnPhase::kAborted);
+  // Reset the pooled scratch BEFORE the slot is released: once
+  // EndTransaction runs, the next Begin may hand the same scratch to a new
+  // transaction on another thread.
+  txn.ResetScratch();
   context_->EndTransaction(txn.slot());
   auto& counter = committed ? counters_.committed : counters_.aborted;
   counter.fetch_add(1, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #ifndef STREAMSI_CORE_TRANSACTION_MANAGER_H_
 #define STREAMSI_CORE_TRANSACTION_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -14,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vec.h"
 #include "core/group_commit_log.h"
 #include "txn/protocol.h"
 #include "txn/state_context.h"
@@ -34,18 +36,21 @@ struct TxnCounters {
 /// handle aborts the transaction.
 class TransactionHandle;
 
-/// One change of a committed transaction (delivered to commit listeners).
-struct CommitChange {
-  std::string key;
-  /// nullopt = the key was deleted.
-  std::optional<std::string> value;
-};
-
 /// What a commit listener learns about a finished transaction on one state.
+/// The changes are exposed as views into the transaction's write set (valid
+/// for the duration of the synchronous listener call) — building the
+/// notification allocates nothing.
 struct CommitInfo {
   TxnId txn_id = 0;
   Timestamp commit_ts = 0;
-  std::vector<CommitChange> changes;
+  /// The state's effective write set, in first-touch order.
+  const WriteSet* changes = nullptr;
+
+  /// fn(key, value, is_delete); `value` is empty for deletes.
+  template <typename Fn>
+  void ForEachChange(Fn&& fn) const {
+    if (changes != nullptr) changes->ForEachEffective(fn);
+  }
 };
 
 /// Observer of committed changes on one state. Invoked synchronously in the
@@ -120,12 +125,19 @@ class TransactionManager {
  private:
   friend class TransactionHandle;
 
+  /// Inline capacity for the commit path's stack-resident bookkeeping
+  /// (written states, stores, groups). Commits spanning more spill to the
+  /// heap but stay correct.
+  static constexpr std::size_t kInlineCommitStates = 8;
+
   Status GlobalCommit(Transaction& txn);
   void GlobalAbort(Transaction& txn);
   void ReleaseAll(Transaction& txn, bool committed);
   void Finish(Transaction& txn, bool committed);
   void NotifyCommitListeners(Transaction& txn, Timestamp commit_ts,
-                             const std::vector<StateId>& written);
+                             const StateId* written, std::size_t count);
+  /// GcFloor compute hook: generation-cached OldestActiveVersionFor.
+  static Timestamp ComputeStoreGcFloor(void* ctx);
 
   StateContext* context_;
   ConcurrencyProtocol* protocol_;
@@ -133,6 +145,12 @@ class TransactionManager {
   GroupCommitLog* group_log_;
   bool durable_group_log_;
   TxnCounters counters_;
+  /// Per-slot pooled transaction scratch (write sets, lock lists, caches).
+  /// A slot is exclusively owned between BeginTransaction/EndTransaction,
+  /// so no lock guards the entries; the unique_ptrs are created lazily and
+  /// reused for every later transaction in the slot.
+  std::array<std::unique_ptr<TxnScratch>, StateContext::kMaxActiveTxns>
+      scratch_pool_;
 
   mutable RwLatch listeners_latch_;
   std::uint64_t next_listener_token_ = 1;
@@ -147,8 +165,8 @@ class TransactionManager {
 class TransactionHandle {
  public:
   TransactionHandle(TransactionManager* manager, StateContext* context,
-                    int slot, TxnId id)
-      : manager_(manager), txn_(context, slot, id) {}
+                    int slot, TxnId id, TxnScratch* scratch)
+      : manager_(manager), txn_(context, slot, id, scratch) {}
 
   ~TransactionHandle() {
     if (txn_.running()) manager_->Abort(txn_);

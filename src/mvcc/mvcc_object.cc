@@ -182,11 +182,17 @@ const std::string* MvccObject::UnlinkSlotValue(int slot) {
 }
 
 Status MvccObject::Install(std::string_view value, Timestamp commit_ts,
-                           Timestamp oldest_active) {
+                           GcFloor& floor) {
   // The buffer is built before the write section so the seqlock stays odd
   // for as short as possible; unlinked buffers are retired after it closes
   // (RetireList destructs last) for the same reason.
   auto buffer = std::make_unique<const std::string>(value);
+
+  // Resolve the (lazy) GC watermark outside the seqlock when the array is
+  // full: the caller holds the exclusive per-entry latch, so the occupancy
+  // cannot change underneath us, and optimistic readers of this object are
+  // not stalled behind the transaction-table scans.
+  if (used_.Count() >= capacity_) (void)floor.Get();
 
   RetireList retired;
   WriteSection section(*this);
@@ -197,7 +203,7 @@ Status MvccObject::Install(std::string_view value, Timestamp commit_ts,
   int slot = used_.Acquire(capacity_);
   if (slot == AtomicSlotMask::kNoSlot) {
     // On-demand GC (§4.1): reclaim versions invisible to all active txns.
-    GarbageCollectLocked(oldest_active, &retired);
+    GarbageCollectLocked(floor.Get(), &retired);
     slot = used_.Acquire(capacity_);
     if (slot == AtomicSlotMask::kNoSlot) {
       return Status::ResourceExhausted("MVCC version array full");

@@ -114,11 +114,23 @@ class MvccObject {
 
   /// Installs a new version committed at `commit_ts`; terminates the
   /// previously live version (its dts becomes commit_ts). When no slot is
-  /// free, reclaims versions with dts <= oldest_active first; returns
+  /// free, reclaims versions with dts <= the GC watermark first; returns
   /// ResourceExhausted if still full (caller may retry with a larger
-  /// oldest_active once readers finish).
+  /// watermark once readers finish).
+  ///
+  /// The watermark is LAZY: `floor` is resolved only when the version array
+  /// is actually full — the common commit never pays the transaction-table
+  /// scans behind it. Resolution happens before the seqlock write section
+  /// opens (the caller's exclusive latch keeps the occupancy stable), so
+  /// optimistic readers never spin behind a floor computation.
+  Status Install(std::string_view value, Timestamp commit_ts, GcFloor& floor);
+
+  /// Eager-watermark convenience (tests, bulk load, recovery).
   Status Install(std::string_view value, Timestamp commit_ts,
-                 Timestamp oldest_active);
+                 Timestamp oldest_active) {
+    GcFloor floor(oldest_active);
+    return Install(value, commit_ts, floor);
+  }
 
   /// Logically deletes the key at `commit_ts`: sets the live version's dts.
   /// NotFound if there is no live version.

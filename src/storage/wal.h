@@ -1,13 +1,23 @@
 // Write-ahead log: CRC-framed append-only record log with configurable
-// durability (fsync per write, or deterministic simulated sync latency).
+// durability (fsync per batch, or deterministic simulated sync latency).
 //
 // Record frame: [masked crc32c(4)] [payload_len(4)] [type(1)] [payload].
 // The CRC covers type + payload. Torn tails (partial final record after a
 // crash) are detected and truncated during replay.
+//
+// Group commit (leader/follower): concurrent synchronous appenders encode
+// their records into a shared pending batch under the writer mutex; the
+// first of them becomes the batch leader, writes and syncs the whole batch
+// with the mutex *released*, and everyone whose record rode in that batch
+// returns once the batch's generation is durable. Committers that arrive
+// while a leader's sync is in flight accumulate the next batch — one
+// fsync (or simulated sync sleep) amortizes over every commit in the batch
+// instead of serializing per record.
 
 #ifndef STREAMSI_STORAGE_WAL_H_
 #define STREAMSI_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -23,10 +33,11 @@ namespace streamsi {
 enum class WalRecordType : unsigned char {
   kPut = 1,
   kDelete = 2,
-  kCheckpoint = 3,  ///< marks "everything before this is in SSTables"
+  kCheckpoint = 3,   ///< marks "everything before this is in SSTables"
+  kGroupCommit = 4,  ///< one commit's LastCTS advance across all its groups
 };
 
-/// Append-only writer. Thread-safe (internally serialized).
+/// Append-only writer. Thread-safe; synchronous appends use group commit.
 class WalWriter {
  public:
   WalWriter(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
@@ -35,22 +46,56 @@ class WalWriter {
 
   Status Open(const std::string& path, bool truncate);
 
-  /// Appends one record; if `sync`, it is durable on return per SyncMode.
+  /// Appends one record; if `sync`, it is durable on return per SyncMode
+  /// (possibly batched with concurrent appenders — one sync per batch).
+  /// Unsynced appends are written through immediately unless a batch sync
+  /// is in flight, in which case they ride with the next batch write.
   Status Append(WalRecordType type, std::string_view payload, bool sync);
 
-  /// Total bytes appended so far.
-  std::uint64_t size() const { return file_.size(); }
+  /// Total bytes appended so far (including bytes still in the pending
+  /// batch buffer).
+  std::uint64_t size() const {
+    return appended_bytes_.load(std::memory_order_acquire);
+  }
+
+  /// Number of batch writes performed (observability: group-commit ratio =
+  /// records appended / batches synced).
+  std::uint64_t batches_written() const {
+    return batches_written_.load(std::memory_order_relaxed);
+  }
 
   Status SyncNow();
   Status Close();
 
  private:
   Status ApplySync();
+  /// Appends one framed record to `out` using no temporary buffers.
+  static void EncodeRecordTo(std::string* out, WalRecordType type,
+                             std::string_view payload);
+  /// Writes the accumulated pending batch through to the file (no sync).
+  /// Caller holds mutex_ and there is no leader in flight.
+  Status FlushPendingLocked();
+  /// Leader/follower protocol: returns once every batch up to `my_batch`
+  /// is durable (leading batches ourselves whenever no leader is active).
+  Status AwaitDurableLocked(std::unique_lock<std::mutex>& lk,
+                            std::uint64_t my_batch);
 
   std::mutex mutex_;
+  std::condition_variable cv_;
   WritableFile file_;
   SyncMode sync_mode_;
   std::uint64_t simulated_sync_micros_;
+
+  // Group-commit state, all under mutex_ (except the atomics).
+  std::string pending_;   ///< batch currently accumulating
+  std::string writing_;   ///< batch the leader is writing (buffer reused)
+  bool leader_active_ = false;
+  bool sync_requested_ = false;  ///< pending batch contains a sync record
+  std::uint64_t accumulating_batch_ = 1;  ///< id of the pending batch
+  std::uint64_t durable_batch_ = 0;       ///< highest batch synced
+  Status sticky_status_;  ///< first IO error; poisons all later appends
+  std::atomic<std::uint64_t> appended_bytes_{0};
+  std::atomic<std::uint64_t> batches_written_{0};
 };
 
 /// Sequential replay of a WAL file.
@@ -58,7 +103,9 @@ class WalWriter {
 /// The visitor receives each well-formed record in order. Replay stops at
 /// the first corrupt/torn record; that is reported as OK with
 /// `tail_truncated = true` (crash tail), because an interrupted final write
-/// is expected after a crash.
+/// is expected after a crash. A torn group-commit batch therefore recovers
+/// to a prefix of whole records — i.e. a prefix of whole commits, since
+/// each commit's group records form a single record.
 class WalReader {
  public:
   struct ReplayStats {

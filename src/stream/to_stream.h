@@ -56,19 +56,20 @@ class ToStream : public OperatorBase, public Publisher<ChangeEvent<K, V>> {
 
  private:
   void OnCommit(const CommitInfo& info) {
-    for (const auto& change : info.changes) {
+    info.ForEachChange([&](std::string_view key, std::string_view value,
+                           bool is_delete) {
       ChangeEvent<K, V> event;
       event.commit_ts = info.commit_ts;
-      if (!Serializer<K>::Decode(change.key, &event.key)) continue;
-      if (change.value.has_value()) {
-        V value;
-        if (!Serializer<V>::Decode(*change.value, &value)) continue;
-        event.value = std::move(value);
+      if (!Serializer<K>::Decode(key, &event.key)) return;
+      if (!is_delete) {
+        V decoded;
+        if (!Serializer<V>::Decode(value, &decoded)) return;
+        event.value = std::move(decoded);
       }
-      if (condition_ && !condition_(event)) continue;
+      if (condition_ && !condition_(event)) return;
       this->Publish(
           StreamElement<ChangeEvent<K, V>>(std::move(event), info.commit_ts));
-    }
+    });
   }
 
   TransactionManager* manager_;

@@ -9,15 +9,14 @@
 namespace streamsi {
 
 Status ConcurrencyProtocol::Apply(Transaction& txn, VersionedStore& store,
-                                  Timestamp commit_ts,
-                                  Timestamp oldest_active) {
-  return ApplyWriteSet(txn, store, commit_ts, oldest_active);
+                                  Timestamp commit_ts, GcFloor& floor) {
+  return ApplyWriteSet(txn, store, commit_ts, floor);
 }
 
 Status ConcurrencyProtocol::ApplyWriteSet(Transaction& txn,
                                           VersionedStore& store,
                                           Timestamp commit_ts,
-                                          Timestamp oldest_active) {
+                                          GcFloor& floor) {
   const WriteSet* ws = txn.FindWriteSet(store.id());
   if (ws == nullptr || ws->empty()) return Status::OK();
 
@@ -29,7 +28,7 @@ Status ConcurrencyProtocol::ApplyWriteSet(Transaction& txn,
     const bool is_last = (i + 1 == entries.size());
     STREAMSI_RETURN_NOT_OK(store.ApplyCommitted(
         entries[i].key, entries[i].value, entries[i].is_delete, commit_ts,
-        oldest_active, /*sync_hint=*/is_last));
+        floor, /*sync_hint=*/is_last));
   }
   return Status::OK();
 }
@@ -44,8 +43,7 @@ Status ConcurrencyProtocol::ScanWithOverlay(
   bool stop = false;
   STREAMSI_RETURN_NOT_OK(store.ScanCommitted(
       read_ts, [&](std::string_view key, std::string_view value) {
-        const auto own = ws->Get(key);
-        if (own.has_value()) return true;  // emitted from the overlay below
+        if (ws->Contains(key)) return true;  // emitted from the overlay below
         if (!callback(key, value)) {
           stop = true;
           return false;
@@ -54,13 +52,12 @@ Status ConcurrencyProtocol::ScanWithOverlay(
       }));
   if (stop) return Status::OK();
   // Emit the transaction's own (non-delete) writes.
-  Status status = Status::OK();
-  ws->ForEachEffective([&](const std::string& key, const std::string& value,
+  ws->ForEachEffective([&](std::string_view key, std::string_view value,
                            bool is_delete) {
     if (stop || is_delete) return;
     if (!callback(key, value)) stop = true;
   });
-  return status;
+  return Status::OK();
 }
 
 std::unique_ptr<ConcurrencyProtocol> MakeProtocol(ProtocolType type,

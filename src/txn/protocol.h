@@ -10,10 +10,14 @@
 // Commit pipeline (driven by TransactionManager for the whole state group):
 //   PreCommit(txn)                         -- once per transaction
 //   Validate(txn, store)                   -- per written state
-//   Apply(txn, store, commit_ts, oldest)   -- per written state
+//   Apply(txn, store, commit_ts, floor)    -- per written state
 //   PostCommit(txn, commit_ts, committed)  -- once per transaction
 //   ReleaseState(txn, store, committed)    -- per touched state
 //   FinalizeTxn(txn, committed)            -- once per transaction
+//
+// `floor` is the lazily computed GC watermark: Apply resolves it only when
+// a key's version array is full, so the common commit skips the
+// transaction-table scans entirely.
 
 #ifndef STREAMSI_TXN_PROTOCOL_H_
 #define STREAMSI_TXN_PROTOCOL_H_
@@ -66,9 +70,10 @@ class ConcurrencyProtocol {
   /// may acquire commit-time resources that ReleaseState() frees.
   virtual Status Validate(Transaction& txn, VersionedStore& store) = 0;
 
-  /// Installs the write set of `store` at `commit_ts`.
+  /// Installs the write set of `store` at `commit_ts`. `floor` resolves the
+  /// GC watermark on demand (full version arrays only).
   virtual Status Apply(Transaction& txn, VersionedStore& store,
-                       Timestamp commit_ts, Timestamp oldest_active);
+                       Timestamp commit_ts, GcFloor& floor);
 
   /// Left once after all Apply calls (or after a validation failure).
   virtual void PostCommit(Transaction& txn, Timestamp commit_ts,
@@ -97,7 +102,7 @@ class ConcurrencyProtocol {
   /// append order, persisting with one durable write at the end of the
   /// batch (one fsync per state commit).
   static Status ApplyWriteSet(Transaction& txn, VersionedStore& store,
-                              Timestamp commit_ts, Timestamp oldest_active);
+                              Timestamp commit_ts, GcFloor& floor);
 
   /// Shared scan: committed snapshot at `read_ts` overlaid with the
   /// transaction's own writes.

@@ -5,9 +5,9 @@ namespace streamsi {
 Status S2plProtocol::Read(Transaction& txn, VersionedStore& store,
                           std::string_view key, std::string* value) {
   if (const WriteSet* ws = txn.FindWriteSet(store.id()); ws != nullptr) {
-    if (auto own = ws->Get(key); own.has_value()) {
-      if (!own->has_value()) return Status::NotFound("deleted by self");
-      *value = **own;
+    if (const auto own = ws->Find(key); own.written) {
+      if (own.is_delete) return Status::NotFound("deleted by self");
+      value->assign(own.value.data(), own.value.size());
       return Status::OK();
     }
   }

@@ -19,9 +19,9 @@ Status SiProtocol::Read(Transaction& txn, VersionedStore& store,
   // §4.2: "The read operation starts by checking whether the accessing
   // transaction has already written a new value (Uncommitted Write Set)."
   if (const WriteSet* ws = txn.FindWriteSet(store.id()); ws != nullptr) {
-    if (auto own = ws->Get(key); own.has_value()) {
-      if (!own->has_value()) return Status::NotFound("deleted by self");
-      *value = **own;
+    if (const auto own = ws->Find(key); own.written) {
+      if (own.is_delete) return Status::NotFound("deleted by self");
+      value->assign(own.value.data(), own.value.size());
       return Status::OK();
     }
   }
@@ -58,13 +58,15 @@ Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
   if (ws == nullptr || ws->empty()) return Status::OK();
   for (const auto& entry : ws->entries()) {
     // Commit-time write lock ("In the case of multiple writers, additional
-    // write locks are introduced").
+    // write locks are introduced"). The recorded key is a view into the
+    // write set — stable until the scratch resets after release.
     STREAMSI_RETURN_NOT_OK(store.LockForCommit(entry.key, txn.id()));
     txn.RecordCommitLock(store.id(), entry.key);
     // First-Committer-Wins: someone committed a modification (install or
     // delete) of this key after our BOT.
     if (store.LatestModification(entry.key) > txn.id()) {
-      return Status::Conflict("first-committer-wins: key '" + entry.key +
+      return Status::Conflict("first-committer-wins: key '" +
+                              std::string(entry.key) +
                               "' has a newer committed modification");
     }
   }
@@ -73,15 +75,10 @@ Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
 
 void SiProtocol::ReleaseState(Transaction& txn, VersionedStore& store,
                               bool /*committed*/) {
-  // Release only this store's commit locks; put the rest back.
-  auto locks = txn.TakeCommitLocks();
-  for (auto& lock : locks) {
-    if (lock.state == store.id()) {
-      store.UnlockCommit(lock.key, txn.id());
-    } else {
-      txn.RecordCommitLock(lock.state, lock.key);
-    }
-  }
+  // Release this store's commit locks in place (no vector churn).
+  txn.ReleaseCommitLocks(store.id(), [&](std::string_view key) {
+    store.UnlockCommit(key, txn.id());
+  });
 }
 
 }  // namespace streamsi

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/small_vec.h"
+
 namespace streamsi {
+
+namespace {
+/// Inline capacity for group collections gathered on the stack (pin sweeps,
+/// watermark computations). Registries with more groups spill to the heap.
+constexpr std::size_t kInlineGroups = 16;
+}  // namespace
 
 // ---------------------------------------------------------------- states ---
 
@@ -60,7 +68,7 @@ Timestamp StateContext::LastCts(GroupId group) const {
   return groups_[group]->last_cts.load(std::memory_order_acquire);
 }
 
-void StateContext::PublishCommit(const std::vector<GroupId>& groups,
+void StateContext::PublishCommit(const GroupId* groups, std::size_t count,
                                  Timestamp cts) {
   // Publishers must be mutually exclusive: each GlobalCommit runs on its own
   // coordinator thread, and two overlapping publications would both bump the
@@ -75,7 +83,8 @@ void StateContext::PublishCommit(const std::vector<GroupId>& groups,
     // per group): readers spin while the sequence is odd, so keep the
     // window short.
     SharedGuard guard(registry_latch_);
-    for (GroupId group : groups) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const GroupId group = groups[i];
       if (group >= groups_.size()) continue;
       auto& last = groups_[group]->last_cts;
       Timestamp cur = last.load(std::memory_order_relaxed);
@@ -108,6 +117,11 @@ Result<int> StateContext::BeginTransaction(TxnId* txn_id) {
   }
   const TxnId id = clock_.Next();
   s.txn_id.store(id, std::memory_order_release);
+  // Invalidate cached lazy GC floors: the new transaction may pin snapshots
+  // the cached watermark computations did not account for. (Safety does not
+  // depend on this — the floor handshake keeps any published watermark
+  // valid — but conservatively busting the cache keeps floors fresh.)
+  txn_generation_.fetch_add(1, std::memory_order_acq_rel);
   *txn_id = id;
   return slot;
 }
@@ -121,6 +135,9 @@ void StateContext::EndTransaction(int slot) {
     s.read_cts.clear();
   }
   active_mask_.Release(slot);
+  // Invalidate cached lazy GC floors: this transaction's pins are gone, so
+  // the watermark may rise — force the next full-array Install to recompute.
+  txn_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void StateContext::RegisterStateAccess(int slot, StateId state) {
@@ -191,13 +208,12 @@ void StateContext::SweepAndPin(int slot) {
       CpuRelax();
       continue;
     }
-    std::vector<std::pair<GroupId, Timestamp>> cut;
+    SmallVec<std::pair<GroupId, Timestamp>, kInlineGroups> cut;
     {
       SharedGuard registry_guard(registry_latch_);
-      cut.reserve(groups_.size());
       for (const auto& group : groups_) {
-        cut.emplace_back(group->info.id,
-                         group->last_cts.load(std::memory_order_acquire));
+        cut.push_back({group->info.id,
+                       group->last_cts.load(std::memory_order_acquire)});
       }
     }
     std::atomic_thread_fence(std::memory_order_acquire);
@@ -294,7 +310,8 @@ std::optional<Timestamp> StateContext::GetReadCts(int slot,
 }
 
 Timestamp StateContext::PinReadCtsForState(int slot, StateId state) {
-  const std::vector<GroupId> groups = GroupsOf(state);
+  SmallVec<GroupId, kInlineGroups> groups;
+  CollectGroupsOf(state, &groups);
   if (groups.empty()) {
     // State outside any topology group: snapshot = now (auto-pinned to the
     // newest committed data at first touch). Pin via a synthetic group-less
@@ -317,7 +334,8 @@ TxnId StateContext::TxnIdOf(int slot) const {
       std::memory_order_acquire);
 }
 
-Timestamp StateContext::OldestPinnedCts(const std::vector<GroupId>& groups,
+Timestamp StateContext::OldestPinnedCts(const GroupId* groups,
+                                        std::size_t count,
                                         bool any_group) const {
   Timestamp oldest = kInfinityTs;
   for (int i = 0; i < kMaxActiveTxns; ++i) {
@@ -329,7 +347,7 @@ Timestamp StateContext::OldestPinnedCts(const std::vector<GroupId>& groups,
     std::lock_guard<SpinLock> guard(s.lock);
     for (const auto& [gid, ts] : s.read_cts) {
       if (any_group ||
-          std::find(groups.begin(), groups.end(), gid) != groups.end()) {
+          std::find(groups, groups + count, gid) != groups + count) {
         oldest = std::min(oldest, ts);
       }
     }
@@ -343,12 +361,12 @@ Timestamp StateContext::GcFloor(GroupId group) const {
   return groups_[group]->gc_floor.load(std::memory_order_seq_cst);
 }
 
-void StateContext::PublishGcFloor(const std::vector<GroupId>& groups,
+void StateContext::PublishGcFloor(const GroupId* groups, std::size_t count,
                                   bool any_group, Timestamp floor) const {
   SharedGuard guard(registry_latch_);
   for (const auto& group : groups_) {
-    if (!any_group && std::find(groups.begin(), groups.end(),
-                                group->info.id) == groups.end()) {
+    if (!any_group && std::find(groups, groups + count, group->info.id) ==
+                          groups + count) {
       continue;
     }
     Timestamp cur = group->gc_floor.load(std::memory_order_relaxed);
@@ -371,33 +389,35 @@ Timestamp StateContext::OldestActiveVersion() const {
           std::min(oldest, group->last_cts.load(std::memory_order_acquire));
     }
   }
-  static const std::vector<GroupId> kNoGroups;
-  oldest = std::min(oldest, OldestPinnedCts(kNoGroups, /*any_group=*/true));
+  oldest = std::min(oldest, OldestPinnedCts(nullptr, 0, /*any_group=*/true));
   // Publish the intended watermark, then re-scan: a reader that registered
   // its pin after the first scan re-validates against this floor (see
   // PinReadCts), and the second scan picks up any pin registered before the
   // floor became visible — between them every in-flight pin is accounted
   // for before a single version is reclaimed at this watermark.
-  PublishGcFloor(kNoGroups, /*any_group=*/true, oldest);
+  PublishGcFloor(nullptr, 0, /*any_group=*/true, oldest);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  oldest = std::min(oldest, OldestPinnedCts(kNoGroups, /*any_group=*/true));
+  oldest = std::min(oldest, OldestPinnedCts(nullptr, 0, /*any_group=*/true));
   return oldest;
 }
 
 Timestamp StateContext::OldestActiveVersionFor(StateId state) const {
-  const std::vector<GroupId> groups = GroupsOf(state);
+  SmallVec<GroupId, kInlineGroups> groups;
+  CollectGroupsOf(state, &groups);
   Timestamp oldest = clock_.Now();
   for (GroupId group : groups) {
     oldest = std::min(oldest, LastCts(group));
   }
-  oldest = std::min(oldest, OldestPinnedCts(groups, /*any_group=*/false));
+  oldest = std::min(oldest, OldestPinnedCts(groups.data(), groups.size(),
+                                            /*any_group=*/false));
   // Same publish-floor / re-scan handshake as OldestActiveVersion(): no pin
   // registered concurrently with this computation can fall below the
   // returned watermark without either being seen by the second scan or
   // re-pinning itself above the published floor.
-  PublishGcFloor(groups, /*any_group=*/false, oldest);
+  PublishGcFloor(groups.data(), groups.size(), /*any_group=*/false, oldest);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  oldest = std::min(oldest, OldestPinnedCts(groups, /*any_group=*/false));
+  oldest = std::min(oldest, OldestPinnedCts(groups.data(), groups.size(),
+                                            /*any_group=*/false));
   return oldest;
 }
 

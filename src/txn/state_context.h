@@ -15,6 +15,7 @@
 #ifndef STREAMSI_TXN_STATE_CONTEXT_H_
 #define STREAMSI_TXN_STATE_CONTEXT_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <functional>
@@ -76,7 +77,24 @@ class StateContext {
   /// overlap rule is only sound over pins taken from one consistent cut).
   /// This is the ONLY way to advance LastCTS — an unsynchronized per-group
   /// advance would bypass the seqlock and reintroduce torn cuts.
-  void PublishCommit(const std::vector<GroupId>& groups, Timestamp cts);
+  void PublishCommit(const GroupId* groups, std::size_t count, Timestamp cts);
+  void PublishCommit(const std::vector<GroupId>& groups, Timestamp cts) {
+    PublishCommit(groups.data(), groups.size(), cts);
+  }
+  /// Appends every group containing `state` to `out` (deduplicated against
+  /// what `out` already holds). `Vec` is any push_back_unique container —
+  /// the commit path passes a stack SmallVec so publication gathers its
+  /// group set without heap allocation.
+  template <typename Vec>
+  void CollectGroupsOf(StateId state, Vec* out) const {
+    SharedGuard guard(registry_latch_);
+    for (const auto& group : groups_) {
+      if (std::find(group->info.states.begin(), group->info.states.end(),
+                    state) != group->info.states.end()) {
+        out->push_back_unique(group->info.id);
+      }
+    }
+  }
   /// Recovery: forces LastCTS (no monotonicity check).
   void SetLastCts(GroupId group, Timestamp cts);
 
@@ -106,6 +124,26 @@ class StateContext {
 
   /// All states the transaction has registered, with status.
   std::vector<std::pair<StateId, TxnStatus>> StatesOf(int slot) const;
+
+  /// Allocation-free variant: copies the registered states into `out` (any
+  /// push_back container — the commit path passes a stack SmallVec).
+  template <typename Vec>
+  void CopyStatesOf(int slot, Vec* out) const {
+    const TxnSlot& s = slots_[static_cast<std::size_t>(slot)];
+    std::lock_guard<SpinLock> guard(s.lock);
+    for (const auto& entry : s.states) out->push_back(entry);
+  }
+
+  /// Monotonic generation of the active-transaction table: bumped on every
+  /// BeginTransaction and EndTransaction. Consumers (the lazy GC floor
+  /// cache) may reuse a watermark computed at an unchanged generation —
+  /// the pin set can only have shrunk-equivalently since. (Any watermark
+  /// produced by the publish-floor/re-scan handshake stays *safe* forever;
+  /// the generation merely bounds how stale — i.e. how conservative — a
+  /// cached floor may get.)
+  std::uint64_t TxnTableGeneration() const {
+    return txn_generation_.load(std::memory_order_acquire);
+  }
 
   /// True iff every registered state of `group` that this transaction
   /// accessed has status == kCommit... (§4.3: "The modifications are not
@@ -174,13 +212,13 @@ class StateContext {
   /// Smallest snapshot pin any active transaction holds on one of `groups`
   /// (kInfinityTs if none). Used twice by the watermark computations —
   /// before and after publishing the floor.
-  Timestamp OldestPinnedCts(const std::vector<GroupId>& groups,
+  Timestamp OldestPinnedCts(const GroupId* groups, std::size_t count,
                             bool any_group) const;
   Timestamp GcFloor(GroupId group) const;
   /// Raises gc_floor (monotonic) on `groups`, or on every group when
   /// any_group is set.
-  void PublishGcFloor(const std::vector<GroupId>& groups, bool any_group,
-                      Timestamp floor) const;
+  void PublishGcFloor(const GroupId* groups, std::size_t count,
+                      bool any_group, Timestamp floor) const;
   /// First grouped access of a transaction: registers a pin for EVERY
   /// existing group from one seqlock-consistent cut of the LastCTS values,
   /// re-validated against the groups' gc_floor. Taking the whole cut at
@@ -205,6 +243,7 @@ class StateContext {
 
   AtomicSlotMask active_mask_;
   std::array<TxnSlot, kMaxActiveTxns> slots_;
+  std::atomic<std::uint64_t> txn_generation_{0};
 };
 
 }  // namespace streamsi

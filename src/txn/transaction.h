@@ -8,14 +8,22 @@
 // A transaction may be driven by several operators of the same topology
 // (one per state), so the handle is thread-safe where that matters: write
 // sets are per-state and status flags live in the latch-free StateContext.
+//
+// Memory discipline: everything a transaction accumulates (write sets,
+// commit locks, snapshot cache, ...) lives in a TxnScratch that is POOLED
+// PER TRANSACTION SLOT by the TransactionManager. A transaction slot is
+// exclusively owned from BeginTransaction to EndTransaction, so the scratch
+// needs no cross-transaction synchronization; at steady state every buffer
+// has reached its high-water mark and Put/Get/commit bookkeeping runs
+// without a single heap allocation.
 
 #ifndef STREAMSI_TXN_TRANSACTION_H_
 #define STREAMSI_TXN_TRANSACTION_H_
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -34,11 +42,57 @@ enum class TxnPhase : unsigned char {
   kAborted = 2,
 };
 
+/// One lock held by a transaction (S2PL strictness list). The key is owned:
+/// read locks are recorded for caller-provided key buffers that may die
+/// before release.
+struct HeldLock {
+  StateId state;
+  std::string key;
+  bool exclusive;
+};
+
+/// One SI commit lock (First-Committer-Wins ownership). The key is a VIEW
+/// into the write set that recorded it — valid until the scratch resets at
+/// Finish, which happens strictly after ReleaseState unlocked it.
+struct CommitLockRef {
+  StateId state;
+  std::string_view key;
+};
+
+/// Pooled per-slot transaction guts. All vectors keep their capacity and
+/// all write sets keep their arenas across Reset(), so reuse is free.
+struct TxnScratch {
+  struct NamedWriteSet {
+    StateId state = kInvalidStateId;
+    std::unique_ptr<WriteSet> set;
+  };
+
+  /// The first `active_sets` entries are live for the current transaction;
+  /// the tail is the pool of already-allocated write sets to retag.
+  std::vector<NamedWriteSet> sets;
+  std::size_t active_sets = 0;
+
+  std::unordered_set<std::string> read_set;  ///< BOCC backward validation
+  std::vector<HeldLock> held_locks;          ///< S2PL
+  std::vector<CommitLockRef> commit_locks;   ///< SI First-Committer-Wins
+  std::vector<std::pair<StateId, Timestamp>> snapshot_cache;
+
+  void Reset() {
+    for (std::size_t i = 0; i < active_sets; ++i) sets[i].set->Reset();
+    active_sets = 0;
+    read_set.clear();
+    held_locks.clear();
+    commit_locks.clear();
+    snapshot_cache.clear();
+  }
+};
+
 class Transaction {
  public:
-  /// Created via TransactionManager::Begin(); takes the pre-acquired slot.
-  Transaction(StateContext* context, int slot, TxnId id)
-      : context_(context), slot_(slot), id_(id) {}
+  /// Created via TransactionManager::Begin(); takes the pre-acquired slot
+  /// and the slot's pooled scratch.
+  Transaction(StateContext* context, int slot, TxnId id, TxnScratch* scratch)
+      : context_(context), slot_(slot), id_(id), scratch_(scratch) {}
 
   ~Transaction() {
     // Slot release is the TransactionManager's job (it knows about protocol
@@ -67,40 +121,58 @@ class Transaction {
     isolation_.store(level, std::memory_order_release);
   }
 
-  /// Uncommitted write set for `state` (created on first touch); registers
-  /// the state access in the context.
+  /// Uncommitted write set for `state` (created on first touch, reusing a
+  /// pooled one when available); registers the state access in the context.
   WriteSet& MutableWriteSet(StateId state) {
     std::lock_guard<SpinLock> guard(lock_);
-    auto it = write_sets_.find(state);
-    if (it == write_sets_.end()) {
-      context_->RegisterStateAccess(slot_, state);
-      it = write_sets_.emplace(state, std::make_unique<WriteSet>()).first;
+    for (std::size_t i = 0; i < scratch_->active_sets; ++i) {
+      if (scratch_->sets[i].state == state) return *scratch_->sets[i].set;
     }
-    return *it->second;
+    context_->RegisterStateAccess(slot_, state);
+    if (scratch_->active_sets == scratch_->sets.size()) {
+      scratch_->sets.push_back(
+          TxnScratch::NamedWriteSet{state, std::make_unique<WriteSet>()});
+    } else {
+      // Retag a pooled (already Reset) write set for this state.
+      scratch_->sets[scratch_->active_sets].state = state;
+    }
+    return *scratch_->sets[scratch_->active_sets++].set;
   }
 
   /// Read-only view (nullptr if the state was never written).
   const WriteSet* FindWriteSet(StateId state) const {
     std::lock_guard<SpinLock> guard(lock_);
-    auto it = write_sets_.find(state);
-    return it == write_sets_.end() ? nullptr : it->second.get();
+    for (std::size_t i = 0; i < scratch_->active_sets; ++i) {
+      if (scratch_->sets[i].state == state) return scratch_->sets[i].set.get();
+    }
+    return nullptr;
   }
 
-  /// States with a (possibly empty) write set.
-  std::vector<StateId> WrittenStates() const {
+  /// Visits every state with a non-empty write set (allocation-free; the
+  /// commit path gathers them into stack storage).
+  template <typename Fn>
+  void ForEachWrittenState(Fn&& fn) const {
     std::lock_guard<SpinLock> guard(lock_);
-    std::vector<StateId> result;
-    result.reserve(write_sets_.size());
-    for (const auto& [state, ws] : write_sets_) {
-      if (!ws->empty()) result.push_back(state);
+    for (std::size_t i = 0; i < scratch_->active_sets; ++i) {
+      if (!scratch_->sets[i].set->empty()) fn(scratch_->sets[i].state);
     }
+  }
+
+  /// States with a non-empty write set (allocating convenience; the commit
+  /// path uses ForEachWrittenState instead).
+  std::vector<StateId> WrittenStates() const {
+    std::vector<StateId> result;
+    ForEachWrittenState([&](StateId state) { result.push_back(state); });
     return result;
   }
 
-  /// Clears all write sets (abort path).
+  /// Clears all write sets (abort path). Keys recorded as commit-lock views
+  /// become invalid — the manager releases locks before clearing.
   void ClearWriteSets() {
     std::lock_guard<SpinLock> guard(lock_);
-    for (auto& [state, ws] : write_sets_) ws->Clear();
+    for (std::size_t i = 0; i < scratch_->active_sets; ++i) {
+      scratch_->sets[i].set->Reset();
+    }
   }
 
   // ------------------------------------------------ protocol bookkeeping ---
@@ -108,38 +180,49 @@ class Transaction {
   /// BOCC read-set tracking: keys are namespaced "<state>/<key>".
   void RecordRead(StateId state, std::string_view key) {
     std::lock_guard<SpinLock> guard(lock_);
-    read_set_.insert(NamespacedKey(state, key));
+    scratch_->read_set.insert(NamespacedKey(state, key));
   }
 
-  const std::unordered_set<std::string>& read_set() const { return read_set_; }
-
-  /// S2PL held-locks list (released at end of transaction).
-  struct HeldLock {
-    StateId state;
-    std::string key;
-    bool exclusive;
-  };
+  const std::unordered_set<std::string>& read_set() const {
+    return scratch_->read_set;
+  }
 
   void RecordLock(StateId state, std::string_view key, bool exclusive) {
     std::lock_guard<SpinLock> guard(lock_);
-    held_locks_.push_back(HeldLock{state, std::string(key), exclusive});
+    scratch_->held_locks.push_back(
+        HeldLock{state, std::string(key), exclusive});
   }
 
   std::vector<HeldLock> TakeHeldLocks() {
     std::lock_guard<SpinLock> guard(lock_);
-    return std::move(held_locks_);
+    std::vector<HeldLock> taken;
+    taken.swap(scratch_->held_locks);
+    return taken;
   }
 
   /// SI commit locks (First-Committer-Wins ownership) to release after the
-  /// group commit finished.
+  /// group commit finished. `key` must point into this transaction's write
+  /// set (stable until Finish).
   void RecordCommitLock(StateId state, std::string_view key) {
     std::lock_guard<SpinLock> guard(lock_);
-    commit_locks_.push_back({state, std::string(key), true});
+    scratch_->commit_locks.push_back(CommitLockRef{state, key});
   }
 
-  std::vector<HeldLock> TakeCommitLocks() {
+  /// Releases (and removes) the commit locks recorded for `state`, invoking
+  /// `unlock(key)` for each. In-place and allocation-free.
+  template <typename Fn>
+  void ReleaseCommitLocks(StateId state, Fn&& unlock) {
     std::lock_guard<SpinLock> guard(lock_);
-    return std::move(commit_locks_);
+    auto& locks = scratch_->commit_locks;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < locks.size(); ++i) {
+      if (locks[i].state == state) {
+        unlock(locks[i].key);
+      } else {
+        locks[keep++] = locks[i];
+      }
+    }
+    locks.resize(keep);
   }
 
   /// Per-state snapshot cache for the SI read path: the pinned snapshot of
@@ -147,7 +230,7 @@ class Transaction {
   /// instead of re-deriving it from the groups on every read.
   std::optional<Timestamp> CachedSnapshot(StateId state) const {
     std::lock_guard<SpinLock> guard(lock_);
-    for (const auto& [sid, ts] : snapshot_cache_) {
+    for (const auto& [sid, ts] : scratch_->snapshot_cache) {
       if (sid == state) return ts;
     }
     return std::nullopt;
@@ -155,10 +238,11 @@ class Transaction {
 
   void CacheSnapshot(StateId state, Timestamp ts) {
     std::lock_guard<SpinLock> guard(lock_);
-    for (const auto& [sid, cached] : snapshot_cache_) {
+    for (const auto& [sid, cached] : scratch_->snapshot_cache) {
+      (void)cached;
       if (sid == state) return;  // first pin wins
     }
-    snapshot_cache_.emplace_back(state, ts);
+    scratch_->snapshot_cache.emplace_back(state, ts);
   }
 
   /// §4.3: "The operator that sets the last status flag to Commit becomes
@@ -168,6 +252,13 @@ class Transaction {
     bool expected = false;
     return coordinator_claimed_.compare_exchange_strong(
         expected, true, std::memory_order_acq_rel);
+  }
+
+  /// Resets the pooled scratch for the slot's next occupant. Called by the
+  /// manager at Finish, strictly after every protocol release ran.
+  void ResetScratch() {
+    std::lock_guard<SpinLock> guard(lock_);
+    scratch_->Reset();
   }
 
   static std::string NamespacedKey(StateId state, std::string_view key) {
@@ -186,11 +277,7 @@ class Transaction {
   std::atomic<bool> coordinator_claimed_{false};
 
   mutable SpinLock lock_;
-  std::unordered_map<StateId, std::unique_ptr<WriteSet>> write_sets_;
-  std::unordered_set<std::string> read_set_;
-  std::vector<HeldLock> held_locks_;
-  std::vector<HeldLock> commit_locks_;
-  std::vector<std::pair<StateId, Timestamp>> snapshot_cache_;
+  TxnScratch* scratch_;
 };
 
 }  // namespace streamsi

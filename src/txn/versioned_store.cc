@@ -239,8 +239,7 @@ void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {
 
 Status VersionedStore::ApplyCommitted(std::string_view key,
                                       std::string_view value, bool is_delete,
-                                      Timestamp commit_ts,
-                                      Timestamp oldest_active,
+                                      Timestamp commit_ts, GcFloor& floor,
                                       bool sync_hint) {
   Entry* entry = GetOrCreateEntry(key);
   {
@@ -254,7 +253,7 @@ Status VersionedStore::ApplyCommitted(std::string_view key,
       stats_.deletes.fetch_add(1, std::memory_order_relaxed);
     } else {
       STREAMSI_RETURN_NOT_OK(
-          entry->object.Install(value, commit_ts, oldest_active));
+          entry->object.Install(value, commit_ts, floor));
       stats_.installs.fetch_add(1, std::memory_order_relaxed);
       const int after = entry->object.VersionCount();
       if (after <= before) {
@@ -372,6 +371,46 @@ Status VersionedStore::LoadFromBackend() {
       });
   STREAMSI_RETURN_NOT_OK(scan_status);
   return load_status;
+}
+
+std::uint64_t VersionedStore::PurgeKeyVersionsAfter(std::string_view key,
+                                                    Timestamp max_cts) {
+  Entry* entry;
+  {
+    EpochGuard epoch_guard;
+    entry = FindEntry(key, HashKey(key));
+  }
+  if (entry == nullptr) return 0;
+  std::uint64_t purged = 0;
+  bool changed = false;
+  {
+    ExclusiveGuard guard(entry->latch);
+    // A rolled-back DELETE releases no slot (PurgeAfter just re-opens the
+    // predecessor's dts), so detect any change via the modification
+    // watermark, not the released-slot count alone.
+    const Timestamp before = entry->object.LatestModification();
+    purged = static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
+    changed = purged > 0 || entry->object.LatestModification() != before;
+    // Roll the FCW watermark back alongside the purged versions.
+    if (entry->latest_modification.load(std::memory_order_relaxed) >
+        max_cts) {
+      entry->latest_modification.store(entry->object.LatestModification(),
+                                       std::memory_order_release);
+    }
+    if (changed) ++entry->blob_version;
+  }
+  // Write the rollback through: ApplyCommitted already persisted the now-
+  // purged install (or dts termination), and recovery keeps any durable
+  // version/delete whose timestamp falls behind a later commit's recovered
+  // LastCTS — without this re-persist the aborted write would resurrect
+  // after a restart. (If we crash before the re-persist lands, recovery's
+  // LastCTS purge rolls the key back instead, since the failed commit never
+  // logged a group record.) Best effort: the commit is already failing, and
+  // the crash case is covered by recovery either way.
+  if (changed && options_.write_through) {
+    (void)PersistEntry(key, entry, /*sync=*/true);
+  }
+  return purged;
 }
 
 std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {

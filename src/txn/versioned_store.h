@@ -119,10 +119,40 @@ class VersionedStore {
 
   /// Installs one committed write (value or tombstone) at `commit_ts` and
   /// (optionally, per StoreOptions) persists the version array to the
-  /// backend. `sync_hint` requests durability for this write.
+  /// backend. `sync_hint` requests durability for this write. The GC
+  /// watermark is lazy: `floor` is only resolved when the key's version
+  /// array is actually full (see MvccObject::Install).
+  Status ApplyCommitted(std::string_view key, std::string_view value,
+                        bool is_delete, Timestamp commit_ts, GcFloor& floor,
+                        bool sync_hint);
+
+  /// Eager-watermark convenience (tests, benchmarks, maintenance).
   Status ApplyCommitted(std::string_view key, std::string_view value,
                         bool is_delete, Timestamp commit_ts,
-                        Timestamp oldest_active, bool sync_hint);
+                        Timestamp oldest_active, bool sync_hint) {
+    GcFloor floor(oldest_active);
+    return ApplyCommitted(key, value, is_delete, commit_ts, floor,
+                          sync_hint);
+  }
+
+  /// Generation-tagged cache for the lazily computed per-store GC floor
+  /// (see TransactionManager::GlobalCommit): a watermark computed through
+  /// the publish-floor/re-scan handshake stays safe forever, so reading a
+  /// cached value is always sound; the generation (the StateContext's
+  /// transaction-table generation) merely bounds its staleness.
+  bool TryGetCachedGcFloor(std::uint64_t generation, Timestamp* floor) const {
+    if (gc_floor_generation_.load(std::memory_order_acquire) != generation) {
+      return false;
+    }
+    *floor = gc_floor_cache_.load(std::memory_order_acquire);
+    return true;
+  }
+  void CacheGcFloor(std::uint64_t generation, Timestamp floor) {
+    // Value before generation: a reader pairing the new generation with the
+    // previous value still holds a valid (handshaked) watermark.
+    gc_floor_cache_.store(floor, std::memory_order_release);
+    gc_floor_generation_.store(generation, std::memory_order_release);
+  }
 
   /// Runs GC over every key (normally GC is per-key on demand; this is for
   /// tests/benchmarks and idle maintenance).
@@ -136,6 +166,17 @@ class VersionedStore {
   /// Drops versions with cts > max_cts (their group commit never finished)
   /// — §4.3/recovery rule. Returns the number of purged versions.
   std::uint64_t PurgeVersionsAfter(Timestamp max_cts);
+
+  /// Targeted undo for a FAILED commit: drops `key`'s versions with
+  /// cts > max_cts and re-opens the predecessor the failed install
+  /// terminated. Unlike the store-wide PurgeVersionsAfter, this touches
+  /// only the caller's own key — concurrent committers' (possibly already
+  /// published) versions on other keys are untouched. The caller must
+  /// still own the key's commit path (FCW commit lock / exclusive write
+  /// lock / the BOCC global commit section), so no other transaction can
+  /// have installed a version of this key above max_cts.
+  std::uint64_t PurgeKeyVersionsAfter(std::string_view key,
+                                      Timestamp max_cts);
 
   /// Non-transactional bulk load used for benchmark preloading: installs a
   /// version visible to every transaction (cts = kInitialTs) without
@@ -271,6 +312,10 @@ class VersionedStore {
   StoreOptions options_;
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> key_count_{0};
+  /// Lazy GC floor cache (TryGetCachedGcFloor/CacheGcFloor). The sentinel
+  /// generation ~0 never matches a real transaction-table generation.
+  std::atomic<Timestamp> gc_floor_cache_{kInitialTs};
+  std::atomic<std::uint64_t> gc_floor_generation_{~0ull};
   mutable StoreStats stats_;
 };
 

@@ -3,14 +3,28 @@
 // "enables simple and fast aborts and also prevents the mixing of committed
 // and uncommitted versions". Writes "are merely appended" (§4.2) — the dirty
 // array preserves append order, with a hash index for read-your-own-writes.
+//
+// Zero-allocation design (the write-side mirror of the shard index):
+//   * Key and value bytes are copied into a chunked arena whose blocks are
+//     retained across Reset(), so a pooled write set stops allocating once
+//     it reaches its high-water mark. Blocks are stable (never reallocated),
+//     so the string_views handed out stay valid until Reset().
+//   * The dirty array is a flat vector of {key, value, hash, is_delete}
+//     entries updated in place (last write per key wins, first-touch order
+//     preserved — exactly the order ApplyWriteSet installs).
+//   * Read-your-own-writes probes hash the caller's std::string_view
+//     directly against an open-addressed index of entry positions — no
+//     std::string is ever materialized for a Put/Find/Contains.
 
 #ifndef STREAMSI_TXN_WRITE_SET_H_
 #define STREAMSI_TXN_WRITE_SET_H_
 
-#include <optional>
-#include <string>
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace streamsi {
@@ -19,10 +33,25 @@ namespace streamsi {
 class WriteSet {
  public:
   struct Entry {
-    std::string key;
-    std::string value;
+    std::string_view key;    ///< arena-backed; valid until Reset()
+    std::string_view value;  ///< arena-backed; empty for deletes
+    std::size_t hash = 0;    ///< of key (cached for index rebuilds/probes)
+    /// Bytes reserved at value.data(): overwrites that fit are copied in
+    /// place, so a hot key updated N times costs one buffer, not N.
+    std::uint32_t value_capacity = 0;
     bool is_delete = false;
   };
+
+  /// Result of a read-your-own-writes probe.
+  struct Lookup {
+    bool written = false;    ///< did this txn write the key at all
+    bool is_delete = false;  ///< ... and was the write a delete
+    std::string_view value;  ///< the written value (valid until Reset())
+  };
+
+  WriteSet() : index_(kInitialIndexSize, 0) {}
+  WriteSet(const WriteSet&) = delete;
+  WriteSet& operator=(const WriteSet&) = delete;
 
   /// Appends an insert/update (last write per key wins at commit).
   void Put(std::string_view key, std::string_view value) {
@@ -30,36 +59,34 @@ class WriteSet {
   }
 
   /// Appends a delete marker.
-  void Delete(std::string_view key) { Append(key, "", /*is_delete=*/true); }
+  void Delete(std::string_view key) {
+    Append(key, std::string_view(), /*is_delete=*/true);
+  }
 
-  /// Read-your-own-writes lookup: outer optional = "did this txn write the
-  /// key at all", inner optional = the value (nullopt for a delete).
-  std::optional<std::optional<std::string>> Get(std::string_view key) const {
-    auto it = index_.find(std::string(key));
-    if (it == index_.end()) return std::nullopt;
-    const Entry& entry = entries_[it->second];
-    if (entry.is_delete) {
-      // Outer optional engaged ("the txn wrote this key"), inner empty
-      // ("the write was a delete").
-      return std::make_optional<std::optional<std::string>>(std::nullopt);
+  /// Read-your-own-writes lookup; allocation-free.
+  Lookup Find(std::string_view key) const {
+    const std::size_t hash = Hash(key);
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      const std::uint32_t pos = index_[i];
+      if (pos == 0) return Lookup{};
+      const Entry& entry = entries_[pos - 1];
+      if (entry.hash == hash && entry.key == key) {
+        return Lookup{true, entry.is_delete, entry.value};
+      }
     }
-    return std::make_optional<std::optional<std::string>>(entry.value);
   }
 
-  bool Contains(std::string_view key) const {
-    return index_.count(std::string(key)) > 0;
-  }
+  bool Contains(std::string_view key) const { return Find(key).written; }
 
-  /// Dirty array in append order; for duplicate keys only the latest entry
-  /// is current (Get/ApplyOrdered respect that).
+  /// Dirty array in first-touch order; entries are updated in place, so
+  /// each one is the effective (latest) write of its key.
   const std::vector<Entry>& entries() const { return entries_; }
 
-  /// Visits the *effective* write per key (the last one appended).
+  /// Visits the effective write per key, in first-touch order.
   template <typename Fn>
   void ForEachEffective(Fn&& fn) const {
-    for (const auto& [key, idx] : index_) {
-      (void)key;
-      const Entry& entry = entries_[idx];
+    for (const Entry& entry : entries_) {
       fn(entry.key, entry.value, entry.is_delete);
     }
   }
@@ -67,30 +94,138 @@ class WriteSet {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
-  /// Abort path (§4.2): "simply clear the corresponding write set and
-  /// release the memory."
-  void Clear() {
+  /// Drops all writes but keeps the arena blocks, the entry vector's
+  /// capacity and the index table: a pooled write set reused by the next
+  /// transaction in this slot runs allocation-free at steady state. This is
+  /// also the abort path (§4.2: "simply clear the corresponding write set")
+  /// — the memory is released when the pool itself dies.
+  void Reset() {
     entries_.clear();
-    entries_.shrink_to_fit();
-    index_.clear();
+    std::fill(index_.begin(), index_.end(), 0);
+    arena_.Reset();
   }
 
+  /// Alias kept for the abort-path callers.
+  void Clear() { Reset(); }
+
  private:
+  static constexpr std::size_t kInitialIndexSize = 16;  // power of two
+
+  /// Chunked bump allocator. Blocks are stable and retained across Reset.
+  class Arena {
+   public:
+    std::string_view Store(std::string_view bytes) {
+      if (bytes.empty()) return std::string_view();
+      if (block_ == blocks_.size() ||
+          blocks_[block_].capacity - used_ < bytes.size()) {
+        NextBlock(bytes.size());
+      }
+      char* dst = blocks_[block_].data.get() + used_;
+      std::memcpy(dst, bytes.data(), bytes.size());
+      used_ += bytes.size();
+      return std::string_view(dst, bytes.size());
+    }
+
+    void Reset() {
+      block_ = 0;
+      used_ = 0;
+    }
+
+   private:
+    struct Block {
+      std::unique_ptr<char[]> data;
+      std::size_t capacity = 0;
+    };
+
+    void NextBlock(std::size_t need) {
+      // Advance to the next retained block large enough for `need`;
+      // allocate a fresh one only past the high-water mark. (A retained
+      // block skipped because it is too small stays idle for the rest of
+      // this cycle — same-sized workloads converge to zero skips.)
+      std::size_t i = blocks_.empty() ? 0 : block_ + 1;
+      while (i < blocks_.size() && blocks_[i].capacity < need) ++i;
+      if (i == blocks_.size()) {
+        Block fresh;
+        fresh.capacity = std::max<std::size_t>(kBlockBytes, need);
+        fresh.data = std::make_unique<char[]>(fresh.capacity);
+        blocks_.push_back(std::move(fresh));
+      }
+      block_ = i;
+      used_ = 0;
+    }
+
+    static constexpr std::size_t kBlockBytes = 4096;
+    std::vector<Block> blocks_;
+    std::size_t block_ = 0;  ///< active block index
+    std::size_t used_ = 0;   ///< bytes used in the active block
+  };
+
+  static std::size_t Hash(std::string_view key) {
+    return std::hash<std::string_view>{}(key);
+  }
+
+  /// (Re)points `entry.value` at the new bytes: in place when they fit in
+  /// the entry's reserved buffer (hot-key overwrites cost one buffer, not
+  /// one arena copy per Put), from a fresh arena store otherwise. Deletes
+  /// pass an empty view; the buffer (and its capacity) survives for a
+  /// later revival.
+  void SetValue(Entry& entry, std::string_view value) {
+    if (value.empty()) {
+      entry.value = std::string_view(entry.value.data(), 0);
+      return;
+    }
+    if (value.size() <= entry.value_capacity) {
+      // memmove: the caller may legally pass a view into this very entry.
+      char* dst = const_cast<char*>(entry.value.data());
+      std::memmove(dst, value.data(), value.size());
+      entry.value = std::string_view(dst, value.size());
+      return;
+    }
+    entry.value = arena_.Store(value);
+    entry.value_capacity = static_cast<std::uint32_t>(entry.value.size());
+  }
+
   void Append(std::string_view key, std::string_view value, bool is_delete) {
-    auto [it, inserted] =
-        index_.try_emplace(std::string(key), entries_.size());
-    if (inserted) {
-      entries_.push_back(Entry{std::string(key), std::string(value),
-                               is_delete});
-    } else {
-      Entry& entry = entries_[it->second];
-      entry.value.assign(value.data(), value.size());
-      entry.is_delete = is_delete;
+    const std::size_t hash = Hash(key);
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = hash & mask;
+    for (;; i = (i + 1) & mask) {
+      const std::uint32_t pos = index_[i];
+      if (pos == 0) break;
+      Entry& entry = entries_[pos - 1];
+      if (entry.hash == hash && entry.key == key) {
+        // In-place update: last write per key wins, position preserved.
+        SetValue(entry, is_delete ? std::string_view() : value);
+        entry.is_delete = is_delete;
+        return;
+      }
+    }
+    Entry entry;
+    entry.key = arena_.Store(key);
+    SetValue(entry, is_delete ? std::string_view() : value);
+    entry.hash = hash;
+    entry.is_delete = is_delete;
+    entries_.push_back(entry);
+    index_[i] = static_cast<std::uint32_t>(entries_.size());
+    // Keep the load factor <= 3/4 so probes for absent keys terminate fast.
+    if (entries_.size() * 4 > index_.size() * 3) GrowIndex();
+  }
+
+  void GrowIndex() {
+    index_.assign(index_.size() * 2, 0);
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t pos = 0; pos < entries_.size(); ++pos) {
+      std::size_t i = entries_[pos].hash & mask;
+      while (index_[i] != 0) i = (i + 1) & mask;
+      index_[i] = static_cast<std::uint32_t>(pos + 1);
     }
   }
 
   std::vector<Entry> entries_;
-  std::unordered_map<std::string, std::size_t> index_;
+  /// Open-addressed (linear probing) table of entry positions + 1; 0 =
+  /// empty. Rebuilt in place on growth (entry vector indices are stable).
+  std::vector<std::uint32_t> index_;
+  Arena arena_;
 };
 
 }  // namespace streamsi

@@ -54,6 +54,48 @@ TEST_F(GroupCommitLogTest, SurvivesTornTail) {
   EXPECT_EQ(replayed->at(0), 42u);
 }
 
+TEST_F(GroupCommitLogTest, RecordCommitCoversAllGroupsAtomically) {
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    const GroupId commit1[] = {0, 2, 5};
+    ASSERT_TRUE(log.RecordCommit(commit1, 3, 30, false).ok());
+    const GroupId commit2[] = {2};
+    ASSERT_TRUE(log.RecordCommit(commit2, 1, 40, true).ok());
+    ASSERT_TRUE(log.Record(5, 35, true).ok());  // legacy single-group record
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(0), 30u);
+  EXPECT_EQ(replayed->at(2), 40u);
+  EXPECT_EQ(replayed->at(5), 35u);
+}
+
+TEST_F(GroupCommitLogTest, TornMultiGroupRecordDropsWholeCommit) {
+  // A multi-group publication is ONE record: a crash that tears it must
+  // recover none of its groups (never a subset).
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    const GroupId first[] = {1, 2};
+    ASSERT_TRUE(log.RecordCommit(first, 2, 10, true).ok());
+    const GroupId second[] = {1, 2, 3};
+    ASSERT_TRUE(log.RecordCommit(second, 3, 20, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(
+                  Path(), contents.substr(0, contents.size() - 2))
+                  .ok());
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(1), 10u);
+  EXPECT_EQ(replayed->at(2), 10u);
+  EXPECT_EQ(replayed->count(3), 0u);  // the torn commit vanished entirely
+}
+
 TEST_F(GroupCommitLogTest, AppendAcrossReopens) {
   {
     GroupCommitLog log(SyncMode::kNone, 0);

@@ -2,23 +2,67 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+// ---------------------------------------------------------------------------
+// Heap-allocation counter (mirrors the read-path allocation tests): the
+// arena-backed write set must stop allocating once it reaches its
+// high-water mark.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+std::atomic<bool> g_count_heap_allocations{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_heap_allocations.load(std::memory_order_relaxed)) {
+    g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace streamsi {
 namespace {
+
+class AllocationCounter {
+ public:
+  AllocationCounter() {
+    g_heap_allocations.store(0, std::memory_order_relaxed);
+    g_count_heap_allocations.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationCounter() {
+    g_count_heap_allocations.store(false, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return g_heap_allocations.load(std::memory_order_relaxed);
+  }
+};
 
 TEST(WriteSetTest, EmptyByDefault) {
   WriteSet ws;
   EXPECT_TRUE(ws.empty());
   EXPECT_EQ(ws.size(), 0u);
-  EXPECT_FALSE(ws.Get("k").has_value());
+  EXPECT_FALSE(ws.Find("k").written);
+  EXPECT_FALSE(ws.Contains("k"));
 }
 
-TEST(WriteSetTest, PutThenGet) {
+TEST(WriteSetTest, PutThenFind) {
   WriteSet ws;
   ws.Put("k", "v");
-  auto got = ws.Get("k");
-  ASSERT_TRUE(got.has_value());
-  ASSERT_TRUE(got->has_value());
-  EXPECT_EQ(**got, "v");
+  const auto got = ws.Find("k");
+  ASSERT_TRUE(got.written);
+  EXPECT_FALSE(got.is_delete);
+  EXPECT_EQ(got.value, "v");
 }
 
 TEST(WriteSetTest, LastWritePerKeyWins) {
@@ -26,28 +70,28 @@ TEST(WriteSetTest, LastWritePerKeyWins) {
   ws.Put("k", "v1");
   ws.Put("k", "v2");
   EXPECT_EQ(ws.size(), 1u);  // in-place update, one dirty entry
-  auto got = ws.Get("k");
-  ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(**got, "v2");
+  const auto got = ws.Find("k");
+  ASSERT_TRUE(got.written);
+  EXPECT_EQ(got.value, "v2");
 }
 
-TEST(WriteSetTest, DeleteIsVisibleAsNullopt) {
+TEST(WriteSetTest, DeleteIsVisibleAsDelete) {
   WriteSet ws;
   ws.Put("k", "v");
   ws.Delete("k");
-  auto got = ws.Get("k");
-  ASSERT_TRUE(got.has_value());        // the txn did write the key...
-  EXPECT_FALSE(got->has_value());      // ...and the write is a delete
+  const auto got = ws.Find("k");
+  ASSERT_TRUE(got.written);     // the txn did write the key...
+  EXPECT_TRUE(got.is_delete);   // ...and the write is a delete
 }
 
 TEST(WriteSetTest, PutAfterDeleteRevives) {
   WriteSet ws;
   ws.Delete("k");
   ws.Put("k", "again");
-  auto got = ws.Get("k");
-  ASSERT_TRUE(got.has_value());
-  ASSERT_TRUE(got->has_value());
-  EXPECT_EQ(**got, "again");
+  const auto got = ws.Find("k");
+  ASSERT_TRUE(got.written);
+  EXPECT_FALSE(got.is_delete);
+  EXPECT_EQ(got.value, "again");
 }
 
 TEST(WriteSetTest, PreservesFirstTouchOrder) {
@@ -69,7 +113,7 @@ TEST(WriteSetTest, ForEachEffectiveVisitsCurrentValues) {
   ws.Put("a", "new");
   ws.Delete("b");
   int count = 0;
-  ws.ForEachEffective([&](const std::string& key, const std::string& value,
+  ws.ForEachEffective([&](std::string_view key, std::string_view value,
                           bool is_delete) {
     ++count;
     if (key == "a") {
@@ -89,6 +133,69 @@ TEST(WriteSetTest, ClearReleasesEverything) {
   ws.Clear();
   EXPECT_TRUE(ws.empty());
   EXPECT_FALSE(ws.Contains("k5"));
+}
+
+TEST(WriteSetTest, ManyKeysGrowsIndexCorrectly) {
+  WriteSet ws;
+  for (int i = 0; i < 1000; ++i) {
+    ws.Put("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(ws.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const auto got = ws.Find("key-" + std::to_string(i));
+    ASSERT_TRUE(got.written) << i;
+    EXPECT_EQ(got.value, "value-" + std::to_string(i));
+  }
+  EXPECT_FALSE(ws.Contains("key-1000"));
+}
+
+TEST(WriteSetTest, LargeValuesSpanArenaBlocks) {
+  WriteSet ws;
+  const std::string big(16 * 1024, 'B');  // larger than one arena block
+  ws.Put("big", big);
+  ws.Put("small", "s");
+  ws.Put("big2", big);
+  EXPECT_EQ(ws.Find("big").value, big);
+  EXPECT_EQ(ws.Find("small").value, "s");
+  EXPECT_EQ(ws.Find("big2").value, big);
+}
+
+TEST(WriteSetTest, ViewsStayValidAcrossIndexGrowthAndUpdates) {
+  WriteSet ws;
+  ws.Put("stable-key", "stable-value");
+  const auto before = ws.Find("stable-key");
+  for (int i = 0; i < 500; ++i) ws.Put("filler-" + std::to_string(i), "x");
+  // Arena blocks are stable: the old views still point at live bytes.
+  EXPECT_EQ(before.value, "stable-value");
+  EXPECT_EQ(ws.Find("stable-key").value, "stable-value");
+}
+
+TEST(WriteSetTest, SteadyStateReuseAllocatesNothing) {
+  WriteSet ws;
+  // Keys long enough to defeat SSO in any std::string-based fallback.
+  std::string keys[64];
+  for (int i = 0; i < 64; ++i) {
+    keys[i] = "alloc-test-key-" + std::to_string(100000 + i);
+  }
+  const std::string value(48, 'v');
+
+  // Warm up: reach the high-water mark (arena blocks, entry capacity,
+  // index size), then reset.
+  for (const auto& key : keys) ws.Put(key, value);
+  ws.Reset();
+
+  AllocationCounter counter;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (const auto& key : keys) ws.Put(key, value);
+    for (const auto& key : keys) {
+      ASSERT_TRUE(ws.Contains(key));
+      ASSERT_EQ(ws.Find(key).value, value);
+    }
+    for (const auto& key : keys) ws.Put(key, value);  // in-place updates
+    ws.Reset();
+  }
+  EXPECT_EQ(counter.count(), 0u)
+      << "steady-state Put/Find/Contains/Reset must not allocate";
 }
 
 }  // namespace
