@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Perf-trajectory harness: builds and runs the read-path and commit-path
-# microbenchmarks and the multi-writer commit benchmark, archiving the
-# trajectory numbers as BENCH_read_path.json and BENCH_commit_path.json at
-# the repo root so successive PRs can be compared. (The commit-path JSON
-# embeds its own seed baseline for before/after comparison.)
+# Perf-trajectory harness: builds and runs the read-path, commit-path and
+# stream-path microbenchmarks and the multi-writer commit benchmark,
+# archiving the trajectory numbers as BENCH_read_path.json,
+# BENCH_commit_path.json and BENCH_stream_path.json at the repo root so
+# successive PRs can be compared. (The commit-path JSON embeds its own seed
+# baseline for before/after comparison.)
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: build)
 
@@ -14,13 +15,16 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSTREAMSI_BUILD_BENCH=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_read_path bench_commit_path bench_writers
+    --target bench_read_path bench_commit_path bench_stream_path bench_writers
 
 echo "== bench_read_path (archived to BENCH_read_path.json) =="
 "$BUILD_DIR/bench_read_path" | tee "$REPO_ROOT/BENCH_read_path.json"
 
 echo "== bench_commit_path (archived to BENCH_commit_path.json) =="
 "$BUILD_DIR/bench_commit_path" | tee "$REPO_ROOT/BENCH_commit_path.json"
+
+echo "== bench_stream_path (archived to BENCH_stream_path.json) =="
+"$BUILD_DIR/bench_stream_path" | tee "$REPO_ROOT/BENCH_stream_path.json"
 
 echo "== bench_writers =="
 # Keep the writer sweep short: it is context, not the archived trajectory.

@@ -27,7 +27,9 @@ run_tsan() {
   cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" -DSTREAMSI_TSAN=ON \
       -DSTREAMSI_BUILD_BENCH=OFF -DSTREAMSI_BUILD_EXAMPLES=OFF >/dev/null
   # The concurrency/stress suites: everything exercising the latch-free
-  # read path, the seqlock publication protocol and the group-commit WAL.
+  # read path, the seqlock publication protocol, the group-commit WAL and
+  # the partitioned stream execution engine (bounded queues, lane threads,
+  # merge alignment, shared StreamTxnContext).
   local tsan_tests=(
     common_epoch_test
     common_latch_test
@@ -39,6 +41,9 @@ run_tsan() {
     property_read_path_model_test
     property_si_model_test
     storage_wal_test
+    stream_partition_test
+    stream_partitioned_consistency_test
+    stream_txn_context_test
     txn_state_context_test
     txn_versioned_store_test
   )

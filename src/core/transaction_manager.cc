@@ -228,7 +228,11 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
   // watermark is LAZY: the two-scan OldestActiveVersionFor handshake runs
   // only if some key's version array is actually full (generation-cached
   // per store), instead of once per written store on every commit. --------
-  const Timestamp commit_ts = context_->clock().Next();
+  // Drawn through the publication-visibility gate: the timestamp is
+  // registered as in flight, and readers clamp their snapshot pins below
+  // it until it retires — a concurrent commit publishing a larger LastCTS
+  // can never expose this commit's partial apply.
+  const Timestamp commit_ts = context_->AssignCommitTimestamp(txn.slot());
   // Undo helper for failed commits: drop ONLY this transaction's freshly
   // installed versions (its write-set keys, which it still commit-owns). A
   // store-wide PurgeVersionsAfter would also destroy concurrent
@@ -251,7 +255,8 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
       // Apply failures (e.g. IO errors) after partial installation are
       // resolved by recovery: LastCTS was never advanced, so the versions
       // of this commit are purged on restart. In-memory, purge right away.
-      purge_own_writes();
+      purge_own_writes();  // before retiring: the clamp may rise past us
+      context_->RetireCommitTimestamp(txn.slot());
       protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
       GlobalAbort(txn);
       return status;
@@ -274,7 +279,8 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
     if (!log_status.ok()) {
       STREAMSI_WARN("group commit log write failed, aborting commit: "
                     << log_status.ToString());
-      purge_own_writes();
+      purge_own_writes();  // before retiring: the clamp may rise past us
+      context_->RetireCommitTimestamp(txn.slot());
       protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
       GlobalAbort(txn);
       return log_status;
@@ -284,8 +290,11 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
 
   // --- Phase 4: publish. One atomic multi-group LastCTS advance: readers
   // sweeping their snapshot pins must never observe a commit that has
-  // advanced only some of its groups (§4.3 overlap-rule consistency). ----
+  // advanced only some of its groups (§4.3 overlap-rule consistency). The
+  // in-flight timestamp retires only after the publication is fully
+  // visible — from then on readers may pin snapshots covering it. --------
   context_->PublishCommit(groups.data(), groups.size(), commit_ts);
+  context_->RetireCommitTimestamp(txn.slot());
 
   // Commit listeners fire after publication: the changes are now visible
   // to new snapshots (TO_STREAM kOnCommit trigger).

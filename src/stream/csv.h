@@ -50,6 +50,8 @@ class CsvSource : public OperatorBase, public Publisher<T> {
   ~CsvSource() override { Join(); }
 
   void Start() override {
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
     thread_ = std::thread([this] { Run(); });
   }
 
@@ -94,6 +96,7 @@ class CsvSource : public OperatorBase, public Publisher<T> {
   bool skip_header_;
   char sep_;
   std::thread thread_;
+  bool started_ = false;
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> parse_errors_{0};
 };

@@ -25,6 +25,8 @@ class FromTable : public OperatorBase, public Publisher<std::pair<K, V>> {
   ~FromTable() override { Join(); }
 
   void Start() override {
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
     thread_ = std::thread([this] { Run(); });
   }
 
@@ -55,6 +57,7 @@ class FromTable : public OperatorBase, public Publisher<std::pair<K, V>> {
   TransactionManager* manager_;
   TransactionalTable<K, V> table_;
   std::thread thread_;
+  bool started_ = false;
 };
 
 /// Convenience: materializes a snapshot of `table` in one ad-hoc txn.

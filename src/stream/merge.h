@@ -1,0 +1,166 @@
+// MergePartitions: N-way merge closing a PartitionBy fan-out back into one
+// stream, with *punctuation alignment*: a transaction boundary (BOT,
+// COMMIT, ROLLBACK) or EOS is forwarded downstream exactly once, and only
+// after ALL lanes delivered it. Data elements flow through immediately
+// (interleaved across lanes) — unless their lane has an unaligned boundary
+// pending, in which case they are held back so downstream never sees a
+// tuple of batch k+1 before batch k's COMMIT. This keeps transaction
+// boundaries batch-atomic across the parallel lanes (§3).
+//
+// Requirement: every connected lane must deliver the same punctuation
+// sequence (PartitionBy broadcasts boundaries, so this holds whenever the
+// boundaries are injected upstream of the partitioner — or by per-lane
+// logic that provably emits identical sequences).
+//
+// Threading: OnElement runs on the delivering lane's thread; a mutex
+// serializes delivery, so downstream of the merge is single-threaded again
+// (the callbacks run under the merge lock, on whichever lane thread
+// completed the alignment).
+//
+// Hold-back memory: the per-lane hold queues are unbounded deques, but
+// their depth is bounded by the upstream partitioner under kBlock — a fast
+// lane only buffers elements routed after an unaligned boundary, and the
+// source stalls on the lagging lane's bounded queue (boundaries are
+// broadcast into every lane) before it can route unboundedly more. Watch
+// stats().queue_depth when tuning lane queue capacities.
+
+#ifndef STREAMSI_STREAM_MERGE_H_
+#define STREAMSI_STREAM_MERGE_H_
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "stream/operator.h"
+#include "stream/partition.h"
+
+namespace streamsi {
+
+template <typename T>
+class MergePartitions : public OperatorBase, public Publisher<T> {
+ public:
+  /// Declares the number of input ports; connect each with ConnectInput.
+  explicit MergePartitions(std::size_t inputs)
+      : held_(inputs == 0 ? 1 : inputs) {}
+
+  /// Convenience: merge all lanes of a PartitionBy directly (use only when
+  /// no per-lane operators sit between the partitioner and the merge).
+  explicit MergePartitions(PartitionBy<T>* partition)
+      : MergePartitions(partition->lane_count()) {
+    for (std::size_t i = 0; i < partition->lane_count(); ++i) {
+      ConnectInput(i, partition->lane(i));
+    }
+  }
+
+  /// Wires input port `port` (one per lane, before Start()).
+  void ConnectInput(std::size_t port, Publisher<T>* input) {
+    assert(port < held_.size());
+    input->Subscribe(
+        [this, port](const StreamElement<T>& e) { OnElement(port, e); });
+  }
+
+  std::size_t input_count() const { return held_.size(); }
+
+  std::string_view name() const override { return "MergePartitions"; }
+
+  OperatorStats stats() const override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    OperatorStats s;
+    s.elements = forwarded_;
+    for (const auto& held : held_) s.queue_depth += held.size();
+    return s;  // misalignment is not data loss; see misaligned_count()
+  }
+
+  /// Number of boundary punctuations forwarded without full alignment — a
+  /// wiring bug (lanes delivered different punctuation sequences); always
+  /// zero for correctly built topologies. Not surfaced as stats().dropped:
+  /// misaligned boundaries are forwarded best-effort, not rejected.
+  std::uint64_t misaligned_count() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return misaligned_;
+  }
+
+ private:
+  void OnElement(std::size_t port, const StreamElement<T>& e) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto& held = held_[port];
+    if (e.is_data()) {
+      if (held.empty()) {
+        // No unaligned boundary pending on this lane: pass through.
+        ++forwarded_;
+        this->Publish(e);
+      } else {
+        // Batch k+1 data must wait behind the lane's pending batch-k
+        // boundary, or downstream would see a torn batch.
+        held.push_back(e);
+      }
+      return;
+    }
+    held.push_back(e);
+    FlushAlignedLocked();
+  }
+
+  // Invariant: a non-empty hold queue starts with a punctuation (data is
+  // only held while a boundary is pending, and released right after it).
+  void FlushAlignedLocked() {
+    for (;;) {
+      Timestamp ts = 0;
+      for (const auto& held : held_) {
+        if (held.empty()) return;  // some lane hasn't delivered it yet
+        if (ts < held.front().ts()) ts = held.front().ts();
+      }
+      Punctuation punctuation = held_[0].front().punctuation();
+      bool aligned = true;
+      for (const auto& held : held_) {
+        if (held.front().punctuation() != punctuation) aligned = false;
+      }
+      if (!aligned) {
+        // Wiring bug: the lanes delivered different punctuation sequences
+        // (boundaries must be injected upstream of PartitionBy). Fail loud
+        // at runtime — release builds included — and recover best-effort:
+        // forward the first non-EOS front so EOS (terminal on every lane)
+        // stays last and the merge still drains instead of hanging.
+        punctuation = Punctuation::kEndOfStream;
+        for (const auto& held : held_) {
+          if (held.front().punctuation() != Punctuation::kEndOfStream) {
+            punctuation = held.front().punctuation();
+            break;
+          }
+        }
+        if (misaligned_ == 0) {
+          STREAMSI_ERROR(
+              "MergePartitions: lanes delivered different punctuation "
+              "sequences (batch boundaries must be injected upstream of "
+              "PartitionBy); forwarding best-effort — batch atomicity is "
+              "no longer guaranteed");
+        }
+        ++misaligned_;
+      }
+      for (auto& held : held_) {
+        if (held.front().punctuation() == punctuation) held.pop_front();
+      }
+      this->Publish(StreamElement<T>(punctuation, ts));
+      // Release data that queued behind the now-forwarded boundary, up to
+      // the lane's next boundary (restoring the invariant).
+      for (auto& held : held_) {
+        while (!held.empty() && held.front().is_data()) {
+          ++forwarded_;
+          this->Publish(held.front());
+          held.pop_front();
+        }
+      }
+      if (punctuation == Punctuation::kEndOfStream) return;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::deque<StreamElement<T>>> held_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t misaligned_ = 0;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_MERGE_H_

@@ -9,6 +9,7 @@
 #ifndef STREAMSI_STREAM_OPERATOR_H_
 #define STREAMSI_STREAM_OPERATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -18,17 +19,29 @@
 
 namespace streamsi {
 
+/// Point-in-time diagnostics of one operator (queue-backed operators report
+/// depth/backpressure; pure pass-through operators report zeros).
+struct OperatorStats {
+  std::uint64_t elements = 0;     ///< data elements processed/forwarded
+  std::uint64_t queue_depth = 0;  ///< elements currently queued
+  std::uint64_t stalls = 0;       ///< producer waits due to backpressure
+  std::uint64_t dropped = 0;      ///< elements rejected (drop policy/close)
+};
+
 /// Base for all operators so a Topology can own them uniformly.
 class OperatorBase {
  public:
   virtual ~OperatorBase() = default;
-  /// Called by Topology::Start (sources spawn their thread here).
+  /// Called by Topology::Start (sources/lanes spawn their threads here).
+  /// Must be idempotent — lifecycle code may retry.
   virtual void Start() {}
-  /// Cooperative stop signal.
+  /// Cooperative stop signal. Must be idempotent.
   virtual void Stop() {}
   /// Blocks until the operator finished (sources: thread joined).
   virtual void Join() {}
   virtual std::string_view name() const = 0;
+  /// Diagnostics snapshot; safe to call while the topology runs.
+  virtual OperatorStats stats() const { return {}; }
 };
 
 /// Typed output port.

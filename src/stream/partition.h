@@ -1,0 +1,143 @@
+// PartitionBy: partitioned operator parallelism (PipeFabric's PARTITION_BY,
+// §4.1). Fans one input stream into N lanes; each lane is a dedicated
+// worker thread driving its own downstream operator chain, fed through a
+// bounded queue with a configurable backpressure policy.
+//
+// Routing: data elements go to lane `fn(tuple) % N`; punctuations (BOT,
+// COMMIT, ROLLBACK, EOS) are *broadcast* to every lane so each lane's
+// linking operators observe the full transaction-boundary sequence and a
+// downstream MergePartitions can re-align them. Consequence: when lanes
+// merge again, every lane must carry the same punctuation sequence —
+// inject batch boundaries (Batcher) upstream of the partitioner, or give
+// each lane boundary logic that provably emits identical sequences.
+//
+// Threading: Route() runs on the upstream (source) thread and only touches
+// the queues; each lane's subscribers run exclusively on that lane's
+// thread, so per-lane operator chains need no internal synchronization —
+// the same single-threaded contract the non-partitioned push model gives.
+
+#ifndef STREAMSI_STREAM_PARTITION_H_
+#define STREAMSI_STREAM_PARTITION_H_
+
+#include <atomic>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "stream/queue.h"
+
+namespace streamsi {
+
+template <typename T>
+class PartitionBy : public OperatorBase {
+ public:
+  /// Maps a data tuple to a lane (taken modulo the lane count).
+  using PartitionFn = std::function<std::size_t(const T&)>;
+
+  struct Options {
+    std::size_t queue_capacity = 1024;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  };
+
+  PartitionBy(Publisher<T>* input, std::size_t lanes, PartitionFn fn,
+              Options options = {})
+      : fn_(std::move(fn)) {
+    if (lanes == 0) lanes = 1;
+    lanes_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      lanes_.push_back(std::make_unique<Lane>(options));
+    }
+    input->Subscribe([this](const StreamElement<T>& e) { Route(e); });
+  }
+
+  ~PartitionBy() override {
+    Stop();
+    Join();
+  }
+
+  /// Output port of lane `i` — subscribe the lane's downstream chain here.
+  /// All its callbacks run on lane `i`'s thread.
+  Publisher<T>* lane(std::size_t i) {
+    assert(i < lanes_.size());
+    return lanes_[i].get();
+  }
+  std::size_t lane_count() const { return lanes_.size(); }
+
+  void Start() override {
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
+    for (auto& lane : lanes_) {
+      lane->thread = std::thread([l = lane.get()] {
+        DrainQueueInto(l->queue, *l, l->delivered);
+      });
+    }
+  }
+
+  void Stop() override {
+    for (auto& lane : lanes_) lane->queue.Close();
+  }
+
+  void Join() override {
+    for (auto& lane : lanes_) {
+      if (lane->thread.joinable()) lane->thread.join();
+    }
+  }
+
+  std::string_view name() const override { return "PartitionBy"; }
+
+  OperatorStats stats() const override {
+    OperatorStats total;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const OperatorStats s = lane_stats(i);
+      total.elements += s.elements;
+      total.queue_depth += s.queue_depth;
+      total.stalls += s.stalls;
+      total.dropped += s.dropped;
+    }
+    return total;
+  }
+
+  OperatorStats lane_stats(std::size_t i) const {
+    assert(i < lanes_.size());
+    const Lane& lane = *lanes_[i];
+    const auto q = lane.queue.stats();
+    OperatorStats s;
+    s.elements = lane.delivered.load(std::memory_order_relaxed);
+    s.queue_depth = lane.queue.size();
+    s.stalls = q.stalls;
+    s.dropped = q.dropped;
+    return s;
+  }
+
+ private:
+  struct Lane : public Publisher<T> {
+    explicit Lane(const Options& options)
+        : queue(options.queue_capacity, options.policy) {}
+    BoundedQueue<StreamElement<T>> queue;
+    std::thread thread;
+    std::atomic<std::uint64_t> delivered{0};
+  };
+
+  void Route(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      const std::size_t lane = fn_(e.data()) % lanes_.size();
+      (void)lanes_[lane]->queue.Push(e);
+      return;
+    }
+    // Broadcast boundaries: every lane must observe BOT/COMMIT/ROLLBACK/EOS
+    // so per-lane transactions stay batch-aligned and merge can realign.
+    // PushWait: boundaries bypass the drop policy — losing one would desync
+    // merge alignment, and losing EOS would hang the lane's join forever.
+    for (auto& lane : lanes_) (void)lane->queue.PushWait(e);
+  }
+
+  PartitionFn fn_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  bool started_ = false;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_STREAM_PARTITION_H_

@@ -1,12 +1,24 @@
-// BlockingQueue + queue-based stream handoff for crossing thread
+// BoundedQueue + queue-based stream handoff for crossing thread
 // boundaries inside a topology (e.g. consuming ToStream change events,
-// which are published from committing threads, on a dedicated thread).
+// which are published from committing threads, on a dedicated thread, or
+// feeding the per-lane worker threads of PartitionBy).
+//
+// The queue is multi-producer (any upstream thread may push), single- or
+// multi-consumer, and *bounded*: when full, the configured backpressure
+// policy either blocks the producer until the consumer drains (kBlock) or
+// rejects the incoming element (kDropNewest). Close() is a drain barrier:
+// elements enqueued before the close are still delivered, but Push after
+// Close deterministically returns kClosed without enqueueing — a producer
+// racing a shutdown can never smuggle elements into a queue whose consumer
+// already observed drain-and-exit.
 
 #ifndef STREAMSI_STREAM_QUEUE_H_
 #define STREAMSI_STREAM_QUEUE_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -15,25 +27,62 @@
 
 namespace streamsi {
 
+/// What a producer does when the queue is full.
+enum class BackpressurePolicy : unsigned char {
+  kBlock = 0,       ///< wait until the consumer made room (lossless)
+  kDropNewest = 1,  ///< reject the incoming element (lossy, non-blocking)
+};
+
+/// Outcome of BoundedQueue::Push.
+enum class PushResult : unsigned char {
+  kOk = 0,       ///< enqueued
+  kDropped = 1,  ///< rejected: queue full under kDropNewest
+  kClosed = 2,   ///< rejected: queue already closed
+};
+
 template <typename T>
-class BlockingQueue {
+class BoundedQueue {
  public:
-  void Push(T value) {
-    {
-      std::lock_guard<std::mutex> guard(mutex_);
-      queue_.push_back(std::move(value));
-    }
-    cv_.notify_one();
+  static constexpr std::size_t kUnbounded =
+      std::numeric_limits<std::size_t>::max();
+
+  struct Stats {
+    std::uint64_t pushed = 0;   ///< elements accepted
+    std::uint64_t dropped = 0;  ///< elements rejected (full or closed)
+    std::uint64_t stalls = 0;   ///< producer waits due to a full queue
+    std::size_t high_water = 0; ///< maximum observed depth
+  };
+
+  /// capacity == 0 (or kUnbounded) means unbounded.
+  explicit BoundedQueue(std::size_t capacity = kUnbounded,
+                        BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity == 0 ? kUnbounded : capacity), policy_(policy) {}
+
+  PushResult Push(T value) {
+    return PushImpl(std::move(value),
+                    /*lossless=*/policy_ == BackpressurePolicy::kBlock);
+  }
+
+  /// Lossless push: waits for room even under kDropNewest. For elements
+  /// that must never be dropped while the queue is open — punctuations
+  /// carry transaction boundaries and EOS, and losing one desyncs merge
+  /// alignment or hangs the consumer's natural-completion join.
+  PushResult PushWait(T value) {
+    return PushImpl(std::move(value), /*lossless=*/true);
   }
 
   /// Blocks until an element is available or the queue is closed.
   /// Returns nullopt when closed and drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
     T value = std::move(queue_.front());
     queue_.pop_front();
+    lock.unlock();
+    // Producers only ever wait on a finite capacity; unbounded queues skip
+    // the per-element signal.
+    if (capacity_ != kUnbounded) not_full_.notify_one();
     return value;
   }
 
@@ -42,7 +91,13 @@ class BlockingQueue {
       std::lock_guard<std::mutex> guard(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    not_empty_.notify_all();
+    not_full_.notify_all();  // wake producers blocked on a full queue
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return closed_;
   }
 
   std::size_t size() const {
@@ -50,21 +105,106 @@ class BlockingQueue {
     return queue_.size();
   }
 
+  std::size_t capacity() const { return capacity_; }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+  }
+
  private:
+  PushResult PushImpl(T value, bool lossless) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++stats_.dropped;
+      return PushResult::kClosed;
+    }
+    if (queue_.size() >= capacity_) {
+      if (!lossless) {
+        ++stats_.dropped;
+        return PushResult::kDropped;
+      }
+      ++stats_.stalls;
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < capacity_ || closed_; });
+      if (closed_) {
+        ++stats_.dropped;
+        return PushResult::kClosed;
+      }
+    }
+    queue_.push_back(std::move(value));
+    ++stats_.pushed;
+    if (queue_.size() > stats_.high_water) stats_.high_water = queue_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
   std::deque<T> queue_;
+  Stats stats_;
   bool closed_ = false;
 };
+
+/// Unbounded blocking queue — the historical name, now with close-safe push
+/// semantics (push after Close is rejected instead of silently enqueued).
+template <typename T>
+using BlockingQueue = BoundedQueue<T>;
+
+/// Shared consumer protocol for queue-fed operator chains (QueueHandoff,
+/// PartitionBy lanes): re-publishes queued elements on the calling thread
+/// until EOS or close, then upholds the close barrier — the queue is
+/// closed so a producer racing the exit gets kClosed instead of feeding a
+/// consumerless queue (or blocking forever in PushWait on a full one) —
+/// and synthesizes the EOS a close rejected, because the downstream chain
+/// (merge alignment, WaitForEos, ToTable's EOS flush) keys its own
+/// shutdown off it.
+template <typename T>
+void DrainQueueInto(BoundedQueue<StreamElement<T>>& queue, Publisher<T>& out,
+                    std::atomic<std::uint64_t>& data_count) {
+  bool saw_eos = false;
+  while (auto element = queue.Pop()) {
+    if (element->is_data()) {
+      data_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.Publish(*element);
+    if (element->is_punctuation() &&
+        element->punctuation() == Punctuation::kEndOfStream) {
+      saw_eos = true;
+      break;
+    }
+  }
+  queue.Close();
+  if (!saw_eos) {
+    out.Publish(StreamElement<T>(Punctuation::kEndOfStream));
+  }
+}
 
 /// Decouples a producer chain from a consumer chain: enqueues upstream
 /// elements and re-publishes them on a dedicated thread.
 template <typename T>
 class QueueHandoff : public OperatorBase, public Publisher<T> {
  public:
-  explicit QueueHandoff(Publisher<T>* input) {
-    input->Subscribe(
-        [this](const StreamElement<T>& e) { queue_.Push(e); });
+  struct Options {
+    std::size_t queue_capacity = BoundedQueue<T>::kUnbounded;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  };
+
+  explicit QueueHandoff(Publisher<T>* input, Options options = {})
+      : queue_(options.queue_capacity, options.policy) {
+    input->Subscribe([this](const StreamElement<T>& e) {
+      // Punctuations are never load-sheddable: dropping an EOS would hang
+      // the natural-completion join, dropping a boundary tears batches.
+      if (e.is_punctuation()) {
+        (void)queue_.PushWait(e);
+      } else {
+        (void)queue_.Push(e);
+      }
+    });
   }
 
   ~QueueHandoff() override {
@@ -73,15 +213,10 @@ class QueueHandoff : public OperatorBase, public Publisher<T> {
   }
 
   void Start() override {
-    thread_ = std::thread([this] {
-      while (auto element = queue_.Pop()) {
-        this->Publish(*element);
-        if (element->is_punctuation() &&
-            element->punctuation() == Punctuation::kEndOfStream) {
-          break;
-        }
-      }
-    });
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
+    thread_ =
+        std::thread([this] { DrainQueueInto(queue_, *this, elements_); });
   }
 
   void Stop() override { queue_.Close(); }
@@ -92,9 +227,21 @@ class QueueHandoff : public OperatorBase, public Publisher<T> {
 
   std::string_view name() const override { return "QueueHandoff"; }
 
+  OperatorStats stats() const override {
+    const auto q = queue_.stats();
+    OperatorStats s;
+    s.elements = elements_.load(std::memory_order_relaxed);
+    s.queue_depth = queue_.size();
+    s.stalls = q.stalls;
+    s.dropped = q.dropped;
+    return s;
+  }
+
  private:
-  BlockingQueue<StreamElement<T>> queue_;
+  BoundedQueue<StreamElement<T>> queue_;
   std::thread thread_;
+  bool started_ = false;
+  std::atomic<std::uint64_t> elements_{0};
 };
 
 }  // namespace streamsi

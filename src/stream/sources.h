@@ -23,6 +23,8 @@ class VectorSource : public OperatorBase, public Publisher<T> {
   ~VectorSource() override { Join(); }
 
   void Start() override {
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
     thread_ = std::thread([this] {
       Timestamp ts = 0;
       for (const auto& element : elements_) {
@@ -45,6 +47,7 @@ class VectorSource : public OperatorBase, public Publisher<T> {
  private:
   std::vector<StreamElement<T>> elements_;
   std::thread thread_;
+  bool started_ = false;
   std::atomic<bool> stopped_{false};
 };
 
@@ -61,6 +64,8 @@ class GeneratorSource : public OperatorBase, public Publisher<T> {
   ~GeneratorSource() override { Join(); }
 
   void Start() override {
+    if (started_) return;  // idempotent, also after Join()
+    started_ = true;
     thread_ = std::thread([this] {
       Timestamp ts = 0;
       while (!stopped_.load(std::memory_order_acquire)) {
@@ -84,6 +89,7 @@ class GeneratorSource : public OperatorBase, public Publisher<T> {
  private:
   Generator generator_;
   std::thread thread_;
+  bool started_ = false;
   std::atomic<bool> stopped_{false};
 };
 

@@ -10,8 +10,10 @@
 #include "stream/element.h"
 #include "stream/from_table.h"
 #include "stream/join.h"
+#include "stream/merge.h"
 #include "stream/operator.h"
 #include "stream/ops.h"
+#include "stream/partition.h"
 #include "stream/punctuation.h"
 #include "stream/queue.h"
 #include "stream/sources.h"

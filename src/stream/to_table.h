@@ -107,7 +107,9 @@ class ToTable : public OperatorBase, public Publisher<T> {
     } else {
       status = table_.Put(**txn, k, value_(e.data()));
     }
-    writes_.fetch_add(1, std::memory_order_relaxed);
+    // Only successful writes count; failures go to error_count() — the two
+    // counters partition the attempts instead of double-booking them.
+    if (status.ok()) writes_.fetch_add(1, std::memory_order_relaxed);
     Check(status);
   }
 

@@ -2,6 +2,13 @@
 // lifecycle. "In PipeFabric a query is written by defining a so-called
 // Topology. It can be seen as graph where each node is an operator and the
 // edges represent their subscribed streams." (§4.1)
+//
+// Lifecycle ordering: operators are registered source-to-sink (Subscribe
+// requires the upstream to exist first), so Start() walks the registration
+// order *backwards* — every downstream thread/queue is accepting before its
+// upstream produces the first element — and Stop() walks it *forwards* —
+// sources are silenced first, then the downstream drains. Both are
+// idempotent.
 
 #ifndef STREAMSI_STREAM_TOPOLOGY_H_
 #define STREAMSI_STREAM_TOPOLOGY_H_
@@ -39,9 +46,23 @@ class Topology {
     return op;
   }
 
-  /// Starts all operators (sources spawn their threads).
+  /// Starts all operators, sinks first (reverse registration order), so no
+  /// source publishes into a lane/queue whose worker is not yet running.
+  /// Idempotent.
   void Start() {
-    for (auto& op : operators_) op->Start();
+    if (started_) return;
+    started_ = true;
+    for (auto it = operators_.rbegin(); it != operators_.rend(); ++it) {
+      (*it)->Start();
+    }
+  }
+
+  /// Signals stop, sources first (registration order), so the downstream
+  /// only has to drain what is already in flight. Idempotent.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    for (auto& op : operators_) op->Stop();
   }
 
   /// Blocks until all operators finished (sources drained + EOS pushed).
@@ -49,16 +70,33 @@ class Topology {
     for (auto& op : operators_) op->Join();
   }
 
-  /// Signals stop and joins.
+  /// Signals stop and joins. Idempotent.
   void StopAndJoin() {
-    for (auto& op : operators_) op->Stop();
+    Stop();
     Join();
   }
 
   std::size_t operator_count() const { return operators_.size(); }
 
+  /// Per-operator diagnostics (queue depth, elements, backpressure stalls),
+  /// in registration (source-to-sink) order.
+  struct OperatorReport {
+    std::string_view name;
+    OperatorStats stats;
+  };
+  std::vector<OperatorReport> StatsReport() const {
+    std::vector<OperatorReport> report;
+    report.reserve(operators_.size());
+    for (const auto& op : operators_) {
+      report.push_back({op->name(), op->stats()});
+    }
+    return report;
+  }
+
  private:
   std::vector<std::unique_ptr<OperatorBase>> operators_;
+  bool started_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace streamsi

@@ -34,7 +34,13 @@ class StreamTxnContext {
     participants_.push_back(state);
   }
 
-  const std::vector<StateId>& participants() const { return participants_; }
+  /// Snapshot of the participant set, copied under the lock: topologies
+  /// wire lanes concurrently, so AddParticipant may reallocate the vector
+  /// while another operator enumerates it — never hand out a reference.
+  std::vector<StateId> participants() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return participants_;
+  }
 
   /// Begins a transaction (BOT) if none is active, registering all
   /// participants so the consistency protocol knows the full state set.
@@ -122,7 +128,7 @@ class StreamTxnContext {
   }
 
   TransactionManager* manager_;
-  SpinLock lock_;
+  mutable SpinLock lock_;
   std::vector<StateId> participants_;
   std::unique_ptr<TransactionHandle> handle_;
   /// The current batch's transaction aborted; drop the batch's remaining

@@ -68,6 +68,42 @@ Timestamp StateContext::LastCts(GroupId group) const {
   return groups_[group]->last_cts.load(std::memory_order_acquire);
 }
 
+Timestamp StateContext::AssignCommitTimestamp(int slot) {
+  // Draw + registration are one atomic step: a committer preempted between
+  // drawing its timestamp and registering it would be invisible to the
+  // reader-side clamp while larger, registered timestamps publish past it
+  // — exactly the tear the clamp exists to prevent.
+  std::lock_guard<std::mutex> guard(publication_gate_mutex_);
+  const Timestamp cts = clock_.Next();
+  inflight_commit_ts_[static_cast<std::size_t>(slot)].store(
+      cts, std::memory_order_release);
+  inflight_commit_count_.fetch_add(1, std::memory_order_release);
+  return cts;
+}
+
+void StateContext::RetireCommitTimestamp(int slot) {
+  if (inflight_commit_ts_[static_cast<std::size_t>(slot)].exchange(
+          0, std::memory_order_acq_rel) != 0) {
+    inflight_commit_count_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Timestamp StateContext::SafePublicationTs() const {
+  // Fast path: no commit in flight (the count's release-sequence ordering
+  // guarantees a zero read implies every retired commit is fully visible,
+  // and any commit registered before a LastCTS the caller already read is
+  // still counted).
+  if (inflight_commit_count_.load(std::memory_order_acquire) == 0) {
+    return kInfinityTs;
+  }
+  Timestamp safe = kInfinityTs;
+  for (const auto& inflight : inflight_commit_ts_) {
+    const Timestamp cts = inflight.load(std::memory_order_acquire);
+    if (cts != 0 && cts - 1 < safe) safe = cts - 1;
+  }
+  return safe;
+}
+
 void StateContext::PublishCommit(const GroupId* groups, std::size_t count,
                                  Timestamp cts) {
   // Publishers must be mutually exclusive: each GlobalCommit runs on its own
@@ -115,6 +151,9 @@ Result<int> StateContext::BeginTransaction(TxnId* txn_id) {
     s.states.clear();
     s.read_cts.clear();
   }
+  // Defensive: a stale in-flight commit timestamp would clamp every future
+  // snapshot pin forever.
+  RetireCommitTimestamp(slot);
   const TxnId id = clock_.Next();
   s.txn_id.store(id, std::memory_order_release);
   // Invalidate cached lazy GC floors: the new transaction may pin snapshots
@@ -218,6 +257,19 @@ void StateContext::SweepAndPin(int slot) {
     }
     std::atomic_thread_fence(std::memory_order_acquire);
     if (publish_seq_.load(std::memory_order_relaxed) != before) continue;
+    // Clamp to the safe publication timestamp: LastCTS may already carry a
+    // commit published out of timestamp order while a SMALLER-cts commit
+    // is still mid-apply — pinning past that in-flight commit would show
+    // its installed versions without its missing ones. The scan runs AFTER
+    // the cut was read (any in-flight cts a published LastCTS could expose
+    // was registered before that publication, so a later scan sees it),
+    // and one clamp value covers the whole cut, keeping the §4.3 overlap
+    // rule consistent.
+    const Timestamp safe = SafePublicationTs();
+    for (auto& [gid, ts] : cut) {
+      (void)gid;
+      if (ts > safe) ts = safe;
+    }
 
     // Register + floor-validate + (rollback | commit) under ONE continuous
     // s.lock hold: a concurrent operator's fast-path (also under s.lock)
@@ -286,6 +338,8 @@ Timestamp StateContext::PinReadCts(int slot, GroupId group) {
   // raise above the clamp, snapshot-consistency with a concurrent DDL
   // commit is best-effort — the paper does not define online DDL).
   Timestamp pin = LastCts(group);
+  // Safe-timestamp clamp, scanned AFTER the LastCts read (see SweepAndPin).
+  pin = std::min(pin, SafePublicationTs());
   for (const auto& [gid, ts] : s.read_cts) {
     (void)gid;
     pin = std::min(pin, ts);
@@ -294,6 +348,9 @@ Timestamp StateContext::PinReadCts(int slot, GroupId group) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (GcFloor(group) <= pin) break;
     pin = LastCts(group);
+    // Keep the safe-timestamp clamp on retry (floors never exceed the safe
+    // timestamp, so the clamped retry still converges).
+    pin = std::min(pin, SafePublicationTs());
   }
   s.read_cts.emplace_back(group, pin);
   return pin;
@@ -390,6 +447,12 @@ Timestamp StateContext::OldestActiveVersion() const {
     }
   }
   oldest = std::min(oldest, OldestPinnedCts(nullptr, 0, /*any_group=*/true));
+  // Safe-publication clamp, scanned AFTER the LastCTS/pin reads (the gate
+  // contract): a commit registering between an earlier scan and the
+  // LastCTS reads would be missed, and the published floor could then
+  // exceed the safe timestamp — clamped readers would fail floor
+  // validation and spin until that commit retires.
+  oldest = std::min(oldest, SafePublicationTs());
   // Publish the intended watermark, then re-scan: a reader that registered
   // its pin after the first scan re-validates against this floor (see
   // PinReadCts), and the second scan picks up any pin registered before the
@@ -410,6 +473,10 @@ Timestamp StateContext::OldestActiveVersionFor(StateId state) const {
   }
   oldest = std::min(oldest, OldestPinnedCts(groups.data(), groups.size(),
                                             /*any_group=*/false));
+  // Safe-publication clamp AFTER the LastCTS/pin reads (gate contract; see
+  // OldestActiveVersion) so the published floor never exceeds the safe
+  // timestamp a clamped sweep can pin.
+  oldest = std::min(oldest, SafePublicationTs());
   // Same publish-floor / re-scan handshake as OldestActiveVersion(): no pin
   // registered concurrently with this computation can fall below the
   // returned watermark without either being seen by the second scan or

@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,30 @@ class StateContext {
   void PublishCommit(const std::vector<GroupId>& groups, Timestamp cts) {
     PublishCommit(groups.data(), groups.size(), cts);
   }
+  /// Assigns the transaction's commit timestamp and registers it as *in
+  /// flight* in one atomic step (the commit path's ONLY way to draw a
+  /// commit timestamp). Publications may then complete in any order —
+  /// instead of ordering publishers, readers clamp their snapshot pins to
+  /// SafePublicationTs(): commits with a smaller timestamp that are still
+  /// mid-apply can never fall inside a freshly pinned snapshot, even when
+  /// a larger-cts commit has already advanced LastCTS. (Without the clamp,
+  /// a reader pinning that larger LastCTS observes the in-flight commit's
+  /// already-installed versions without its missing ones — a torn batch,
+  /// reproduced by the PR 3 partitioned stress where concurrent lanes
+  /// commit into one shared group.)
+  Timestamp AssignCommitTimestamp(int slot);
+  /// Retires the slot's in-flight commit timestamp: after PublishCommit
+  /// returned (publication fully visible), or on a failed commit AFTER its
+  /// installed versions are purged — the safe timestamp rises past the
+  /// retired cts, so any trace of the commit must be gone first.
+  void RetireCommitTimestamp(int slot);
+  /// Largest timestamp snapshots may safely pin: every commit with
+  /// cts <= SafePublicationTs() is fully applied and published (or purged).
+  /// kInfinityTs when no commit is in flight. Readers must take the scan
+  /// AFTER reading the LastCTS values it guards (a published LastCTS that
+  /// could expose an in-flight smaller cts is ordered after that cts's
+  /// registration, so a later scan cannot miss it).
+  Timestamp SafePublicationTs() const;
   /// Appends every group containing `state` to `out` (deduplicated against
   /// what `out` already holds). `Vec` is any push_back_unique container —
   /// the commit path passes a stack SmallVec so publication gathers its
@@ -236,6 +261,17 @@ class StateContext {
   /// leave the sequence even mid-publication and break reader validation.
   SpinLock publish_lock_;
   std::atomic<std::uint64_t> publish_seq_{0};
+
+  /// Publication-visibility gate: in-flight commit timestamps by txn slot
+  /// (0 = none). Drawn + registered atomically under the mutex (a commit
+  /// preempted between draw and registration would be invisible to the
+  /// reader-side clamp while larger timestamps publish past it); retired
+  /// with one release store. Readers scan lock-free (SafePublicationTs).
+  mutable std::mutex publication_gate_mutex_;
+  std::array<std::atomic<Timestamp>, kMaxActiveTxns> inflight_commit_ts_{};
+  /// Number of non-zero inflight_commit_ts_ entries: lets SafePublicationTs
+  /// skip the slot scan in the common no-commit-in-flight case.
+  std::atomic<int> inflight_commit_count_{0};
 
   mutable RwLatch registry_latch_;  // guards states_/groups_ vectors
   std::vector<StateInfo> states_;

@@ -188,6 +188,66 @@ class MvccConsistencyTest : public ::testing::Test {
   GroupId group_;
 };
 
+TEST_F(MvccConsistencyTest, ConcurrentCommittersNeverExposePartialApply) {
+  // PR 3 regression (surfaced by the partitioned stream stress, reproduced
+  // ~13/20 under TSan before the fix): commit timestamps used to be drawn
+  // unregistered, so commit X could install state a's version, get
+  // descheduled mid-apply, and commit Y (larger cts, same groups) would
+  // publish LastCTS past X — readers then pinned a snapshot showing X's
+  // a-write without its b-write. The publication-visibility gate clamps
+  // reader pins below any in-flight commit timestamp.
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 60;
+  std::atomic<int> writers_done{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Disjoint keys per writer: no FCW conflicts, every commit covers
+      // both states with the same value.
+      const std::string k1 = "k" + std::to_string(w);
+      const std::string k2 = "k" + std::to_string(w + kWriters);
+      for (int round = 0; round < kRounds; ++round) {
+        auto t = db_->Begin();
+        if (!t.ok()) continue;
+        const std::string v = std::to_string(round);
+        bool ok = tm().Write((*t)->txn(), a_, k1, v).ok() &&
+                  tm().Write((*t)->txn(), b_, k1, v).ok() &&
+                  tm().Write((*t)->txn(), a_, k2, v).ok() &&
+                  tm().Write((*t)->txn(), b_, k2, v).ok();
+        if (ok) (void)(*t)->Commit();
+      }
+      writers_done.fetch_add(1);
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      const std::string key = "k" + std::to_string(r % (2 * kWriters));
+      while (writers_done.load() < kWriters) {
+        auto t = db_->Begin();
+        if (!t.ok()) continue;
+        std::string va;
+        std::string vb;
+        const Status sa = tm().Read((*t)->txn(), a_, key, &va);
+        const Status sb = tm().Read((*t)->txn(), b_, key, &vb);
+        if (!(*t)->Commit().ok()) continue;
+        if (sa.ok() != sb.ok()) {
+          violation.store(true);  // half of one commit visible
+        } else if (sa.ok() && va != vb) {
+          violation.store(true);  // states from different commits
+        }
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(violation.load())
+      << "a concurrent commit's partial apply became visible";
+}
+
 TEST_F(MvccConsistencyTest, GroupLastCtsAdvancesOnCommit) {
   EXPECT_EQ(db_->context().LastCts(group_), kInitialTs);
   auto t = db_->Begin();

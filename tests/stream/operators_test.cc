@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/streamsi.h"
 #include "stream/stream.h"
 
 namespace streamsi {
@@ -36,6 +37,21 @@ TEST(SourceTest, VectorSourceEmitsAllThenEos) {
   collect->WaitForEos();
   topology.Join();
   EXPECT_EQ(collect->Elements(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SourceTest, StartIsIdempotent) {
+  // Operator-level contract (operator.h): Start() may be retried. A second
+  // call on a running source must neither std::terminate (assigning over a
+  // joinable std::thread) nor emit the stream twice.
+  Topology topology;
+  auto* source =
+      topology.Add<VectorSource<int>>(DataElements<int>({1, 2}));
+  auto* collect = topology.Add<Collect<int>>(source);
+  source->Start();
+  source->Start();
+  collect->WaitForEos();
+  topology.Join();
+  EXPECT_EQ(collect->Elements(), (std::vector<int>{1, 2}));
 }
 
 TEST(SourceTest, GeneratorSourceStopsOnNullopt) {
@@ -127,6 +143,56 @@ TEST(BlockingQueueTest, PopAfterCloseDrains) {
   EXPECT_EQ(queue.Pop().value(), 1);
   EXPECT_EQ(queue.Pop().value(), 2);
   EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(ToTableTest, WriteCountExcludesFailedWrites) {
+  // PR 3 regression: ToTable incremented writes_ even when Put/Delete
+  // failed, so write_count() overcounted exactly when error_count() grew.
+  // The counters must partition the attempts: every data element is either
+  // a successful write or an error, never both.
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kS2pl;  // wait-die gives a failing Put
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("t");
+  ASSERT_TRUE(state.ok());
+  TransactionalTable<std::uint64_t, std::uint64_t> table(&(*db)->txn_manager(),
+                                                         *state);
+
+  // An older transaction holds the exclusive lock on key 1: the stream's
+  // younger transaction dies on it (wait-die) and the Put fails.
+  auto blocker = (*db)->Begin();
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(table.Put((*blocker)->txn(), 1, 99).ok());
+
+  auto ctx = std::make_shared<StreamTxnContext>(&(*db)->txn_manager());
+  Publisher<std::uint64_t> input;
+  ToTable<std::uint64_t, std::uint64_t, std::uint64_t> to_table(
+      &input, table, ctx, [](const std::uint64_t& v) { return v; },
+      [](const std::uint64_t& v) { return v; });
+
+  input.Publish(StreamElement<std::uint64_t>(Punctuation::kBeginTxn));
+  input.Publish(StreamElement<std::uint64_t>(1));  // Put fails: wait-die
+  EXPECT_EQ(to_table.write_count(), 0u) << "failed write counted as write";
+  EXPECT_EQ(to_table.error_count(), 1u);
+  // The batch-ending COMMIT on the aborted transaction is a failed commit:
+  // another error, still no write.
+  input.Publish(StreamElement<std::uint64_t>(Punctuation::kCommitTxn));
+  EXPECT_EQ(to_table.write_count(), 0u);
+  EXPECT_EQ(to_table.error_count(), 2u);
+
+  ASSERT_TRUE((*blocker)->Abort().ok());  // release the lock
+  input.Publish(StreamElement<std::uint64_t>(Punctuation::kBeginTxn));
+  input.Publish(StreamElement<std::uint64_t>(2));  // succeeds
+  input.Publish(StreamElement<std::uint64_t>(Punctuation::kCommitTxn));
+  input.Publish(StreamElement<std::uint64_t>(Punctuation::kEndOfStream));
+
+  EXPECT_EQ(to_table.write_count(), 1u);
+  EXPECT_EQ(to_table.error_count(), 2u);
+  auto rows = SnapshotOf(&(*db)->txn_manager(), table);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), to_table.write_count())
+      << "write_count must equal the successfully written tuples";
 }
 
 TEST(TopologyTest, StopInterruptsSource) {

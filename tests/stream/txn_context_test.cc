@@ -1,7 +1,11 @@
 // StreamTxnContext unit tests: shared transactions across operators,
-// idempotent BOT, batch poisoning after mid-batch aborts.
+// idempotent BOT, batch poisoning after mid-batch aborts, and the
+// participant-snapshot race regression.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "core/streamsi.h"
 #include "stream/txn_context.h"
@@ -108,6 +112,31 @@ TEST_F(StreamTxnContextTest, AbortStateAbortsGlobally) {
   EXPECT_TRUE(
       db_->txn_manager().Read((*check)->txn(), a_, "k", &value).IsNotFound());
   ASSERT_TRUE((*check)->Commit().ok());
+}
+
+TEST_F(StreamTxnContextTest, ParticipantSnapshotRacesWithRegistration) {
+  // PR 3 regression (TSan-gated via ci.sh): participants() used to return
+  // a const reference to the vector AddParticipant mutates under the lock,
+  // so an operator enumerating participants while another lane was still
+  // wiring its ToTable read a reallocating vector. The snapshot copy must
+  // make concurrent registration + enumeration race-free.
+  constexpr StateId kFirst = 100;
+  constexpr StateId kCount = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> enumerated{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::uint64_t sum = 0;
+      for (StateId s : ctx_->participants()) sum += s;
+      enumerated.fetch_add(sum, std::memory_order_relaxed);
+    }
+  });
+  for (StateId s = kFirst; s < kFirst + kCount; ++s) {
+    ctx_->AddParticipant(s);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(ctx_->participants().size(), kCount + 2u);  // a_, b_ + new ones
 }
 
 TEST(WatermarkTest, LatestModificationTracksDeletes) {
