@@ -11,6 +11,13 @@
 //                    SyncMode::kSimulated (50us per sync — the paper's
 //                    "fsync dominates" shape) and SyncMode::kNone (pure
 //                    CPU path: write-set churn + bookkeeping + publication).
+//   hot_key_churn    commit throughput when every committer overwrites its
+//                    own hot key while ONE lagging reader holds snapshot
+//                    pins across dozens of commits — the adaptive
+//                    version-array growth + bounded-backpressure workload
+//                    (pre-PR 4 this failed commits with ResourceExhausted
+//                    once a key outran mvcc_slots under the pin). Reports
+//                    slot growths, wait stalls and failed commits.
 //   write_set        ns/op for the transaction-private dirty array: first
 //                    Put, in-place overwrite Put, and the read-your-own-
 //                    writes probe, measured on a reused (steady-state)
@@ -153,6 +160,110 @@ CommitResult RunCommitters(SyncMode sync_mode, int committers,
   return result;
 }
 
+struct HotKeyResult {
+  double commits_per_s = 0.0;
+  std::uint64_t failed_commits = 0;
+  std::uint64_t slot_growths = 0;
+  std::uint64_t version_wait_stalls = 0;
+};
+
+/// Hot-key churn under a lagging reader pin: each committer overwrites ONE
+/// private key as fast as it can while a reader transaction holds a snapshot
+/// pin for ~5 ms at a time — long enough (on this 1-core container, where a
+/// descheduled reader already produced the effect) that every hot key's
+/// version array fills with pinned versions and must grow / wait instead of
+/// failing the commit. Disjoint keys keep First-Committer-Wins conflicts out
+/// of the measurement.
+HotKeyResult RunHotKeyChurn(int committers, const std::string& dir) {
+  StateContext context;
+  const StateId state = context.RegisterState("bench");
+  context.RegisterGroup({state});
+
+  StoreOptions store_options;
+  store_options.write_through = false;
+  // Defaults on purpose: mvcc_slots = 8, growth to 64, 200 ms wait budget —
+  // the production shape the partitioned stream stress runs with.
+  VersionedStore store(state, "bench", std::make_unique<HashTableBackend>(),
+                       store_options);
+
+  GroupCommitLog log(SyncMode::kNone, 0);
+  if (!log.Open(dir + "/group_commits.log").ok()) std::abort();
+
+  auto protocol = MakeProtocol(ProtocolType::kMvcc, &context);
+  TransactionManager manager(
+      &context, protocol.get(),
+      [&](StateId id) { return id == state ? &store : nullptr; }, &log,
+      /*durable_group_log=*/true);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> total_commits{0};
+  std::atomic<std::uint64_t> failed_commits{0};
+
+  // The lagging reader: pins a snapshot (first read per group), sits on it,
+  // ends, repeats. While it sits, every overwrite of a hot key stays
+  // visible to its pin and cannot be reclaimed.
+  std::thread reader([&] {
+    std::string value;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto handle = manager.Begin();
+      if (!handle.ok()) continue;
+      (void)manager.Read((*handle)->txn(), state, "hot-000", &value);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      (void)(*handle)->Commit();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(committers));
+  for (int t = 0; t < committers; ++t) {
+    threads.emplace_back([&, t] {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "hot-%03d", t);
+      const std::string key(buf);
+      const std::string value(64, 'v');
+      std::uint64_t commits = 0;
+      std::uint64_t failures = 0;
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto handle = manager.Begin();
+        if (!handle.ok()) continue;
+        if (!manager.Write((*handle)->txn(), state, key, value).ok()) {
+          continue;
+        }
+        if (manager.Commit((*handle)->txn()).ok()) {
+          ++commits;
+        } else {
+          ++failures;
+        }
+      }
+      total_commits.fetch_add(commits, std::memory_order_relaxed);
+      failed_commits.fetch_add(failures, std::memory_order_relaxed);
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(kDuration);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  reader.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  (void)log.Close();
+  (void)fsutil::RemoveFile(dir + "/group_commits.log");
+
+  HotKeyResult result;
+  result.commits_per_s = static_cast<double>(total_commits.load()) / seconds;
+  result.failed_commits = failed_commits.load();
+  result.slot_growths = store.stats().slot_growths.load();
+  result.version_wait_stalls = store.stats().version_wait_stalls.load();
+  return result;
+}
+
 struct ChurnResult {
   double first_put_ns = 0.0;
   double update_put_ns = 0.0;
@@ -271,6 +382,19 @@ int main() {
           base > 0 ? r.commits_per_s / base : 0.0);
       std::fflush(stdout);
     }
+  }
+  for (const int committers : thread_counts) {
+    const HotKeyResult r = RunHotKeyChurn(committers, dir);
+    std::printf(",\n");
+    std::printf(
+        "    {\"name\": \"commit/hot_key_churn\", \"committers\": %d, "
+        "\"commits_per_s\": %.0f, \"failed_commits\": %llu, "
+        "\"slot_growths\": %llu, \"version_wait_stalls\": %llu}",
+        committers, r.commits_per_s,
+        static_cast<unsigned long long>(r.failed_commits),
+        static_cast<unsigned long long>(r.slot_growths),
+        static_cast<unsigned long long>(r.version_wait_stalls));
+    std::fflush(stdout);
   }
   const ChurnResult churn = RunWriteSetChurn();
   std::printf(",\n    {\"name\": \"write_set\", \"first_put_ns\": %.1f, "

@@ -37,6 +37,7 @@ run_tsan() {
     core_consistency_test
     core_isolation_test
     core_si_protocol_test
+    mvcc_mvcc_growth_stress_test
     mvcc_mvcc_object_test
     property_read_path_model_test
     property_si_model_test

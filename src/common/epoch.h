@@ -22,7 +22,11 @@
 #define STREAMSI_COMMON_EPOCH_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/latch.h"
@@ -129,11 +133,59 @@ class EpochManager {
       std::lock_guard<SpinLock> guard(garbage_lock_);
       garbage_.push_back(Garbage{epoch, object, deleter});
     }
-    if (retire_count_.fetch_add(1, std::memory_order_relaxed) %
-            kReclaimInterval ==
-        kReclaimInterval - 1) {
+    // Opportunistic inline sweep — suppressed while the background
+    // reclaimer runs: draining on a cadence replaces the every-N heuristic,
+    // and keeps the retire fast path to the push_back above.
+    if (!reclaimer_active_.load(std::memory_order_acquire) &&
+        retire_count_.fetch_add(1, std::memory_order_relaxed) %
+                kReclaimInterval ==
+            kReclaimInterval - 1) {
       TryReclaim();
     }
+  }
+
+  // ------------------------------------------------ background reclaimer ---
+
+  /// Starts (or joins, ref-counted) the background reclaimer: a thread that
+  /// drains retired garbage every `interval` instead of the opportunistic
+  /// every-N-retires sweep. Steady garbage sources (version-array growth,
+  /// bucket-table growth) then reclaim on a bounded cadence even when no
+  /// further retires arrive. Each StartBackgroundReclaimer must be paired
+  /// with one StopBackgroundReclaimer — owners (e.g. Database) stop it
+  /// before tearing down the structures whose garbage it drains, so no
+  /// reclaim runs during static destruction.
+  void StartBackgroundReclaimer(
+      std::chrono::milliseconds interval = std::chrono::milliseconds(1)) {
+    std::lock_guard<std::mutex> guard(reclaimer_mutex_);
+    reclaim_interval_ = interval;
+    if (++reclaimer_refs_ == 1) {
+      // Each spawn gets a fresh generation: a predecessor thread that was
+      // stopped but has not yet observed its shutdown must NOT be revived
+      // by this start (it would double-run the loop and hang the stopping
+      // thread's join forever) — it exits on the generation mismatch.
+      const std::uint64_t generation = ++reclaimer_generation_;
+      reclaimer_active_.store(true, std::memory_order_release);
+      reclaimer_thread_ =
+          std::thread([this, generation] { ReclaimerLoop(generation); });
+    }
+  }
+
+  /// Drops one reclaimer reference; the last one stops and joins the
+  /// thread (which drains what it can on the way out).
+  void StopBackgroundReclaimer() {
+    std::thread to_join;
+    {
+      std::lock_guard<std::mutex> guard(reclaimer_mutex_);
+      if (reclaimer_refs_ == 0 || --reclaimer_refs_ > 0) return;
+      reclaimer_active_.store(false, std::memory_order_release);
+      to_join = std::move(reclaimer_thread_);
+    }
+    reclaimer_cv_.notify_all();
+    if (to_join.joinable()) to_join.join();
+  }
+
+  bool reclaimer_running() const {
+    return reclaimer_active_.load(std::memory_order_acquire);
   }
 
   /// Tries to advance the global epoch (possible only when every active
@@ -208,6 +260,26 @@ class EpochManager {
     void (*deleter)(void*);
   };
 
+  void ReclaimerLoop(std::uint64_t generation) {
+    // Loop liveness is keyed on refs + the SPAWN generation, both read
+    // under the mutex: the shared active flag alone could flip back to true
+    // (stop/start race) and resurrect this thread after its owner already
+    // moved it out for joining.
+    std::unique_lock<std::mutex> lock(reclaimer_mutex_);
+    while (reclaimer_refs_ > 0 && reclaimer_generation_ == generation) {
+      reclaimer_cv_.wait_for(lock, reclaim_interval_);
+      if (reclaimer_refs_ == 0 || reclaimer_generation_ != generation) break;
+      lock.unlock();
+      // One pass per tick advances the epoch at most once; garbage retired
+      // in epoch e frees after the second advance, i.e. within two ticks of
+      // quiescence.
+      TryReclaim();
+      lock.lock();
+    }
+    lock.unlock();
+    TryReclaim();  // parting sweep so a stopped reclaimer leaves no backlog
+  }
+
   /// One chunk of reader slots. Blocks are appended (never removed) under
   /// CAS on `next`, so reclaimers can walk the chain without locking.
   struct SlotBlock {
@@ -221,6 +293,15 @@ class EpochManager {
   SlotBlock head_block_;
   SpinLock garbage_lock_;
   std::vector<Garbage> garbage_;  // guarded by garbage_lock_
+
+  /// Background reclaimer state (ref-counted; thread exists while refs>0).
+  std::mutex reclaimer_mutex_;
+  std::condition_variable reclaimer_cv_;
+  std::thread reclaimer_thread_;          // guarded by reclaimer_mutex_
+  int reclaimer_refs_ = 0;                // guarded by reclaimer_mutex_
+  std::uint64_t reclaimer_generation_ = 0;         // guarded by ...mutex_
+  std::chrono::milliseconds reclaim_interval_{1};  // guarded by ...mutex_
+  std::atomic<bool> reclaimer_active_{false};
 };
 
 /// RAII epoch critical section. Reentrant: nested guards on the same thread

@@ -9,6 +9,12 @@ namespace streamsi {
 Database::Database(const DatabaseOptions& options) : options_(options) {}
 
 Database::~Database() {
+  // Shutdown ordering: release the background-reclaimer reference BEFORE
+  // the member destructors tear the stores down. The stores' destructors
+  // run their own bounded reclaim passes, and no detached thread may be
+  // sweeping epoch garbage during (or after, into static destruction) the
+  // teardown of the structures that produce it.
+  if (reclaimer_started_) EpochManager::Global().StopBackgroundReclaimer();
   if (group_log_ != nullptr) group_log_->Close();
 }
 
@@ -38,6 +44,11 @@ Result<std::unique_ptr<Database>> Database::Open(
       &db->context_, db->protocol_.get(),
       [raw](StateId id) { return raw->GetState(id); }, db->group_log_.get(),
       durable);
+  if (options.background_epoch_reclaim) {
+    EpochManager::Global().StartBackgroundReclaimer(
+        std::chrono::milliseconds(options.epoch_reclaim_interval_ms));
+    db->reclaimer_started_ = true;
+  }
   return db;
 }
 

@@ -31,6 +31,14 @@ struct DatabaseOptions {
   /// Directory for persistent data (LSM backends + group commit log).
   /// Empty => fully volatile database.
   std::string base_dir;
+  /// Run the global EpochManager's background reclaimer while this database
+  /// is open: retired garbage (replaced value buffers, grown bucket tables
+  /// and version arrays) drains on a steady cadence instead of the
+  /// opportunistic every-N-retires sweep. Stopped — ref-counted across
+  /// databases — before the stores are torn down.
+  bool background_epoch_reclaim = true;
+  /// Reclaimer cadence (milliseconds between drain passes).
+  std::uint32_t epoch_reclaim_interval_ms = 1;
 };
 
 class Database {
@@ -75,6 +83,9 @@ class Database {
   std::string StateDir(const std::string& name) const;
 
   DatabaseOptions options_;
+  /// One StartBackgroundReclaimer reference held between Open and
+  /// destruction (released before the stores die).
+  bool reclaimer_started_ = false;
   StateContext context_;
   std::unique_ptr<ConcurrencyProtocol> protocol_;
   std::unique_ptr<GroupCommitLog> group_log_;

@@ -152,6 +152,16 @@ Timestamp TransactionManager::ComputeStoreGcFloor(void* ctx) {
   return floor;
 }
 
+void TransactionManager::WaitForStoreGcFloor(void* ctx, std::uint64_t micros) {
+  auto* c = static_cast<StoreFloorCtx*>(ctx);
+  // The floor rises only when a transaction ends (its pins disappear) or
+  // begins (the cached-generation floor gets recomputed) — both bump the
+  // transaction-table generation, so sleep on that signal instead of
+  // polling. Waking early or late is harmless: the caller re-resolves the
+  // floor and retries either way.
+  c->context->WaitForTxnTableChange(c->context->TxnTableGeneration(), micros);
+}
+
 Status TransactionManager::GlobalCommit(Transaction& txn) {
   // All commit bookkeeping lives on the coordinator's stack: written
   // states, resolved stores and the affected group set spill to the heap
@@ -249,7 +259,8 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
   };
   for (VersionedStore* store : stores) {
     StoreFloorCtx floor_ctx{context_, store};
-    GcFloor floor(&TransactionManager::ComputeStoreGcFloor, &floor_ctx);
+    GcFloor floor(&TransactionManager::ComputeStoreGcFloor, &floor_ctx,
+                  &TransactionManager::WaitForStoreGcFloor);
     status = protocol_->Apply(txn, *store, commit_ts, floor);
     if (!status.ok()) {
       // Apply failures (e.g. IO errors) after partial installation are

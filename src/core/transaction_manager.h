@@ -138,6 +138,10 @@ class TransactionManager {
                              const StateId* written, std::size_t count);
   /// GcFloor compute hook: generation-cached OldestActiveVersionFor.
   static Timestamp ComputeStoreGcFloor(void* ctx);
+  /// GcFloor wait hook (writer backpressure): sleeps until the transaction
+  /// table changed — the only event that can raise the floor — or `micros`
+  /// elapsed.
+  static void WaitForStoreGcFloor(void* ctx, std::uint64_t micros);
 
   StateContext* context_;
   ConcurrencyProtocol* protocol_;

@@ -12,6 +12,15 @@
 // installed and no slot is free, versions no active transaction can see
 // (dts <= OldestActiveVersion) are reclaimed (§4.1).
 //
+// Capacity is adaptive: when on-demand GC frees nothing (a lagging reader
+// pin keeps every version visible), Install replaces the slot array with a
+// doubled copy — up to the caller's grow limit — instead of failing the
+// write. The array is published with a release store and the superseded one
+// retired through the EpochManager, exactly the bucket-table-growth
+// discipline of the shard index: optimistic readers that loaded the old
+// pointer finish their probe on a frozen array and the seqlock validation
+// makes them retry.
+//
 // Synchronization — the seqlock read protocol ("readers mostly only access
 // memory", §5.2):
 //   * Mutators (Install / MarkDeleted / GarbageCollect / PurgeAfter) run
@@ -114,22 +123,25 @@ class MvccObject {
 
   /// Installs a new version committed at `commit_ts`; terminates the
   /// previously live version (its dts becomes commit_ts). When no slot is
-  /// free, reclaims versions with dts <= the GC watermark first; returns
-  /// ResourceExhausted if still full (caller may retry with a larger
-  /// watermark once readers finish).
+  /// free, reclaims versions with dts <= the GC watermark first; when that
+  /// frees nothing, grows the slot array (doubled, up to `grow_limit`
+  /// slots); returns ResourceExhausted only when full at the grow limit
+  /// (caller may retry with a larger watermark once readers finish). A
+  /// `grow_limit` at or below the current capacity disables growth.
   ///
   /// The watermark is LAZY: `floor` is resolved only when the version array
   /// is actually full — the common commit never pays the transaction-table
   /// scans behind it. Resolution happens before the seqlock write section
   /// opens (the caller's exclusive latch keeps the occupancy stable), so
   /// optimistic readers never spin behind a floor computation.
-  Status Install(std::string_view value, Timestamp commit_ts, GcFloor& floor);
+  Status Install(std::string_view value, Timestamp commit_ts, GcFloor& floor,
+                 int grow_limit = 0);
 
   /// Eager-watermark convenience (tests, bulk load, recovery).
   Status Install(std::string_view value, Timestamp commit_ts,
-                 Timestamp oldest_active) {
+                 Timestamp oldest_active, int grow_limit = 0) {
     GcFloor floor(oldest_active);
-    return Install(value, commit_ts, floor);
+    return Install(value, commit_ts, floor, grow_limit);
   }
 
   /// Logically deletes the key at `commit_ts`: sets the live version's dts.
@@ -147,11 +159,17 @@ class MvccObject {
 
   /// Number of occupied version slots.
   int VersionCount() const { return used_.Count(); }
-  int capacity() const { return capacity_; }
+  int capacity() const {
+    return array_.load(std::memory_order_acquire)->capacity;
+  }
 
   /// Serialization (persisted inside the base table as the value blob).
   void EncodeTo(std::string* out) const;
-  static Result<MvccObject> Decode(std::string_view in, int capacity);
+  /// Decodes a persisted blob. The version array is sized from the BLOB
+  /// (the capacity recorded at encode time), raised to `min_capacity` when
+  /// the blob is smaller — never truncated to a configured default, so a
+  /// grown object recovers with every persisted version intact.
+  static Result<MvccObject> Decode(std::string_view in, int min_capacity);
 
   /// Test/diagnostic access to raw headers of occupied slots.
   std::vector<VersionHeader> Headers() const;
@@ -168,6 +186,21 @@ class MvccObject {
     std::atomic<const std::string*> value{nullptr};
   };
 
+  /// The slot storage, published via `array_` with a release store so a
+  /// single load hands a reader a capacity and a matching slot block —
+  /// loading them from two places could pair a grown capacity with the old
+  /// (smaller) allocation and probe out of bounds. Superseded arrays are
+  /// retired through the EpochManager (readers drain on the frozen copy);
+  /// the value buffers are shared with the successor and owned by whichever
+  /// array is current when the object dies.
+  struct VersionArray {
+    explicit VersionArray(int capacity_arg)
+        : capacity(capacity_arg),
+          slots(new Slot[static_cast<std::size_t>(capacity_arg)]) {}
+    const int capacity;
+    const std::unique_ptr<Slot[]> slots;
+  };
+
   /// RAII seqlock write section: seq_ odd while a mutation is in flight.
   class WriteSection {
    public:
@@ -180,20 +213,23 @@ class MvccObject {
     std::atomic<std::uint32_t>& seq_;
   };
 
-  /// Buffers unlinked during a mutation, handed to the EpochManager only
-  /// after the seqlock write section closes — retiring (and the occasional
-  /// reclaim sweep it triggers) must never extend the window in which
-  /// optimistic readers see an odd sequence number.
+  /// Buffers (and at most one superseded slot array) unlinked during a
+  /// mutation, handed to the EpochManager only after the seqlock write
+  /// section closes — retiring (and the occasional reclaim sweep it
+  /// triggers) must never extend the window in which optimistic readers see
+  /// an odd sequence number.
   class RetireList {
    public:
     void Add(const std::string* buffer) {
       if (buffer != nullptr) buffers_[count_++] = buffer;
     }
+    void AddArray(const VersionArray* array) { array_ = array; }
     ~RetireList();  // retires everything collected
 
    private:
     const std::string* buffers_[AtomicSlotMask::kMaxSlots];
     int count_ = 0;
+    const VersionArray* array_ = nullptr;
   };
 
   /// The seqlock validation protocol, in exactly one place: snapshot the
@@ -215,17 +251,21 @@ class MvccObject {
     return result;
   }
 
-  int FindVisibleSlot(Timestamp read_ts) const;
-  int FindLiveSlot() const;
+  int FindVisibleSlot(const VersionArray& array, Timestamp read_ts) const;
+  int FindLiveSlot(const VersionArray& array) const;
   /// GC body shared by GarbageCollect() and Install(); caller already holds
   /// an open WriteSection and flushes `retired` after closing it.
   int GarbageCollectLocked(Timestamp oldest_active, RetireList* retired);
   /// Unlinks and returns the value buffer of `slot`, scrubbing its header.
-  const std::string* UnlinkSlotValue(int slot);
+  const std::string* UnlinkSlotValue(const VersionArray& array, int slot);
+  /// Publishes a copy of the current array at `new_capacity` (caller holds
+  /// the exclusive latch and an open WriteSection) and queues the old one
+  /// for epoch retirement. Used slot indices are preserved, so `used_` and
+  /// any slot index found before the growth stay valid.
+  VersionArray* GrowLocked(int new_capacity, RetireList* retired);
 
-  int capacity_;
   AtomicSlotMask used_;
-  std::unique_ptr<Slot[]> slots_;
+  std::atomic<VersionArray*> array_;
   /// Seqlock word: odd = mutation in progress. Mutable so read-only users
   /// can share the object while mutators (holding the exclusive latch)
   /// version it.

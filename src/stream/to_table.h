@@ -16,7 +16,9 @@
 #define STREAMSI_STREAM_TO_TABLE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "core/transactional_table.h"
 #include "stream/operator.h"
@@ -64,6 +66,12 @@ class ToTable : public OperatorBase, public Publisher<T> {
   }
 
  private:
+  /// Retry budget for ResourceExhausted writes (~5 ms worst case per
+  /// tuple): long enough to ride out transaction-slot churn, short enough
+  /// that a truly stuck lane fails the batch promptly.
+  static constexpr int kExhaustedRetries = 10;
+  static constexpr int kExhaustedRetryMicros = 500;
+
   void OnElement(const StreamElement<T>& e) {
     if (e.is_data()) {
       OnData(e);
@@ -95,22 +103,39 @@ class ToTable : public OperatorBase, public Publisher<T> {
       errors_.fetch_add(1, std::memory_order_relaxed);
       return;  // data outside transaction boundaries is dropped
     }
-    auto txn = ctx_->Current();
-    if (!txn.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
     const K k = key_(e.data());
     Status status;
-    if (is_delete_ && is_delete_(e.data())) {
-      status = table_.Delete(**txn, k);
-    } else {
-      status = table_.Put(**txn, k, value_(e.data()));
+    for (int attempt = 0;; ++attempt) {
+      auto txn = ctx_->Current();
+      if (!txn.ok()) {
+        status = txn.status();
+      } else if (is_delete_ && is_delete_(e.data())) {
+        status = table_.Delete(**txn, k);
+      } else {
+        status = table_.Put(**txn, k, value_(e.data()));
+      }
+      // ResourceExhausted is transient pressure (full transaction table,
+      // version array waiting out a lagging pin): retry briefly before
+      // giving the tuple up.
+      if (!status.IsResourceExhausted() || attempt >= kExhaustedRetries) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kExhaustedRetryMicros));
     }
-    // Only successful writes count; failures go to error_count() — the two
-    // counters partition the attempts instead of double-booking them.
-    if (status.ok()) writes_.fetch_add(1, std::memory_order_relaxed);
-    Check(status);
+    if (status.ok()) {
+      // Only successful writes count; failures go to error_count() — the
+      // two counters partition the attempts instead of double-booking them.
+      writes_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    // The tuple is lost for good: the batch must never commit the rest of
+    // its tuples without it (a partially-applied batch would publish), so
+    // poison it — already-applied writes roll back, later tuples drop until
+    // the next batch boundary. An Aborted status means the transaction died
+    // underneath us; Current() has poisoned that case itself.
+    if (!status.IsAborted()) ctx_->PoisonBatch();
   }
 
   void Check(const Status& status) {

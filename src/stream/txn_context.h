@@ -97,6 +97,21 @@ class StreamTxnContext {
     return status;
   }
 
+  /// Fails the current batch: aborts the active transaction (rolling back
+  /// every write the batch already made) and drops all later tuples until
+  /// the next batch boundary (BOT/COMMIT/ROLLBACK punctuation). Operators
+  /// call this when one tuple of the batch could not be applied — letting
+  /// the remaining tuples commit would publish a partially-applied batch,
+  /// tearing it across states and lanes.
+  void PoisonBatch() {
+    std::lock_guard<SpinLock> guard(lock_);
+    if (handle_ != nullptr && handle_->txn().running()) {
+      (void)manager_->Abort(handle_->txn());
+    }
+    MaybeResetLocked();
+    poisoned_ = true;
+  }
+
   /// Commits everything outstanding (used at EOS).
   Status CommitAll() {
     std::lock_guard<SpinLock> guard(lock_);

@@ -160,7 +160,11 @@ Result<int> StateContext::BeginTransaction(TxnId* txn_id) {
   // the cached watermark computations did not account for. (Safety does not
   // depend on this — the floor handshake keeps any published watermark
   // valid — but conservatively busting the cache keeps floors fresh.)
-  txn_generation_.fetch_add(1, std::memory_order_acq_rel);
+  // seq_cst bump: NotifyGenerationWaiters' waiter-count load needs a
+  // store-load edge against this (see there) without a standalone fence on
+  // this hot path — the RMW is lock-prefixed anyway, seq_cst costs nothing.
+  txn_generation_.fetch_add(1, std::memory_order_seq_cst);
+  NotifyGenerationWaiters();
   *txn_id = id;
   return slot;
 }
@@ -176,7 +180,34 @@ void StateContext::EndTransaction(int slot) {
   active_mask_.Release(slot);
   // Invalidate cached lazy GC floors: this transaction's pins are gone, so
   // the watermark may rise — force the next full-array Install to recompute.
-  txn_generation_.fetch_add(1, std::memory_order_acq_rel);
+  // (seq_cst for the NotifyGenerationWaiters store-load edge, see Begin.)
+  txn_generation_.fetch_add(1, std::memory_order_seq_cst);
+  NotifyGenerationWaiters();
+}
+
+void StateContext::NotifyGenerationWaiters() {
+  // Store-load edge against the waiter's registration: the caller's seq_cst
+  // generation bump and this seq_cst load order one way, the waiter's
+  // registration + fence + generation check the other — if this load misses
+  // a freshly registered waiter, that waiter is guaranteed to see the bump
+  // and never sleeps on it. Bounded timeouts make even a missed wake-up a
+  // latency blip, never a hang.
+  if (generation_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // Take-and-drop the mutex so a waiter between its predicate check and the
+  // actual sleep cannot miss the notify.
+  { std::lock_guard<std::mutex> guard(generation_mutex_); }
+  generation_cv_.notify_all();
+}
+
+std::uint64_t StateContext::WaitForTxnTableChange(std::uint64_t seen,
+                                                  std::uint64_t micros) {
+  std::unique_lock<std::mutex> lock(generation_mutex_);
+  generation_waiters_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  generation_cv_.wait_for(lock, std::chrono::microseconds(micros),
+                          [&] { return TxnTableGeneration() != seen; });
+  generation_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  return TxnTableGeneration();
 }
 
 void StateContext::RegisterStateAccess(int slot, StateId state) {

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -170,6 +171,17 @@ class StateContext {
     return txn_generation_.load(std::memory_order_acquire);
   }
 
+  /// Blocks until the transaction-table generation differs from `seen`, at
+  /// most `micros` microseconds; returns the generation at wake-up. The
+  /// writer-backpressure path (a committer stalled on a version array whose
+  /// every version is pinned) sleeps here between GC-floor re-resolutions:
+  /// the floor can only rise when a transaction ends (or begins), and both
+  /// bump the generation — so this wakes exactly when recomputing the floor
+  /// might help. Purely a latency hint: a missed wake-up costs at most the
+  /// timeout, never correctness.
+  std::uint64_t WaitForTxnTableChange(std::uint64_t seen,
+                                      std::uint64_t micros);
+
   /// True iff every registered state of `group` that this transaction
   /// accessed has status == kCommit... (§4.3: "The modifications are not
   /// persisted until all states registered for this transaction are ready
@@ -277,9 +289,19 @@ class StateContext {
   std::vector<StateInfo> states_;
   std::vector<std::unique_ptr<GroupSlot>> groups_;
 
+  /// Wakes WaitForTxnTableChange sleepers after a generation bump. The
+  /// notify is gated on the waiter count so idle begin/end pairs never
+  /// touch the mutex.
+  void NotifyGenerationWaiters();
+
   AtomicSlotMask active_mask_;
   std::array<TxnSlot, kMaxActiveTxns> slots_;
   std::atomic<std::uint64_t> txn_generation_{0};
+  /// Generation-change waiters (writer backpressure on full version
+  /// arrays); see WaitForTxnTableChange.
+  mutable std::mutex generation_mutex_;
+  std::condition_variable generation_cv_;
+  std::atomic<int> generation_waiters_{0};
 };
 
 }  // namespace streamsi

@@ -1,5 +1,6 @@
 #include "txn/versioned_store.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "common/logging.h"
@@ -237,33 +238,89 @@ void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {
                                               std::memory_order_acq_rel);
 }
 
+Status VersionedStore::InstallWithBackpressure(Entry* entry,
+                                               std::string_view value,
+                                               Timestamp commit_ts,
+                                               GcFloor& floor) {
+  // Exponential backoff bounds: short first nap (the lagging reader often
+  // just needs to be scheduled once on a loaded box), capped so an idle
+  // system spends the budget in a handful of wake-ups. The budget itself is
+  // WALL CLOCK, not summed nap requests: the wait hook wakes on any
+  // transaction begin/end, so under heavy unrelated churn a nap can return
+  // immediately — charging the request would burn the whole budget in
+  // microseconds and fail a commit the lagging reader was milliseconds from
+  // unblocking.
+  constexpr std::uint64_t kFirstNapMicros = 100;
+  constexpr std::uint64_t kMaxNapMicros = 10'000;
+  // Set lazily on the first exhausted attempt: the steady-state install
+  // (slot free or GC makes room) must not pay a clock read it discards.
+  std::chrono::steady_clock::time_point deadline{};
+  std::uint64_t nap = kFirstNapMicros;
+  bool stalled = false;
+  for (;;) {
+    Status status;
+    {
+      ExclusiveGuard guard(entry->latch);
+      const int versions_before = entry->object.VersionCount();
+      const int capacity_before = entry->object.capacity();
+      status = entry->object.Install(value, commit_ts, floor,
+                                     options_.mvcc_slots_max);
+      if (status.ok()) {
+        stats_.installs.fetch_add(1, std::memory_order_relaxed);
+        const int versions_after = entry->object.VersionCount();
+        if (versions_after <= versions_before) {
+          // Install succeeded without net growth => on-demand GC reclaimed.
+          stats_.gc_reclaimed.fetch_add(
+              static_cast<std::uint64_t>(versions_before - versions_after +
+                                         1),
+              std::memory_order_relaxed);
+        }
+        if (entry->object.capacity() > capacity_before) {
+          stats_.slot_growths.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++entry->blob_version;
+      }
+    }
+    if (!status.IsResourceExhausted()) return status;
+    // The array sits at mvcc_slots_max and every version is pinned. A
+    // fixed floor can never rise — fail fast (tests/maintenance paths); a
+    // refreshable floor rises as soon as the lagging reader's transaction
+    // ends, so wait for that — bounded, with the entry latch released so
+    // readers and their latched fallback stay live.
+    if (!floor.refreshable()) return status;
+    const auto now = std::chrono::steady_clock::now();
+    if (!stalled) {
+      stalled = true;
+      stats_.version_wait_stalls.fetch_add(1, std::memory_order_relaxed);
+      deadline = now + std::chrono::microseconds(options_.version_wait_micros);
+    } else if (now >= deadline) {
+      return status;
+    }
+    const std::uint64_t budget = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now)
+            .count());
+    floor.Wait(std::min(nap, budget));
+    nap = std::min(nap * 2, kMaxNapMicros);
+    (void)floor.Refresh();
+  }
+}
+
 Status VersionedStore::ApplyCommitted(std::string_view key,
                                       std::string_view value, bool is_delete,
                                       Timestamp commit_ts, GcFloor& floor,
                                       bool sync_hint) {
   Entry* entry = GetOrCreateEntry(key);
-  {
+  if (is_delete) {
     ExclusiveGuard guard(entry->latch);
-    const int before = entry->object.VersionCount();
-    if (is_delete) {
-      const Status status = entry->object.MarkDeleted(commit_ts);
-      // Deleting a key that never existed is a no-op, not an error: the
-      // stream may carry deletes for already-expired window entries.
-      if (!status.ok() && !status.IsNotFound()) return status;
-      stats_.deletes.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      STREAMSI_RETURN_NOT_OK(
-          entry->object.Install(value, commit_ts, floor));
-      stats_.installs.fetch_add(1, std::memory_order_relaxed);
-      const int after = entry->object.VersionCount();
-      if (after <= before) {
-        // Install succeeded without net growth => on-demand GC reclaimed.
-        stats_.gc_reclaimed.fetch_add(
-            static_cast<std::uint64_t>(before - after + 1),
-            std::memory_order_relaxed);
-      }
-    }
+    const Status status = entry->object.MarkDeleted(commit_ts);
+    // Deleting a key that never existed is a no-op, not an error: the
+    // stream may carry deletes for already-expired window entries.
+    if (!status.ok() && !status.IsNotFound()) return status;
+    stats_.deletes.fetch_add(1, std::memory_order_relaxed);
     ++entry->blob_version;
+  } else {
+    STREAMSI_RETURN_NOT_OK(
+        InstallWithBackpressure(entry, value, commit_ts, floor));
   }
   // FCW watermark: every committed modification counts, even a no-op
   // delete (two transactions writing the same key conflict regardless of

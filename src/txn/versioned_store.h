@@ -44,8 +44,19 @@ namespace streamsi {
 
 /// Tuning knobs of one store.
 struct StoreOptions {
-  /// Version-array capacity per key (<= 64).
+  /// Initial version-array capacity per key (<= 64).
   int mvcc_slots = 8;
+  /// Adaptive-growth ceiling: a full version array whose on-demand GC frees
+  /// nothing (every version pinned by some snapshot) is replaced with a
+  /// doubled copy up to this many slots instead of failing the commit
+  /// (<= 64). Set equal to mvcc_slots to disable growth.
+  int mvcc_slots_max = 64;
+  /// Bounded writer backpressure: at mvcc_slots_max with nothing
+  /// reclaimable, a committing install waits up to this long (total, across
+  /// floor re-resolutions) for the lagging snapshot pin to advance before
+  /// returning ResourceExhausted. Only refreshable (lazily computed) GC
+  /// floors wait — a fixed watermark can never rise, so those fail fast.
+  std::uint64_t version_wait_micros = 200'000;
   /// Persist committed MVCC objects to the backend at commit time.
   bool write_through = true;
   /// Request durability (backend SyncMode applies) for the final write of
@@ -63,6 +74,12 @@ struct StoreStats {
   std::atomic<std::uint64_t> scans{0};
   std::atomic<std::uint64_t> gc_reclaimed{0};
   std::atomic<std::uint64_t> persisted{0};
+  /// Version-array growth events (a key outgrew its slot array under a
+  /// lagging reader pin).
+  std::atomic<std::uint64_t> slot_growths{0};
+  /// Installs that had to wait for the GC floor to advance (hot key at
+  /// mvcc_slots_max with every version pinned).
+  std::atomic<std::uint64_t> version_wait_stalls{0};
 };
 
 /// One transactional state table (untyped: byte-string keys/values).
@@ -305,6 +322,13 @@ class VersionedStore {
   static std::size_t FindBucketOf(const BucketTable* table,
                                   const Entry* entry);
   Status PersistEntry(std::string_view key, Entry* entry, bool sync);
+  /// Install with adaptive growth (up to options_.mvcc_slots_max) and
+  /// bounded writer backpressure: on ResourceExhausted with a refreshable
+  /// floor, waits — entry latch RELEASED, outside any seqlock section — for
+  /// the lagging pin to advance, re-resolves the floor, and retries, up to
+  /// options_.version_wait_micros total.
+  Status InstallWithBackpressure(Entry* entry, std::string_view value,
+                                 Timestamp commit_ts, GcFloor& floor);
 
   StateId id_;
   std::string name_;

@@ -26,6 +26,48 @@ TEST(EpochTest, RetiredObjectIsEventuallyFreed) {
   EXPECT_EQ(freed.load(), 1);
 }
 
+TEST(EpochTest, BackgroundReclaimerDrainsWithoutManualSweeps) {
+  EpochManager& manager = EpochManager::Global();
+  manager.StartBackgroundReclaimer(std::chrono::milliseconds(1));
+  EXPECT_TRUE(manager.reclaimer_running());
+
+  std::atomic<int> freed{0};
+  struct Probe {
+    std::atomic<int>* counter;
+    ~Probe() { counter->fetch_add(1); }
+  };
+  constexpr int kProbes = 10;
+  for (int i = 0; i < kProbes; ++i) manager.Retire(new Probe{&freed});
+
+  // No TryReclaim/DrainForTesting from this thread: the background cadence
+  // alone must free the garbage (two epoch advances => within a few ticks).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (freed.load() < kProbes &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(freed.load(), kProbes);
+  manager.StopBackgroundReclaimer();
+  EXPECT_FALSE(manager.reclaimer_running());
+}
+
+TEST(EpochTest, BackgroundReclaimerRefCountsAcrossOwners) {
+  EpochManager& manager = EpochManager::Global();
+  manager.StartBackgroundReclaimer(std::chrono::milliseconds(1));
+  manager.StartBackgroundReclaimer(std::chrono::milliseconds(1));
+  manager.StopBackgroundReclaimer();
+  // First owner gone, second still holds a reference.
+  EXPECT_TRUE(manager.reclaimer_running());
+  manager.StopBackgroundReclaimer();
+  EXPECT_FALSE(manager.reclaimer_running());
+  // Stop without start is a no-op, and a restart works.
+  manager.StopBackgroundReclaimer();
+  manager.StartBackgroundReclaimer(std::chrono::milliseconds(1));
+  EXPECT_TRUE(manager.reclaimer_running());
+  manager.StopBackgroundReclaimer();
+}
+
 TEST(EpochTest, ActiveGuardBlocksReclamation) {
   EpochManager& manager = EpochManager::Global();
   manager.DrainForTesting();  // start from a clean slate

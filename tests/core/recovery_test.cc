@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/streamsi.h"
 #include "tests/test_util.h"
 
@@ -111,6 +113,63 @@ TEST_F(RecoveryTest, ClockAdvancesPastRecoveredCommits) {
   auto t = db->Begin();
   EXPECT_GT((*t)->id(), committed_at);
   ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_F(RecoveryTest, GrownVersionArraySurvivesRestart) {
+  StateId a, b;
+  GroupId g;
+  constexpr int kOverwrites = 20;  // > default mvcc_slots (8): forces growth
+  std::vector<Timestamp> commit_cts;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    // Lagging reader: holds a snapshot pin across every overwrite, so
+    // on-demand GC can reclaim nothing and the hot key's version array must
+    // grow (8 -> 16 -> 32) to absorb the churn.
+    auto reader = db->Begin();
+    std::string ignored;
+    ASSERT_TRUE(db->txn_manager()
+                    .Read((*reader)->txn(), a, "hot", &ignored)
+                    .IsNotFound());  // pins the snapshot
+    for (int i = 0; i < kOverwrites; ++i) {
+      auto t = db->Begin();
+      ASSERT_TRUE(db->txn_manager()
+                      .Write((*t)->txn(), a, "hot", "v" + std::to_string(i))
+                      .ok());
+      ASSERT_TRUE((*t)->Commit().ok()) << "overwrite " << i;
+      commit_cts.push_back(db->context().LastCts(g));
+    }
+    ASSERT_TRUE((*reader)->Commit().ok());
+    // The persisted blob must already carry the grown array.
+    std::string blob;
+    ASSERT_TRUE(db->GetState(a)->backend()->Get("hot", &blob).ok());
+    auto object = MvccObject::Decode(blob, 8);
+    ASSERT_TRUE(object.ok());
+    EXPECT_GT(object->capacity(), 8);
+    EXPECT_EQ(object->VersionCount(), kOverwrites);
+  }
+
+  // Restart: CreateState reloads from the backend — Decode must size from
+  // the blob (not the configured mvcc_slots default of 8) or the grown
+  // object would fail recovery.
+  auto db = OpenDb(&a, &b, &g);
+  VersionedStore* store = db->GetState(a);
+  ASSERT_NE(store, nullptr);
+  std::string value;
+  // Every version of the grown history is back and time-travel works.
+  for (int i = 0; i < kOverwrites; ++i) {
+    ASSERT_TRUE(store->ReadCommitted(commit_cts[static_cast<std::size_t>(i)],
+                                     "hot", &value)
+                    .ok())
+        << "version " << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  // PurgeVersionsAfter still works on the recovered grown array (the
+  // recovery rollback path).
+  const Timestamp mid = commit_cts[9];
+  EXPECT_EQ(store->PurgeVersionsAfter(mid),
+            static_cast<std::uint64_t>(kOverwrites - 10));
+  ASSERT_TRUE(store->ReadLatest("hot", &value).ok());
+  EXPECT_EQ(value, "v9");  // reopened as the live version
 }
 
 TEST_F(RecoveryTest, UnfinishedGroupCommitIsPurged) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
+
 namespace streamsi {
 namespace {
 
@@ -100,6 +102,89 @@ TEST(MvccObjectTest, InstallFailsWhenNoReclaimableSlot) {
   ASSERT_TRUE(object.Install("v2", 20, 0).ok());
   // Oldest active snapshot 5 still needs everything.
   EXPECT_TRUE(object.Install("v3", 30, 5).IsResourceExhausted());
+}
+
+TEST(MvccObjectTest, AdaptiveGrowthKeepsPinnedVersionsInstallable) {
+  MvccObject object(2);
+  // A reader pinned at snapshot 0 keeps every version visible — nothing is
+  // reclaimable, so each full array must grow (2 -> 4 -> 8) instead of
+  // failing the install.
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE(object
+                    .Install("v" + std::to_string(ts), ts * 10,
+                             /*oldest_active=*/kInitialTs, /*grow_limit=*/8)
+                    .ok())
+        << "ts " << ts;
+  }
+  EXPECT_EQ(object.capacity(), 8);
+  EXPECT_EQ(object.VersionCount(), 8);
+  // The full history stays visible across the growths.
+  std::string value;
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE(object.GetVisible(ts * 10, &value));
+    EXPECT_EQ(value, "v" + std::to_string(ts));
+  }
+  // At the grow limit with everything still pinned: the install fails...
+  EXPECT_TRUE(object.Install("v9", 90, kInitialTs, 8).IsResourceExhausted());
+  // ...and succeeds at unchanged capacity once the pin advances.
+  ASSERT_TRUE(object.Install("v9", 90, /*oldest_active=*/85, 8).ok());
+  EXPECT_EQ(object.capacity(), 8);
+}
+
+TEST(MvccObjectTest, DefaultGrowLimitDisablesGrowth) {
+  MvccObject object(2);
+  ASSERT_TRUE(object.Install("v1", 10, kInitialTs).ok());
+  ASSERT_TRUE(object.Install("v2", 20, kInitialTs).ok());
+  EXPECT_TRUE(object.Install("v3", 30, kInitialTs).IsResourceExhausted());
+  EXPECT_EQ(object.capacity(), 2);
+}
+
+TEST(MvccObjectTest, GrowthPrefersGcWhenVersionsAreReclaimable) {
+  MvccObject object(2);
+  ASSERT_TRUE(object.Install("v1", 10, kInitialTs, 8).ok());
+  ASSERT_TRUE(object.Install("v2", 20, kInitialTs, 8).ok());
+  // v1 ([10,20)) is below the watermark: GC must make room — no growth.
+  ASSERT_TRUE(object.Install("v3", 30, /*oldest_active=*/25, 8).ok());
+  EXPECT_EQ(object.capacity(), 2);
+  EXPECT_EQ(object.VersionCount(), 2);
+}
+
+TEST(MvccObjectTest, GrownObjectSurvivesEncodeDecodeRoundTrip) {
+  MvccObject object(2);
+  for (Timestamp ts = 1; ts <= 12; ++ts) {
+    ASSERT_TRUE(object
+                    .Install("v" + std::to_string(ts), ts * 10, kInitialTs,
+                             /*grow_limit=*/16)
+                    .ok());
+  }
+  ASSERT_EQ(object.capacity(), 16);
+  std::string blob;
+  object.EncodeTo(&blob);
+
+  // Decode with a SMALLER configured default (the store's mvcc_slots): the
+  // blob's recorded capacity must win, restoring every version.
+  auto decoded = MvccObject::Decode(blob, /*min_capacity=*/8);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->capacity(), 16);
+  EXPECT_EQ(decoded->VersionCount(), 12);
+  std::string value;
+  for (Timestamp ts = 1; ts <= 12; ++ts) {
+    ASSERT_TRUE(decoded->GetVisible(ts * 10, &value)) << "ts " << ts;
+    EXPECT_EQ(value, "v" + std::to_string(ts));
+  }
+  // PurgeAfter still works on the grown, decoded array (recovery path).
+  EXPECT_EQ(decoded->PurgeAfter(55), 7);
+  ASSERT_TRUE(decoded->GetVisible(1000, &value));
+  EXPECT_EQ(value, "v5");  // reopened as the live version
+}
+
+TEST(MvccObjectTest, DecodeRejectsOverwideCapacity) {
+  // A corrupt blob claiming a capacity beyond the slot-mask width must not
+  // decode.
+  std::string blob;
+  PutVarint32(&blob, 65);  // capacity
+  PutVarint32(&blob, 0);   // count
+  EXPECT_FALSE(MvccObject::Decode(blob, 8).ok());
 }
 
 TEST(MvccObjectTest, PurgeAfterRemovesUncommittedTail) {

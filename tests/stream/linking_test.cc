@@ -137,6 +137,61 @@ TEST_F(LinkingTest, ToTableAutoCommitViaBatcher) {
   EXPECT_EQ(rows->size(), 3u);
 }
 
+// Regression: a mid-batch ResourceExhausted write (here: the transaction
+// table is full, so the lane's implicit Begin fails for one tuple) used to
+// be counted as an error while the REST of the batch went on to COMMIT —
+// publishing a partially-applied batch. ToTable must retry transient
+// exhaustion and, when the tuple is lost for good, poison the batch so
+// nothing of it commits.
+TEST_F(LinkingTest, ExhaustionMidBatchNeverCommitsPartialBatch) {
+  Publisher<Meter> source;  // driven synchronously from this thread
+  auto ctx = std::make_shared<StreamTxnContext>(&db_->txn_manager());
+  ToTable<Meter, std::uint64_t, double> to_table(
+      &source, table_, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; });
+
+  // Inject exhaustion: occupy EVERY transaction slot so the batch's first
+  // tuple cannot begin its transaction (Begin => ResourceExhausted).
+  std::vector<std::unique_ptr<TransactionHandle>> hog;
+  for (;;) {
+    auto handle = db_->Begin();
+    if (!handle.ok()) {
+      ASSERT_TRUE(handle.status().IsResourceExhausted());
+      break;
+    }
+    hog.push_back(std::move(handle).value());
+  }
+
+  // Tuple 1 of the batch: exhausted (retries run against a still-full
+  // table), must be dropped AND poison the batch.
+  source.Publish(StreamElement<Meter>(Meter{1, 10.0, false}, 0));
+  EXPECT_EQ(to_table.error_count(), 1u);
+  EXPECT_EQ(to_table.write_count(), 0u);
+
+  // Release the slots: tuple 2 could now begin a FRESH transaction — the
+  // seed bug committed exactly this tail of the batch without tuple 1.
+  hog.clear();
+  source.Publish(StreamElement<Meter>(Meter{2, 20.0, false}, 1));
+  source.Publish(StreamElement<Meter>(Punctuation::kCommitTxn));
+
+  auto rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty())
+      << "a partially-applied batch committed: " << rows->size() << " rows";
+  EXPECT_EQ(to_table.write_count(), 0u);
+  EXPECT_EQ(to_table.error_count(), 2u);  // both tuples of the batch dropped
+
+  // The poisoning heals at the batch boundary: the next batch commits.
+  source.Publish(StreamElement<Meter>(Punctuation::kBeginTxn));
+  source.Publish(StreamElement<Meter>(Meter{3, 30.0, false}, 2));
+  source.Publish(StreamElement<Meter>(Punctuation::kCommitTxn));
+  rows = SnapshotOf(&db_->txn_manager(), table_);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].first, 3u);
+  EXPECT_EQ(to_table.write_count(), 1u);
+}
+
 TEST_F(LinkingTest, ToStreamEmitsCommittedChangesOnly) {
   // TO_STREAM with the kOnCommit trigger policy: nothing is emitted for the
   // rolled-back batch.

@@ -74,6 +74,47 @@ TEST(StateContextTest, SlotExhaustion) {
   EXPECT_TRUE(ctx.BeginTransaction(&id).ok());
 }
 
+TEST(StateContextTest, WaitForTxnTableChangeWakesOnTransactionEnd) {
+  StateContext ctx;
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+  const std::uint64_t seen = ctx.TxnTableGeneration();
+
+  std::thread ender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ctx.EndTransaction(slot.value());
+  });
+  const auto start = std::chrono::steady_clock::now();
+  // Generous 2 s cap: the wake must come from the EndTransaction notify,
+  // not the timeout.
+  const std::uint64_t now = ctx.WaitForTxnTableChange(seen, 2'000'000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ender.join();
+  EXPECT_NE(now, seen);
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+}
+
+TEST(StateContextTest, WaitForTxnTableChangeTimesOutWhenNothingChanges) {
+  StateContext ctx;
+  const std::uint64_t seen = ctx.TxnTableGeneration();
+  EXPECT_EQ(ctx.WaitForTxnTableChange(seen, 2'000), seen);
+}
+
+TEST(StateContextTest, WaitForTxnTableChangeReturnsImmediatelyIfAlreadyMoved) {
+  StateContext ctx;
+  const std::uint64_t seen = ctx.TxnTableGeneration();
+  TxnId id;
+  auto slot = ctx.BeginTransaction(&id);
+  ASSERT_TRUE(slot.ok());
+  // Generation moved before the wait: the predicate is already true.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NE(ctx.WaitForTxnTableChange(seen, 2'000'000), seen);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(1));
+  ctx.EndTransaction(slot.value());
+}
+
 TEST(StateContextTest, StateStatusFlags) {
   StateContext ctx;
   const StateId a = ctx.RegisterState("a");

@@ -180,6 +180,109 @@ TEST(VersionedStoreTest, PurgeVersionsAfterWatermark) {
   EXPECT_EQ(store->MaxCommittedCts(), 10u);
 }
 
+TEST(VersionedStoreTest, AdaptiveGrowthAbsorbsHotKeyChurnUnderLaggingPin) {
+  StoreOptions options;
+  options.mvcc_slots = 2;
+  options.mvcc_slots_max = 8;
+  options.write_through = false;
+  auto store = MakeStore(0, options);
+  // A pin at 0 keeps everything visible: each full array must grow.
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE(store
+                    ->ApplyCommitted("hot", "v" + std::to_string(ts), false,
+                                     ts * 10, /*oldest_active=*/kInitialTs,
+                                     false)
+                    .ok())
+        << "ts " << ts;
+  }
+  EXPECT_EQ(store->stats().slot_growths.load(), 2u);  // 2 -> 4 -> 8
+  EXPECT_EQ(store->stats().version_wait_stalls.load(), 0u);
+  std::string value;
+  for (Timestamp ts = 1; ts <= 8; ++ts) {
+    ASSERT_TRUE(store->ReadCommitted(ts * 10, "hot", &value).ok());
+    EXPECT_EQ(value, "v" + std::to_string(ts));
+  }
+  // At mvcc_slots_max with a FIXED (non-refreshable) floor: fail fast — a
+  // fixed watermark can never rise, so waiting would be pure dead time.
+  EXPECT_TRUE(store->ApplyCommitted("hot", "v9", false, 90, kInitialTs, false)
+                  .IsResourceExhausted());
+  EXPECT_EQ(store->stats().version_wait_stalls.load(), 0u);
+}
+
+TEST(VersionedStoreTest, BackpressureWaitsForRefreshableFloorToAdvance) {
+  StoreOptions options;
+  options.mvcc_slots = 2;
+  options.mvcc_slots_max = 2;  // growth off: exercise the wait path alone
+  options.version_wait_micros = 2'000'000;
+  options.write_through = false;
+  auto store = MakeStore(0, options);
+  ASSERT_TRUE(store->ApplyCommitted("k", "v1", false, 10, kInitialTs, false)
+                  .ok());
+  ASSERT_TRUE(store->ApplyCommitted("k", "v2", false, 20, kInitialTs, false)
+                  .ok());
+
+  // A refreshable floor that rises from 0 to 15 when the "lagging reader"
+  // is released (as EndTransaction would), with the wait hook doubling as
+  // the release trigger after the first nap.
+  struct Ctx {
+    std::atomic<Timestamp> floor{kInitialTs};
+    std::atomic<int> computes{0};
+    std::atomic<int> waits{0};
+  } ctx;
+  GcFloor floor(
+      +[](void* c) -> Timestamp {
+        auto* x = static_cast<Ctx*>(c);
+        x->computes.fetch_add(1);
+        return x->floor.load();
+      },
+      &ctx,
+      +[](void* c, std::uint64_t) {
+        auto* x = static_cast<Ctx*>(c);
+        x->waits.fetch_add(1);
+        // v1 lives in [10, 20): a floor of 25 releases it — the moment the
+        // lagging reader's transaction would have ended.
+        x->floor.store(25);
+      });
+  const Status first = store->ApplyCommitted("k", "v3", false, 30, floor,
+                                             false);
+  ASSERT_TRUE(first.ok()) << first.ToString();
+  EXPECT_GE(ctx.waits.load(), 1);
+  EXPECT_GE(ctx.computes.load(), 2);  // initial resolve + >=1 re-resolution
+  EXPECT_EQ(store->stats().version_wait_stalls.load(), 1u);
+  std::string value;
+  ASSERT_TRUE(store->ReadLatest("k", &value).ok());
+  EXPECT_EQ(value, "v3");
+}
+
+TEST(VersionedStoreTest, BackpressureGivesUpAfterBoundedWait) {
+  StoreOptions options;
+  options.mvcc_slots = 2;
+  options.mvcc_slots_max = 2;
+  options.version_wait_micros = 3'000;  // tiny budget: the pin never moves
+  options.write_through = false;
+  auto store = MakeStore(0, options);
+  ASSERT_TRUE(store->ApplyCommitted("k", "v1", false, 10, kInitialTs, false)
+                  .ok());
+  ASSERT_TRUE(store->ApplyCommitted("k", "v2", false, 20, kInitialTs, false)
+                  .ok());
+
+  std::atomic<int> waits{0};
+  GcFloor floor(
+      +[](void*) -> Timestamp { return kInitialTs; }, &waits,
+      +[](void* c, std::uint64_t micros) {
+        static_cast<std::atomic<int>*>(c)->fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      });
+  EXPECT_TRUE(store->ApplyCommitted("k", "v3", false, 30, floor, false)
+                  .IsResourceExhausted());
+  EXPECT_GE(waits.load(), 1);
+  EXPECT_EQ(store->stats().version_wait_stalls.load(), 1u);
+  // The stall left the key intact.
+  std::string value;
+  ASSERT_TRUE(store->ReadLatest("k", &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
 TEST(VersionedStoreTest, GarbageCollectAllReclaims) {
   StoreOptions options;
   options.mvcc_slots = 4;
