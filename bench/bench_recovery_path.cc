@@ -1,0 +1,234 @@
+// Recovery-path benchmark (PR 5 durability lifecycle): restart-to-ready
+// time as a function of commit-history length, with and without a
+// checkpoint, plus the flush-stall impact of the LSM background flush
+// worker on commit throughput.
+//
+// Emitted as one JSON document on stdout so bench/run_bench.sh can archive
+// it as BENCH_recovery_path.json:
+//
+//   recovery/no_checkpoint   restart-to-ready (Database::Open on a durable
+//                            directory: catalog replay, parallel
+//                            LoadFromBackend + purge, group-log replay,
+//                            clock fast-forward) after N commits with NO
+//                            checkpoint — grows with N.
+//   recovery/checkpoint      the same after a Checkpoint(): the group log
+//                            is one cut record, the LSM WAL chains are
+//                            flushed — restart work is bounded by data
+//                            since the checkpoint, so the time stays flat
+//                            as N grows 10x.
+//   commit/flush_stall       commit throughput (SyncMode::kSimulated) with
+//                            the default memtable vs a tiny one that seals
+//                            constantly: flushes/compactions run on the
+//                            background worker, so the committer pays only
+//                            bounded admission stalls.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/streamsi.h"
+#include "storage/lsm_backend.h"
+
+namespace streamsi {
+namespace {
+
+constexpr std::uint64_t kSimulatedSyncMicros = 5;
+constexpr int kHotKeys = 256;
+
+DatabaseOptions MakeOptions(const std::string& dir,
+                            std::size_t memtable_bytes) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kSimulated;
+  options.backend_options.simulated_sync_micros = kSimulatedSyncMicros;
+  options.backend_options.memtable_bytes = memtable_bytes;
+  options.base_dir = dir;
+  return options;
+}
+
+struct RestartResult {
+  double restart_ms = 0.0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t records_replayed = 0;
+  bool from_checkpoint = false;
+};
+
+/// Life 1: `commits` transactions over a hot key set (+ a checkpoint when
+/// requested), crash. Life 2: measure Database::Open until ready-to-serve.
+RestartResult RunRestart(int commits, bool checkpoint,
+                         const std::string& dir) {
+  (void)fsutil::RemoveDirRecursive(dir);
+  const DatabaseOptions options = MakeOptions(dir, 8 * 1024 * 1024);
+  const std::string value(64, 'v');
+  RestartResult result;
+  {
+    auto db = Database::Open(options);
+    if (!db.ok()) std::abort();
+    auto state = (*db)->CreateState("s");
+    if (!state.ok()) std::abort();
+    if (!(*db)->Recover().ok()) std::abort();
+    const StateId id = (*state)->id();
+    for (int i = 0; i < commits; ++i) {
+      auto t = (*db)->Begin();
+      if (!t.ok()) std::abort();
+      const std::string key = "key-" + std::to_string(i % kHotKeys);
+      if (!(*db)->txn_manager().Write((*t)->txn(), id, key, value).ok()) {
+        std::abort();
+      }
+      if (!(*t)->Commit().ok()) std::abort();
+    }
+    if (checkpoint && !(*db)->Checkpoint().ok()) std::abort();
+    result.log_bytes = (*db)->group_log()->TotalSizeBytes();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto db = Database::Open(options);  // catalog reopen + recovery inside
+  if (!db.ok()) std::abort();
+  // Ready-to-serve means a transaction can read recovered data.
+  {
+    auto t = (*db)->Begin();
+    if (!t.ok()) std::abort();
+    std::string got;
+    VersionedStore* store = (*db)->FindState("s");
+    if (store == nullptr) std::abort();
+    if (!(*db)->txn_manager()
+             .Read((*t)->txn(), store->id(), "key-0", &got)
+             .ok()) {
+      std::abort();
+    }
+    if (!(*t)->Commit().ok()) std::abort();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.restart_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+
+  GroupCommitLog::ReplayInfo info;
+  if (GroupCommitLog::Replay(dir + "/group_commits.log", &info).ok()) {
+    result.records_replayed = info.records;
+    result.from_checkpoint = info.from_checkpoint;
+  }
+  return result;
+}
+
+struct StallResult {
+  double commits_per_s = 0.0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t flush_stalls = 0;
+};
+
+/// Commit throughput with 4 committers against one LSM state; the memtable
+/// size is the experiment variable (tiny => constant background flushing).
+StallResult RunFlushStall(std::size_t memtable_bytes,
+                          const std::string& dir) {
+  (void)fsutil::RemoveDirRecursive(dir);
+  const DatabaseOptions options = MakeOptions(dir, memtable_bytes);
+  auto db = Database::Open(options);
+  if (!db.ok()) std::abort();
+  auto state = (*db)->CreateState("s");
+  if (!state.ok()) std::abort();
+  if (!(*db)->Recover().ok()) std::abort();
+  const StateId id = (*state)->id();
+  const std::string value(128, 'v');
+
+  constexpr int kCommitters = 4;
+  constexpr auto kDuration = std::chrono::milliseconds(400);
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kCommitters; ++w) {
+    threads.emplace_back([&, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto t = (*db)->Begin();
+        if (!t.ok()) std::abort();
+        const std::string key =
+            "key-" + std::to_string(w) + "-" + std::to_string(i++ % 512);
+        if (!(*db)->txn_manager().Write((*t)->txn(), id, key, value).ok()) {
+          std::abort();
+        }
+        if (!(*t)->Commit().ok()) std::abort();
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(kDuration);
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  StallResult result;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  result.commits_per_s = static_cast<double>(total.load()) / seconds;
+  auto* lsm = static_cast<LsmBackend*>((*state)->backend());
+  result.flushes = lsm->FlushCount();
+  result.compactions = lsm->CompactionCount();
+  result.flush_stalls = lsm->FlushStallCount();
+  return result;
+}
+
+}  // namespace
+}  // namespace streamsi
+
+int main() {
+  using namespace streamsi;
+
+  const std::string dir = "/tmp/streamsi_bench_recovery_path";
+  (void)fsutil::CreateDirIfMissing(dir);
+
+  std::printf("{\n");
+  std::printf("  \"simulated_sync_micros\": %llu,\n",
+              static_cast<unsigned long long>(kSimulatedSyncMicros));
+  std::printf("  \"hot_keys\": %d,\n", kHotKeys);
+  std::printf("  \"benchmarks\": [\n");
+  bool first = true;
+  const int history_lengths[] = {250, 1000, 2500};
+  for (const bool checkpoint : {false, true}) {
+    for (const int commits : history_lengths) {
+      const RestartResult r =
+          RunRestart(commits, checkpoint, dir + "/restart");
+      if (!first) std::printf(",\n");
+      first = false;
+      std::printf(
+          "    {\"name\": \"recovery/%s\", \"commits\": %d, "
+          "\"restart_ms\": %.2f, \"log_bytes\": %llu, "
+          "\"records_replayed\": %llu, \"from_checkpoint\": %s}",
+          checkpoint ? "checkpoint" : "no_checkpoint", commits, r.restart_ms,
+          static_cast<unsigned long long>(r.log_bytes),
+          static_cast<unsigned long long>(r.records_replayed),
+          r.from_checkpoint ? "true" : "false");
+      std::fflush(stdout);
+    }
+  }
+  struct {
+    const char* label;
+    std::size_t memtable_bytes;
+  } const sweeps[] = {
+      {"default_memtable", 8 * 1024 * 1024},
+      {"tiny_memtable", 32 * 1024},
+  };
+  for (const auto& sweep : sweeps) {
+    const StallResult r = RunFlushStall(sweep.memtable_bytes, dir + "/stall");
+    std::printf(",\n");
+    std::printf(
+        "    {\"name\": \"commit/flush_stall\", \"memtable\": \"%s\", "
+        "\"commits_per_s\": %.0f, \"flushes\": %llu, "
+        "\"compactions\": %llu, \"flush_stalls\": %llu}",
+        sweep.label, r.commits_per_s,
+        static_cast<unsigned long long>(r.flushes),
+        static_cast<unsigned long long>(r.compactions),
+        static_cast<unsigned long long>(r.flush_stalls));
+    std::fflush(stdout);
+  }
+  std::printf("\n  ]\n}\n");
+  (void)fsutil::RemoveDirRecursive(dir);
+  return 0;
+}

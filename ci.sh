@@ -27,12 +27,14 @@ run_tsan() {
   cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" -DSTREAMSI_TSAN=ON \
       -DSTREAMSI_BUILD_BENCH=OFF -DSTREAMSI_BUILD_EXAMPLES=OFF >/dev/null
   # The concurrency/stress suites: everything exercising the latch-free
-  # read path, the seqlock publication protocol, the group-commit WAL and
-  # the partitioned stream execution engine (bounded queues, lane threads,
+  # read path, the seqlock publication protocol, the group-commit WAL, the
+  # checkpoint/drain protocol + LSM background flush worker, and the
+  # partitioned stream execution engine (bounded queues, lane threads,
   # merge alignment, shared StreamTxnContext).
   local tsan_tests=(
     common_epoch_test
     common_latch_test
+    core_checkpoint_test
     core_commit_path_test
     core_consistency_test
     core_isolation_test
@@ -41,6 +43,7 @@ run_tsan() {
     mvcc_mvcc_object_test
     property_read_path_model_test
     property_si_model_test
+    storage_lsm_backend_test
     storage_wal_test
     stream_partition_test
     stream_partitioned_consistency_test

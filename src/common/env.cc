@@ -133,6 +133,13 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+Status FileSize(const std::string& path, std::uint64_t* size) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+  *size = static_cast<std::uint64_t>(st.st_size);
+  return Status::OK();
+}
+
 Status ListDir(const std::string& path, std::vector<std::string>* names) {
   names->clear();
   DIR* dir = ::opendir(path.c_str());
@@ -142,6 +149,38 @@ Status ListDir(const std::string& path, std::vector<std::string>* names) {
     if (name != "." && name != "..") names->push_back(name);
   }
   ::closedir(dir);
+  return Status::OK();
+}
+
+Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
+                         const std::string& suffix,
+                         std::vector<std::uint64_t>* numbers) {
+  // Only a MISSING directory is an empty chain. Any other listing failure
+  // (EACCES, EIO, ...) must propagate: recovery builds its replay chain
+  // from this result, and treating an unreadable directory as empty would
+  // silently drop every segment's committed records.
+  if (!FileExists(dir)) return Status::OK();
+  std::vector<std::string> names;
+  STREAMSI_RETURN_NOT_OK(ListDir(dir, &names));
+  for (const std::string& name : names) {
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    std::uint64_t n = 0;
+    bool numeric = true;
+    for (std::size_t i = prefix.size(); i < name.size() - suffix.size();
+         ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    if (numeric) numbers->push_back(n);
+  }
   return Status::OK();
 }
 

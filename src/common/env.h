@@ -69,7 +69,16 @@ Status RemoveFile(const std::string& path);
 /// Recursively removes a directory tree (used by tests/benches).
 Status RemoveDirRecursive(const std::string& path);
 bool FileExists(const std::string& path);
+/// Size of `path` in bytes (error if missing).
+Status FileSize(const std::string& path, std::uint64_t* size);
 Status ListDir(const std::string& path, std::vector<std::string>* names);
+/// Appends the numeric middle of every entry of `dir` shaped
+/// <prefix><digits><suffix> (digits of any length, no other characters) to
+/// `numbers`, unsorted. A missing directory appends nothing. Shared by the
+/// WAL/log segment-chain discoveries.
+Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
+                         const std::string& suffix,
+                         std::vector<std::uint64_t>* numbers);
 Status ReadFileToString(const std::string& path, std::string* out);
 /// Atomic replace: write tmp + fsync + rename (crash-safe publication).
 Status WriteStringToFileAtomic(const std::string& path,

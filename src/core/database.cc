@@ -1,6 +1,8 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -9,13 +11,21 @@ namespace streamsi {
 Database::Database(const DatabaseOptions& options) : options_(options) {}
 
 Database::~Database() {
-  // Shutdown ordering: release the background-reclaimer reference BEFORE
-  // the member destructors tear the stores down. The stores' destructors
-  // run their own bounded reclaim passes, and no detached thread may be
-  // sweeping epoch garbage during (or after, into static destruction) the
-  // teardown of the structures that produce it.
+  // Shutdown ordering: the background checkpointer first (it walks the
+  // stores and writes the group log), then the epoch reclaimer reference
+  // BEFORE the member destructors tear the stores down. The stores'
+  // destructors run their own bounded reclaim passes, and no detached
+  // thread may be sweeping epoch garbage during (or after, into static
+  // destruction) the teardown of the structures that produce it.
+  {
+    std::lock_guard<std::mutex> guard(checkpointer_mutex_);
+    stop_checkpointer_ = true;
+  }
+  checkpointer_cv_.notify_all();
+  if (checkpointer_.joinable()) checkpointer_.join();
   if (reclaimer_started_) EpochManager::Global().StopBackgroundReclaimer();
   if (group_log_ != nullptr) group_log_->Close();
+  if (catalog_ != nullptr) catalog_->Close();
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -35,8 +45,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->group_log_ = std::make_unique<GroupCommitLog>(
         options.backend_options.sync_mode,
         options.backend_options.simulated_sync_micros);
-    STREAMSI_RETURN_NOT_OK(
-        db->group_log_->Open(options.base_dir + "/group_commits.log"));
+    STREAMSI_RETURN_NOT_OK(db->group_log_->Open(db->GroupLogPath()));
   }
 
   Database* raw = db.get();
@@ -49,6 +58,24 @@ Result<std::unique_ptr<Database>> Database::Open(
         std::chrono::milliseconds(options.epoch_reclaim_interval_ms));
     db->reclaimer_started_ = true;
   }
+
+  // Durable state catalog: rediscover the schema of a previous life and
+  // recover before returning — the application does not have to re-issue
+  // its CreateState/CreateGroup calls (and a first-time directory simply
+  // has an empty catalog).
+  if (!options.base_dir.empty()) {
+    db->catalog_ = std::make_unique<StateCatalog>(
+        options.backend_options.sync_mode,
+        options.backend_options.simulated_sync_micros);
+    const bool had_catalog = fsutil::FileExists(db->CatalogPath());
+    if (had_catalog) STREAMSI_RETURN_NOT_OK(db->ReplayCatalog());
+    STREAMSI_RETURN_NOT_OK(db->catalog_->Open(db->CatalogPath()));
+    if (had_catalog) STREAMSI_RETURN_NOT_OK(db->RecoverInternal());
+  }
+
+  if (options.checkpoint_interval_ms > 0 && db->group_log_ != nullptr) {
+    db->checkpointer_ = std::thread(&Database::CheckpointLoop, raw);
+  }
   return db;
 }
 
@@ -56,53 +83,164 @@ std::string Database::StateDir(const std::string& name) const {
   return options_.base_dir + "/state_" + name;
 }
 
-Result<VersionedStore*> Database::CreateState(const std::string& name) {
-  {
-    SharedGuard guard(stores_latch_);
-    if (stores_by_name_.count(name) > 0) {
-      return Status::InvalidArgument("state already exists: " + name);
+Status Database::ReplayCatalog() {
+  std::vector<StateCatalog::Declaration> declarations;
+  STREAMSI_RETURN_NOT_OK(StateCatalog::Replay(CatalogPath(), &declarations));
+  for (const auto& decl : declarations) {
+    if (decl.kind == StateCatalog::Declaration::Kind::kState) {
+      auto store = CreateStateInternal(decl.state.name, &decl.state);
+      if (!store.ok()) return store.status();
+      if ((*store)->id() != decl.state.id) {
+        return Status::Corruption("catalog state id mismatch: " +
+                                  decl.state.name);
+      }
+    } else {
+      // Replay reproduces RegisterGroup order, so the assigned id must
+      // match the recorded one (both kinds of group: the singleton group a
+      // CreateState declared alongside its state, and explicit topologies).
+      const GroupId id = context_.RegisterGroup(decl.group.states);
+      if (id != decl.group.id) {
+        return Status::Corruption("catalog group id mismatch");
+      }
+      if (decl.group.singleton && !decl.group.states.empty()) {
+        singleton_groups_[decl.group.states[0]] = id;
+      }
     }
   }
+  return Status::OK();
+}
 
+Result<VersionedStore*> Database::CreateState(const std::string& name) {
+  {
+    // Idempotent re-declaration (catalog-reopened state or earlier call).
+    SharedGuard guard(stores_latch_);
+    auto it = stores_by_name_.find(name);
+    if (it != stores_by_name_.end()) return stores_[it->second].get();
+  }
+  return CreateStateInternal(name, nullptr);
+}
+
+Result<VersionedStore*> Database::CreateStateInternal(
+    const std::string& name, const StateCatalog::StateRecord* declared) {
+  const BackendType backend_type =
+      declared != nullptr ? declared->backend : options_.backend;
   BackendOptions backend_options = options_.backend_options;
   std::string location;
-  if (options_.backend == BackendType::kLsm) {
+  if (backend_type == BackendType::kLsm) {
     if (options_.base_dir.empty()) {
       return Status::InvalidArgument("LSM backend requires base_dir");
     }
-    location = StateDir(name);
+    location = declared != nullptr ? declared->location : StateDir(name);
     backend_options.path = location;
   }
-  auto backend = OpenBackend(options_.backend, backend_options);
+  auto backend = OpenBackend(backend_type, backend_options);
   if (!backend.ok()) return backend.status();
 
-  const StateId id = context_.RegisterState(name, location);
+  ExclusiveGuard guard(stores_latch_);
+  if (auto it = stores_by_name_.find(name); it != stores_by_name_.end()) {
+    // Lost a creation race for the same name: the winner's store is the
+    // state. (The transiently opened backend above is dropped unused.)
+    return stores_[it->second].get();
+  }
+  // Ids are assigned under the exclusive latch (Database is the only
+  // registrar of its context), so stores_ and the context's registries
+  // advance in lockstep and the upcoming ids are known in advance.
+  const StateId id = static_cast<StateId>(context_.StateCount());
+  if (stores_.size() != id) {
+    return Status::Corruption("state registry out of sync with store table");
+  }
+
   auto store = std::make_unique<VersionedStore>(
       id, name, std::move(backend).value(), options_.store_options);
+  VersionedStore* raw = store.get();
 
-  // Re-opened persistent state: reload the committed version arrays.
-  if (store->backend()->IsPersistent() &&
-      store->backend()->ApproximateCount() > 0) {
+  const bool has_data = store->backend()->IsPersistent() &&
+                        store->backend()->ApproximateCount() > 0;
+  if (declared == nullptr && has_data) {
+    // Pre-catalog directory reopened by a re-declaring application (the
+    // upgrade path): load inline, as every life before the catalog did.
+    // Runs before the catalog append below so that EVERY fallible step
+    // precedes it — a failure here leaves no trace anywhere.
     STREAMSI_RETURN_NOT_OK(store->LoadFromBackend());
   }
 
-  VersionedStore* raw = store.get();
-  {
-    ExclusiveGuard guard(stores_latch_);
-    if (stores_.size() != id) {
-      return Status::InvalidArgument("state registration raced");
-    }
-    stores_.push_back(std::move(store));
-    stores_by_name_[name] = id;
+  // Catalog BEFORE registration: a failed append leaves nothing registered
+  // — the caller sees the error, a retry starts from scratch, and the
+  // on-disk catalog stays a strict prefix of the in-memory schema (the
+  // writer's sticky IO error fails every later declaration loudly too).
+  if (declared == nullptr && catalog_ != nullptr) {
+    const GroupId gid = static_cast<GroupId>(context_.GroupCount());
+    STREAMSI_RETURN_NOT_OK(catalog_->AppendState(
+        StateCatalog::StateRecord{id, backend_type, name, location}));
+    STREAMSI_RETURN_NOT_OK(catalog_->AppendGroup(
+        StateCatalog::GroupRecord{gid, /*singleton=*/true, {id}}));
   }
-  // Singleton group: gives single-state queries LastCTS snapshots and the
-  // recovery watermark.
-  singleton_groups_[id] = context_.RegisterGroup({id});
+
+  if (context_.RegisterState(name, location) != id) {
+    return Status::Corruption("state registry out of sync with store table");
+  }
+  if (declared != nullptr && has_data) {
+    // Catalog reopen: defer the (possibly large) version-array load to the
+    // parallel recovery fan-out.
+    pending_loads_.push_back(id);
+  }
+  stores_.push_back(std::move(store));
+  stores_by_name_[name] = id;
+
+  if (declared == nullptr) {
+    // Singleton group: gives single-state queries LastCTS snapshots and the
+    // recovery watermark. Registered under the same latch hold as the
+    // catalog append above, so replay reproduces the id sequence.
+    singleton_groups_[id] = context_.RegisterGroup({id});
+    // Inline-loaded after recovery already ran (partially-upgraded
+    // directory): the loaded versions have not been purged against any
+    // watermark — the app's Recover() call must still do that.
+    if (has_data && recovered_) post_recovery_loads_.push_back(id);
+  }
   return raw;
 }
 
 GroupId Database::CreateGroup(const std::vector<StateId>& states) {
-  return context_.RegisterGroup(states);
+  ExclusiveGuard guard(stores_latch_);
+  // Idempotent re-declaration: an identical explicit topology (same state
+  // set) is the same group. Singleton groups are exempt — an explicit
+  // one-state group remains distinct from the implicit per-state one.
+  std::unordered_set<GroupId> singleton_ids;
+  singleton_ids.reserve(singleton_groups_.size());
+  for (const auto& [state, gid] : singleton_groups_) {
+    (void)state;
+    singleton_ids.insert(gid);
+  }
+  // Same state SET, not sequence: apps routinely rebuild the vector in a
+  // different order across restarts.
+  std::vector<StateId> wanted = states;
+  std::sort(wanted.begin(), wanted.end());
+  const std::size_t group_count = context_.GroupCount();
+  for (GroupId gid = 0; gid < group_count; ++gid) {
+    if (singleton_ids.count(gid) > 0) continue;
+    const GroupInfo* info = context_.GetGroup(gid);
+    if (info == nullptr) continue;
+    std::vector<StateId> existing = info->states;
+    std::sort(existing.begin(), existing.end());
+    if (existing == wanted) return gid;
+  }
+  // Catalog BEFORE registration (same discipline as CreateStateInternal):
+  // a group the catalog never learned about would make recovery treat its
+  // durable commit records as unfinished and purge them. A failed append
+  // registers nothing and reports kInvalidGroupId.
+  const GroupId id = static_cast<GroupId>(group_count);
+  if (catalog_ != nullptr) {
+    const Status status = catalog_->AppendGroup(
+        StateCatalog::GroupRecord{id, /*singleton=*/false, states});
+    if (!status.ok()) {
+      STREAMSI_WARN("catalog group append failed: " << status.ToString());
+      return kInvalidGroupId;
+    }
+  }
+  if (context_.RegisterGroup(states) != id) {
+    STREAMSI_WARN("group registry out of sync with catalog");
+  }
+  return id;
 }
 
 VersionedStore* Database::GetState(StateId id) {
@@ -119,11 +257,69 @@ VersionedStore* Database::FindState(const std::string& name) {
 }
 
 Status Database::Recover() {
-  if (options_.base_dir.empty()) return Status::OK();
+  std::vector<VersionedStore*> late_loaded;
+  {
+    ExclusiveGuard guard(stores_latch_);
+    if (recovered_) {
+      // Open already ran recovery. Only states inline-loaded SINCE then
+      // (pre-catalog upgrade of a partially-cataloged directory) still
+      // need their purge + clock fast-forward; everything else is done.
+      for (StateId id : post_recovery_loads_) {
+        if (id < stores_.size()) late_loaded.push_back(stores_[id].get());
+      }
+      post_recovery_loads_.clear();
+      if (late_loaded.empty()) return Status::OK();
+    }
+  }
+  if (!late_loaded.empty()) {
+    // These states' groups did not exist when Open's recovery replayed the
+    // log, so SetLastCts dropped their entries. Re-replay and max-merge:
+    // never roll back a LastCTS this life already advanced (replayed
+    // values are from the previous life, below everything the recovered
+    // clock hands out).
+    if (group_log_ != nullptr) {
+      auto replayed = GroupCommitLog::Replay(GroupLogPath());
+      if (!replayed.ok()) return replayed.status();
+      for (const auto& [group, cts] : replayed.value()) {
+        if (cts > context_.LastCts(group)) context_.SetLastCts(group, cts);
+      }
+    }
+    Timestamp max_ts = kInitialTs;
+    for (VersionedStore* store : late_loaded) {
+      Timestamp watermark = kInitialTs;
+      for (GroupId group : context_.GroupsOf(store->id())) {
+        watermark = std::max(watermark, context_.LastCts(group));
+      }
+      const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
+      if (purged > 0) {
+        STREAMSI_INFO("recovery purged " << purged << " versions of state '"
+                                         << store->name() << "' beyond cts "
+                                         << watermark);
+      }
+      max_ts = std::max(max_ts, store->MaxCommittedCts());
+    }
+    context_.clock().AdvanceTo(max_ts);
+    return Status::OK();
+  }
+  return RecoverInternal();
+}
 
-  auto replayed =
-      GroupCommitLog::Replay(options_.base_dir + "/group_commits.log");
+Status Database::RecoverInternal() {
+  if (options_.base_dir.empty()) {
+    ExclusiveGuard guard(stores_latch_);
+    recovered_ = true;
+    return Status::OK();
+  }
+
+  GroupCommitLog::ReplayInfo replay_info;
+  auto replayed = GroupCommitLog::Replay(GroupLogPath(), &replay_info);
   if (!replayed.ok()) return replayed.status();
+  if (replay_info.from_checkpoint) {
+    STREAMSI_INFO("recovery starting from checkpoint ("
+                  << replay_info.segments_replayed << " of "
+                  << replay_info.segments_present << " segments, "
+                  << replay_info.records << " records)");
+  }
 
   Timestamp max_ts = kInitialTs;
   for (const auto& [group, cts] : replayed.value()) {
@@ -131,24 +327,156 @@ Status Database::Recover() {
     max_ts = std::max(max_ts, cts);
   }
 
-  // Purge versions of unfinished group commits: a state's recovered
-  // watermark is the max LastCTS over the groups containing it.
-  SharedGuard guard(stores_latch_);
-  for (const auto& store : stores_) {
-    Timestamp watermark = kInitialTs;
-    for (GroupId group : context_.GroupsOf(store->id())) {
-      watermark = std::max(watermark, context_.LastCts(group));
+  // Work list: snapshot the stores (and consume the deferred catalog
+  // loads) under the latch; the heavy lifting runs outside it.
+  std::vector<VersionedStore*> stores;
+  std::vector<bool> needs_load;
+  {
+    ExclusiveGuard guard(stores_latch_);
+    stores.reserve(stores_.size());
+    for (const auto& store : stores_) stores.push_back(store.get());
+    needs_load.assign(stores.size(), false);
+    for (StateId id : pending_loads_) {
+      if (id < needs_load.size()) needs_load[id] = true;
     }
-    const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
-    if (purged > 0) {
-      STREAMSI_INFO("recovery purged " << purged << " versions of state '"
-                                       << store->name() << "' beyond cts "
-                                       << watermark);
-    }
-    max_ts = std::max(max_ts, store->MaxCommittedCts());
+    pending_loads_.clear();
   }
-  context_.clock().AdvanceTo(max_ts);
+
+  // Parallel recovery: LoadFromBackend + purge are per-store work with no
+  // shared mutable state (the epoch manager and context reads are
+  // thread-safe), so fan out across a small pool. Watermark semantics are
+  // unchanged: a state's recovered watermark is the max LastCTS over the
+  // groups containing it, versions beyond it are purged.
+  std::atomic<std::size_t> next_index{0};
+  std::atomic<Timestamp> recovered_max{max_ts};
+  std::mutex error_mutex;
+  Status first_error;
+  auto worker = [&] {
+    std::size_t i;
+    while ((i = next_index.fetch_add(1, std::memory_order_relaxed)) <
+           stores.size()) {
+      VersionedStore* store = stores[i];
+      if (needs_load[i]) {
+        const Status status = store->LoadFromBackend();
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> guard(error_mutex);
+          if (first_error.ok()) first_error = status;
+          continue;
+        }
+      }
+      Timestamp watermark = kInitialTs;
+      for (GroupId group : context_.GroupsOf(store->id())) {
+        watermark = std::max(watermark, context_.LastCts(group));
+      }
+      const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
+      if (purged > 0) {
+        STREAMSI_INFO("recovery purged " << purged << " versions of state '"
+                                         << store->name() << "' beyond cts "
+                                         << watermark);
+      }
+      const Timestamp store_max = store->MaxCommittedCts();
+      Timestamp cur = recovered_max.load(std::memory_order_relaxed);
+      while (store_max > cur && !recovered_max.compare_exchange_weak(
+                                    cur, store_max,
+                                    std::memory_order_relaxed)) {
+      }
+    }
+  };
+  const unsigned hw = options_.recovery_threads != 0
+                          ? options_.recovery_threads
+                          : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t worker_count =
+      std::min<std::size_t>(stores.size(), static_cast<std::size_t>(hw));
+  if (worker_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+  if (!first_error.ok()) return first_error;
+
+  context_.clock().AdvanceTo(recovered_max.load(std::memory_order_relaxed));
+  {
+    ExclusiveGuard guard(stores_latch_);
+    recovered_ = true;
+  }
   return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (group_log_ == nullptr) return Status::OK();  // volatile: nothing to cut
+  {
+    // Never checkpoint a database that has not recovered: the LastCTS cut
+    // would be empty/stale, yet pruning would delete the very segments
+    // recovery still needs — on a pre-catalog directory (the app declares
+    // states and THEN calls Recover()) that silently purges every prior
+    // life's commits. The background loop simply retries next tick.
+    SharedGuard stores_guard(stores_latch_);
+    if (!recovered_) {
+      return Status::Busy("database not recovered yet; checkpoint skipped");
+    }
+  }
+  // Serialize checkpoints (manual calls vs the background thread); commits
+  // keep flowing throughout.
+  std::lock_guard<std::mutex> guard(checkpoint_mutex_);
+
+  // 1. Backends durable: every sealed/active memtable flushed, so each
+  //    store's own recovery work is also reset to "since this checkpoint".
+  {
+    std::vector<VersionedStore*> stores;
+    {
+      SharedGuard stores_guard(stores_latch_);
+      stores.reserve(stores_.size());
+      for (const auto& store : stores_) stores.push_back(store.get());
+    }
+    for (VersionedStore* store : stores) {
+      STREAMSI_RETURN_NOT_OK(store->backend()->Flush());
+    }
+  }
+
+  // 2. Fresh segment: every commit record from here on lands after the
+  //    upcoming cut.
+  STREAMSI_RETURN_NOT_OK(group_log_->RotateSegment());
+
+  // 3. Drain the publication gate: a commit registers in flight BEFORE its
+  //    durable record, so every commit whose record could live in the old
+  //    segments has, after this, either published (its LastCTS advance is
+  //    visible to the cut) or purged its versions. Deleting the old chain
+  //    can therefore never lose an acked commit.
+  context_.DrainInflightCommits();
+
+  // 4. One publication-seqlock-consistent cut of every group's LastCTS.
+  std::vector<std::pair<GroupId, Timestamp>> cut;
+  context_.SnapshotLastCts(&cut);
+
+  // 5. Durable checkpoint record. Any failure up to here (fault-injection
+  //    tested) leaves the previous chain authoritative: nothing has been
+  //    deleted, and replay max-merges the rotated segment with the chain.
+  STREAMSI_RETURN_NOT_OK(group_log_->WriteCheckpoint(cut.data(), cut.size()));
+
+  // 6. The old chain is subsumed by the cut: truncate.
+  STREAMSI_RETURN_NOT_OK(group_log_->PruneObsoleteSegments());
+  checkpoints_completed_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Database::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(checkpointer_mutex_);
+  while (!stop_checkpointer_) {
+    if (checkpointer_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.checkpoint_interval_ms),
+            [&] { return stop_checkpointer_; })) {
+      break;
+    }
+    lock.unlock();
+    const Status status = Checkpoint();
+    if (!status.ok() && !status.IsBusy()) {  // Busy = recovery not run yet
+      STREAMSI_WARN("background checkpoint failed: " << status.ToString());
+    }
+    lock.lock();
+  }
 }
 
 }  // namespace streamsi

@@ -1,16 +1,22 @@
 // Database: the top-level facade. Owns the state context, the concurrency
-// protocol, all transactional state tables, and the durable group-commit
-// log; performs crash recovery on open.
+// protocol, all transactional state tables, the durable state catalog and
+// the segmented group-commit log; performs crash recovery on open and
+// bounds restart work with checkpoints.
 
 #ifndef STREAMSI_CORE_DATABASE_H_
 #define STREAMSI_CORE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/group_commit_log.h"
+#include "core/state_catalog.h"
 #include "core/transaction_manager.h"
 #include "storage/backend.h"
 #include "txn/protocol.h"
@@ -39,38 +45,76 @@ struct DatabaseOptions {
   bool background_epoch_reclaim = true;
   /// Reclaimer cadence (milliseconds between drain passes).
   std::uint32_t epoch_reclaim_interval_ms = 1;
+  /// Background checkpoint cadence (milliseconds); 0 = manual Checkpoint()
+  /// only. Each checkpoint flushes every store's backend, snapshots all
+  /// groups' LastCTS and truncates the group-commit log, so restart work
+  /// stays bounded by data since the last checkpoint.
+  std::uint32_t checkpoint_interval_ms = 0;
+  /// Threads for parallel recovery (LoadFromBackend + version purge fan out
+  /// across stores); 0 = hardware concurrency.
+  std::uint32_t recovery_threads = 0;
 };
 
 class Database {
  public:
-  /// Opens (creating `base_dir` if needed). States are declared afterwards
-  /// with CreateState/CreateGroup — re-declare the same schema on restart,
-  /// then call Recover().
+  /// Opens (creating `base_dir` if needed). When a durable state catalog
+  /// exists from a previous life, every state and topology group is
+  /// reopened from it and recovery runs before Open returns — the database
+  /// is ready to serve without the application re-declaring its schema.
+  /// First-time (or volatile) databases declare states afterwards with
+  /// CreateState/CreateGroup, then call Recover().
   static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
 
   ~Database();
 
-  /// Creates (or re-opens, when persistent data exists) a state table.
-  /// Every state automatically forms a singleton topology group so that
-  /// single-state queries get LastCTS-based snapshots and recovery too.
+  /// Creates a state table, or returns the existing store when `name` is
+  /// already known (a catalog-reopened state or an earlier call) — so
+  /// schema declarations stay idempotent across restarts. Every new state
+  /// automatically forms a singleton topology group so that single-state
+  /// queries get LastCTS-based snapshots and recovery too.
   Result<VersionedStore*> CreateState(const std::string& name);
 
   /// Declares that `states` are updated together by one stream query
-  /// (topology group, §4.1/§4.3).
+  /// (topology group, §4.1/§4.3). Re-declaring an identical explicit group
+  /// (same state set) returns the existing group instead of duplicating it.
+  /// Returns kInvalidGroupId if the durable catalog append failed (the
+  /// group is then not registered at all).
   GroupId CreateGroup(const std::vector<StateId>& states);
 
   VersionedStore* GetState(StateId id);
   VersionedStore* FindState(const std::string& name);
 
-  /// Restores group LastCTS from the commit log, purges versions from
-  /// unfinished group commits, and fast-forwards the clock. Call after the
-  /// schema (states + groups) has been re-declared.
+  /// Restores group LastCTS from the commit log (starting at the newest
+  /// checkpoint), purges versions from unfinished group commits and
+  /// fast-forwards the clock; LoadFromBackend + purge fan out across
+  /// stores on a thread pool. Runs automatically inside Open when a
+  /// catalog exists; calling it again is a no-op, so legacy code that
+  /// re-declares its schema and then calls Recover() keeps working.
   Status Recover();
+
+  /// Durability checkpoint: flushes every store's backend, rotates the
+  /// group-commit log to a fresh segment, drains in-flight commits, writes
+  /// one publication-seqlock-consistent LastCTS cut as a durable checkpoint
+  /// record and deletes the obsolete segments. Restart work (and log disk
+  /// footprint) is thereafter bounded by data since this checkpoint. Safe
+  /// to call concurrently with commits; checkpoint calls serialize among
+  /// themselves. No-op for volatile databases. A failure anywhere leaves
+  /// the previous segment chain authoritative — nothing is deleted before
+  /// the checkpoint record is durable.
+  Status Checkpoint();
+
+  /// Completed checkpoints (manual + background).
+  std::uint64_t CheckpointCount() const {
+    return checkpoints_completed_.load(std::memory_order_relaxed);
+  }
 
   StateContext& context() { return context_; }
   TransactionManager& txn_manager() { return *txn_manager_; }
   ConcurrencyProtocol& protocol() { return *protocol_; }
   const DatabaseOptions& options() const { return options_; }
+  /// The durable group-commit log (nullptr for volatile databases). Tests
+  /// use it for segment accounting and checkpoint fault injection.
+  GroupCommitLog* group_log() { return group_log_.get(); }
 
   /// Convenience: begins a transaction.
   Result<std::unique_ptr<TransactionHandle>> Begin() {
@@ -81,6 +125,21 @@ class Database {
   explicit Database(const DatabaseOptions& options);
 
   std::string StateDir(const std::string& name) const;
+  std::string GroupLogPath() const {
+    return options_.base_dir + "/group_commits.log";
+  }
+  std::string CatalogPath() const { return options_.base_dir + "/catalog.log"; }
+
+  /// Shared creation path. `declared` carries the catalog record to replay
+  /// (reopen) or null for a fresh state (which is then appended to the
+  /// catalog). Registration runs under the exclusive stores latch, so ids
+  /// are assigned race-free.
+  Result<VersionedStore*> CreateStateInternal(
+      const std::string& name, const StateCatalog::StateRecord* declared);
+  /// Replays the catalog: reopens every declared state and group.
+  Status ReplayCatalog();
+  Status RecoverInternal();
+  void CheckpointLoop();
 
   DatabaseOptions options_;
   /// One StartBackgroundReclaimer reference held between Open and
@@ -89,12 +148,31 @@ class Database {
   StateContext context_;
   std::unique_ptr<ConcurrencyProtocol> protocol_;
   std::unique_ptr<GroupCommitLog> group_log_;
+  std::unique_ptr<StateCatalog> catalog_;
   std::unique_ptr<TransactionManager> txn_manager_;
 
   mutable RwLatch stores_latch_;
   std::vector<std::unique_ptr<VersionedStore>> stores_;  // index = StateId
   std::unordered_map<std::string, StateId> stores_by_name_;
   std::unordered_map<StateId, GroupId> singleton_groups_;
+  /// Catalog-reopened states whose backend data has not been loaded yet;
+  /// RecoverInternal drains this in parallel. Under stores_latch_.
+  std::vector<StateId> pending_loads_;
+  /// States inline-loaded (pre-catalog upgrade path) AFTER recovery
+  /// already ran — a partially-upgraded directory can reopen with a
+  /// catalog covering only some states; the app's re-declaration of the
+  /// rest loads them with no purge applied. The next Recover() call
+  /// purges + clock-advances exactly these. Under stores_latch_.
+  std::vector<StateId> post_recovery_loads_;
+  bool recovered_ = false;  ///< under stores_latch_
+
+  /// Serializes Checkpoint() calls (manual + background thread).
+  std::mutex checkpoint_mutex_;
+  std::atomic<std::uint64_t> checkpoints_completed_{0};
+  std::mutex checkpointer_mutex_;
+  std::condition_variable checkpointer_cv_;
+  bool stop_checkpointer_ = false;  ///< under checkpointer_mutex_
+  std::thread checkpointer_;
 };
 
 }  // namespace streamsi

@@ -1,31 +1,43 @@
-// GroupCommitLog: durable record of each topology group's last globally
-// committed transaction (LastCTS).
+// GroupCommitLog: durable, segmented record of each topology group's last
+// globally committed transaction (LastCTS), with database checkpoints.
 //
 // §4.1: "the last committed transaction (LastCTS) per group is recorded.
 // For recovery purposes, this information needs to be persistent."
 //
-// The log is append-only, written after the state data is durable; recovery
-// replays it and keeps the newest CTS per group. Any state version with a
-// CTS beyond its groups' recovered LastCTS belongs to a commit that never
-// finished globally and is purged, which is what keeps multiple states of
-// one query mutually consistent across crashes.
+// The log is a chain of append-only segments. Commits append kGroupCommit
+// records (one commit's whole multi-group publication as a single
+// all-or-nothing record, riding a WalWriter group-commit batch); replay
+// keeps the newest CTS per group. Any state version with a CTS beyond its
+// groups' recovered LastCTS belongs to a commit that never finished
+// globally and is purged, which is what keeps multiple states of one query
+// mutually consistent across crashes.
 //
-// A commit that spans several groups is logged as ONE record (kGroupCommit:
-// all its group ids + the commit timestamp). That makes the publication
-// atomic on disk — recovery sees either every group advanced or none, so a
-// crash can no longer leave a multi-group commit half-recorded — and it
-// turns N per-group synced appends into a single append that rides one
-// group-commit batch of the underlying WalWriter.
+// Checkpoints bound the chain (Database::Checkpoint drives the protocol):
+//   1. RotateSegment()   — later commit records land in a fresh segment.
+//   2. (the database drains in-flight commits and takes one
+//      publication-seqlock-consistent LastCTS cut)
+//   3. WriteCheckpoint() — the cut becomes a durable kCheckpointCut record
+//      in the new segment; it subsumes every record in OLDER segments
+//      (their commits published before the cut was taken).
+//   4. PruneObsoleteSegments() — older segments are deleted.
+// Replay walks segments newest -> oldest until it finds one containing a
+// complete checkpoint cut and max-merges that segment and everything newer,
+// so restart work is bounded by data since the last checkpoint. A torn or
+// failed checkpoint (crash anywhere in 1-4) leaves the previous segment
+// chain authoritative: older segments are only deleted after the cut record
+// is durable, and max-merge replay of extra segments is always sound.
 
 #ifndef STREAMSI_CORE_GROUP_COMMIT_LOG_H_
 #define STREAMSI_CORE_GROUP_COMMIT_LOG_H_
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
-#include "common/coding.h"
-#include "common/small_vec.h"
 #include "storage/wal.h"
 #include "txn/types.h"
 
@@ -36,102 +48,97 @@ class GroupCommitLog {
   GroupCommitLog(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
       : writer_(sync_mode, simulated_sync_micros) {}
 
-  Status Open(const std::string& path) {
-    path_ = path;
-    return writer_.Open(path, /*truncate=*/false);
-  }
-
-  /// Appends "group committed through cts" (durable on return when the
-  /// log's SyncMode says so). Single-group legacy record.
-  Status Record(GroupId group, Timestamp cts, bool sync) {
-    std::string payload;
-    PutVarint32(&payload, group);
-    PutVarint64(&payload, cts);
-    return writer_.Append(WalRecordType::kCheckpoint, payload, sync);
-  }
+  /// Opens the segment chain rooted at `path` (the root name doubles as
+  /// segment 0 for on-disk compatibility with pre-checkpoint databases;
+  /// later segments are `<path>.NNNNNN`). Appends continue on the newest
+  /// existing segment.
+  Status Open(const std::string& path);
 
   /// Appends one commit's whole publication — every affected group advances
   /// to `cts` — as a single all-or-nothing record. The payload buffer is
   /// thread-local and reused, so steady-state commits encode without heap
   /// allocation.
   Status RecordCommit(const GroupId* groups, std::size_t count, Timestamp cts,
-                      bool sync) {
-    if (failures_to_inject_.load(std::memory_order_relaxed) > 0 &&
-        failures_to_inject_.fetch_sub(1, std::memory_order_relaxed) > 0) {
-      return Status::IoError("injected group-commit log failure");
-    }
-    thread_local std::string payload;
-    payload.clear();
-    PutVarint32(&payload, static_cast<std::uint32_t>(count));
-    for (std::size_t i = 0; i < count; ++i) PutVarint32(&payload, groups[i]);
-    PutVarint64(&payload, cts);
-    return writer_.Append(WalRecordType::kGroupCommit, payload, sync);
-  }
+                      bool sync);
 
   /// Records written / batches synced (group-commit amortization ratio).
   std::uint64_t batches_written() const { return writer_.batches_written(); }
 
-  /// Replays `path` and returns the newest CTS per group.
+  // ------------------------------------------------- checkpoint protocol ---
+
+  /// Starts a fresh segment; subsequent records land there. Step 1 of a
+  /// checkpoint (see file comment).
+  Status RotateSegment();
+
+  /// Appends the LastCTS cut as a durable (synced) kCheckpointCut record.
+  Status WriteCheckpoint(const std::pair<GroupId, Timestamp>* cut,
+                         std::size_t count);
+
+  /// Deletes every segment older than the current one. Failures leave the
+  /// stale segments in place — replay stays correct (max-merge), only the
+  /// disk footprint suffers until the next checkpoint retries.
+  Status PruneObsoleteSegments();
+
+  /// Newest (currently appended-to) segment number.
+  std::uint64_t current_segment() const;
+  /// Live on-disk segments, current included (footprint observability).
+  std::size_t SegmentCount() const;
+  /// Total on-disk bytes across live segments.
+  std::uint64_t TotalSizeBytes() const;
+
+  // ----------------------------------------------------------- recovery ---
+
+  struct ReplayInfo {
+    std::uint64_t segments_present = 0;
+    std::uint64_t segments_replayed = 0;
+    std::uint64_t records = 0;
+    bool from_checkpoint = false;
+  };
+
+  /// Replays the segment chain rooted at `path` and returns the newest CTS
+  /// per group, starting from the newest complete checkpoint (older
+  /// segments are skipped entirely). Decodes all three record eras:
+  /// kGroupCommit, kCheckpointCut, and the legacy single-group kCheckpoint.
   static Result<std::unordered_map<GroupId, Timestamp>> Replay(
-      const std::string& path) {
-    std::unordered_map<GroupId, Timestamp> result;
-    if (!fsutil::FileExists(path)) return result;
-    STREAMSI_RETURN_NOT_OK(WalReader::Replay(
-        path,
-        [&](WalRecordType type, std::string_view payload) -> Status {
-          const char* p = payload.data();
-          const char* limit = p + payload.size();
-          if (type == WalRecordType::kGroupCommit) {
-            std::uint32_t count = 0;
-            p = GetVarint32(p, limit, &count);
-            if (p == nullptr) return Status::Corruption("bad group count");
-            // Bounded by the payload itself: each group id is >= 1 byte.
-            if (count > payload.size()) {
-              return Status::Corruption("group count exceeds record");
-            }
-            SmallVec<GroupId, 64> ids;
-            for (std::uint32_t i = 0; i < count && p != nullptr; ++i) {
-              GroupId id = kInvalidGroupId;
-              p = GetVarint32(p, limit, &id);
-              if (p != nullptr) ids.push_back(id);
-            }
-            std::uint64_t cts = 0;
-            if (p != nullptr) p = GetVarint64(p, limit, &cts);
-            if (p == nullptr) {
-              return Status::Corruption("bad group commit record");
-            }
-            for (GroupId id : ids) {
-              Timestamp& entry = result[id];
-              entry = std::max(entry, cts);
-            }
-            return Status::OK();
-          }
-          std::uint32_t group = 0;
-          std::uint64_t cts = 0;
-          p = GetVarint32(p, limit, &group);
-          if (p == nullptr) return Status::Corruption("bad group id");
-          p = GetVarint64(p, limit, &cts);
-          if (p == nullptr) return Status::Corruption("bad group cts");
-          Timestamp& entry = result[group];
-          entry = std::max(entry, cts);
-          return Status::OK();
-        },
-        nullptr));
-    return result;
-  }
+      const std::string& path, ReplayInfo* info = nullptr);
 
   Status Close() { return writer_.Close(); }
 
-  /// Fault injection: the next `n` RecordCommit calls fail with IoError
-  /// (durability-hole tests — a failed durable record must fail the commit).
+  // ---------------------------------------------------- fault injection ---
+
+  /// The next `n` RecordCommit calls fail with IoError (durability-hole
+  /// tests — a failed durable record must fail the commit).
   void InjectRecordFailures(int n) {
     failures_to_inject_.store(n, std::memory_order_relaxed);
   }
 
+  /// Where to fail the next checkpoint (crash-mid-checkpoint tests; the
+  /// fault is consumed by the first checkpoint that reaches the point).
+  enum class CheckpointFault {
+    kNone,
+    kBeforeRotate,            ///< between backend flush and segment rotation
+    kBeforeCheckpointRecord,  ///< rotated, but the cut record never lands
+    kBeforePrune,             ///< cut durable, old segments never deleted
+  };
+  void InjectCheckpointFault(CheckpointFault fault) {
+    checkpoint_fault_.store(fault, std::memory_order_relaxed);
+  }
+
  private:
-  std::string path_;
+  static std::string SegmentPath(const std::string& root, std::uint64_t n);
+  /// All on-disk segment numbers of the chain at `root`, ascending.
+  static Status ListSegments(const std::string& root,
+                             std::vector<std::uint64_t>* numbers);
+  /// Fails with IoError iff `point` is the armed fault (one-shot).
+  Status ConsumeFault(CheckpointFault point);
+
+  std::string root_path_;
   WalWriter writer_;
+  mutable std::mutex segments_mutex_;
+  std::vector<std::uint64_t> segments_;  ///< live on disk, ascending
+  std::uint64_t current_segment_ = 0;    ///< under segments_mutex_
   std::atomic<int> failures_to_inject_{0};
+  std::atomic<CheckpointFault> checkpoint_fault_{CheckpointFault::kNone};
 };
 
 }  // namespace streamsi

@@ -1,0 +1,112 @@
+#include "core/state_catalog.h"
+
+#include "common/coding.h"
+
+namespace streamsi {
+
+Status StateCatalog::Open(const std::string& path) {
+  if (fsutil::FileExists(path)) {
+    WalReader::ReplayStats stats;
+    STREAMSI_RETURN_NOT_OK(WalReader::Replay(
+        path, [](WalRecordType, std::string_view) { return Status::OK(); },
+        &stats));
+    if (stats.tail_truncated) {
+      // Rewrite the file as its valid prefix (atomic replace), so the
+      // appends below stay reachable to replay.
+      std::string contents;
+      STREAMSI_RETURN_NOT_OK(fsutil::ReadFileToString(path, &contents));
+      contents.resize(stats.valid_bytes);
+      STREAMSI_RETURN_NOT_OK(
+          fsutil::WriteStringToFileAtomic(path, contents));
+    }
+  }
+  return writer_.Open(path, /*truncate=*/false);
+}
+
+// kStateDecl payload: [version(1)] [varint32 id] [backend(1)]
+//                     [lenpref name] [lenpref location]
+Status StateCatalog::AppendState(const StateRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kFormatVersion));
+  PutVarint32(&payload, record.id);
+  payload.push_back(static_cast<char>(record.backend));
+  PutLengthPrefixed(&payload, record.name);
+  PutLengthPrefixed(&payload, record.location);
+  return writer_.Append(WalRecordType::kStateDecl, payload, /*sync=*/true);
+}
+
+// kGroupDecl payload: [version(1)] [varint32 id] [singleton(1)]
+//                     [varint32 count] [varint32 state]*
+Status StateCatalog::AppendGroup(const GroupRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kFormatVersion));
+  PutVarint32(&payload, record.id);
+  payload.push_back(record.singleton ? 1 : 0);
+  PutVarint32(&payload, static_cast<std::uint32_t>(record.states.size()));
+  for (StateId state : record.states) PutVarint32(&payload, state);
+  return writer_.Append(WalRecordType::kGroupDecl, payload, /*sync=*/true);
+}
+
+Status StateCatalog::Replay(const std::string& path,
+                            std::vector<Declaration>* declarations) {
+  declarations->clear();
+  if (!fsutil::FileExists(path)) return Status::OK();
+  return WalReader::Replay(
+      path,
+      [&](WalRecordType type, std::string_view payload) -> Status {
+        if (type != WalRecordType::kStateDecl &&
+            type != WalRecordType::kGroupDecl) {
+          return Status::OK();  // foreign record kinds: skip
+        }
+        const char* p = payload.data();
+        const char* limit = p + payload.size();
+        if (p == limit) return Status::Corruption("empty catalog record");
+        const unsigned char version = static_cast<unsigned char>(*p++);
+        if (version > kFormatVersion) {
+          return Status::Corruption("catalog record from a newer era");
+        }
+        Declaration decl;
+        if (type == WalRecordType::kStateDecl) {
+          decl.kind = Declaration::Kind::kState;
+          p = GetVarint32(p, limit, &decl.state.id);
+          if (p == nullptr || p == limit) {
+            return Status::Corruption("bad state declaration");
+          }
+          decl.state.backend = static_cast<BackendType>(*p++);
+          std::string_view name, location;
+          p = GetLengthPrefixed(p, limit, &name);
+          if (p != nullptr) p = GetLengthPrefixed(p, limit, &location);
+          if (p == nullptr) {
+            return Status::Corruption("bad state declaration");
+          }
+          decl.state.name = std::string(name);
+          decl.state.location = std::string(location);
+        } else {
+          decl.kind = Declaration::Kind::kGroup;
+          p = GetVarint32(p, limit, &decl.group.id);
+          if (p == nullptr || p == limit) {
+            return Status::Corruption("bad group declaration");
+          }
+          decl.group.singleton = *p++ != 0;
+          std::uint32_t count = 0;
+          p = GetVarint32(p, limit, &count);
+          if (p == nullptr || count > payload.size()) {
+            return Status::Corruption("bad group declaration");
+          }
+          decl.group.states.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            StateId state = kInvalidStateId;
+            p = GetVarint32(p, limit, &state);
+            if (p == nullptr) {
+              return Status::Corruption("bad group declaration");
+            }
+            decl.group.states.push_back(state);
+          }
+        }
+        declarations->push_back(std::move(decl));
+        return Status::OK();
+      },
+      nullptr);
+}
+
+}  // namespace streamsi

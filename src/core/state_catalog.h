@@ -1,0 +1,85 @@
+// StateCatalog: the durable manifest of a database's schema — which states
+// exist (name, id, backend type, on-disk location) and which topology
+// groups tie them together.
+//
+// Before the catalog, recovery depended on the application re-issuing its
+// CreateState/CreateGroup calls in the original order after every restart;
+// nothing durable recorded which states existed. The catalog closes that
+// hole: Database::Open replays it, reopens every state itself and restores
+// the group topology, so a restarted process is read-to-serve without
+// re-declaring anything.
+//
+// The catalog is an append-only log written through the same WAL machinery
+// as the group-commit log (CRC-framed records, torn tails truncated on
+// replay). Records are versioned (a leading format byte) so future eras can
+// extend the payload without breaking old files. Declarations are rare and
+// idempotent on replay: record order IS declaration order, which is what
+// makes the replayed StateId/GroupId assignment deterministic.
+
+#ifndef STREAMSI_CORE_STATE_CATALOG_H_
+#define STREAMSI_CORE_STATE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/wal.h"
+#include "txn/types.h"
+
+namespace streamsi {
+
+class StateCatalog {
+ public:
+  struct StateRecord {
+    StateId id = kInvalidStateId;
+    BackendType backend = BackendType::kHash;
+    std::string name;
+    std::string location;  ///< filesystem path for persistent states, else ""
+  };
+
+  struct GroupRecord {
+    GroupId id = kInvalidGroupId;
+    bool singleton = false;  ///< the per-state implicit group of CreateState
+    std::vector<StateId> states;
+  };
+
+  /// One replayed declaration, in on-disk order (exactly one of the two
+  /// optionals-by-kind is meaningful).
+  struct Declaration {
+    enum class Kind { kState, kGroup } kind = Kind::kState;
+    StateRecord state;
+    GroupRecord group;
+  };
+
+  StateCatalog(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
+      : writer_(sync_mode, simulated_sync_micros) {}
+
+  /// Opens `path` for appending (declarations made before this process).
+  /// A torn tail (crash mid-append) is truncated to the valid record
+  /// prefix first — appending after torn garbage would make every later
+  /// declaration unreachable to replay.
+  Status Open(const std::string& path);
+
+  /// Appends one state declaration, durably (synced per SyncMode).
+  Status AppendState(const StateRecord& record);
+
+  /// Appends one topology-group declaration, durably.
+  Status AppendGroup(const GroupRecord& record);
+
+  /// Replays `path` into declaration order. Missing file => empty catalog.
+  static Status Replay(const std::string& path,
+                       std::vector<Declaration>* declarations);
+
+  Status Close() { return writer_.Close(); }
+
+ private:
+  /// On-disk format version of records this writer emits.
+  static constexpr unsigned char kFormatVersion = 1;
+
+  WalWriter writer_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_STATE_CATALOG_H_

@@ -45,6 +45,11 @@ struct BackendOptions {
   std::size_t memtable_bytes = 8 * 1024 * 1024;
   /// Number of L0 SSTables that triggers a compaction.
   int l0_compaction_trigger = 4;
+  /// Admission bound for the background flush worker (LsmBackend): a writer
+  /// that fills the active memtable seals it and moves on; only when this
+  /// many sealed memtables are already queued for flushing does the writer
+  /// stall until the worker catches up (the memtable ceiling).
+  int max_sealed_memtables = 2;
   /// Bits per key for SSTable bloom filters (0 disables).
   int bloom_bits_per_key = 10;
   /// Block size for SSTable data blocks.

@@ -127,6 +127,28 @@ Status WalWriter::SyncNow() {
   return AwaitDurableLocked(lk, accumulating_batch_);
 }
 
+Status WalWriter::RotateTo(const std::string& path) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  // Drain the queue completely (same protocol as Close): leaders in flight,
+  // parked sync followers AND buffered unsynced riders all reach the current
+  // file before the switch — a sync follower whose batch we silently moved
+  // to the new file would otherwise have its durability satisfied by a sync
+  // of the wrong fd. Loop: leading a batch releases the mutex, so new
+  // appends may accumulate behind us.
+  while (leader_active_ || !pending_.empty() || sync_requested_) {
+    STREAMSI_RETURN_NOT_OK(AwaitDurableLocked(lk, accumulating_batch_));
+  }
+  if (!sticky_status_.ok()) return sticky_status_;
+  STREAMSI_RETURN_NOT_OK(file_.Close());
+  const Status status = file_.Open(path, /*truncate=*/true);
+  if (!status.ok()) {
+    sticky_status_ = status;  // no open file: poison later appends
+    return status;
+  }
+  appended_bytes_.store(file_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
 Status WalWriter::Close() {
   std::unique_lock<std::mutex> lk(mutex_);
   // Drain the whole queue — in-flight leader AND parked sync followers —
@@ -168,6 +190,7 @@ Status WalReader::Replay(const std::string& path, const Visitor& visitor,
     ++local.records;
     p += 9 + len;
   }
+  local.valid_bytes = static_cast<std::uint64_t>(p - contents.data());
   if (p != limit && !local.tail_truncated) local.tail_truncated = true;
   if (stats != nullptr) *stats = local;
   return Status::OK();

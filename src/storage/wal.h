@@ -33,8 +33,12 @@ namespace streamsi {
 enum class WalRecordType : unsigned char {
   kPut = 1,
   kDelete = 2,
-  kCheckpoint = 3,   ///< marks "everything before this is in SSTables"
-  kGroupCommit = 4,  ///< one commit's LastCTS advance across all its groups
+  kCheckpoint = 3,     ///< legacy single-group LastCTS record (decode only)
+  kGroupCommit = 4,    ///< one commit's LastCTS advance across all its groups
+  kCheckpointCut = 5,  ///< full LastCTS snapshot: every group's value at one
+                       ///< publication-seqlock-consistent cut (checkpoints)
+  kStateDecl = 6,      ///< catalog: one state declaration
+  kGroupDecl = 7,      ///< catalog: one topology-group declaration
 };
 
 /// Append-only writer. Thread-safe; synchronous appends use group commit.
@@ -65,6 +69,15 @@ class WalWriter {
   }
 
   Status SyncNow();
+
+  /// Segment rotation: drains every in-flight batch and parked sync waiter
+  /// (their records become durable in the CURRENT file), then atomically
+  /// switches appends over to `path` (created/truncated). Concurrent
+  /// appenders simply land on one side of the switch — every record lives
+  /// in exactly one segment. Callers own naming and deletion of obsolete
+  /// segments (checkpoint truncation, LSM memtable seals).
+  Status RotateTo(const std::string& path);
+
   Status Close();
 
  private:
@@ -110,6 +123,11 @@ class WalReader {
  public:
   struct ReplayStats {
     std::uint64_t records = 0;
+    /// Byte offset where replay stopped: the length of the valid record
+    /// prefix. Equals the file size unless the tail was torn. Reopeners
+    /// use it to avoid appending after torn garbage (records appended
+    /// beyond a bad frame would be unreachable to every future replay).
+    std::uint64_t valid_bytes = 0;
     bool tail_truncated = false;
   };
 

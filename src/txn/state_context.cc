@@ -1,6 +1,8 @@
 #include "txn/state_context.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/small_vec.h"
 
@@ -48,6 +50,11 @@ const GroupInfo* StateContext::GetGroup(GroupId id) const {
   SharedGuard guard(registry_latch_);
   if (id >= groups_.size()) return nullptr;
   return &groups_[id]->info;
+}
+
+std::size_t StateContext::GroupCount() const {
+  SharedGuard guard(registry_latch_);
+  return groups_.size();
 }
 
 std::vector<GroupId> StateContext::GroupsOf(StateId state) const {
@@ -130,6 +137,49 @@ void StateContext::PublishCommit(const GroupId* groups, std::size_t count,
     }
   }
   publish_seq_.fetch_add(1, std::memory_order_release);  // even: published
+}
+
+void StateContext::SnapshotLastCts(
+    std::vector<std::pair<GroupId, Timestamp>>* out) const {
+  for (;;) {
+    const std::uint64_t before = publish_seq_.load(std::memory_order_acquire);
+    if (before & 1u) {
+      CpuRelax();  // a publication is mid-flight; its cut would be torn
+      continue;
+    }
+    out->clear();
+    {
+      SharedGuard guard(registry_latch_);
+      out->reserve(groups_.size());
+      for (const auto& group : groups_) {
+        out->emplace_back(group->info.id,
+                          group->last_cts.load(std::memory_order_acquire));
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (publish_seq_.load(std::memory_order_relaxed) == before) return;
+  }
+}
+
+void StateContext::DrainInflightCommits() const {
+  // Snapshot the in-flight set, then wait each entry out. A slot whose
+  // value changed retired our commit (values are unique, drawn from the
+  // monotonic clock — a recycled slot carries a new timestamp). The waits
+  // are bounded by commit latency: apply + one group-commit fsync, or the
+  // version-pressure wait budget in the worst case.
+  SmallVec<std::pair<int, Timestamp>, kMaxActiveTxns> inflight;
+  for (int i = 0; i < kMaxActiveTxns; ++i) {
+    const Timestamp cts =
+        inflight_commit_ts_[static_cast<std::size_t>(i)].load(
+            std::memory_order_acquire);
+    if (cts != 0) inflight.push_back({i, cts});
+  }
+  for (const auto& [slot, cts] : inflight) {
+    while (inflight_commit_ts_[static_cast<std::size_t>(slot)].load(
+               std::memory_order_acquire) == cts) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
 }
 
 void StateContext::SetLastCts(GroupId group, Timestamp cts) {

@@ -67,6 +67,7 @@ class StateContext {
   /// may belong to multiple groups (shared states across queries).
   GroupId RegisterGroup(std::vector<StateId> states);
   const GroupInfo* GetGroup(GroupId id) const;
+  std::size_t GroupCount() const;
   /// Groups that contain `state`.
   std::vector<GroupId> GroupsOf(StateId state) const;
 
@@ -123,6 +124,22 @@ class StateContext {
   }
   /// Recovery: forces LastCTS (no monotonicity check).
   void SetLastCts(GroupId group, Timestamp cts);
+
+  /// One publication-seqlock-consistent cut of EVERY group's LastCTS (the
+  /// checkpoint cut): like SweepAndPin's cut, it can never straddle a
+  /// mid-flight multi-group publication. Unlike reader pins it is NOT
+  /// clamped to SafePublicationTs() — the caller (Database::Checkpoint)
+  /// first drains in-flight commits so every acked commit's publication is
+  /// inside the cut.
+  void SnapshotLastCts(std::vector<std::pair<GroupId, Timestamp>>* out) const;
+
+  /// Blocks until every commit in flight at CALL TIME has retired its
+  /// commit timestamp (published, or purged after a failed commit). Commits
+  /// registering later are NOT awaited — the checkpoint only needs the set
+  /// that may have recorded into pre-rotation log segments. Timestamps are
+  /// never reused (monotonic clock), so observing the slot change is
+  /// exactly "that commit retired".
+  void DrainInflightCommits() const;
 
   // -------------------------------------------------------------- clock ---
 

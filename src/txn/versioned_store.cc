@@ -475,14 +475,36 @@ std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {
   for (Shard& shard : shards_) {
     SharedGuard shard_guard(shard.latch);
     for (auto& entry : shard.entries) {
-      ExclusiveGuard guard(entry->latch);
-      purged += static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
-      // Roll the FCW watermark back alongside the purged versions.
-      Timestamp cur =
-          entry->latest_modification.load(std::memory_order_relaxed);
-      if (cur > max_cts) {
-        entry->latest_modification.store(entry->object.LatestModification(),
-                                         std::memory_order_release);
+      bool changed = false;
+      {
+        ExclusiveGuard guard(entry->latch);
+        // Like PurgeKeyVersionsAfter: a rolled-back DELETE releases no
+        // slot, so detect any change via the modification watermark too.
+        const Timestamp before = entry->object.LatestModification();
+        const std::uint64_t entry_purged =
+            static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
+        purged += entry_purged;
+        changed = entry_purged > 0 ||
+                  entry->object.LatestModification() != before;
+        // Roll the FCW watermark back alongside the purged versions.
+        Timestamp cur =
+            entry->latest_modification.load(std::memory_order_relaxed);
+        if (cur > max_cts) {
+          entry->latest_modification.store(
+              entry->object.LatestModification(),
+              std::memory_order_release);
+        }
+        if (changed) ++entry->blob_version;
+      }
+      // Write the rollback through (same reasoning as the abort path in
+      // PurgeKeyVersionsAfter): the torn version is still in the backend
+      // blob, and once later commits push the recovered LastCTS past its
+      // timestamp, the NEXT recovery would keep it — a never-committed
+      // write resurrecting as committed data. Until the re-persist lands,
+      // every recovery at this watermark re-purges it, so best effort is
+      // sound here too.
+      if (changed && options_.write_through) {
+        (void)PersistEntry(entry->key, entry.get(), /*sync=*/true);
       }
     }
   }

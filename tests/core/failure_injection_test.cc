@@ -1,12 +1,15 @@
 // Failure injection: IO errors in the base table during the write-through
-// phase of a commit must never publish a partial transaction, and the
-// in-memory state must stay consistent with what readers can see.
+// phase of a commit must never publish a partial transaction, the
+// in-memory state must stay consistent with what readers can see, and a
+// checkpoint failing at any of its fault points must leave the previous
+// log-segment chain authoritative while commits keep flowing.
 
 #include <gtest/gtest.h>
 
 #include "core/streamsi.h"
 #include "storage/faulty_backend.h"
 #include "storage/hash_backend.h"
+#include "tests/test_util.h"
 
 namespace streamsi {
 namespace {
@@ -132,6 +135,60 @@ TEST(FailureInjectionTest, SystemRecoversAfterFailuresClear) {
   ASSERT_TRUE(h.manager->Read((*t)->txn(), 0, "k", &value).ok());
   EXPECT_EQ(value, "v9");
   ASSERT_TRUE(h.manager->Commit((*t)->txn()).ok());
+}
+
+TEST(FailureInjectionTest, FailedCheckpointsNeverInterruptCommitTraffic) {
+  // Every checkpoint fault point fires mid-traffic; each failed checkpoint
+  // must leave the database fully writable and every acked commit
+  // recoverable from the surviving chain.
+  testing::TempDir dir;
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  options.base_dir = dir.path() + "/db";
+  StateId state;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    state = (*(*db)->CreateState("s"))->id();
+    ASSERT_TRUE((*db)->Recover().ok());
+
+    const GroupCommitLog::CheckpointFault faults[] = {
+        GroupCommitLog::CheckpointFault::kBeforeRotate,
+        GroupCommitLog::CheckpointFault::kBeforeCheckpointRecord,
+        GroupCommitLog::CheckpointFault::kBeforePrune,
+    };
+    int i = 0;
+    for (const auto fault : faults) {
+      auto t = (*db)->Begin();
+      ASSERT_TRUE((*db)
+                      ->txn_manager()
+                      .Write((*t)->txn(), state, "k" + std::to_string(i),
+                             "v" + std::to_string(i))
+                      .ok());
+      ASSERT_TRUE((*t)->Commit().ok());
+      (*db)->group_log()->InjectCheckpointFault(fault);
+      EXPECT_FALSE((*db)->Checkpoint().ok());
+      ++i;
+    }
+    // A clean checkpoint after the faults truncates everything.
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->group_log()->SegmentCount(), 1u);
+  }
+  auto db = Database::Open(options);  // catalog reopens the state
+  ASSERT_TRUE(db.ok());
+  auto t = (*db)->Begin();
+  for (int i = 0; i < 3; ++i) {
+    std::string value;
+    ASSERT_TRUE((*db)
+                    ->txn_manager()
+                    .Read((*t)->txn(), state, "k" + std::to_string(i),
+                          &value)
+                    .ok());
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  ASSERT_TRUE((*t)->Commit().ok());
 }
 
 }  // namespace

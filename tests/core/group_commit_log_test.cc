@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
 #include "tests/test_util.h"
 
 namespace streamsi {
@@ -10,6 +11,22 @@ namespace {
 class GroupCommitLogTest : public ::testing::Test {
  protected:
   std::string Path() const { return dir_.path() + "/groups.log"; }
+
+  /// Appends a legacy single-group kCheckpoint record (the pre-segment era
+  /// encoder was removed; recovery still decodes the records).
+  static void AppendLegacyRecord(const std::string& path, GroupId group,
+                                 Timestamp cts) {
+    WalWriter writer(SyncMode::kNone, 0);
+    ASSERT_TRUE(writer.Open(path, /*truncate=*/false).ok());
+    std::string payload;
+    PutVarint32(&payload, group);
+    PutVarint64(&payload, cts);
+    ASSERT_TRUE(
+        writer.Append(WalRecordType::kCheckpoint, payload, /*sync=*/true)
+            .ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
   testing::TempDir dir_;
 };
 
@@ -23,10 +40,12 @@ TEST_F(GroupCommitLogTest, KeepsNewestCtsPerGroup) {
   {
     GroupCommitLog log(SyncMode::kNone, 0);
     ASSERT_TRUE(log.Open(Path()).ok());
-    ASSERT_TRUE(log.Record(0, 10, false).ok());
-    ASSERT_TRUE(log.Record(1, 11, false).ok());
-    ASSERT_TRUE(log.Record(0, 25, false).ok());
-    ASSERT_TRUE(log.Record(1, 8, true).ok());  // older record later: ignored
+    const GroupId g0[] = {0};
+    const GroupId g1[] = {1};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 10, false).ok());
+    ASSERT_TRUE(log.RecordCommit(g1, 1, 11, false).ok());
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 25, false).ok());
+    ASSERT_TRUE(log.RecordCommit(g1, 1, 8, true).ok());  // older: ignored
     ASSERT_TRUE(log.Close().ok());
   }
   auto replayed = GroupCommitLog::Replay(Path());
@@ -40,7 +59,8 @@ TEST_F(GroupCommitLogTest, SurvivesTornTail) {
   {
     GroupCommitLog log(SyncMode::kNone, 0);
     ASSERT_TRUE(log.Open(Path()).ok());
-    ASSERT_TRUE(log.Record(0, 42, true).ok());
+    const GroupId g0[] = {0};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 42, true).ok());
     ASSERT_TRUE(log.Close().ok());
   }
   {
@@ -62,14 +82,39 @@ TEST_F(GroupCommitLogTest, RecordCommitCoversAllGroupsAtomically) {
     ASSERT_TRUE(log.RecordCommit(commit1, 3, 30, false).ok());
     const GroupId commit2[] = {2};
     ASSERT_TRUE(log.RecordCommit(commit2, 1, 40, true).ok());
-    ASSERT_TRUE(log.Record(5, 35, true).ok());  // legacy single-group record
     ASSERT_TRUE(log.Close().ok());
   }
   auto replayed = GroupCommitLog::Replay(Path());
   ASSERT_TRUE(replayed.ok());
   EXPECT_EQ(replayed->at(0), 30u);
   EXPECT_EQ(replayed->at(2), 40u);
-  EXPECT_EQ(replayed->at(5), 35u);
+  EXPECT_EQ(replayed->at(5), 30u);
+}
+
+TEST_F(GroupCommitLogTest, MixedEraLogReplaysAllRecordKinds) {
+  // One file carrying all three eras: legacy single-group kCheckpoint
+  // records, kGroupCommit records, and a kCheckpointCut — on-disk
+  // compatibility across the removed legacy append path.
+  AppendLegacyRecord(Path(), 5, 35);
+  AppendLegacyRecord(Path(), 6, 12);
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());  // appends after the legacy records
+    const GroupId commit[] = {0, 6};
+    ASSERT_TRUE(log.RecordCommit(commit, 2, 40, true).ok());
+    const std::pair<GroupId, Timestamp> cut[] = {{0, 40}, {5, 35}, {6, 40}};
+    ASSERT_TRUE(log.WriteCheckpoint(cut, 3).ok());
+    const GroupId after[] = {5};
+    ASSERT_TRUE(log.RecordCommit(after, 1, 50, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  GroupCommitLog::ReplayInfo info;
+  auto replayed = GroupCommitLog::Replay(Path(), &info);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(info.from_checkpoint);
+  EXPECT_EQ(replayed->at(0), 40u);
+  EXPECT_EQ(replayed->at(5), 50u);  // the post-checkpoint commit wins
+  EXPECT_EQ(replayed->at(6), 40u);
 }
 
 TEST_F(GroupCommitLogTest, TornMultiGroupRecordDropsWholeCommit) {
@@ -96,22 +141,135 @@ TEST_F(GroupCommitLogTest, TornMultiGroupRecordDropsWholeCommit) {
   EXPECT_EQ(replayed->count(3), 0u);  // the torn commit vanished entirely
 }
 
+TEST_F(GroupCommitLogTest, ReopenAfterTornTailStartsFreshSegment) {
+  // Appending after torn garbage would make every later record
+  // unreachable to replay (it stops at the first bad frame) — a reopen
+  // must retire the torn segment and continue in a fresh one.
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    const GroupId g0[] = {0};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 10, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  {
+    WritableFile file;
+    ASSERT_TRUE(file.Open(Path(), false).ok());
+    ASSERT_TRUE(file.Append("\xDE\xAD\xBE").ok());  // crash tail
+    ASSERT_TRUE(file.Close().ok());
+  }
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    EXPECT_EQ(log.current_segment(), 1u);  // fresh segment, not the torn one
+    const GroupId g0[] = {0};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 20, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(0), 20u)
+      << "post-reopen record must survive the next replay";
+}
+
 TEST_F(GroupCommitLogTest, AppendAcrossReopens) {
   {
     GroupCommitLog log(SyncMode::kNone, 0);
     ASSERT_TRUE(log.Open(Path()).ok());
-    ASSERT_TRUE(log.Record(3, 7, false).ok());
+    const GroupId g[] = {3};
+    ASSERT_TRUE(log.RecordCommit(g, 1, 7, false).ok());
     ASSERT_TRUE(log.Close().ok());
   }
   {
     GroupCommitLog log(SyncMode::kNone, 0);
     ASSERT_TRUE(log.Open(Path()).ok());  // append, not truncate
-    ASSERT_TRUE(log.Record(3, 9, false).ok());
+    const GroupId g[] = {3};
+    ASSERT_TRUE(log.RecordCommit(g, 1, 9, false).ok());
     ASSERT_TRUE(log.Close().ok());
   }
   auto replayed = GroupCommitLog::Replay(Path());
   ASSERT_TRUE(replayed.ok());
   EXPECT_EQ(replayed->at(3), 9u);
+}
+
+TEST_F(GroupCommitLogTest, CheckpointTruncatesChainAndReplayStartsThere) {
+  GroupCommitLog log(SyncMode::kNone, 0);
+  ASSERT_TRUE(log.Open(Path()).ok());
+  const GroupId g0[] = {0};
+  for (Timestamp cts = 1; cts <= 100; ++cts) {
+    ASSERT_TRUE(log.RecordCommit(g0, 1, cts, false).ok());
+  }
+  // Checkpoint protocol: rotate, cut, prune.
+  ASSERT_TRUE(log.RotateSegment().ok());
+  EXPECT_EQ(log.current_segment(), 1u);
+  const std::pair<GroupId, Timestamp> cut[] = {{0, 100}};
+  ASSERT_TRUE(log.WriteCheckpoint(cut, 1).ok());
+  ASSERT_TRUE(log.PruneObsoleteSegments().ok());
+  EXPECT_EQ(log.SegmentCount(), 1u);
+  EXPECT_FALSE(fsutil::FileExists(Path()));  // segment 0 deleted
+
+  // Post-checkpoint commits land in the surviving segment.
+  ASSERT_TRUE(log.RecordCommit(g0, 1, 101, true).ok());
+  ASSERT_TRUE(log.Close().ok());
+
+  GroupCommitLog::ReplayInfo info;
+  auto replayed = GroupCommitLog::Replay(Path(), &info);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(info.from_checkpoint);
+  EXPECT_EQ(info.segments_present, 1u);
+  EXPECT_EQ(replayed->at(0), 101u);
+}
+
+TEST_F(GroupCommitLogTest, FailedPruneKeepsReplayCorrect) {
+  GroupCommitLog log(SyncMode::kNone, 0);
+  ASSERT_TRUE(log.Open(Path()).ok());
+  const GroupId g0[] = {0};
+  ASSERT_TRUE(log.RecordCommit(g0, 1, 10, false).ok());
+  ASSERT_TRUE(log.RotateSegment().ok());
+  const std::pair<GroupId, Timestamp> cut[] = {{0, 10}};
+  ASSERT_TRUE(log.WriteCheckpoint(cut, 1).ok());
+  log.InjectCheckpointFault(GroupCommitLog::CheckpointFault::kBeforePrune);
+  EXPECT_FALSE(log.PruneObsoleteSegments().ok());
+  EXPECT_EQ(log.SegmentCount(), 2u);  // stale segment survives
+  ASSERT_TRUE(log.RecordCommit(g0, 1, 20, true).ok());
+  ASSERT_TRUE(log.Close().ok());
+
+  // Replay starts at the checkpoint segment; the stale chain is skipped.
+  GroupCommitLog::ReplayInfo info;
+  auto replayed = GroupCommitLog::Replay(Path(), &info);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(info.from_checkpoint);
+  EXPECT_EQ(info.segments_present, 2u);
+  EXPECT_EQ(info.segments_replayed, 1u);
+  EXPECT_EQ(replayed->at(0), 20u);
+}
+
+TEST_F(GroupCommitLogTest, TornCheckpointFallsBackToPreviousChain) {
+  // Crash between rotation and the checkpoint record: the new segment
+  // exists but has no cut. Replay must walk back into the old chain.
+  GroupCommitLog log(SyncMode::kNone, 0);
+  ASSERT_TRUE(log.Open(Path()).ok());
+  const GroupId g0[] = {0};
+  const GroupId g1[] = {1};
+  ASSERT_TRUE(log.RecordCommit(g0, 1, 10, false).ok());
+  ASSERT_TRUE(log.RecordCommit(g1, 1, 12, false).ok());
+  ASSERT_TRUE(log.RotateSegment().ok());
+  log.InjectCheckpointFault(
+      GroupCommitLog::CheckpointFault::kBeforeCheckpointRecord);
+  const std::pair<GroupId, Timestamp> cut[] = {{0, 10}, {1, 12}};
+  EXPECT_FALSE(log.WriteCheckpoint(cut, 2).ok());
+  // The aborted checkpoint never pruned; commits continue in the new
+  // segment.
+  ASSERT_TRUE(log.RecordCommit(g0, 1, 20, true).ok());
+  ASSERT_TRUE(log.Close().ok());
+
+  GroupCommitLog::ReplayInfo info;
+  auto replayed = GroupCommitLog::Replay(Path(), &info);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_FALSE(info.from_checkpoint);
+  EXPECT_EQ(info.segments_replayed, 2u);  // full chain: nothing subsumed it
+  EXPECT_EQ(replayed->at(0), 20u);
+  EXPECT_EQ(replayed->at(1), 12u);  // old-chain-only group survives
 }
 
 }  // namespace

@@ -208,6 +208,56 @@ TEST_F(RecoveryTest, UnfinishedGroupCommitIsPurged) {
   ASSERT_TRUE((*t)->Commit().ok());
 }
 
+TEST_F(RecoveryTest, PurgedTornCommitNeverResurrectsInLaterLives) {
+  // The recovery purge must be written through to the backend: a torn
+  // version dropped only in memory stays in the persisted blob, and once
+  // later commits push LastCTS past its timestamp, the NEXT recovery
+  // would keep it — a never-committed write resurrecting as committed.
+  StateId a, b;
+  GroupId g;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), a, "k", "good").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), b, "k", "good").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+    // Torn commit on "k": version persisted, no group record.
+    VersionedStore* store_a = db->GetState(a);
+    const Timestamp torn_cts = db->context().clock().Next();
+    ASSERT_TRUE(store_a
+                    ->ApplyCommitted(EncodeToString(std::string("k")),
+                                     "torn", false, torn_cts,
+                                     /*oldest_active=*/0, /*sync=*/true)
+                    .ok());
+  }
+  {
+    // Life 2: recovery purges the torn version; commits to OTHER keys push
+    // LastCTS far past the torn timestamp.
+    auto db = OpenDb(&a, &b, &g);
+    for (int i = 0; i < 10; ++i) {
+      auto t = db->Begin();
+      ASSERT_TRUE(db->txn_manager()
+                      .Write((*t)->txn(), a, "other" + std::to_string(i),
+                             "x")
+                      .ok());
+      ASSERT_TRUE((*t)->Commit().ok());
+    }
+    std::string value;
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+    EXPECT_EQ(value, "good");
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Life 3: the torn version's timestamp is now below LastCTS — it must
+  // STILL be gone (write-through of the life-2 purge).
+  auto db = OpenDb(&a, &b, &g);
+  auto t = db->Begin();
+  std::string value;
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+  EXPECT_EQ(value, "good") << "purged torn commit resurrected";
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
 TEST_F(RecoveryTest, ManyTransactionsSurvive) {
   StateId a, b;
   GroupId g;
@@ -233,6 +283,136 @@ TEST_F(RecoveryTest, ManyTransactionsSurvive) {
   EXPECT_EQ(value, "199");
   ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), b, "k199", &value).ok());
   EXPECT_EQ(value, "398");
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_F(RecoveryTest, CrashBetweenFlushAndRotateKeepsOldChainAuthoritative) {
+  // Fault point 1: the checkpoint dies after flushing the backends, before
+  // the log rotates. Nothing was cut, nothing was deleted — recovery
+  // replays the old chain and every acked commit survives.
+  StateId a, b;
+  GroupId g;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), a, "k", "v").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), b, "k", "v").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+    db->group_log()->InjectCheckpointFault(
+        GroupCommitLog::CheckpointFault::kBeforeRotate);
+    EXPECT_FALSE(db->Checkpoint().ok());
+    EXPECT_EQ(db->CheckpointCount(), 0u);
+  }
+  auto db = OpenDb(&a, &b, &g);
+  auto t = db->Begin();
+  std::string value;
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_F(RecoveryTest, CrashBeforeCheckpointRecordKeepsOldChainAuthoritative) {
+  // Fault point 2: rotated, but the cut record never lands. The new
+  // segment has no checkpoint, so replay walks back across the whole
+  // chain; commits before AND after the failed checkpoint survive.
+  StateId a, b;
+  GroupId g;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), a, "pre", "1").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), b, "pre", "1").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+    db->group_log()->InjectCheckpointFault(
+        GroupCommitLog::CheckpointFault::kBeforeCheckpointRecord);
+    EXPECT_FALSE(db->Checkpoint().ok());
+    // The system keeps committing into the rotated segment.
+    auto t2 = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t2)->txn(), a, "post", "2").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t2)->txn(), b, "post", "2").ok());
+    ASSERT_TRUE((*t2)->Commit().ok());
+  }
+  auto db = OpenDb(&a, &b, &g);
+  auto t = db->Begin();
+  std::string value;
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "pre", &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), b, "post", &value).ok());
+  EXPECT_EQ(value, "2");
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_F(RecoveryTest, CrashBeforePruneLosesNothingAndRetriesLater) {
+  // Fault point 3: the cut is durable but the old segments were never
+  // deleted. Replay starts at the checkpoint; the stale chain merely
+  // costs disk until the next checkpoint prunes it.
+  StateId a, b;
+  GroupId g;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), a, "k", "v").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), b, "k", "v").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+    db->group_log()->InjectCheckpointFault(
+        GroupCommitLog::CheckpointFault::kBeforePrune);
+    EXPECT_FALSE(db->Checkpoint().ok());
+    EXPECT_EQ(db->group_log()->SegmentCount(), 2u);  // stale chain remains
+  }
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    std::string value;
+    ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+    EXPECT_EQ(value, "v");
+    ASSERT_TRUE((*t)->Commit().ok());
+    // The next checkpoint retries the truncation and succeeds.
+    ASSERT_TRUE(db->Checkpoint().ok());
+    EXPECT_EQ(db->group_log()->SegmentCount(), 1u);
+  }
+  auto db = OpenDb(&a, &b, &g);
+  auto t = db->Begin();
+  std::string value;
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST_F(RecoveryTest, CheckpointBeforeRecoveryIsRefused) {
+  // A pre-catalog directory recovers only when the app re-declares its
+  // schema and calls Recover(). A checkpoint before that (manual or the
+  // background thread's first tick) would cut an empty/stale LastCTS
+  // snapshot and DELETE the segments recovery still needs — it must be
+  // refused, not applied.
+  StateId a, b;
+  GroupId g;
+  {
+    auto db = OpenDb(&a, &b, &g);
+    auto t = db->Begin();
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), a, "k", "v").ok());
+    ASSERT_TRUE(db->txn_manager().Write((*t)->txn(), b, "k", "v").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Simulate a legacy (pre-catalog) directory.
+  ASSERT_TRUE(fsutil::RemoveFile(Options().base_dir + "/catalog.log").ok());
+  {
+    auto db = Database::Open(Options());
+    ASSERT_TRUE(db.ok());
+    const Status premature = (*db)->Checkpoint();
+    EXPECT_TRUE(premature.IsBusy()) << premature.ToString();
+    EXPECT_EQ((*db)->CheckpointCount(), 0u);
+    // Declare + recover, then checkpoints work.
+    ASSERT_TRUE((*db)->CreateState("a").ok());
+    ASSERT_TRUE((*db)->CreateState("b").ok());
+    (*db)->CreateGroup({a, b});
+    ASSERT_TRUE((*db)->Recover().ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = OpenDb(&a, &b, &g);
+  auto t = db->Begin();
+  std::string value;
+  ASSERT_TRUE(db->txn_manager().Read((*t)->txn(), a, "k", &value).ok());
+  EXPECT_EQ(value, "v") << "premature checkpoint must not lose commits";
   ASSERT_TRUE((*t)->Commit().ok());
 }
 
