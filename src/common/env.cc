@@ -12,153 +12,258 @@
 namespace streamsi {
 
 namespace {
+
+/// Maps errno to a Status. ENOSPC (and its quota sibling) gets its own code
+/// so the database can degrade to read-only instead of treating a full disk
+/// as a generic sticky IO error.
 Status ErrnoStatus(const std::string& context) {
-  return Status::IoError(context + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) return Status::NoSpace(msg);
+  return Status::IoError(msg);
 }
+
+/// open(2) with EINTR retry: a signal landing during open must not surface
+/// as a spurious IO error.
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// fsync(2) with EINTR retry (same reasoning; POSIX allows fsync to be
+/// interrupted, and retrying is the standard response).
+int FsyncRetry(int fd) {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
 constexpr std::size_t kWriteBufferLimit = 64 * 1024;
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      Flush();
+      ::close(fd_);
+    }
+  }
+
+  Status Open(const std::string& path, bool truncate) {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    fd_ = OpenRetry(path.c_str(), flags, 0644);
+    if (fd_ < 0) return ErrnoStatus("open " + path);
+    path_ = path;
+    struct stat st;
+    if (::fstat(fd_, &st) == 0) {
+      size_ = truncate ? 0 : static_cast<std::uint64_t>(st.st_size);
+    }
+    buffer_.reserve(kWriteBufferLimit);
+    return Status::OK();
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("append to closed file");
+    buffer_.append(data.data(), data.size());
+    size_ += data.size();
+    if (buffer_.size() >= kWriteBufferLimit) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (fd_ < 0) return Status::IoError("flush closed file");
+    // Retry loop: write(2) may be interrupted (EINTR) or perform a short
+    // write; both continue from where they stopped instead of failing.
+    const char* p = buffer_.data();
+    std::size_t left = buffer_.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    STREAMSI_RETURN_NOT_OK(Flush());
+    if (FsyncRetry(fd_) != 0) return ErrnoStatus("fsync " + path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    Status s = Flush();
+    // No EINTR retry on close: POSIX leaves the fd state unspecified after
+    // an interrupted close, so retrying risks closing a recycled fd.
+    if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close " + path_);
+    fd_ = -1;
+    return s;
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string buffer_;  // small user-space write buffer
+  std::string path_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Open(const std::string& path) {
+    fd_ = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) return ErrnoStatus("open " + path);
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path);
+    size_ = static_cast<std::uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status Read(std::uint64_t offset, std::size_t n,
+              std::string* out) const override {
+    out->resize(n);
+    // Retry loop: pread(2) may be interrupted (EINTR) or return fewer
+    // bytes than requested; continue from the current position.
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                                static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread");
+      }
+      if (r == 0) return Status::IoError("short read");
+      got += static_cast<std::size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return Status::OK();
+  }
+
+  std::uint64_t size() const override { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    auto file = std::make_unique<PosixWritableFile>();
+    STREAMSI_RETURN_NOT_OK(file->Open(path, truncate));
+    return std::unique_ptr<WritableFile>(std::move(file));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    auto file = std::make_unique<PosixRandomAccessFile>();
+    STREAMSI_RETURN_NOT_OK(file->Open(path));
+    return std::unique_ptr<RandomAccessFile>(std::move(file));
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return ErrnoStatus("mkdir " + path);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+    return ErrnoStatus("unlink " + path);
+  }
+
+  Status RemoveDirRecursive(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return errno == ENOENT ? Status::OK() : ErrnoStatus("stat " + path);
+    }
+    if (!S_ISDIR(st.st_mode)) return RemoveFile(path);
+    std::vector<std::string> names;
+    STREAMSI_RETURN_NOT_OK(ListDir(path, &names));
+    for (const auto& name : names) {
+      STREAMSI_RETURN_NOT_OK(RemoveDirRecursive(path + "/" + name));
+    }
+    if (::rmdir(path.c_str()) != 0) return ErrnoStatus("rmdir " + path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status FileSize(const std::string& path, std::uint64_t* size) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
+    *size = static_cast<std::uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir " + path);
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names->push_back(name);
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open dir " + dir);
+    Status s = Status::OK();
+    if (FsyncRetry(fd) != 0) s = ErrnoStatus("fsync dir " + dir);
+    ::close(fd);
+    return s;
+  }
+};
+
 }  // namespace
 
-WritableFile::~WritableFile() {
-  if (fd_ >= 0) {
-    Flush();
-    ::close(fd_);
-  }
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // leaked: outlives static dtors
+  return env;
 }
 
-Status WritableFile::Open(const std::string& path, bool truncate) {
-  int flags = O_WRONLY | O_CREAT | O_APPEND;
-  if (truncate) flags |= O_TRUNC;
-  fd_ = ::open(path.c_str(), flags, 0644);
-  if (fd_ < 0) return ErrnoStatus("open " + path);
-  path_ = path;
-  struct stat st;
-  if (::fstat(fd_, &st) == 0) {
-    size_ = truncate ? 0 : static_cast<std::uint64_t>(st.st_size);
-  }
-  buffer_.reserve(kWriteBufferLimit);
-  return Status::OK();
-}
-
-Status WritableFile::Append(std::string_view data) {
-  if (fd_ < 0) return Status::IoError("append to closed file");
-  buffer_.append(data.data(), data.size());
-  size_ += data.size();
-  if (buffer_.size() >= kWriteBufferLimit) return Flush();
-  return Status::OK();
-}
-
-Status WritableFile::Flush() {
-  if (fd_ < 0) return Status::IoError("flush closed file");
-  const char* p = buffer_.data();
-  std::size_t left = buffer_.size();
-  while (left > 0) {
-    const ssize_t n = ::write(fd_, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write " + path_);
-    }
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
-  buffer_.clear();
-  return Status::OK();
-}
-
-Status WritableFile::Sync() {
-  STREAMSI_RETURN_NOT_OK(Flush());
-  if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_);
-  return Status::OK();
-}
-
-Status WritableFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  Status s = Flush();
-  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close " + path_);
-  fd_ = -1;
-  return s;
-}
-
-RandomAccessFile::~RandomAccessFile() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Status RandomAccessFile::Open(const std::string& path) {
-  fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) return ErrnoStatus("open " + path);
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) return ErrnoStatus("fstat " + path);
-  size_ = static_cast<std::uint64_t>(st.st_size);
-  return Status::OK();
-}
-
-Status RandomAccessFile::Read(std::uint64_t offset, std::size_t n,
-                              std::string* out) const {
-  out->resize(n);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::pread(fd_, out->data() + got, n - got,
-                              static_cast<off_t>(offset + got));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("pread");
-    }
-    if (r == 0) return Status::IoError("short read");
-    got += static_cast<std::size_t>(r);
-  }
-  return Status::OK();
-}
-
-Status RandomAccessFile::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-  return Status::OK();
-}
-
-namespace fsutil {
-
-Status CreateDirIfMissing(const std::string& path) {
-  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
-  return ErrnoStatus("mkdir " + path);
-}
-
-Status RemoveFile(const std::string& path) {
-  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
-  return ErrnoStatus("unlink " + path);
-}
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
-
-Status FileSize(const std::string& path, std::uint64_t* size) {
-  struct stat st;
-  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat " + path);
-  *size = static_cast<std::uint64_t>(st.st_size);
-  return Status::OK();
-}
-
-Status ListDir(const std::string& path, std::vector<std::string>* names) {
-  names->clear();
-  DIR* dir = ::opendir(path.c_str());
-  if (dir == nullptr) return ErrnoStatus("opendir " + path);
-  while (struct dirent* entry = ::readdir(dir)) {
-    const std::string name = entry->d_name;
-    if (name != "." && name != "..") names->push_back(name);
-  }
-  ::closedir(dir);
-  return Status::OK();
-}
-
-Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
-                         const std::string& suffix,
-                         std::vector<std::uint64_t>* numbers) {
-  // Only a MISSING directory is an empty chain. Any other listing failure
-  // (EACCES, EIO, ...) must propagate: recovery builds its replay chain
-  // from this result, and treating an unreadable directory as empty would
-  // silently drop every segment's committed records.
+Status Env::ListNumberedFiles(const std::string& dir,
+                              const std::string& prefix,
+                              const std::string& suffix,
+                              std::vector<std::uint64_t>* numbers) {
+  // Only a MISSING directory is an empty chain (see header contract).
   if (!FileExists(dir)) return Status::OK();
   std::vector<std::string> names;
   STREAMSI_RETURN_NOT_OK(ListDir(dir, &names));
@@ -184,36 +289,21 @@ Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
   return Status::OK();
 }
 
-Status RemoveDirRecursive(const std::string& path) {
-  struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
-    return errno == ENOENT ? Status::OK() : ErrnoStatus("stat " + path);
-  }
-  if (!S_ISDIR(st.st_mode)) return RemoveFile(path);
-  std::vector<std::string> names;
-  STREAMSI_RETURN_NOT_OK(ListDir(path, &names));
-  for (const auto& name : names) {
-    STREAMSI_RETURN_NOT_OK(RemoveDirRecursive(path + "/" + name));
-  }
-  if (::rmdir(path.c_str()) != 0) return ErrnoStatus("rmdir " + path);
-  return Status::OK();
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  auto file = NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  return (*file)->Read(0, (*file)->size(), out);
 }
 
-Status ReadFileToString(const std::string& path, std::string* out) {
-  RandomAccessFile file;
-  STREAMSI_RETURN_NOT_OK(file.Open(path));
-  return file.Read(0, file.size(), out);
-}
-
-Status WriteStringToFileAtomic(const std::string& path,
-                               std::string_view contents) {
+Status Env::WriteStringToFileAtomic(const std::string& path,
+                                    std::string_view contents) {
   const std::string tmp = path + ".tmp";
   {
-    WritableFile file;
-    STREAMSI_RETURN_NOT_OK(file.Open(tmp, /*truncate=*/true));
-    STREAMSI_RETURN_NOT_OK(file.Append(contents));
-    STREAMSI_RETURN_NOT_OK(file.Sync());
-    STREAMSI_RETURN_NOT_OK(file.Close());
+    auto file = NewWritableFile(tmp, /*truncate=*/true);
+    if (!file.ok()) return file.status();
+    STREAMSI_RETURN_NOT_OK((*file)->Append(contents));
+    STREAMSI_RETURN_NOT_OK((*file)->Sync());
+    STREAMSI_RETURN_NOT_OK((*file)->Close());
   }
   STREAMSI_RETURN_NOT_OK(RenameFile(tmp, path));
   const auto slash = path.find_last_of('/');
@@ -223,20 +313,53 @@ Status WriteStringToFileAtomic(const std::string& path,
   return Status::OK();
 }
 
+namespace fsutil {
+
+Status CreateDirIfMissing(const std::string& path) {
+  return Env::Default()->CreateDirIfMissing(path);
+}
+
+Status RemoveFile(const std::string& path) {
+  return Env::Default()->RemoveFile(path);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  return Env::Default()->RemoveDirRecursive(path);
+}
+
+bool FileExists(const std::string& path) {
+  return Env::Default()->FileExists(path);
+}
+
+Status FileSize(const std::string& path, std::uint64_t* size) {
+  return Env::Default()->FileSize(path, size);
+}
+
+Status ListDir(const std::string& path, std::vector<std::string>* names) {
+  return Env::Default()->ListDir(path, names);
+}
+
+Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
+                         const std::string& suffix,
+                         std::vector<std::uint64_t>* numbers) {
+  return Env::Default()->ListNumberedFiles(dir, prefix, suffix, numbers);
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  return Env::Default()->ReadFileToString(path, out);
+}
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               std::string_view contents) {
+  return Env::Default()->WriteStringToFileAtomic(path, contents);
+}
+
 Status RenameFile(const std::string& from, const std::string& to) {
-  if (::rename(from.c_str(), to.c_str()) != 0) {
-    return ErrnoStatus("rename " + from + " -> " + to);
-  }
-  return Status::OK();
+  return Env::Default()->RenameFile(from, to);
 }
 
 Status SyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return ErrnoStatus("open dir " + dir);
-  Status s = Status::OK();
-  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir " + dir);
-  ::close(fd);
-  return s;
+  return Env::Default()->SyncDir(dir);
 }
 
 }  // namespace fsutil

@@ -1,11 +1,19 @@
-// Thin POSIX filesystem wrappers used by the storage layer (WAL, SSTables,
-// manifest, group-commit records). All operations report failures through
-// Status rather than exceptions.
+// Env: the injectable storage environment. Every byte of IO in the engine
+// (WAL, SSTables, manifest, group-commit log, state catalog) flows through
+// an Env so that tests can substitute a hostile filesystem (FaultEnv:
+// torn writes, ENOSPC, lying fsyncs, simulated power cuts) for the real
+// POSIX one. All operations report failures through Status, never
+// exceptions.
+//
+// Cost model (do not regress): one virtual call per *file operation*, never
+// per commit — the WAL batches appends, so a group-commit batch pays one
+// Append + one Sync regardless of how many commits rode in it.
 
 #ifndef STREAMSI_COMMON_ENV_H_
 #define STREAMSI_COMMON_ENV_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,75 +24,101 @@ namespace streamsi {
 /// Append-only file handle with optional fsync-on-sync.
 class WritableFile {
  public:
-  WritableFile() = default;
-  ~WritableFile();
-  WritableFile(const WritableFile&) = delete;
-  WritableFile& operator=(const WritableFile&) = delete;
+  virtual ~WritableFile() = default;
 
-  /// Opens (creating/truncating if `truncate`) the file for appending.
-  Status Open(const std::string& path, bool truncate = false);
-  Status Append(std::string_view data);
-  /// Flushes userspace buffers to the OS.
-  Status Flush();
-  /// fsync(2): durably persists the file contents.
-  Status Sync();
-  Status Close();
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes userspace buffers to the OS (bytes survive a process crash,
+  /// not a power cut).
+  virtual Status Flush() = 0;
+  /// fsync(2): durably persists the file contents (power-cut safe).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
 
-  bool is_open() const { return fd_ >= 0; }
-  std::uint64_t size() const { return size_; }
-
- private:
-  int fd_ = -1;
-  std::uint64_t size_ = 0;
-  std::string buffer_;  // small user-space write buffer
-  std::string path_;
+  /// Logical size: everything appended so far (buffered bytes included).
+  virtual std::uint64_t size() const = 0;
 };
 
 /// Random-access read-only file.
 class RandomAccessFile {
  public:
-  RandomAccessFile() = default;
-  ~RandomAccessFile();
-  RandomAccessFile(const RandomAccessFile&) = delete;
-  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+  virtual ~RandomAccessFile() = default;
 
-  Status Open(const std::string& path);
   /// Reads exactly `n` bytes at `offset` into `out` (resized).
-  Status Read(std::uint64_t offset, std::size_t n, std::string* out) const;
-  Status Close();
+  virtual Status Read(std::uint64_t offset, std::size_t n,
+                      std::string* out) const = 0;
+  virtual Status Close() = 0;
 
-  std::uint64_t size() const { return size_; }
-  bool is_open() const { return fd_ >= 0; }
-
- private:
-  int fd_ = -1;
-  std::uint64_t size_ = 0;
+  virtual std::uint64_t size() const = 0;
 };
 
-/// Filesystem helpers.
+/// Abstract filesystem: file factory + directory operations. Implementations
+/// must be thread-safe (the engine calls in from committers, the background
+/// flush worker and the checkpointer concurrently).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never destroyed).
+  static Env* Default();
+
+  /// Opens `path` for appending, creating it if missing (truncating first
+  /// when `truncate`).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+  /// Removing a missing file is OK (idempotent).
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Recursively removes a directory tree (used by tests/benches).
+  virtual Status RemoveDirRecursive(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Size of `path` in bytes (error if missing).
+  virtual Status FileSize(const std::string& path, std::uint64_t* size) = 0;
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* names) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  /// fsyncs the directory containing `path` so renames are durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  // Conveniences built on the primitives above (non-virtual: every
+  // environment inherits correct behavior, including fault injection,
+  // because they bottom out in the virtual ops).
+
+  /// Appends the numeric middle of every entry of `dir` shaped
+  /// <prefix><digits><suffix> (digits of any length, no other characters) to
+  /// `numbers`, unsorted. A missing directory appends nothing; any OTHER
+  /// listing failure propagates — recovery builds its replay chain from
+  /// this result, and treating an unreadable directory as empty would
+  /// silently drop every segment's committed records.
+  Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
+                           const std::string& suffix,
+                           std::vector<std::uint64_t>* numbers);
+  Status ReadFileToString(const std::string& path, std::string* out);
+  /// Atomic replace: write tmp + fsync + rename (crash-safe publication).
+  Status WriteStringToFileAtomic(const std::string& path,
+                                 std::string_view contents);
+};
+
+/// Filesystem helpers over Env::Default(). Engine code takes an Env* and
+/// calls it directly; these wrappers keep tests, benches and examples —
+/// which always mean the real filesystem — terse.
 namespace fsutil {
 
 Status CreateDirIfMissing(const std::string& path);
 Status RemoveFile(const std::string& path);
-/// Recursively removes a directory tree (used by tests/benches).
 Status RemoveDirRecursive(const std::string& path);
 bool FileExists(const std::string& path);
-/// Size of `path` in bytes (error if missing).
 Status FileSize(const std::string& path, std::uint64_t* size);
 Status ListDir(const std::string& path, std::vector<std::string>* names);
-/// Appends the numeric middle of every entry of `dir` shaped
-/// <prefix><digits><suffix> (digits of any length, no other characters) to
-/// `numbers`, unsorted. A missing directory appends nothing. Shared by the
-/// WAL/log segment-chain discoveries.
 Status ListNumberedFiles(const std::string& dir, const std::string& prefix,
                          const std::string& suffix,
                          std::vector<std::uint64_t>* numbers);
 Status ReadFileToString(const std::string& path, std::string* out);
-/// Atomic replace: write tmp + fsync + rename (crash-safe publication).
 Status WriteStringToFileAtomic(const std::string& path,
                                std::string_view contents);
 Status RenameFile(const std::string& from, const std::string& to);
-/// fsyncs the directory containing `path` so renames are durable.
 Status SyncDir(const std::string& dir);
 
 }  // namespace fsutil

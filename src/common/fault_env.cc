@@ -1,0 +1,388 @@
+#include "common/fault_env.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace streamsi {
+
+// ---------------------------------------------------------- FaultSchedule ---
+
+void FaultSchedule::Arm(const std::string& point, std::uint64_t after,
+                        int count, Status status) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Arming arming;
+  arming.after = after;
+  arming.count = count;
+  arming.status = std::move(status);
+  points_[point] = std::move(arming);
+}
+
+void FaultSchedule::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.erase(point);
+}
+
+void FaultSchedule::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+Status FaultSchedule::Check(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return Status::OK();
+  Arming& arming = it->second;
+  const std::uint64_t hit = arming.hits++;
+  if (hit < arming.after) return Status::OK();
+  if (arming.count == 0) return Status::OK();  // exhausted
+  if (arming.count > 0) --arming.count;
+  ++arming.fired;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return arming.status;
+}
+
+std::uint64_t FaultSchedule::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::string FaultSchedule::Describe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "schedule{";
+  bool first = true;
+  for (const auto& [point, arming] : points_) {
+    if (!first) out << ", ";
+    first = false;
+    out << point << ": after=" << arming.after << " remaining=" << arming.count
+        << " hits=" << arming.hits << " fired=" << arming.fired << " -> "
+        << StatusCodeToString(arming.status.code());
+  }
+  out << "} injected=" << injected_.load(std::memory_order_relaxed);
+  return out.str();
+}
+
+// --------------------------------------------------------------- FaultEnv ---
+
+namespace {
+
+Status PowerCutError() {
+  return Status::IoError("simulated power cut");
+}
+
+}  // namespace
+
+/// Writable handle over a shadow FileNode. All mutation happens under the
+/// env mutex; fault checks run in the order a real kernel would surface
+/// them: power state, op accounting, armed faults, disk-full, then data.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultEnv* env, std::string path,
+                    std::shared_ptr<FaultEnv::FileNode> node)
+      : env_(env), path_(std::move(path)), node_(std::move(node)) {}
+
+  Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (closed_) return Status::IoError("append to closed file");
+    STREAMSI_RETURN_NOT_OK(env_->FailIfPowerCut());
+    env_->op_count_.fetch_add(1, std::memory_order_relaxed);
+    if (env_->ConsumeOpForCut()) {
+      // Power dies mid-write: an arbitrary prefix reaches the disk cache.
+      const std::uint64_t keep =
+          data.empty() ? 0 : env_->rng_.Uniform(data.size() + 1);
+      node_->data.append(data.data(), keep);
+      env_->bytes_written_.fetch_add(keep, std::memory_order_relaxed);
+      return PowerCutError();
+    }
+    STREAMSI_RETURN_NOT_OK(env_->schedule_.Check("env.append"));
+    if (env_->tear_next_append_.exchange(false,
+                                         std::memory_order_acq_rel)) {
+      // Torn write: a strict prefix lands, then the write errors out.
+      const std::uint64_t keep =
+          data.empty() ? 0 : env_->rng_.Uniform(data.size());
+      node_->data.append(data.data(), keep);
+      env_->bytes_written_.fetch_add(keep, std::memory_order_relaxed);
+      return Status::IoError("simulated torn write to " + path_);
+    }
+    const std::uint64_t budget =
+        env_->no_space_budget_.load(std::memory_order_relaxed);
+    if (budget != FaultEnv::kUnlimited) {
+      const std::uint64_t written =
+          env_->bytes_written_.load(std::memory_order_relaxed);
+      if (written + data.size() > budget) {
+        // Like a real full disk: whatever fits still lands.
+        const std::uint64_t keep = budget > written ? budget - written : 0;
+        node_->data.append(data.data(), keep);
+        env_->bytes_written_.fetch_add(keep, std::memory_order_relaxed);
+        return Status::NoSpace("simulated disk full writing " + path_);
+      }
+    }
+    node_->data.append(data.data(), data.size());
+    env_->bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (closed_) return Status::IoError("flush closed file");
+    return env_->FailIfPowerCut();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    if (closed_) return Status::IoError("sync closed file");
+    STREAMSI_RETURN_NOT_OK(env_->FailIfPowerCut());
+    env_->op_count_.fetch_add(1, std::memory_order_relaxed);
+    env_->sync_count_.fetch_add(1, std::memory_order_relaxed);
+    // A failed or interrupted sync must not advance the durable watermark.
+    if (env_->ConsumeOpForCut()) return PowerCutError();
+    STREAMSI_RETURN_NOT_OK(env_->schedule_.Check("env.sync"));
+    node_->synced = node_->data.size();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    closed_ = true;
+    return Status::OK();
+  }
+
+  std::uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    return node_->data.size();
+  }
+
+ private:
+  FaultEnv* env_;
+  const std::string path_;
+  std::shared_ptr<FaultEnv::FileNode> node_;
+  bool closed_ = false;
+};
+
+/// Read-only handle over a shadow FileNode. Reads see the node's CURRENT
+/// contents (post-crash truncation included), matching an fd that survives
+/// the file shrinking underneath it.
+class FaultRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultEnv* env,
+                        std::shared_ptr<FaultEnv::FileNode> node)
+      : env_(env), node_(std::move(node)) {}
+
+  Status Read(std::uint64_t offset, std::size_t n,
+              std::string* out) const override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    STREAMSI_RETURN_NOT_OK(env_->FailIfPowerCut());
+    STREAMSI_RETURN_NOT_OK(env_->schedule_.Check("env.read"));
+    if (offset + n > node_->data.size()) {
+      return Status::IoError("short read");
+    }
+    out->assign(node_->data, offset, n);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+  std::uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(env_->mutex_);
+    return node_->data.size();
+  }
+
+ private:
+  FaultEnv* env_;
+  std::shared_ptr<FaultEnv::FileNode> node_;
+};
+
+FaultEnv::FaultEnv(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultEnv::CutPowerAfterOps(std::uint64_t ops) {
+  cut_after_ops_.store(ops, std::memory_order_relaxed);
+}
+
+void FaultEnv::SetNoSpaceByteBudget(std::uint64_t bytes) {
+  if (bytes != kUnlimited) {
+    // The budget gates TOTAL bytes written; start counting from here.
+    bytes += bytes_written_.load(std::memory_order_relaxed);
+  }
+  no_space_budget_.store(bytes, std::memory_order_relaxed);
+}
+
+void FaultEnv::TearNextAppend() {
+  tear_next_append_.store(true, std::memory_order_release);
+}
+
+void FaultEnv::CrashAndRecoverFs(CrashMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [path, node] : files_) {
+    if (node->data.size() <= node->synced) continue;
+    std::uint64_t keep = node->synced;
+    if (mode == CrashMode::kKeepRandomPrefix) {
+      // Some unsynced page-cache pages happened to land before the cut.
+      keep += rng_.Uniform(node->data.size() - node->synced + 1);
+    }
+    node->data.resize(keep);
+    node->synced = std::min(node->synced, keep);
+  }
+  power_cut_.store(false, std::memory_order_release);
+  cut_after_ops_.store(0, std::memory_order_relaxed);
+  no_space_budget_.store(kUnlimited, std::memory_order_relaxed);
+  tear_next_append_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t FaultEnv::DurableBytes(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->synced;
+}
+
+std::uint64_t FaultEnv::WrittenBytes(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second->data.size();
+}
+
+std::string FaultEnv::DescribeSchedule() const {
+  std::ostringstream out;
+  out << "FaultEnv{seed=" << seed_
+      << " ops=" << op_count_.load(std::memory_order_relaxed)
+      << " syncs=" << sync_count_.load(std::memory_order_relaxed)
+      << " bytes=" << bytes_written_.load(std::memory_order_relaxed)
+      << " power_cut=" << (PowerIsCut() ? "yes" : "no")
+      << " cut_after=" << cut_after_ops_.load(std::memory_order_relaxed)
+      << " " << schedule_.Describe() << "}";
+  return out.str();
+}
+
+Status FaultEnv::FailIfPowerCut() const {
+  if (power_cut_.load(std::memory_order_acquire)) return PowerCutError();
+  return Status::OK();
+}
+
+bool FaultEnv::ConsumeOpForCut() {
+  std::uint64_t remaining = cut_after_ops_.load(std::memory_order_relaxed);
+  if (remaining == 0) return false;
+  cut_after_ops_.store(remaining - 1, std::memory_order_relaxed);
+  if (remaining == 1) {
+    power_cut_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  auto& node = files_[path];
+  if (node == nullptr) node = std::make_shared<FileNode>();
+  if (truncate) {
+    node->data.clear();
+    node->synced = 0;
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, path, node));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("open " + path + ": no such file");
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultRandomAccessFile(this, it->second));
+}
+
+Status FaultEnv::CreateDirIfMissing(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Status FaultEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  files_.erase(path);  // idempotent, like unlink + ENOENT tolerance
+  return Status::OK();
+}
+
+Status FaultEnv::RemoveDirRecursive(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  const std::string prefix = path + "/";
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = dirs_.begin(); it != dirs_.end();) {
+    if (*it == path || it->compare(0, prefix.size(), prefix) == 0) {
+      it = dirs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultEnv::FileSize(const std::string& path, std::uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::IoError("stat " + path);
+  *size = it->second->data.size();
+  return Status::OK();
+}
+
+Status FaultEnv::ListDir(const std::string& path,
+                         std::vector<std::string>* names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  names->clear();
+  if (dirs_.count(path) == 0) return Status::IoError("opendir " + path);
+  const std::string prefix = path + "/";
+  auto add_child = [&](const std::string& full) {
+    if (full.compare(0, prefix.size(), prefix) != 0) return;
+    std::string rest = full.substr(prefix.size());
+    const auto slash = rest.find('/');
+    if (slash != std::string::npos) rest.resize(slash);  // direct child only
+    if (!rest.empty() &&
+        std::find(names->begin(), names->end(), rest) == names->end()) {
+      names->push_back(rest);
+    }
+  };
+  for (const auto& [file_path, node] : files_) add_child(file_path);
+  for (const auto& dir_path : dirs_) add_child(dir_path);
+  return Status::OK();
+}
+
+Status FaultEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::IoError("rename " + from);
+  // Modeled as atomic AND durable (the engine follows every publishing
+  // rename with SyncDir, so the stricter model matches what it relies on).
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status FaultEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  (void)dir;
+  return Status::OK();
+}
+
+}  // namespace streamsi

@@ -1,0 +1,194 @@
+// FaultEnv: a deterministic, in-memory-shadowed storage environment for
+// hostile testing — and FaultSchedule, the shared fault vocabulary used by
+// both env-level injection (this file) and backend-level injection
+// (storage/faulty_backend.h), so one test can compose both.
+//
+// FaultEnv models the two-tier durability of a real filesystem: every
+// Append lands in the shadow file immediately ("written", survives a
+// process crash), but only Sync advances the per-file durable watermark
+// ("synced", survives a power cut). CrashAndRecoverFs() simulates the
+// power cut: everything beyond each file's watermark is discarded (or, in
+// kKeepRandomPrefix mode, an arbitrary deterministic prefix of the
+// unsynced suffix survives — modeling page-cache pages that happened to
+// reach the platter, which is what produces torn tails for replay).
+//
+// On top of the power-cut model it injects, deterministically:
+//   * short/torn writes  — TearNextAppend(): a partial prefix of the next
+//     append lands, then the write fails (mid-record tear)
+//   * ENOSPC             — SetNoSpaceByteBudget(): appends past the budget
+//     fail with Status::NoSpace, like a full disk
+//   * EIO on the Nth op  — schedule().Arm("env.sync", n, ...) etc.
+//   * power cut at an op budget — CutPowerAfterOps(): the Nth write/sync
+//     tears mid-write and every later IO fails until CrashAndRecoverFs()
+//
+// Everything is keyed on an op counter + a seeded RNG, so a failing test
+// reproduces from its seed alone.
+
+#ifndef STREAMSI_COMMON_FAULT_ENV_H_
+#define STREAMSI_COMMON_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace streamsi {
+
+/// Deterministic named injection points: "after N passes of point P, fail
+/// the next K hits with status S". Thread-safe; shared by FaultEnv
+/// ("env.append", "env.sync", "env.read") and FaultyBackend
+/// ("backend.put", "backend.delete", "backend.get") so backend- and
+/// env-level faults are armed through one vocabulary.
+class FaultSchedule {
+ public:
+  /// Arms `point`: the first `after` hits pass, then `count` hits fail
+  /// with `status` (count < 0 = fail forever). Re-arming replaces.
+  void Arm(const std::string& point, std::uint64_t after, int count,
+           Status status);
+  void Disarm(const std::string& point);
+  void Clear();
+
+  /// Instrumented code calls this once per operation at `point`; returns
+  /// the armed failure when it fires, OK otherwise.
+  Status Check(const std::string& point);
+
+  /// Operations seen at `point` (armed points only; 0 if never armed).
+  std::uint64_t HitCount(const std::string& point) const;
+  /// Total failures injected across all points.
+  std::uint64_t injected_failures() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line summary of armed points + counters (failure reproduction).
+  std::string Describe() const;
+
+ private:
+  struct Arming {
+    std::uint64_t after = 0;
+    int count = 0;  ///< remaining failures; < 0 = unbounded
+    Status status;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Arming> points_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+class FaultEnv final : public Env {
+ public:
+  static constexpr std::uint64_t kUnlimited = ~0ull;
+
+  explicit FaultEnv(std::uint64_t seed = 1);
+
+  // ------------------------------------------------------ fault arming ---
+
+  /// The shared injection-point schedule (see FaultSchedule).
+  FaultSchedule& schedule() { return schedule_; }
+
+  /// After `ops` more write/sync operations, power is cut: the op that
+  /// crosses the budget tears (a seeded-random prefix of its bytes lands)
+  /// and every later IO fails with IoError until CrashAndRecoverFs().
+  /// 0 disarms.
+  void CutPowerAfterOps(std::uint64_t ops);
+
+  /// Appends past `bytes` total written bytes fail with Status::NoSpace
+  /// (a deterministic full disk). kUnlimited disarms.
+  void SetNoSpaceByteBudget(std::uint64_t bytes);
+
+  /// The next append writes only a seeded-random strict prefix of its
+  /// payload, then fails with IoError — a torn mid-record write.
+  void TearNextAppend();
+
+  // ------------------------------------------------ power-cut lifecycle ---
+
+  bool PowerIsCut() const { return power_cut_.load(std::memory_order_acquire); }
+
+  enum class CrashMode {
+    kDropUnsynced,      ///< only synced bytes survive (worst case)
+    kKeepRandomPrefix,  ///< plus a seeded-random prefix of the unsynced
+                        ///< suffix per file (torn tails for replay)
+  };
+
+  /// Simulates the machine rebooting after a power loss: unsynced bytes
+  /// are discarded per `mode`, power is restored and the cut/no-space
+  /// budgets are disarmed (the schedule stays armed; Clear() it
+  /// explicitly). Open handles keep working against the surviving state.
+  void CrashAndRecoverFs(CrashMode mode = CrashMode::kDropUnsynced);
+
+  // ------------------------------------------------------ observability ---
+
+  /// Write/sync operations performed (the clock the cut budget runs on).
+  std::uint64_t OpCount() const { return op_count_.load(std::memory_order_relaxed); }
+  std::uint64_t SyncCount() const { return sync_count_.load(std::memory_order_relaxed); }
+  std::uint64_t TotalBytesWritten() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  /// Bytes of `path` that would survive a power cut right now.
+  std::uint64_t DurableBytes(const std::string& path) const;
+  /// Bytes of `path` written (synced or not); 0 if missing.
+  std::uint64_t WrittenBytes(const std::string& path) const;
+
+  /// Seed + budgets + op counters + schedule, for failure output.
+  std::string DescribeSchedule() const;
+
+  // ---------------------------------------------------------------- Env ---
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveDirRecursive(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status FileSize(const std::string& path, std::uint64_t* size) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  /// One shadow file. Contents + durable watermark, both under the env
+  /// mutex. shared_ptr so open handles survive removes/renames (POSIX
+  /// unlink semantics) and crashes.
+  struct FileNode {
+    std::string data;
+    std::uint64_t synced = 0;
+  };
+
+  Status FailIfPowerCut() const;
+  /// Accounts one write/sync op against the power-cut budget. Returns true
+  /// if this op crosses it (the caller then tears and fails).
+  bool ConsumeOpForCut();
+
+  const std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  Xorshift rng_;                                       ///< under mutex_
+  std::map<std::string, std::shared_ptr<FileNode>> files_;  ///< under mutex_
+  std::set<std::string> dirs_;                         ///< under mutex_
+  FaultSchedule schedule_;
+  std::atomic<bool> power_cut_{false};
+  std::atomic<std::uint64_t> cut_after_ops_{0};  ///< 0 = disarmed
+  std::atomic<std::uint64_t> no_space_budget_{kUnlimited};
+  std::atomic<bool> tear_next_append_{false};
+  std::atomic<std::uint64_t> op_count_{0};
+  std::atomic<std::uint64_t> sync_count_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_COMMON_FAULT_ENV_H_

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
   }
   return "Unknown";
 }

@@ -28,6 +28,9 @@ enum class StatusCode : unsigned char {
   kNotSupported = 8,    ///< Operation not implemented for this configuration.
   kResourceExhausted = 9, ///< Out of slots (versions, transactions, ...).
   kTimedOut = 10,       ///< Deadline exceeded waiting for a resource.
+  kUnavailable = 11,    ///< Service degraded (e.g. read-only mode); retry
+                        ///< later or against a healthy replica.
+  kNoSpace = 12,        ///< Storage device out of space (ENOSPC/EDQUOT).
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -72,6 +75,12 @@ class Status {
   static Status TimedOut(std::string_view msg = "") {
     return Status(StatusCode::kTimedOut, msg);
   }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status NoSpace(std::string_view msg = "") {
+    return Status(StatusCode::kNoSpace, msg);
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -88,6 +97,8 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsNoSpace() const { return code() == StatusCode::kNoSpace; }
 
   StatusCode code() const {
     return state_ == nullptr ? StatusCode::kOk : state_->code;

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace streamsi {
 
-Database::Database(const DatabaseOptions& options) : options_(options) {}
+Database::Database(const DatabaseOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 Database::~Database() {
   // Shutdown ordering: the background checkpointer first (it walks the
@@ -41,10 +44,10 @@ Result<std::unique_ptr<Database>> Database::Open(
       options.backend_options.sync_mode != SyncMode::kNone &&
       options.backend == BackendType::kLsm;
   if (!options.base_dir.empty()) {
-    STREAMSI_RETURN_NOT_OK(fsutil::CreateDirIfMissing(options.base_dir));
+    STREAMSI_RETURN_NOT_OK(db->env_->CreateDirIfMissing(options.base_dir));
     db->group_log_ = std::make_unique<GroupCommitLog>(
         options.backend_options.sync_mode,
-        options.backend_options.simulated_sync_micros);
+        options.backend_options.simulated_sync_micros, db->env_);
     STREAMSI_RETURN_NOT_OK(db->group_log_->Open(db->GroupLogPath()));
   }
 
@@ -53,6 +56,14 @@ Result<std::unique_ptr<Database>> Database::Open(
       &db->context_, db->protocol_.get(),
       [raw](StateId id) { return raw->GetState(id); }, db->group_log_.get(),
       durable);
+  // Health hooks: commits consult the admission gate before doing any work
+  // (so a degraded database fails them fast, without IO or conflict
+  // accounting) and report their IO failures for classification. Reads and
+  // scans bypass the gate entirely — a read-only degraded database keeps
+  // serving them from the in-memory MVCC state.
+  db->txn_manager_->SetHealthHooks(
+      [raw] { return raw->AdmitCommit(); },
+      [raw](const Status& status) { raw->NoteIoFailure(status); });
   if (options.background_epoch_reclaim) {
     EpochManager::Global().StartBackgroundReclaimer(
         std::chrono::milliseconds(options.epoch_reclaim_interval_ms));
@@ -66,8 +77,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (!options.base_dir.empty()) {
     db->catalog_ = std::make_unique<StateCatalog>(
         options.backend_options.sync_mode,
-        options.backend_options.simulated_sync_micros);
-    const bool had_catalog = fsutil::FileExists(db->CatalogPath());
+        options.backend_options.simulated_sync_micros, db->env_);
+    const bool had_catalog = db->env_->FileExists(db->CatalogPath());
     if (had_catalog) STREAMSI_RETURN_NOT_OK(db->ReplayCatalog());
     STREAMSI_RETURN_NOT_OK(db->catalog_->Open(db->CatalogPath()));
     if (had_catalog) STREAMSI_RETURN_NOT_OK(db->RecoverInternal());
@@ -85,7 +96,8 @@ std::string Database::StateDir(const std::string& name) const {
 
 Status Database::ReplayCatalog() {
   std::vector<StateCatalog::Declaration> declarations;
-  STREAMSI_RETURN_NOT_OK(StateCatalog::Replay(CatalogPath(), &declarations));
+  STREAMSI_RETURN_NOT_OK(
+      StateCatalog::Replay(CatalogPath(), &declarations, env_));
   for (const auto& decl : declarations) {
     if (decl.kind == StateCatalog::Declaration::Kind::kState) {
       auto store = CreateStateInternal(decl.state.name, &decl.state);
@@ -133,6 +145,14 @@ Result<VersionedStore*> Database::CreateStateInternal(
     location = declared != nullptr ? declared->location : StateDir(name);
     backend_options.path = location;
   }
+  backend_options.env = env_;
+  // Background flush/compaction failures (after the worker's own bounded
+  // retries) degrade the whole database: a store that can no longer make
+  // its memtables durable must not keep acking commits.
+  Database* self = this;
+  backend_options.on_background_failure = [self](const Status& status) {
+    self->NoteBackgroundFailure(status);
+  };
   auto backend = OpenBackend(backend_type, backend_options);
   if (!backend.ok()) return backend.status();
 
@@ -277,24 +297,33 @@ Status Database::Recover() {
     // never roll back a LastCTS this life already advanced (replayed
     // values are from the previous life, below everything the recovered
     // clock hands out).
+    GroupCommitLog::ReplayInfo replay_info;
     if (group_log_ != nullptr) {
-      auto replayed = GroupCommitLog::Replay(GroupLogPath());
+      auto replayed =
+          GroupCommitLog::Replay(GroupLogPath(), &replay_info, env_);
       if (!replayed.ok()) return replayed.status();
       for (const auto& [group, cts] : replayed.value()) {
         if (cts > context_.LastCts(group)) context_.SetLastCts(group, cts);
       }
     }
+    const auto is_committed = [&replay_info](Timestamp cts) {
+      return replay_info.committed_cts.count(cts) != 0;
+    };
     Timestamp max_ts = kInitialTs;
     for (VersionedStore* store : late_loaded) {
-      Timestamp watermark = kInitialTs;
+      Timestamp covered = kInitialTs;
       for (GroupId group : context_.GroupsOf(store->id())) {
-        watermark = std::max(watermark, context_.LastCts(group));
+        auto it = replay_info.cut_watermarks.find(group);
+        if (it != replay_info.cut_watermarks.end()) {
+          covered = std::max(covered, it->second);
+        }
       }
-      const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
+      const std::uint64_t purged =
+          store->PurgeUncommittedVersions(covered, is_committed);
       if (purged > 0) {
         STREAMSI_INFO("recovery purged " << purged << " versions of state '"
-                                         << store->name() << "' beyond cts "
-                                         << watermark);
+                                         << store->name()
+                                         << "' beyond the commit-record set");
       }
       max_ts = std::max(max_ts, store->MaxCommittedCts());
     }
@@ -312,7 +341,7 @@ Status Database::RecoverInternal() {
   }
 
   GroupCommitLog::ReplayInfo replay_info;
-  auto replayed = GroupCommitLog::Replay(GroupLogPath(), &replay_info);
+  auto replayed = GroupCommitLog::Replay(GroupLogPath(), &replay_info, env_);
   if (!replayed.ok()) return replayed.status();
   if (replay_info.from_checkpoint) {
     STREAMSI_INFO("recovery starting from checkpoint ("
@@ -344,9 +373,16 @@ Status Database::RecoverInternal() {
 
   // Parallel recovery: LoadFromBackend + purge are per-store work with no
   // shared mutable state (the epoch manager and context reads are
-  // thread-safe), so fan out across a small pool. Watermark semantics are
-  // unchanged: a state's recovered watermark is the max LastCTS over the
-  // groups containing it, versions beyond it are purged.
+  // thread-safe), so fan out across a small pool. Purge rule: a version
+  // survives iff its cts is covered by the checkpoint cut of one of the
+  // store's groups OR appears in the replayed commit-record set. The exact
+  // set (not just the per-group max) matters: a commit aborted at the
+  // durability point can hold a cts below a later commit that did log, and
+  // its partially-applied versions resurrecting in SOME stores would break
+  // group atomicity.
+  const auto is_committed = [&replay_info](Timestamp cts) {
+    return replay_info.committed_cts.count(cts) != 0;
+  };
   std::atomic<std::size_t> next_index{0};
   std::atomic<Timestamp> recovered_max{max_ts};
   std::mutex error_mutex;
@@ -364,15 +400,19 @@ Status Database::RecoverInternal() {
           continue;
         }
       }
-      Timestamp watermark = kInitialTs;
+      Timestamp covered = kInitialTs;
       for (GroupId group : context_.GroupsOf(store->id())) {
-        watermark = std::max(watermark, context_.LastCts(group));
+        auto it = replay_info.cut_watermarks.find(group);
+        if (it != replay_info.cut_watermarks.end()) {
+          covered = std::max(covered, it->second);
+        }
       }
-      const std::uint64_t purged = store->PurgeVersionsAfter(watermark);
+      const std::uint64_t purged =
+          store->PurgeUncommittedVersions(covered, is_committed);
       if (purged > 0) {
         STREAMSI_INFO("recovery purged " << purged << " versions of state '"
-                                         << store->name() << "' beyond cts "
-                                         << watermark);
+                                         << store->name()
+                                         << "' beyond the commit-record set");
       }
       const Timestamp store_max = store->MaxCommittedCts();
       Timestamp cur = recovered_max.load(std::memory_order_relaxed);
@@ -405,8 +445,107 @@ Status Database::RecoverInternal() {
   return Status::OK();
 }
 
+HealthReport Database::Health() const {
+  HealthReport report;
+  report.state = health_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> guard(health_mutex_);
+    report.first_error = first_health_error_;
+  }
+  report.commit_io_failures =
+      commit_io_failures_.load(std::memory_order_relaxed);
+  report.degraded_commit_rejections =
+      degraded_commit_rejections_.load(std::memory_order_relaxed);
+  SharedGuard guard(stores_latch_);
+  report.stores.reserve(stores_.size());
+  for (const auto& store : stores_) {
+    HealthReport::StoreHealth entry;
+    entry.name = store->name();
+    entry.backend_status = store->backend()->HealthStatus();
+    entry.flush_retries = store->backend()->FlushRetries();
+    report.stores.push_back(std::move(entry));
+  }
+  return report;
+}
+
+void Database::TransitionTo(DatabaseHealth target, const Status& cause) {
+  DatabaseHealth current = health_.load(std::memory_order_relaxed);
+  while (static_cast<int>(target) > static_cast<int>(current)) {
+    if (health_.compare_exchange_weak(current, target,
+                                      std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> guard(health_mutex_);
+        if (first_health_error_.ok()) first_health_error_ = cause;
+      }
+      STREAMSI_WARN(
+          "database health degraded to "
+          << (target == DatabaseHealth::kFailed ? "FAILED" : "READ-ONLY")
+          << ": " << cause.ToString());
+      return;
+    }
+  }
+}
+
+void Database::NoteIoFailure(const Status& status) {
+  if (status.ok()) return;
+  commit_io_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (status.IsCorruption()) {
+    TransitionTo(DatabaseHealth::kFailed, status);
+    return;
+  }
+  if (status.IsNoSpace()) {
+    TransitionTo(DatabaseHealth::kDegradedReadOnly, status);
+    return;
+  }
+  // A one-shot IO error (e.g. an injected fault that clears) does not
+  // degrade — the system is expected to recover once the cause passes. But
+  // if the failure sticky-poisoned the group log's writer, every future
+  // commit is doomed: degrade now so they fail fast as Unavailable instead
+  // of trickling IoErrors.
+  if (group_log_ != nullptr) {
+    const Status writer = group_log_->WriterHealth();
+    if (!writer.ok()) {
+      TransitionTo(DatabaseHealth::kDegradedReadOnly, writer);
+    }
+  }
+}
+
+void Database::NoteBackgroundFailure(const Status& status) {
+  if (status.ok()) return;
+  commit_io_failures_.fetch_add(1, std::memory_order_relaxed);
+  TransitionTo(status.IsCorruption() ? DatabaseHealth::kFailed
+                                     : DatabaseHealth::kDegradedReadOnly,
+               status);
+}
+
+Status Database::AdmitCommit() {
+  if (health_.load(std::memory_order_relaxed) == DatabaseHealth::kHealthy) {
+    return Status::OK();
+  }
+  degraded_commit_rejections_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> guard(health_mutex_);
+  return Status::Unavailable("database is read-only (degraded): " +
+                             first_health_error_.ToString());
+}
+
 Status Database::Checkpoint() {
   if (group_log_ == nullptr) return Status::OK();  // volatile: nothing to cut
+  if (health_.load(std::memory_order_relaxed) != DatabaseHealth::kHealthy) {
+    // A degraded database cannot make progress durable — and pruning
+    // segments while storage is failing risks deleting the only good copy.
+    return Status::Unavailable("database degraded; checkpoint refused");
+  }
+  const Status status = DoCheckpoint();
+  if (!status.ok() && !status.IsBusy()) {
+    // NoSpace/corruption during a checkpoint degrades like any other IO
+    // failure; a one-shot injected error stays a counted transient (the
+    // failure-injection tests pin that commits keep flowing after it).
+    NoteIoFailure(status);
+  }
+  return status;
+}
+
+Status Database::DoCheckpoint() {
   {
     // Never checkpoint a database that has not recovered: the LastCTS cut
     // would be empty/stale, yet pruning would delete the very segments
@@ -451,6 +590,15 @@ Status Database::Checkpoint() {
   std::vector<std::pair<GroupId, Timestamp>> cut;
   context_.SnapshotLastCts(&cut);
 
+  if (options_.test_hooks.checkpoint_prune_before_cut) {
+    // NEGATIVE CONTROL (tests only): prune the old chain BEFORE the cut is
+    // durable. A power cut between here and the checkpoint record leaves no
+    // durable trace of the pruned segments' commits — exactly the lost-ack
+    // bug the ordering below prevents, and what the crash-torture harness
+    // must be able to detect.
+    STREAMSI_RETURN_NOT_OK(group_log_->PruneObsoleteSegments());
+  }
+
   // 5. Durable checkpoint record. Any failure up to here (fault-injection
   //    tested) leaves the previous chain authoritative: nothing has been
   //    deleted, and replay max-merges the rotated segment with the chain.
@@ -472,7 +620,9 @@ void Database::CheckpointLoop() {
     }
     lock.unlock();
     const Status status = Checkpoint();
-    if (!status.ok() && !status.IsBusy()) {  // Busy = recovery not run yet
+    // Busy = recovery not run yet; Unavailable = degraded (already warned
+    // once by the health transition) — neither is news worth repeating.
+    if (!status.ok() && !status.IsBusy() && !status.IsUnavailable()) {
       STREAMSI_WARN("background checkpoint failed: " << status.ToString());
     }
     lock.lock();

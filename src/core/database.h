@@ -53,6 +53,52 @@ struct DatabaseOptions {
   /// Threads for parallel recovery (LoadFromBackend + version purge fan out
   /// across stores); 0 = hardware concurrency.
   std::uint32_t recovery_threads = 0;
+  /// Storage environment for ALL file IO (group log, catalog, LSM backends).
+  /// nullptr => Env::Default() (POSIX). Tests inject a FaultEnv here to
+  /// simulate power cuts, torn writes, full disks and failing syncs.
+  Env* env = nullptr;
+  /// Deliberate protocol misorderings, compiled in so the crash-torture
+  /// harness can prove it would catch a real bug (negative controls).
+  struct TestHooks {
+    /// Prune the old segment chain BEFORE the checkpoint cut is durable —
+    /// the exact ordering bug the checkpoint protocol exists to prevent. A
+    /// crash between the two loses acked commits; the torture verifier must
+    /// flag it.
+    bool checkpoint_prune_before_cut = false;
+  };
+  TestHooks test_hooks;
+};
+
+/// Database health, transitioned by the IO-failure classifier:
+///   kHealthy           — all systems go.
+///   kDegradedReadOnly  — storage can no longer accept writes (ENOSPC, a
+///                        sticky-poisoned log writer, or an LSM flush worker
+///                        that exhausted its retries). Reads and scans keep
+///                        serving from the in-memory MVCC state; write
+///                        commits fail fast with Status::Unavailable.
+///   kFailed            — integrity is in doubt (corruption detected at
+///                        runtime); nothing should trust this instance.
+/// Transitions are monotone: health only ever gets worse until reopen.
+enum class DatabaseHealth { kHealthy, kDegradedReadOnly, kFailed };
+
+/// Snapshot of the database's health for operators and tests.
+struct HealthReport {
+  DatabaseHealth state = DatabaseHealth::kHealthy;
+  /// The error that caused the first transition out of kHealthy (OK while
+  /// healthy).
+  Status first_error;
+  /// Commit-path IO failures observed (including transient ones that did
+  /// not degrade).
+  std::uint64_t commit_io_failures = 0;
+  /// Write commits rejected with Unavailable because of degraded health.
+  std::uint64_t degraded_commit_rejections = 0;
+  /// Per-store background health.
+  struct StoreHealth {
+    std::string name;
+    Status backend_status;        ///< sticky background status (LSM worker)
+    std::uint64_t flush_retries;  ///< background retry attempts so far
+  };
+  std::vector<StoreHealth> stores;
 };
 
 class Database {
@@ -108,6 +154,15 @@ class Database {
     return checkpoints_completed_.load(std::memory_order_relaxed);
   }
 
+  /// Current health state (cheap: one relaxed atomic load).
+  DatabaseHealth health() const {
+    return health_.load(std::memory_order_relaxed);
+  }
+
+  /// Full health snapshot: state, first error, failure/rejection counters
+  /// and every store's background status + flush retry count.
+  HealthReport Health() const;
+
   StateContext& context() { return context_; }
   TransactionManager& txn_manager() { return *txn_manager_; }
   ConcurrencyProtocol& protocol() { return *protocol_; }
@@ -139,9 +194,28 @@ class Database {
   /// Replays the catalog: reopens every declared state and group.
   Status ReplayCatalog();
   Status RecoverInternal();
+  /// The checkpoint protocol body; Checkpoint() wraps it with health
+  /// admission and failure classification.
+  Status DoCheckpoint();
   void CheckpointLoop();
 
+  /// Classifies a commit-path IO failure: NoSpace degrades to read-only,
+  /// corruption fails the instance, and a transient one-shot error is only
+  /// counted — unless it sticky-poisoned the group log's writer, in which
+  /// case every future commit would fail anyway and we degrade now.
+  void NoteIoFailure(const Status& status);
+  /// A background flush/compaction worker poisoned itself AFTER exhausting
+  /// its bounded retries — persistent by definition, so always transition.
+  void NoteBackgroundFailure(const Status& status);
+  /// Monotone health transition (never back toward healthy); records the
+  /// first error that left kHealthy.
+  void TransitionTo(DatabaseHealth target, const Status& cause);
+  /// Commit admission gate handed to the TransactionManager: OK while
+  /// healthy, Unavailable (with the first error's message) once degraded.
+  Status AdmitCommit();
+
   DatabaseOptions options_;
+  Env* env_ = nullptr;  ///< resolved: options_.env or Env::Default()
   /// One StartBackgroundReclaimer reference held between Open and
   /// destruction (released before the stores die).
   bool reclaimer_started_ = false;
@@ -150,6 +224,17 @@ class Database {
   std::unique_ptr<GroupCommitLog> group_log_;
   std::unique_ptr<StateCatalog> catalog_;
   std::unique_ptr<TransactionManager> txn_manager_;
+
+  /// Health machine. The state itself is a lock-free atomic (read on every
+  /// commit admission); the mutex only guards the first-error record.
+  /// Declared BEFORE the stores: an LSM store's background worker can fire
+  /// on_background_failure while the stores are being torn down, and the
+  /// callback must find these alive.
+  std::atomic<DatabaseHealth> health_{DatabaseHealth::kHealthy};
+  mutable std::mutex health_mutex_;
+  Status first_health_error_;  ///< under health_mutex_
+  std::atomic<std::uint64_t> commit_io_failures_{0};
+  std::atomic<std::uint64_t> degraded_commit_rejections_{0};
 
   mutable RwLatch stores_latch_;
   std::vector<std::unique_ptr<VersionedStore>> stores_;  // index = StateId

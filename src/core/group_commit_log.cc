@@ -10,10 +10,12 @@ namespace streamsi {
 
 namespace {
 
-/// Decodes one segment into `result` (max-merge). `has_checkpoint` reports
+/// Decodes one segment into `result` (max-merge) and `info` (exact
+/// committed-cts set + cut-only watermarks). `has_checkpoint` reports
 /// whether a complete kCheckpointCut record was seen.
-Status ReplaySegment(const std::string& path,
+Status ReplaySegment(Env* env, const std::string& path,
                      std::unordered_map<GroupId, Timestamp>* result,
+                     GroupCommitLog::ReplayInfo* info,
                      bool* has_checkpoint, std::uint64_t* records) {
   return WalReader::Replay(
       path,
@@ -45,6 +47,7 @@ Status ReplaySegment(const std::string& path,
               Timestamp& entry = (*result)[id];
               entry = std::max(entry, cts);
             }
+            info->committed_cts.insert(cts);
             return Status::OK();
           }
           case WalRecordType::kCheckpointCut: {
@@ -63,6 +66,8 @@ Status ReplaySegment(const std::string& path,
               }
               Timestamp& entry = (*result)[id];
               entry = std::max(entry, cts);
+              Timestamp& cut_entry = info->cut_watermarks[id];
+              cut_entry = std::max(cut_entry, cts);
             }
             *has_checkpoint = true;
             return Status::OK();
@@ -78,6 +83,7 @@ Status ReplaySegment(const std::string& path,
             if (p == nullptr) return Status::Corruption("bad group cts");
             Timestamp& entry = (*result)[group];
             entry = std::max(entry, cts);
+            info->committed_cts.insert(cts);  // one record per commit
             return Status::OK();
           }
           default:
@@ -85,7 +91,7 @@ Status ReplaySegment(const std::string& path,
             return Status::OK();
         }
       },
-      nullptr);
+      nullptr, env);
 }
 
 }  // namespace
@@ -99,7 +105,7 @@ std::string GroupCommitLog::SegmentPath(const std::string& root,
   return root + suffix;
 }
 
-Status GroupCommitLog::ListSegments(const std::string& root,
+Status GroupCommitLog::ListSegments(Env* env, const std::string& root,
                                     std::vector<std::uint64_t>* numbers) {
   numbers->clear();
   const std::size_t slash = root.find_last_of('/');
@@ -108,12 +114,12 @@ Status GroupCommitLog::ListSegments(const std::string& root,
   const std::string base =
       slash == std::string::npos ? root : root.substr(slash + 1);
   STREAMSI_RETURN_NOT_OK(
-      fsutil::ListNumberedFiles(dir, base + ".", "", numbers));
+      env->ListNumberedFiles(dir, base + ".", "", numbers));
   // Segment numbers start at 1 — the bare root name IS segment 0, so a
   // stray "<root>.0" would collide with it.
   numbers->erase(std::remove(numbers->begin(), numbers->end(), 0ull),
                  numbers->end());
-  if (fsutil::FileExists(root)) numbers->push_back(0);
+  if (env->FileExists(root)) numbers->push_back(0);
   std::sort(numbers->begin(), numbers->end());
   return Status::OK();
 }
@@ -121,7 +127,7 @@ Status GroupCommitLog::ListSegments(const std::string& root,
 Status GroupCommitLog::Open(const std::string& path) {
   root_path_ = path;
   std::vector<std::uint64_t> numbers;
-  STREAMSI_RETURN_NOT_OK(ListSegments(path, &numbers));
+  STREAMSI_RETURN_NOT_OK(ListSegments(env_, path, &numbers));
   std::lock_guard<std::mutex> guard(segments_mutex_);
   if (numbers.empty()) numbers.push_back(0);
   segments_ = std::move(numbers);
@@ -131,12 +137,12 @@ Status GroupCommitLog::Open(const std::string& path) {
   // commits silently lost at the next recovery. A torn newest segment is
   // retired in place (it replays to its valid prefix; pruned by the next
   // checkpoint) and appends start a fresh segment.
-  if (fsutil::FileExists(SegmentPath(root_path_, current_segment_))) {
+  if (env_->FileExists(SegmentPath(root_path_, current_segment_))) {
     WalReader::ReplayStats stats;
     STREAMSI_RETURN_NOT_OK(WalReader::Replay(
         SegmentPath(root_path_, current_segment_),
         [](WalRecordType, std::string_view) { return Status::OK(); },
-        &stats));
+        &stats, env_));
     if (stats.tail_truncated) {
       ++current_segment_;
       segments_.push_back(current_segment_);
@@ -204,7 +210,7 @@ Status GroupCommitLog::PruneObsoleteSegments() {
       kept.push_back(n);
       continue;
     }
-    const Status status = fsutil::RemoveFile(SegmentPath(root_path_, n));
+    const Status status = env_->RemoveFile(SegmentPath(root_path_, n));
     if (!status.ok()) {
       kept.push_back(n);
       if (first_error.ok()) first_error = status;
@@ -229,7 +235,7 @@ std::uint64_t GroupCommitLog::TotalSizeBytes() const {
   std::uint64_t total = 0;
   for (std::uint64_t n : segments_) {
     std::uint64_t size = 0;
-    if (fsutil::FileSize(SegmentPath(root_path_, n), &size).ok()) {
+    if (env_->FileSize(SegmentPath(root_path_, n), &size).ok()) {
       total += size;
     }
   }
@@ -237,11 +243,12 @@ std::uint64_t GroupCommitLog::TotalSizeBytes() const {
 }
 
 Result<std::unordered_map<GroupId, Timestamp>> GroupCommitLog::Replay(
-    const std::string& path, ReplayInfo* info) {
+    const std::string& path, ReplayInfo* info, Env* env) {
+  if (env == nullptr) env = Env::Default();
   ReplayInfo local;
   std::unordered_map<GroupId, Timestamp> result;
   std::vector<std::uint64_t> numbers;
-  STREAMSI_RETURN_NOT_OK(ListSegments(path, &numbers));
+  STREAMSI_RETURN_NOT_OK(ListSegments(env, path, &numbers));
   local.segments_present = numbers.size();
   // Newest -> oldest until a segment containing a complete checkpoint cut:
   // every record in older segments is subsumed by the cut (their commits
@@ -250,8 +257,8 @@ Result<std::unordered_map<GroupId, Timestamp>> GroupCommitLog::Replay(
   // order-insensitive, so the newer segments' records apply cleanly on top.
   for (std::size_t i = numbers.size(); i-- > 0;) {
     bool has_checkpoint = false;
-    STREAMSI_RETURN_NOT_OK(ReplaySegment(SegmentPath(path, numbers[i]),
-                                         &result, &has_checkpoint,
+    STREAMSI_RETURN_NOT_OK(ReplaySegment(env, SegmentPath(path, numbers[i]),
+                                         &result, &local, &has_checkpoint,
                                          &local.records));
     ++local.segments_replayed;
     if (has_checkpoint) {

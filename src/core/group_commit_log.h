@@ -7,10 +7,12 @@
 // The log is a chain of append-only segments. Commits append kGroupCommit
 // records (one commit's whole multi-group publication as a single
 // all-or-nothing record, riding a WalWriter group-commit batch); replay
-// keeps the newest CTS per group. Any state version with a CTS beyond its
-// groups' recovered LastCTS belongs to a commit that never finished
-// globally and is purged, which is what keeps multiple states of one query
-// mutually consistent across crashes.
+// keeps the newest CTS per group AND the exact set of replayed commit
+// timestamps. Recovery keeps a state version iff its CTS is covered by a
+// checkpoint cut or appears in that set — a commit that never logged its
+// record (aborted at the durability point) is purged from every store even
+// when a concurrent commit with a larger CTS did log, which is what keeps
+// multiple states of one query mutually consistent across crashes.
 //
 // Checkpoints bound the chain (Database::Checkpoint drives the protocol):
 //   1. RotateSegment()   — later commit records land in a fresh segment.
@@ -35,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -45,8 +48,10 @@ namespace streamsi {
 
 class GroupCommitLog {
  public:
-  GroupCommitLog(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
-      : writer_(sync_mode, simulated_sync_micros) {}
+  GroupCommitLog(SyncMode sync_mode, std::uint64_t simulated_sync_micros,
+                 Env* env = nullptr)
+      : env_(env != nullptr ? env : Env::Default()),
+        writer_(sync_mode, simulated_sync_micros, env) {}
 
   /// Opens the segment chain rooted at `path` (the root name doubles as
   /// segment 0 for on-disk compatibility with pre-checkpoint databases;
@@ -93,6 +98,18 @@ class GroupCommitLog {
     std::uint64_t segments_replayed = 0;
     std::uint64_t records = 0;
     bool from_checkpoint = false;
+    /// Exact timestamps of the individual commit records replayed
+    /// (kGroupCommit + legacy kCheckpoint). Recovery needs the exact set,
+    /// not just the per-group max: a commit whose record never landed
+    /// (aborted at the durability point) can hold a cts BELOW a later
+    /// commit that did log — a single watermark would resurrect its
+    /// partially-applied versions.
+    std::unordered_set<Timestamp> committed_cts;
+    /// Per-group watermarks from kCheckpointCut records only. A cut is
+    /// wholesale coverage: every commit with cts <= watermark was durable
+    /// and drained when the cut was taken (its individual record may since
+    /// have been pruned).
+    std::unordered_map<GroupId, Timestamp> cut_watermarks;
   };
 
   /// Replays the segment chain rooted at `path` and returns the newest CTS
@@ -100,9 +117,15 @@ class GroupCommitLog {
   /// segments are skipped entirely). Decodes all three record eras:
   /// kGroupCommit, kCheckpointCut, and the legacy single-group kCheckpoint.
   static Result<std::unordered_map<GroupId, Timestamp>> Replay(
-      const std::string& path, ReplayInfo* info = nullptr);
+      const std::string& path, ReplayInfo* info = nullptr,
+      Env* env = nullptr);
 
   Status Close() { return writer_.Close(); }
+
+  /// OK, or the first IO error that poisoned the underlying writer (every
+  /// later commit record fails with it). The health machine uses this to
+  /// distinguish a one-shot injected failure from a dead commit path.
+  Status WriterHealth() { return writer_.sticky_status(); }
 
   // ---------------------------------------------------- fault injection ---
 
@@ -127,12 +150,13 @@ class GroupCommitLog {
  private:
   static std::string SegmentPath(const std::string& root, std::uint64_t n);
   /// All on-disk segment numbers of the chain at `root`, ascending.
-  static Status ListSegments(const std::string& root,
+  static Status ListSegments(Env* env, const std::string& root,
                              std::vector<std::uint64_t>* numbers);
   /// Fails with IoError iff `point` is the armed fault (one-shot).
   Status ConsumeFault(CheckpointFault point);
 
   std::string root_path_;
+  Env* env_;  ///< declared before writer_: the writer borrows it
   WalWriter writer_;
   mutable std::mutex segments_mutex_;
   std::vector<std::uint64_t> segments_;  ///< live on disk, ascending

@@ -5,19 +5,19 @@
 namespace streamsi {
 
 Status StateCatalog::Open(const std::string& path) {
-  if (fsutil::FileExists(path)) {
+  if (env_->FileExists(path)) {
     WalReader::ReplayStats stats;
     STREAMSI_RETURN_NOT_OK(WalReader::Replay(
         path, [](WalRecordType, std::string_view) { return Status::OK(); },
-        &stats));
+        &stats, env_));
     if (stats.tail_truncated) {
       // Rewrite the file as its valid prefix (atomic replace), so the
       // appends below stay reachable to replay.
       std::string contents;
-      STREAMSI_RETURN_NOT_OK(fsutil::ReadFileToString(path, &contents));
+      STREAMSI_RETURN_NOT_OK(env_->ReadFileToString(path, &contents));
       contents.resize(stats.valid_bytes);
       STREAMSI_RETURN_NOT_OK(
-          fsutil::WriteStringToFileAtomic(path, contents));
+          env_->WriteStringToFileAtomic(path, contents));
     }
   }
   return writer_.Open(path, /*truncate=*/false);
@@ -48,9 +48,11 @@ Status StateCatalog::AppendGroup(const GroupRecord& record) {
 }
 
 Status StateCatalog::Replay(const std::string& path,
-                            std::vector<Declaration>* declarations) {
+                            std::vector<Declaration>* declarations,
+                            Env* env) {
+  if (env == nullptr) env = Env::Default();
   declarations->clear();
-  if (!fsutil::FileExists(path)) return Status::OK();
+  if (!env->FileExists(path)) return Status::OK();
   return WalReader::Replay(
       path,
       [&](WalRecordType type, std::string_view payload) -> Status {
@@ -106,7 +108,7 @@ Status StateCatalog::Replay(const std::string& path,
         declarations->push_back(std::move(decl));
         return Status::OK();
       },
-      nullptr);
+      nullptr, env);
 }
 
 }  // namespace streamsi

@@ -52,8 +52,10 @@ class StateCatalog {
     GroupRecord group;
   };
 
-  StateCatalog(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
-      : writer_(sync_mode, simulated_sync_micros) {}
+  StateCatalog(SyncMode sync_mode, std::uint64_t simulated_sync_micros,
+               Env* env = nullptr)
+      : env_(env != nullptr ? env : Env::Default()),
+        writer_(sync_mode, simulated_sync_micros, env) {}
 
   /// Opens `path` for appending (declarations made before this process).
   /// A torn tail (crash mid-append) is truncated to the valid record
@@ -69,7 +71,8 @@ class StateCatalog {
 
   /// Replays `path` into declaration order. Missing file => empty catalog.
   static Status Replay(const std::string& path,
-                       std::vector<Declaration>* declarations);
+                       std::vector<Declaration>* declarations,
+                       Env* env = nullptr);
 
   Status Close() { return writer_.Close(); }
 
@@ -77,6 +80,7 @@ class StateCatalog {
   /// On-disk format version of records this writer emits.
   static constexpr unsigned char kFormatVersion = 1;
 
+  Env* env_;  ///< declared before writer_: the writer borrows it
   WalWriter writer_;
 };
 

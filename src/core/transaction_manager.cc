@@ -195,6 +195,18 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
     return Status::OK();
   }
 
+  // Degraded-mode gate: a read-only database rejects write-commits up
+  // front with Unavailable — fail-fast, before any validation or IO, and
+  // without counting a conflict. Read-only transactions (above) never hit
+  // the gate: reads keep serving while degraded.
+  if (commit_admission_) {
+    const Status gate = commit_admission_();
+    if (!gate.ok()) {
+      GlobalAbort(txn);
+      return gate;
+    }
+  }
+
   // Resolve stores up front.
   SmallVec<VersionedStore*, kInlineCommitStates> stores;
   for (StateId state : written) {
@@ -270,6 +282,7 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
       context_->RetireCommitTimestamp(txn.slot());
       protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
       GlobalAbort(txn);
+      if (commit_failure_observer_) commit_failure_observer_(status);
       return status;
     }
   }
@@ -294,6 +307,7 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
       context_->RetireCommitTimestamp(txn.slot());
       protocol_->PostCommit(txn, commit_ts, /*committed=*/false);
       GlobalAbort(txn);
+      if (commit_failure_observer_) commit_failure_observer_(log_status);
       return log_status;
     }
   }

@@ -122,6 +122,21 @@ class TransactionManager {
   StateContext* context() { return context_; }
   ConcurrencyProtocol* protocol() { return protocol_; }
 
+  /// Gate consulted before a write-commit does any work; returning non-OK
+  /// rejects the commit with that status (no IO, no conflict counted).
+  using CommitAdmission = std::function<Status()>;
+  /// Told about IO failures in the commit's apply/durability phases; the
+  /// database classifies them into health-state transitions.
+  using CommitFailureObserver = std::function<void(const Status&)>;
+
+  /// Installs the database's health hooks (call before serving traffic;
+  /// not thread-safe against in-flight commits). Either may be null.
+  void SetHealthHooks(CommitAdmission admission,
+                      CommitFailureObserver observer) {
+    commit_admission_ = std::move(admission);
+    commit_failure_observer_ = std::move(observer);
+  }
+
  private:
   friend class TransactionHandle;
 
@@ -148,6 +163,8 @@ class TransactionManager {
   StoreResolver resolver_;
   GroupCommitLog* group_log_;
   bool durable_group_log_;
+  CommitAdmission commit_admission_;
+  CommitFailureObserver commit_failure_observer_;
   TxnCounters counters_;
   /// Per-slot pooled transaction scratch (write sets, lock lists, caches).
   /// A slot is exclusively owned between BeginTransaction/EndTransaction,

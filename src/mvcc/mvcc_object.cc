@@ -311,20 +311,28 @@ int MvccObject::GarbageCollect(Timestamp oldest_active) {
 }
 
 int MvccObject::PurgeAfter(Timestamp max_cts) {
+  return PurgeUncommitted(max_cts, [](Timestamp) { return false; });
+}
+
+int MvccObject::PurgeUncommitted(
+    Timestamp covered_cts, const std::function<bool(Timestamp)>& is_committed) {
   RetireList retired;
   WriteSection section(*this);
   const VersionArray& array = *array_.load(std::memory_order_relaxed);
   int purged = 0;
+  const auto doomed = [&](Timestamp ts) {
+    return ts > covered_cts && !is_committed(ts);
+  };
   for (int i = 0; i < array.capacity; ++i) {
     if (!used_.IsSet(i)) continue;
     Slot& slot = array.slots[static_cast<std::size_t>(i)];
-    if (slot.cts.load(std::memory_order_acquire) > max_cts) {
+    if (doomed(slot.cts.load(std::memory_order_acquire))) {
       retired.Add(UnlinkSlotValue(array, i));
       used_.Release(i);
       ++purged;
     } else {
       const Timestamp dts = slot.dts.load(std::memory_order_acquire);
-      if (dts != kInfinityTs && dts > max_cts) {
+      if (dts != kInfinityTs && doomed(dts)) {
         // The version that superseded this one was purged: it is live again.
         slot.dts.store(kInfinityTs, std::memory_order_release);
       }

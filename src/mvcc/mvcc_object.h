@@ -43,6 +43,7 @@
 #define STREAMSI_MVCC_MVCC_OBJECT_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -156,6 +157,15 @@ class MvccObject {
   /// completed) and re-opens dts values pointing past max_cts. Returns the
   /// number of purged versions.
   int PurgeAfter(Timestamp max_cts);
+
+  /// Recovery with exact commit knowledge: drops versions whose cts is
+  /// beyond `covered_cts` AND not accepted by `is_committed`; a doomed dts
+  /// re-opens its version (the superseding write is being purged). A plain
+  /// watermark cannot express this — an aborted commit's cts can sit BELOW
+  /// a later logged commit's, and only the exact record set tells them
+  /// apart. Returns the number of purged versions.
+  int PurgeUncommitted(Timestamp covered_cts,
+                       const std::function<bool(Timestamp)>& is_committed);
 
   /// Number of occupied version slots.
   int VersionCount() const { return used_.Count(); }

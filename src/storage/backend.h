@@ -26,6 +26,8 @@
 
 namespace streamsi {
 
+class Env;
+
 /// How writes are made durable.
 enum class SyncMode {
   kNone,       ///< No durability guarantee (volatile backends, async tests).
@@ -56,6 +58,20 @@ struct BackendOptions {
   std::size_t block_bytes = 4 * 1024;
   /// Directory for persistent backends.
   std::string path;
+  /// Storage environment for all file IO (nullptr = Env::Default()). Tests
+  /// inject a FaultEnv here to simulate crashes and disk faults.
+  Env* env = nullptr;
+  /// Background flush/compaction failures are retried this many times with
+  /// bounded exponential backoff before the store is poisoned. NoSpace and
+  /// Corruption are not retried (retrying cannot help).
+  int flush_retry_attempts = 3;
+  /// Initial backoff between background retries; doubles per attempt.
+  std::uint64_t flush_retry_backoff_ms = 2;
+  /// Invoked (once, off the caller's commit path) when the background
+  /// worker exhausts its retries and poisons the store. The database hooks
+  /// this to degrade itself to read-only instead of silently losing the
+  /// flush pipeline.
+  std::function<void(const Status&)> on_background_failure;
 };
 
 /// Abstract key-value mapping. All methods are thread-safe.
@@ -93,6 +109,15 @@ class TableBackend {
 
   /// Name for diagnostics ("hash", "skiplist", "lsm").
   virtual std::string_view Name() const = 0;
+
+  /// Sticky background health: OK, or the error that poisoned the store
+  /// (LSM flush/compaction failure after retries). Volatile backends are
+  /// always healthy.
+  virtual Status HealthStatus() const { return Status::OK(); }
+
+  /// Background flush/compaction attempts that were retried after a
+  /// transient failure (observability for the health report).
+  virtual std::uint64_t FlushRetries() const { return 0; }
 };
 
 /// Which backend to instantiate.

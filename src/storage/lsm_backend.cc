@@ -1,6 +1,7 @@
 #include "storage/lsm_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 
@@ -21,7 +22,9 @@ std::string EncodePut(std::string_view key, std::string_view value) {
 
 }  // namespace
 
-LsmBackend::LsmBackend(const BackendOptions& options) : options_(options) {}
+LsmBackend::LsmBackend(const BackendOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 LsmBackend::~LsmBackend() {
   // Stop the worker AFTER it drained the queue: sealed memtables are still
@@ -41,8 +44,8 @@ Result<std::unique_ptr<LsmBackend>> LsmBackend::Open(
   if (options.path.empty()) {
     return Status::InvalidArgument("LsmBackend requires options.path");
   }
-  STREAMSI_RETURN_NOT_OK(fsutil::CreateDirIfMissing(options.path));
   auto backend = std::unique_ptr<LsmBackend>(new LsmBackend(options));
+  STREAMSI_RETURN_NOT_OK(backend->env_->CreateDirIfMissing(options.path));
   STREAMSI_RETURN_NOT_OK(backend->Recover());
   backend->worker_ = std::thread(&LsmBackend::BackgroundWorker, backend.get());
   return backend;
@@ -77,10 +80,10 @@ Status LsmBackend::Recover() {
   // 1. Manifest: whitespace-separated list of live SSTable numbers,
   //    newest first.
   live_files_.clear();
-  if (fsutil::FileExists(ManifestPath())) {
+  if (env_->FileExists(ManifestPath())) {
     std::string contents;
     STREAMSI_RETURN_NOT_OK(
-        fsutil::ReadFileToString(ManifestPath(), &contents));
+        env_->ReadFileToString(ManifestPath(), &contents));
     std::uint64_t number = 0;
     bool in_number = false;
     for (char c : contents) {
@@ -103,7 +106,7 @@ Status LsmBackend::Recover() {
   auto version = std::make_shared<Version>();
   version->mem = std::make_shared<SkipList>();
   for (std::uint64_t number : live_files_) {
-    auto reader = SsTableReader::Open(SsTablePath(number));
+    auto reader = SsTableReader::Open(SsTablePath(number), env_);
     if (!reader.ok()) return reader.status();
     version->tables.push_back(std::move(reader).value());
   }
@@ -117,10 +120,10 @@ Status LsmBackend::Recover() {
   // collide with it and cannot be produced by WalSegmentPath.
   std::vector<std::uint64_t> segments;
   STREAMSI_RETURN_NOT_OK(
-      fsutil::ListNumberedFiles(options_.path, "wal_", ".log", &segments));
+      env_->ListNumberedFiles(options_.path, "wal_", ".log", &segments));
   segments.erase(std::remove(segments.begin(), segments.end(), 0ull),
                  segments.end());
-  if (fsutil::FileExists(options_.path + "/wal.log")) segments.push_back(0);
+  if (env_->FileExists(options_.path + "/wal.log")) segments.push_back(0);
   std::sort(segments.begin(), segments.end());
   bool newest_torn = false;
   for (std::uint64_t segment : segments) {
@@ -149,7 +152,7 @@ Status LsmBackend::Recover() {
           }
           return Status::OK();
         },
-        &stats));
+        &stats, env_));
     newest_torn = stats.tail_truncated;
     if (stats.tail_truncated) {
       STREAMSI_INFO("WAL tail truncated during recovery (crash tail)");
@@ -173,7 +176,7 @@ Status LsmBackend::Recover() {
   }
 
   wal_ = std::make_unique<WalWriter>(options_.sync_mode,
-                                     options_.simulated_sync_micros);
+                                     options_.simulated_sync_micros, env_);
   return wal_->Open(WalSegmentPath(active_wal_segment_), /*truncate=*/false);
 }
 
@@ -297,24 +300,71 @@ void LsmBackend::BackgroundWorker() {
       job = std::move(flush_queue_.front());
       flush_queue_.pop_front();
     }
-    Status status = FlushJobToSsTable(job);
-    if (status.ok()) status = MaybeCompact();
+    // Transient IO hiccups must not poison the store on first contact:
+    // both steps are idempotent (fresh file number per attempt, atomic
+    // manifest publication, orphan SSTables invisible to recovery), so
+    // retrying with backoff is safe.
+    Status status =
+        RunWithRetries("flush", [&] { return FlushJobToSsTable(job); });
+    if (status.ok()) {
+      status = RunWithRetries("compaction", [&] { return MaybeCompact(); });
+    }
+    bool newly_poisoned = false;
     {
       std::lock_guard<std::mutex> work_guard(work_mutex_);
       if (!status.ok() && bg_status_.ok()) {
         bg_status_ = status;
         bg_failed_.store(true, std::memory_order_release);
+        newly_poisoned = true;
       }
       ++jobs_done_;
     }
     done_cv_.notify_all();
+    if (newly_poisoned && options_.on_background_failure) {
+      // Outside every lock: the database's hook takes its own health mutex.
+      options_.on_background_failure(status);
+    }
   }
+}
+
+Status LsmBackend::RunWithRetries(const char* what,
+                                  const std::function<Status()>& op) {
+  Status status = op();
+  std::uint64_t backoff_ms = std::max<std::uint64_t>(
+      1, options_.flush_retry_backoff_ms);
+  for (int attempt = 0;
+       !status.ok() && attempt < options_.flush_retry_attempts; ++attempt) {
+    // A full disk or a checksum mismatch does not heal on retry.
+    if (status.IsNoSpace() || status.IsCorruption()) break;
+    {
+      // Interruptible backoff: a stop request (or prior poisoning) ends the
+      // retry loop instead of holding shutdown hostage for the backoff sum.
+      std::unique_lock<std::mutex> work_lock(work_mutex_);
+      if (!bg_status_.ok()) break;
+      work_cv_.wait_for(work_lock, std::chrono::milliseconds(backoff_ms),
+                        [&] { return stop_worker_; });
+      if (stop_worker_) break;
+    }
+    flush_retries_.fetch_add(1, std::memory_order_relaxed);
+    STREAMSI_INFO("background " << what << " failed (" << status.ToString()
+                                << "), retry " << (attempt + 1) << "/"
+                                << options_.flush_retry_attempts);
+    status = op();
+    backoff_ms *= 2;
+  }
+  return status;
+}
+
+Status LsmBackend::HealthStatus() const {
+  std::lock_guard<std::mutex> guard(work_mutex_);
+  return bg_status_;
 }
 
 Status LsmBackend::FlushJobToSsTable(const FlushJob& job) {
   const std::uint64_t number = next_file_number_++;
   const std::string path = SsTablePath(number);
-  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key);
+  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key,
+                       env_);
   STREAMSI_RETURN_NOT_OK(writer.Open(path));
   Status add_status = Status::OK();
   job.mem->Iterate(
@@ -325,7 +375,7 @@ Status LsmBackend::FlushJobToSsTable(const FlushJob& job) {
   STREAMSI_RETURN_NOT_OK(add_status);
   STREAMSI_RETURN_NOT_OK(writer.Finish());
 
-  auto reader = SsTableReader::Open(path);
+  auto reader = SsTableReader::Open(path, env_);
   if (!reader.ok()) return reader.status();
 
   std::vector<std::uint64_t> files;
@@ -364,7 +414,7 @@ Status LsmBackend::FlushJobToSsTable(const FlushJob& job) {
       // survives on disk would let a later recovery replay the stale old
       // records OVER newer SSTable data — the older-never-outlives-newer
       // invariant the whole segment scheme rests on.
-      if (!fsutil::RemoveFile(WalSegmentPath(*it)).ok()) break;
+      if (!env_->RemoveFile(WalSegmentPath(*it)).ok()) break;
       it = live_wal_segments_.erase(it);
     }
   }
@@ -395,7 +445,8 @@ Status LsmBackend::MaybeCompact() {
 
   const std::uint64_t number = next_file_number_++;
   const std::string path = SsTablePath(number);
-  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key);
+  SsTableWriter writer(options_.block_bytes, options_.bloom_bits_per_key,
+                       env_);
   STREAMSI_RETURN_NOT_OK(writer.Open(path));
   for (const auto& [key, entry] : merged) {
     if (entry.second) continue;  // tombstone: gone for good
@@ -403,7 +454,7 @@ Status LsmBackend::MaybeCompact() {
   }
   STREAMSI_RETURN_NOT_OK(writer.Finish());
 
-  auto reader = SsTableReader::Open(path);
+  auto reader = SsTableReader::Open(path, env_);
   if (!reader.ok()) return reader.status();
 
   const std::vector<std::uint64_t> old_files = live_files_;
@@ -422,7 +473,7 @@ Status LsmBackend::MaybeCompact() {
   }
 
   for (std::uint64_t old : old_files) {
-    (void)fsutil::RemoveFile(SsTablePath(old));
+    (void)env_->RemoveFile(SsTablePath(old));
   }
   compactions_.fetch_add(1, std::memory_order_relaxed);
   if (std::this_thread::get_id() == worker_.get_id()) {
@@ -437,7 +488,7 @@ Status LsmBackend::WriteManifest(const std::vector<std::uint64_t>& files) {
     contents += std::to_string(number);
     contents += '\n';
   }
-  return fsutil::WriteStringToFileAtomic(ManifestPath(), contents);
+  return env_->WriteStringToFileAtomic(ManifestPath(), contents);
 }
 
 Status LsmBackend::Scan(const ScanCallback& callback) const {

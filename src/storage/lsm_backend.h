@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/latch.h"
 #include "storage/backend.h"
 #include "storage/skiplist.h"
@@ -87,6 +88,13 @@ class LsmBackend final : public TableBackend {
   }
   int SealedMemtableCount() const;
 
+  /// Sticky background status: OK, or the failure that poisoned the store
+  /// after the worker exhausted its retries.
+  Status HealthStatus() const override;
+  std::uint64_t FlushRetries() const override {
+    return flush_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   explicit LsmBackend(const BackendOptions& options);
 
@@ -129,6 +137,11 @@ class LsmBackend final : public TableBackend {
   Status MaybeCompact();
   Status WriteManifest(const std::vector<std::uint64_t>& files);
   void BackgroundWorker();
+  /// Background worker only: runs `op`, retrying transient failures up to
+  /// options_.flush_retry_attempts times with doubling backoff. NoSpace and
+  /// Corruption are terminal (retrying a full disk or bad checksum cannot
+  /// help); a stop request or existing poisoning cuts the retries short.
+  Status RunWithRetries(const char* what, const std::function<Status()>& op);
 
   std::string SsTablePath(std::uint64_t number) const;
   /// Segment 0 keeps the historical "wal.log" name (pre-segment databases
@@ -137,6 +150,7 @@ class LsmBackend final : public TableBackend {
   std::string ManifestPath() const { return options_.path + "/MANIFEST"; }
 
   BackendOptions options_;
+  Env* env_;
 
   mutable SpinLock version_lock_;
   std::shared_ptr<const Version> version_;
@@ -171,6 +185,7 @@ class LsmBackend final : public TableBackend {
   std::atomic<std::uint64_t> background_flushes_{0};
   std::atomic<std::uint64_t> background_compactions_{0};
   std::atomic<std::uint64_t> flush_stalls_{0};
+  std::atomic<std::uint64_t> flush_retries_{0};
 };
 
 }  // namespace streamsi

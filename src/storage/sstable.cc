@@ -12,7 +12,10 @@ namespace streamsi {
 
 Status SsTableWriter::Open(const std::string& path) {
   path_ = path;
-  return file_.Open(path, /*truncate=*/true);
+  auto file = env_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  return Status::OK();
 }
 
 Status SsTableWriter::Add(std::string_view key, std::string_view value,
@@ -34,12 +37,13 @@ Status SsTableWriter::Add(std::string_view key, std::string_view value,
 
 Status SsTableWriter::FlushBlock() {
   if (!has_entries_in_block_) return Status::OK();
+  if (file_ == nullptr) return Status::IoError("SSTable writer not open");
   std::string framed;
   PutFixed32(&framed, MaskCrc(Crc32c(current_block_)));
   framed.append(current_block_);
   index_.push_back({block_last_key_, offset_,
                     static_cast<std::uint32_t>(framed.size())});
-  STREAMSI_RETURN_NOT_OK(file_.Append(framed));
+  STREAMSI_RETURN_NOT_OK(file_->Append(framed));
   offset_ += framed.size();
   current_block_.clear();
   has_entries_in_block_ = false;
@@ -47,12 +51,13 @@ Status SsTableWriter::FlushBlock() {
 }
 
 Status SsTableWriter::Finish() {
+  if (file_ == nullptr) return Status::IoError("SSTable writer not open");
   STREAMSI_RETURN_NOT_OK(FlushBlock());
 
   const std::string bloom =
       BloomFilter::Build(bloom_keys_, bloom_bits_per_key_);
   const std::uint64_t bloom_offset = offset_;
-  STREAMSI_RETURN_NOT_OK(file_.Append(bloom));
+  STREAMSI_RETURN_NOT_OK(file_->Append(bloom));
   offset_ += bloom.size();
 
   std::string index_block;
@@ -62,7 +67,7 @@ Status SsTableWriter::Finish() {
     PutFixed32(&index_block, entry.size);
   }
   const std::uint64_t index_offset = offset_;
-  STREAMSI_RETURN_NOT_OK(file_.Append(index_block));
+  STREAMSI_RETURN_NOT_OK(file_->Append(index_block));
   offset_ += index_block.size();
 
   std::string footer;
@@ -72,27 +77,30 @@ Status SsTableWriter::Finish() {
   PutFixed32(&footer, static_cast<std::uint32_t>(index_block.size()));
   PutFixed64(&footer, entry_count_);
   PutFixed64(&footer, kSsTableMagic);
-  STREAMSI_RETURN_NOT_OK(file_.Append(footer));
+  STREAMSI_RETURN_NOT_OK(file_->Append(footer));
 
-  STREAMSI_RETURN_NOT_OK(file_.Sync());
-  return file_.Close();
+  STREAMSI_RETURN_NOT_OK(file_->Sync());
+  return file_->Close();
 }
 
 // ---------------------------------------------------------------- reader ---
 
 Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
-    const std::string& path) {
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   auto reader = std::shared_ptr<SsTableReader>(new SsTableReader());
   reader->path_ = path;
-  STREAMSI_RETURN_NOT_OK(reader->file_.Open(path));
+  auto file = env->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  reader->file_ = std::move(*file);
 
   constexpr std::size_t kFooterSize = 8 + 4 + 8 + 4 + 8 + 8;
-  if (reader->file_.size() < kFooterSize) {
+  if (reader->file_->size() < kFooterSize) {
     return Status::Corruption("SSTable too small: " + path);
   }
   std::string footer;
-  STREAMSI_RETURN_NOT_OK(reader->file_.Read(
-      reader->file_.size() - kFooterSize, kFooterSize, &footer));
+  STREAMSI_RETURN_NOT_OK(reader->file_->Read(
+      reader->file_->size() - kFooterSize, kFooterSize, &footer));
   const char* p = footer.data();
   const std::uint64_t bloom_offset = DecodeFixed64(p);
   const std::uint32_t bloom_size = DecodeFixed32(p + 8);
@@ -105,12 +113,12 @@ Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
 
   if (bloom_size > 0) {
     STREAMSI_RETURN_NOT_OK(
-        reader->file_.Read(bloom_offset, bloom_size, &reader->bloom_));
+        reader->file_->Read(bloom_offset, bloom_size, &reader->bloom_));
   }
 
   std::string index_block;
   STREAMSI_RETURN_NOT_OK(
-      reader->file_.Read(index_offset, index_size, &index_block));
+      reader->file_->Read(index_offset, index_size, &index_block));
   const char* q = index_block.data();
   const char* limit = q + index_block.size();
   while (q < limit) {
@@ -132,7 +140,7 @@ Result<std::shared_ptr<SsTableReader>> SsTableReader::Open(
 Status SsTableReader::ReadBlock(std::uint64_t offset, std::uint32_t size,
                                 std::string* out) const {
   std::string framed;
-  STREAMSI_RETURN_NOT_OK(file_.Read(offset, size, &framed));
+  STREAMSI_RETURN_NOT_OK(file_->Read(offset, size, &framed));
   if (framed.size() < 4) return Status::Corruption("short block");
   const std::uint32_t crc = UnmaskCrc(DecodeFixed32(framed.data()));
   std::string_view body(framed.data() + 4, framed.size() - 4);

@@ -31,8 +31,11 @@ inline constexpr std::uint64_t kSsTableMagic = 0x5353495f53535400ull;
 /// Streams sorted entries into a new SSTable file.
 class SsTableWriter {
  public:
-  SsTableWriter(std::size_t block_bytes, int bloom_bits_per_key)
-      : block_bytes_(block_bytes), bloom_bits_per_key_(bloom_bits_per_key) {}
+  SsTableWriter(std::size_t block_bytes, int bloom_bits_per_key,
+                Env* env = nullptr)
+      : block_bytes_(block_bytes),
+        bloom_bits_per_key_(bloom_bits_per_key),
+        env_(env != nullptr ? env : Env::Default()) {}
 
   Status Open(const std::string& path);
 
@@ -49,7 +52,8 @@ class SsTableWriter {
 
   std::size_t block_bytes_;
   int bloom_bits_per_key_;
-  WritableFile file_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
   std::string current_block_;
   std::string last_key_;
@@ -74,7 +78,8 @@ class SsTableReader {
       std::string_view key, std::string_view value, bool tombstone)>;
 
   /// Opens the file and loads footer, index and bloom filter.
-  static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path);
+  static Result<std::shared_ptr<SsTableReader>> Open(const std::string& path,
+                                                     Env* env = nullptr);
 
   /// Point lookup. Sets *found=false if the key is not in this table;
   /// if found, *tombstone tells whether it is a delete marker.
@@ -95,7 +100,7 @@ class SsTableReader {
   static Status ParseBlock(std::string_view block,
                            const EntryCallback& callback);
 
-  RandomAccessFile file_;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   std::string bloom_;
   std::uint64_t entry_count_ = 0;

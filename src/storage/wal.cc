@@ -10,12 +10,12 @@ namespace streamsi {
 
 Status WalWriter::Open(const std::string& path, bool truncate) {
   std::lock_guard<std::mutex> guard(mutex_);
-  const Status status = file_.Open(path, truncate);
-  if (status.ok()) {
-    appended_bytes_.store(file_.size(), std::memory_order_release);
-    sticky_status_ = Status::OK();
-  }
-  return status;
+  auto file = env_->NewWritableFile(path, truncate);
+  if (!file.ok()) return file.status();
+  file_ = std::move(*file);
+  appended_bytes_.store(file_->size(), std::memory_order_release);
+  sticky_status_ = Status::OK();
+  return Status::OK();
 }
 
 void WalWriter::EncodeRecordTo(std::string* out, WalRecordType type,
@@ -38,7 +38,10 @@ void WalWriter::EncodeRecordTo(std::string* out, WalRecordType type,
 Status WalWriter::FlushPendingLocked() {
   if (pending_.empty()) return sticky_status_;
   Status status = sticky_status_;
-  if (status.ok()) status = file_.Append(pending_);
+  if (status.ok()) {
+    status = file_ != nullptr ? file_->Append(pending_)
+                              : Status::IoError("append to closed file");
+  }
   if (!status.ok() && sticky_status_.ok()) sticky_status_ = status;
   pending_.clear();
   return sticky_status_;
@@ -63,7 +66,10 @@ Status WalWriter::AwaitDurableLocked(std::unique_lock<std::mutex>& lk,
     sync_requested_ = false;
     Status status = sticky_status_;
     lk.unlock();
-    if (status.ok() && !writing_.empty()) status = file_.Append(writing_);
+    if (status.ok() && file_ == nullptr) {
+      status = Status::IoError("append to closed file");
+    }
+    if (status.ok() && !writing_.empty()) status = file_->Append(writing_);
     if (status.ok() && want_sync) status = ApplySync();
     writing_.clear();
     lk.lock();
@@ -101,11 +107,11 @@ Status WalWriter::Append(WalRecordType type, std::string_view payload,
 Status WalWriter::ApplySync() {
   switch (sync_mode_) {
     case SyncMode::kNone:
-      return file_.Flush();
+      return file_->Flush();
     case SyncMode::kFsync:
-      return file_.Sync();
+      return file_->Sync();
     case SyncMode::kSimulated: {
-      STREAMSI_RETURN_NOT_OK(file_.Flush());
+      STREAMSI_RETURN_NOT_OK(file_->Flush());
       // Deterministic stand-in for the fsync cost: the paper's evaluation
       // depends on synchronous writes being orders of magnitude slower than
       // in-memory reads. A real sleep (like a real fsync) blocks the
@@ -139,13 +145,15 @@ Status WalWriter::RotateTo(const std::string& path) {
     STREAMSI_RETURN_NOT_OK(AwaitDurableLocked(lk, accumulating_batch_));
   }
   if (!sticky_status_.ok()) return sticky_status_;
-  STREAMSI_RETURN_NOT_OK(file_.Close());
-  const Status status = file_.Open(path, /*truncate=*/true);
-  if (!status.ok()) {
-    sticky_status_ = status;  // no open file: poison later appends
-    return status;
+  if (file_ != nullptr) STREAMSI_RETURN_NOT_OK(file_->Close());
+  auto file = env_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) {
+    file_.reset();
+    sticky_status_ = file.status();  // no open file: poison later appends
+    return file.status();
   }
-  appended_bytes_.store(file_.size(), std::memory_order_release);
+  file_ = std::move(*file);
+  appended_bytes_.store(file_->size(), std::memory_order_release);
   return Status::OK();
 }
 
@@ -163,14 +171,16 @@ Status WalWriter::Close() {
   if (leader_active_ || !pending_.empty() || sync_requested_) {
     (void)AwaitDurableLocked(lk, accumulating_batch_);
   }
-  return file_.Close();
+  if (file_ == nullptr) return Status::OK();
+  return file_->Close();
 }
 
 Status WalReader::Replay(const std::string& path, const Visitor& visitor,
-                         ReplayStats* stats) {
+                         ReplayStats* stats, Env* env) {
+  if (env == nullptr) env = Env::Default();
   ReplayStats local;
   std::string contents;
-  STREAMSI_RETURN_NOT_OK(fsutil::ReadFileToString(path, &contents));
+  STREAMSI_RETURN_NOT_OK(env->ReadFileToString(path, &contents));
   const char* p = contents.data();
   const char* limit = p + contents.size();
   while (p + 9 <= limit) {

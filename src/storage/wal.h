@@ -44,8 +44,10 @@ enum class WalRecordType : unsigned char {
 /// Append-only writer. Thread-safe; synchronous appends use group commit.
 class WalWriter {
  public:
-  WalWriter(SyncMode sync_mode, std::uint64_t simulated_sync_micros)
-      : sync_mode_(sync_mode),
+  WalWriter(SyncMode sync_mode, std::uint64_t simulated_sync_micros,
+            Env* env = nullptr)
+      : env_(env != nullptr ? env : Env::Default()),
+        sync_mode_(sync_mode),
         simulated_sync_micros_(simulated_sync_micros) {}
 
   Status Open(const std::string& path, bool truncate);
@@ -69,6 +71,14 @@ class WalWriter {
   }
 
   Status SyncNow();
+
+  /// The first IO error this writer hit, if any. Once set, every later
+  /// append fails with it — the health machine probes this to decide
+  /// whether the commit path is permanently poisoned.
+  Status sticky_status() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return sticky_status_;
+  }
 
   /// Segment rotation: drains every in-flight batch and parked sync waiter
   /// (their records become durable in the CURRENT file), then atomically
@@ -95,7 +105,8 @@ class WalWriter {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  WritableFile file_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
   SyncMode sync_mode_;
   std::uint64_t simulated_sync_micros_;
 
@@ -135,7 +146,7 @@ class WalReader {
       std::function<Status(WalRecordType type, std::string_view payload)>;
 
   static Status Replay(const std::string& path, const Visitor& visitor,
-                       ReplayStats* stats);
+                       ReplayStats* stats, Env* env = nullptr);
 };
 
 }  // namespace streamsi

@@ -471,6 +471,11 @@ std::uint64_t VersionedStore::PurgeKeyVersionsAfter(std::string_view key,
 }
 
 std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {
+  return PurgeUncommittedVersions(max_cts, [](Timestamp) { return false; });
+}
+
+std::uint64_t VersionedStore::PurgeUncommittedVersions(
+    Timestamp covered_cts, const std::function<bool(Timestamp)>& is_committed) {
   std::uint64_t purged = 0;
   for (Shard& shard : shards_) {
     SharedGuard shard_guard(shard.latch);
@@ -481,18 +486,17 @@ std::uint64_t VersionedStore::PurgeVersionsAfter(Timestamp max_cts) {
         // Like PurgeKeyVersionsAfter: a rolled-back DELETE releases no
         // slot, so detect any change via the modification watermark too.
         const Timestamp before = entry->object.LatestModification();
-        const std::uint64_t entry_purged =
-            static_cast<std::uint64_t>(entry->object.PurgeAfter(max_cts));
+        const std::uint64_t entry_purged = static_cast<std::uint64_t>(
+            entry->object.PurgeUncommitted(covered_cts, is_committed));
         purged += entry_purged;
         changed = entry_purged > 0 ||
                   entry->object.LatestModification() != before;
         // Roll the FCW watermark back alongside the purged versions.
-        Timestamp cur =
-            entry->latest_modification.load(std::memory_order_relaxed);
-        if (cur > max_cts) {
-          entry->latest_modification.store(
-              entry->object.LatestModification(),
-              std::memory_order_release);
+        const Timestamp latest = entry->object.LatestModification();
+        if (entry->latest_modification.load(std::memory_order_relaxed) !=
+            latest) {
+          entry->latest_modification.store(latest,
+                                           std::memory_order_release);
         }
         if (changed) ++entry->blob_version;
       }

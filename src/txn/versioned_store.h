@@ -184,6 +184,16 @@ class VersionedStore {
   /// — §4.3/recovery rule. Returns the number of purged versions.
   std::uint64_t PurgeVersionsAfter(Timestamp max_cts);
 
+  /// Recovery purge with exact commit knowledge: drops versions whose cts
+  /// is beyond `covered_cts` (the checkpoint cut) and not accepted by
+  /// `is_committed` (the replayed commit-record set). A lone watermark is
+  /// not enough: a commit aborted at the durability point can hold a cts
+  /// below a later commit that did log, and its partially-applied versions
+  /// must not resurrect. Returns the number of purged versions.
+  std::uint64_t PurgeUncommittedVersions(
+      Timestamp covered_cts,
+      const std::function<bool(Timestamp)>& is_committed);
+
   /// Targeted undo for a FAILED commit: drops `key`'s versions with
   /// cts > max_cts and re-opens the predecessor the failed install
   /// terminated. Unlike the store-wide PurgeVersionsAfter, this touches

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tests/test_util.h"
 
 namespace streamsi {
@@ -9,99 +11,135 @@ namespace {
 
 class EnvTest : public ::testing::Test {
  protected:
+  Env* env_ = Env::Default();
   testing::TempDir dir_;
 };
 
 TEST_F(EnvTest, WriteReadRoundTrip) {
   const std::string path = dir_.path() + "/f";
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(path, true).ok());
-    ASSERT_TRUE(file.Append("hello ").ok());
-    ASSERT_TRUE(file.Append("world").ok());
-    EXPECT_EQ(file.size(), 11u);
-    ASSERT_TRUE(file.Sync().ok());
-    ASSERT_TRUE(file.Close().ok());
+    auto file = env_->NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    ASSERT_TRUE((*file)->Append("hello ").ok());
+    ASSERT_TRUE((*file)->Append("world").ok());
+    EXPECT_EQ((*file)->size(), 11u);
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
   std::string contents;
-  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  ASSERT_TRUE(env_->ReadFileToString(path, &contents).ok());
   EXPECT_EQ(contents, "hello world");
 }
 
 TEST_F(EnvTest, AppendModePreservesExisting) {
   const std::string path = dir_.path() + "/f";
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(path, true).ok());
-    ASSERT_TRUE(file.Append("first").ok());
-    ASSERT_TRUE(file.Close().ok());
+    auto file = env_->NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("first").ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(path, false).ok());  // append
-    EXPECT_EQ(file.size(), 5u);
-    ASSERT_TRUE(file.Append("+second").ok());
-    ASSERT_TRUE(file.Close().ok());
+    auto file = env_->NewWritableFile(path, /*truncate=*/false);  // append
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ((*file)->size(), 5u);
+    ASSERT_TRUE((*file)->Append("+second").ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
   std::string contents;
-  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  ASSERT_TRUE(env_->ReadFileToString(path, &contents).ok());
   EXPECT_EQ(contents, "first+second");
 }
 
 TEST_F(EnvTest, RandomAccessReadsAtOffset) {
   const std::string path = dir_.path() + "/f";
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(path, true).ok());
-    ASSERT_TRUE(file.Append("0123456789").ok());
-    ASSERT_TRUE(file.Close().ok());
+    auto file = env_->NewWritableFile(path, /*truncate=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("0123456789").ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
-  RandomAccessFile file;
-  ASSERT_TRUE(file.Open(path).ok());
-  EXPECT_EQ(file.size(), 10u);
+  auto file = env_->NewRandomAccessFile(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->size(), 10u);
   std::string out;
-  ASSERT_TRUE(file.Read(3, 4, &out).ok());
+  ASSERT_TRUE((*file)->Read(3, 4, &out).ok());
   EXPECT_EQ(out, "3456");
-  EXPECT_TRUE(file.Read(8, 5, &out).IsIoError());  // beyond EOF
+  EXPECT_TRUE((*file)->Read(8, 5, &out).IsIoError());  // beyond EOF
 }
 
 TEST_F(EnvTest, AtomicWriteReplacesContent) {
   const std::string path = dir_.path() + "/f";
-  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(path, "v1").ok());
-  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(path, "v2-longer").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(path, "v2-longer").ok());
   std::string contents;
-  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  ASSERT_TRUE(env_->ReadFileToString(path, &contents).ok());
   EXPECT_EQ(contents, "v2-longer");
-  EXPECT_FALSE(fsutil::FileExists(path + ".tmp"));
+  EXPECT_FALSE(env_->FileExists(path + ".tmp"));
 }
 
 TEST_F(EnvTest, ListDirSkipsDotEntries) {
-  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(dir_.path() + "/a", "x").ok());
-  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(dir_.path() + "/b", "y").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(dir_.path() + "/a", "x").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(dir_.path() + "/b", "y").ok());
   std::vector<std::string> names;
-  ASSERT_TRUE(fsutil::ListDir(dir_.path(), &names).ok());
+  ASSERT_TRUE(env_->ListDir(dir_.path(), &names).ok());
   std::sort(names.begin(), names.end());
   EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
 }
 
 TEST_F(EnvTest, RemoveDirRecursive) {
   const std::string sub = dir_.path() + "/x/y";
-  ASSERT_TRUE(fsutil::CreateDirIfMissing(dir_.path() + "/x").ok());
-  ASSERT_TRUE(fsutil::CreateDirIfMissing(sub).ok());
-  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(sub + "/f", "data").ok());
-  ASSERT_TRUE(fsutil::RemoveDirRecursive(dir_.path() + "/x").ok());
-  EXPECT_FALSE(fsutil::FileExists(dir_.path() + "/x"));
+  ASSERT_TRUE(env_->CreateDirIfMissing(dir_.path() + "/x").ok());
+  ASSERT_TRUE(env_->CreateDirIfMissing(sub).ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(sub + "/f", "data").ok());
+  ASSERT_TRUE(env_->RemoveDirRecursive(dir_.path() + "/x").ok());
+  EXPECT_FALSE(env_->FileExists(dir_.path() + "/x"));
   // Removing a non-existing tree is OK.
-  EXPECT_TRUE(fsutil::RemoveDirRecursive(dir_.path() + "/x").ok());
+  EXPECT_TRUE(env_->RemoveDirRecursive(dir_.path() + "/x").ok());
 }
 
 TEST_F(EnvTest, OpenMissingFileFails) {
-  RandomAccessFile file;
-  EXPECT_TRUE(file.Open(dir_.path() + "/missing").IsIoError());
+  auto file = env_->NewRandomAccessFile(dir_.path() + "/missing");
+  EXPECT_TRUE(file.status().IsIoError());
   std::string contents;
-  EXPECT_TRUE(
-      fsutil::ReadFileToString(dir_.path() + "/missing", &contents)
-          .IsIoError());
+  EXPECT_TRUE(env_->ReadFileToString(dir_.path() + "/missing", &contents)
+                  .IsIoError());
+}
+
+// The fsutil wrappers remain the terse spelling for "the real filesystem"
+// in tests/benches; they must stay behavior-identical to Env::Default().
+TEST_F(EnvTest, FsutilForwardsToDefaultEnv) {
+  const std::string path = dir_.path() + "/f";
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(path, "data").ok());
+  EXPECT_TRUE(fsutil::FileExists(path));
+  std::uint64_t size = 0;
+  ASSERT_TRUE(fsutil::FileSize(path, &size).ok());
+  EXPECT_EQ(size, 4u);
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(path, &contents).ok());
+  EXPECT_EQ(contents, "data");
+  ASSERT_TRUE(fsutil::RemoveFile(path).ok());
+  EXPECT_FALSE(fsutil::FileExists(path));
+}
+
+TEST_F(EnvTest, ListNumberedFiles) {
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(dir_.path() + "/wal_0001.log",
+                                            "a").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(dir_.path() + "/wal_0042.log",
+                                            "b").ok());
+  ASSERT_TRUE(env_->WriteStringToFileAtomic(dir_.path() + "/other.txt",
+                                            "c").ok());
+  std::vector<std::uint64_t> numbers;
+  ASSERT_TRUE(
+      env_->ListNumberedFiles(dir_.path(), "wal_", ".log", &numbers).ok());
+  std::sort(numbers.begin(), numbers.end());
+  EXPECT_EQ(numbers, (std::vector<std::uint64_t>{1, 42}));
+  // A missing directory lists nothing (and is not an error).
+  numbers.clear();
+  EXPECT_TRUE(env_->ListNumberedFiles(dir_.path() + "/gone", "wal_", ".log",
+                                      &numbers)
+                  .ok());
+  EXPECT_TRUE(numbers.empty());
 }
 
 }  // namespace

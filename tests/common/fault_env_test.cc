@@ -1,0 +1,198 @@
+#include "common/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace streamsi {
+namespace {
+
+TEST(FaultScheduleTest, ArmAfterCountFires) {
+  FaultSchedule schedule;
+  schedule.Arm("p", /*after=*/2, /*count=*/2, Status::IoError("boom"));
+  EXPECT_TRUE(schedule.Check("p").ok());   // hit 1: within `after`
+  EXPECT_TRUE(schedule.Check("p").ok());   // hit 2: within `after`
+  EXPECT_TRUE(schedule.Check("p").IsIoError());  // fires
+  EXPECT_TRUE(schedule.Check("p").IsIoError());  // fires
+  EXPECT_TRUE(schedule.Check("p").ok());   // count exhausted
+  EXPECT_EQ(schedule.HitCount("p"), 5u);
+  EXPECT_EQ(schedule.injected_failures(), 2u);
+}
+
+TEST(FaultScheduleTest, NegativeCountFiresForever) {
+  FaultSchedule schedule;
+  schedule.Arm("p", 0, /*count=*/-1, Status::NoSpace("full"));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(schedule.Check("p").IsNoSpace());
+  schedule.Disarm("p");
+  EXPECT_TRUE(schedule.Check("p").ok());
+}
+
+TEST(FaultScheduleTest, UnarmedPointsPass) {
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.Check("never-armed").ok());
+  EXPECT_EQ(schedule.HitCount("never-armed"), 0u);
+}
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  FaultEnv env_{/*seed=*/42};
+};
+
+TEST_F(FaultEnvTest, WriteReadRoundTripInMemory) {
+  ASSERT_TRUE(env_.CreateDirIfMissing("/db").ok());
+  auto file = env_.NewWritableFile("/db/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto reader = env_.NewRandomAccessFile("/db/f");
+  ASSERT_TRUE(reader.ok());
+  std::string out;
+  ASSERT_TRUE((*reader)->Read(6, 5, &out).ok());
+  EXPECT_EQ(out, "world");
+  std::string contents;
+  ASSERT_TRUE(env_.ReadFileToString("/db/f", &contents).ok());
+  EXPECT_EQ(contents, "hello world");
+}
+
+TEST_F(FaultEnvTest, UnsyncedBytesDieInPowerCut) {
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("+volatile").ok());  // never synced
+  EXPECT_EQ(env_.DurableBytes("/f"), 7u);
+  EXPECT_EQ(env_.WrittenBytes("/f"), 16u);
+
+  env_.CrashAndRecoverFs();
+  std::string contents;
+  ASSERT_TRUE(env_.ReadFileToString("/f", &contents).ok());
+  EXPECT_EQ(contents, "durable");
+}
+
+TEST_F(FaultEnvTest, KeepRandomPrefixRetainsAtMostUnsyncedSuffix) {
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("abcdefgh").ok());
+
+  env_.CrashAndRecoverFs(FaultEnv::CrashMode::kKeepRandomPrefix);
+  std::string contents;
+  ASSERT_TRUE(env_.ReadFileToString("/f", &contents).ok());
+  // The synced prefix always survives; some prefix of the unsynced suffix
+  // may ride along (torn tail).
+  ASSERT_GE(contents.size(), 4u);
+  ASSERT_LE(contents.size(), 12u);
+  EXPECT_EQ(contents.substr(0, 4), "0123");
+  EXPECT_EQ(contents, std::string("0123abcdefgh").substr(0, contents.size()));
+}
+
+TEST_F(FaultEnvTest, PowerCutAfterOpsFailsAllLaterIo) {
+  env_.CutPowerAfterOps(2);
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("one").ok());  // op 1
+  const Status cut = (*file)->Append("two");  // op 2: crosses the budget
+  EXPECT_FALSE(cut.ok());
+  EXPECT_TRUE(env_.PowerIsCut());
+  EXPECT_FALSE((*file)->Append("three").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env_.NewWritableFile("/g", true).ok());
+
+  env_.CrashAndRecoverFs();
+  EXPECT_FALSE(env_.PowerIsCut());
+  std::string contents;
+  ASSERT_TRUE(env_.ReadFileToString("/f", &contents).ok());
+  // "one" was written but never synced: gone. The torn op 2 bytes were
+  // unsynced too.
+  EXPECT_TRUE(contents.empty());
+}
+
+TEST_F(FaultEnvTest, TornAppendLandsStrictPrefix) {
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  env_.TearNextAppend();
+  EXPECT_TRUE((*file)->Append("0123456789").IsIoError());
+  EXPECT_LT(env_.WrittenBytes("/f"), 10u);  // strict prefix
+  // The tear is one-shot.
+  ASSERT_TRUE((*file)->Append("ok").ok());
+}
+
+TEST_F(FaultEnvTest, NoSpaceBudgetFailsWithNoSpaceAndPartialFill) {
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("12345").ok());
+  env_.SetNoSpaceByteBudget(3);  // three more bytes fit
+  EXPECT_TRUE((*file)->Append("abcdef").IsNoSpace());
+  EXPECT_EQ(env_.WrittenBytes("/f"), 8u);  // partial bytes landed
+  EXPECT_TRUE((*file)->Append("x").IsNoSpace());
+  env_.SetNoSpaceByteBudget(FaultEnv::kUnlimited);
+  EXPECT_TRUE((*file)->Append("x").ok());
+}
+
+TEST_F(FaultEnvTest, ScheduledSyncFailure) {
+  env_.schedule().Arm("env.sync", /*after=*/1, /*count=*/1,
+                      Status::IoError("lying fsync"));
+  auto file = env_.NewWritableFile("/f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("a").ok());
+  ASSERT_TRUE((*file)->Sync().ok());            // first sync passes
+  EXPECT_TRUE((*file)->Sync().IsIoError());     // second injected
+  ASSERT_TRUE((*file)->Sync().ok());            // one-shot
+  EXPECT_EQ(env_.schedule().injected_failures(), 1u);
+}
+
+TEST_F(FaultEnvTest, RenameIsAtomicAndDurable) {
+  auto file = env_.NewWritableFile("/f.tmp", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("manifest").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env_.RenameFile("/f.tmp", "/f").ok());
+  EXPECT_FALSE(env_.FileExists("/f.tmp"));
+
+  env_.CrashAndRecoverFs();
+  std::string contents;
+  ASSERT_TRUE(env_.ReadFileToString("/f", &contents).ok());
+  EXPECT_EQ(contents, "manifest");
+}
+
+TEST_F(FaultEnvTest, DirectoryOpsAndListNumberedFiles) {
+  ASSERT_TRUE(env_.CreateDirIfMissing("/db").ok());
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/db/log.000001", "a").ok());
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/db/log.000003", "b").ok());
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/db/other", "c").ok());
+  std::vector<std::uint64_t> numbers;
+  ASSERT_TRUE(env_.ListNumberedFiles("/db", "log.", "", &numbers).ok());
+  std::sort(numbers.begin(), numbers.end());
+  EXPECT_EQ(numbers, (std::vector<std::uint64_t>{1, 3}));
+
+  std::vector<std::string> names;
+  ASSERT_TRUE(env_.ListDir("/db", &names).ok());
+  EXPECT_EQ(names.size(), 3u);
+
+  ASSERT_TRUE(env_.RemoveDirRecursive("/db").ok());
+  EXPECT_FALSE(env_.FileExists("/db/log.000001"));
+  EXPECT_FALSE(env_.FileExists("/db"));
+}
+
+TEST_F(FaultEnvTest, SameSeedSameTearSameSurvivors) {
+  auto run = [](std::uint64_t seed) {
+    FaultEnv env(seed);
+    auto file = env.NewWritableFile("/f", true);
+    EXPECT_TRUE(file.ok());
+    EXPECT_TRUE((*file)->Append("0123").ok());
+    EXPECT_TRUE((*file)->Sync().ok());
+    EXPECT_TRUE((*file)->Append("abcdefghij").ok());
+    env.CrashAndRecoverFs(FaultEnv::CrashMode::kKeepRandomPrefix);
+    std::string contents;
+    EXPECT_TRUE(env.ReadFileToString("/f", &contents).ok());
+    return contents;
+  };
+  EXPECT_EQ(run(7), run(7));  // determinism: seed fully decides the outcome
+}
+
+}  // namespace
+}  // namespace streamsi

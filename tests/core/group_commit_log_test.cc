@@ -64,10 +64,10 @@ TEST_F(GroupCommitLogTest, SurvivesTornTail) {
     ASSERT_TRUE(log.Close().ok());
   }
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(Path(), false).ok());
-    ASSERT_TRUE(file.Append("\xBA\xAD").ok());  // torn partial frame
-    ASSERT_TRUE(file.Close().ok());
+    auto file = Env::Default()->NewWritableFile(Path(), false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("\xBA\xAD").ok());  // torn partial frame
+    ASSERT_TRUE((*file)->Close().ok());
   }
   auto replayed = GroupCommitLog::Replay(Path());
   ASSERT_TRUE(replayed.ok());
@@ -153,10 +153,10 @@ TEST_F(GroupCommitLogTest, ReopenAfterTornTailStartsFreshSegment) {
     ASSERT_TRUE(log.Close().ok());
   }
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(Path(), false).ok());
-    ASSERT_TRUE(file.Append("\xDE\xAD\xBE").ok());  // crash tail
-    ASSERT_TRUE(file.Close().ok());
+    auto file = Env::Default()->NewWritableFile(Path(), false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("\xDE\xAD\xBE").ok());  // crash tail
+    ASSERT_TRUE((*file)->Close().ok());
   }
   {
     GroupCommitLog log(SyncMode::kNone, 0);
@@ -170,6 +170,53 @@ TEST_F(GroupCommitLogTest, ReopenAfterTornTailStartsFreshSegment) {
   ASSERT_TRUE(replayed.ok());
   EXPECT_EQ(replayed->at(0), 20u)
       << "post-reopen record must survive the next replay";
+}
+
+TEST_F(GroupCommitLogTest, MidLogBitFlipStopsReplayAndReopenRetiresSegment) {
+  // A flipped bit in the MIDDLE of a segment (silent media corruption, not
+  // a torn tail): replay must stop at the bad frame — the records behind it
+  // are unreachable, never misdecoded — and a reopen must retire the
+  // segment rather than append after garbage.
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    const GroupId g0[] = {0};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 10, false).ok());
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 20, false).ok());
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 30, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  // Walk the [crc(4)][len(4)][type(1)][payload] frames to the second one
+  // and flip one bit in its payload.
+  std::size_t offset = 0;
+  for (int frame = 0; frame < 1; ++frame) {
+    offset += 9 + DecodeFixed32(contents.data() + offset + 4);
+  }
+  const std::size_t flip_at =
+      offset + 9;  // first payload byte of frame 2
+  ASSERT_LT(flip_at, contents.size());
+  contents[flip_at] ^= 0x01;
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  auto replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(0), 10u)
+      << "replay must stop at the corrupt frame; later records are gone";
+
+  {
+    GroupCommitLog log(SyncMode::kNone, 0);
+    ASSERT_TRUE(log.Open(Path()).ok());
+    EXPECT_EQ(log.current_segment(), 1u)
+        << "reopen must start a fresh segment, never append after garbage";
+    const GroupId g0[] = {0};
+    ASSERT_TRUE(log.RecordCommit(g0, 1, 40, true).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  replayed = GroupCommitLog::Replay(Path());
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->at(0), 40u);
 }
 
 TEST_F(GroupCommitLogTest, AppendAcrossReopens) {

@@ -1,0 +1,108 @@
+#include "core/state_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+class StateCatalogTest : public ::testing::Test {
+ protected:
+  std::string Path() const { return dir_.path() + "/catalog.log"; }
+
+  void WriteThreeDeclarations() {
+    StateCatalog catalog(SyncMode::kNone, 0);
+    ASSERT_TRUE(catalog.Open(Path()).ok());
+    ASSERT_TRUE(catalog.AppendState({0, BackendType::kLsm, "a", "/a"}).ok());
+    ASSERT_TRUE(catalog.AppendState({1, BackendType::kHash, "b", ""}).ok());
+    ASSERT_TRUE(catalog.AppendGroup({0, false, {0, 1}}).ok());
+    ASSERT_TRUE(catalog.Close().ok());
+  }
+
+  /// Returns the file offset of frame `index` in the CRC-framed log
+  /// ([crc(4)][len(4)][type(1)][payload] per frame).
+  static std::size_t FrameOffset(const std::string& contents,
+                                 int index) {
+    std::size_t offset = 0;
+    for (int frame = 0; frame < index; ++frame) {
+      offset += 9 + DecodeFixed32(contents.data() + offset + 4);
+    }
+    return offset;
+  }
+
+  testing::TempDir dir_;
+};
+
+TEST_F(StateCatalogTest, MidCatalogBitFlipStopsReplayAtBadFrame) {
+  WriteThreeDeclarations();
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  const std::size_t flip_at = FrameOffset(contents, 1) + 9;
+  ASSERT_LT(flip_at, contents.size());
+  contents[flip_at] ^= 0x01;  // one flipped bit mid-payload of frame 2
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  // The CRC catches the flip; replay surfaces the valid prefix only — it
+  // must never misdecode the corrupt record or resume beyond it.
+  std::vector<StateCatalog::Declaration> declarations;
+  ASSERT_TRUE(StateCatalog::Replay(Path(), &declarations).ok());
+  ASSERT_EQ(declarations.size(), 1u);
+  EXPECT_EQ(declarations[0].kind, StateCatalog::Declaration::Kind::kState);
+  EXPECT_EQ(declarations[0].state.name, "a");
+}
+
+TEST_F(StateCatalogTest, ReopenAfterBitFlipTruncatesAndNeverAppendsAfterGarbage) {
+  WriteThreeDeclarations();
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  const std::size_t valid_prefix = FrameOffset(contents, 1);
+  contents[valid_prefix + 9] ^= 0x40;
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  // Open truncates the file to its valid record prefix before appending —
+  // a declaration written after garbage would be unreachable to replay.
+  {
+    StateCatalog catalog(SyncMode::kNone, 0);
+    ASSERT_TRUE(catalog.Open(Path()).ok());
+    std::uint64_t size = 0;
+    ASSERT_TRUE(fsutil::FileSize(Path(), &size).ok());
+    EXPECT_EQ(size, valid_prefix);
+    ASSERT_TRUE(
+        catalog.AppendState({1, BackendType::kHash, "b2", ""}).ok());
+    ASSERT_TRUE(catalog.Close().ok());
+  }
+  std::vector<StateCatalog::Declaration> declarations;
+  ASSERT_TRUE(StateCatalog::Replay(Path(), &declarations).ok());
+  ASSERT_EQ(declarations.size(), 2u);
+  EXPECT_EQ(declarations[0].state.name, "a");
+  EXPECT_EQ(declarations[1].state.name, "b2")
+      << "post-reopen declarations must stay reachable to replay";
+}
+
+TEST_F(StateCatalogTest, RecordFromNewerFormatEraIsCorruption) {
+  WriteThreeDeclarations();
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  // Forge a future format version in the FIRST record's payload and fix up
+  // its CRC so the frame itself stays valid: the decoder (not the framing)
+  // must reject records from a newer era instead of misreading them.
+  contents[9] = 0x7F;
+  const std::uint32_t len = DecodeFixed32(contents.data() + 4);
+  const std::uint32_t crc =
+      MaskCrc(Crc32c(std::string_view(contents.data() + 8, 1 + len)));
+  std::memcpy(contents.data(), &crc, 4);
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  std::vector<StateCatalog::Declaration> declarations;
+  EXPECT_TRUE(StateCatalog::Replay(Path(), &declarations).IsCorruption());
+}
+
+}  // namespace
+}  // namespace streamsi

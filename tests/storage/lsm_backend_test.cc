@@ -243,10 +243,11 @@ TEST_F(LsmBackendTest, RecoversAfterCrashTornWalTail) {
   }
   // Append garbage to the WAL to simulate a torn write.
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(options.path + "/wal.log", false).ok());
-    ASSERT_TRUE(file.Append("\x01\x02\x03garbage-torn-tail").ok());
-    ASSERT_TRUE(file.Close().ok());
+    auto file =
+        Env::Default()->NewWritableFile(options.path + "/wal.log", false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("\x01\x02\x03garbage-torn-tail").ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
   auto backend = LsmBackend::Open(options);
   ASSERT_TRUE(backend.ok());

@@ -73,12 +73,13 @@ TEST_F(WalTest, TornTailIsTruncatedNotFatal) {
   // Simulate a crash mid-append: write garbage that looks like a frame
   // header promising more bytes than exist.
   {
-    WritableFile file;
-    ASSERT_TRUE(file.Open(WalPath(), false).ok());
-    ASSERT_TRUE(file.Append(std::string("\x11\x22\x33\x44\xFF\x00\x00\x00x",
-                                        9))
+    auto file = Env::Default()->NewWritableFile(WalPath(), false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)
+                    ->Append(std::string("\x11\x22\x33\x44\xFF\x00\x00\x00x",
+                                         9))
                     .ok());
-    ASSERT_TRUE(file.Close().ok());
+    ASSERT_TRUE((*file)->Close().ok());
   }
   std::vector<std::string> payloads;
   WalReader::ReplayStats stats;
