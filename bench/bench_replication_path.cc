@@ -1,0 +1,288 @@
+// Replication-path benchmark (PR 7 log shipping): what replication costs
+// the primary's commit path (shipping is strictly off-path — still one
+// Append+Sync per group-commit batch — so the only commit-side cost is the
+// larger kReplicatedCommit record carrying the write sets), how fast a
+// follower catches up on a shipped chain, and how quickly staleness lag
+// converges to zero against an idle primary.
+//
+// Emitted as one JSON document on stdout so bench/run_bench.sh can archive
+// it as BENCH_replication_path.json:
+//
+//   commit/replication_off    commit throughput of a plain durable
+//                             database (role kNone, kGroupCommit records).
+//   commit/replication_on     the same workload as a replication primary:
+//                             kReplicatedCommit records (write sets ride in
+//                             the durable record) + a live background
+//                             shipper. The delta is the full cost of
+//                             replication on the commit path.
+//   follower/catch_up         time for a fresh follower to replay a shipped
+//                             chain of N commits (apply throughput).
+//   follower/lag_convergence  background ship+apply: ms from the last
+//                             acked primary commit until the follower
+//                             reports staleness_lag == 0.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/streamsi.h"
+#include "replication/transport.h"
+
+namespace streamsi {
+namespace {
+
+constexpr std::uint64_t kSimulatedSyncMicros = 5;
+constexpr int kCommitters = 4;
+constexpr int kHotKeys = 512;
+
+DatabaseOptions BaseOptions(const std::string& dir) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kSimulated;
+  options.backend_options.simulated_sync_micros = kSimulatedSyncMicros;
+  options.base_dir = dir;
+  return options;
+}
+
+struct CommitResult {
+  double commits_per_s = 0.0;
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t ship_rounds = 0;
+};
+
+/// Multi-writer commit throughput; `transport` != nullptr runs the same
+/// workload as a replication primary with a live background shipper.
+CommitResult RunCommitPath(const std::string& dir, ShipTransport* transport) {
+  (void)fsutil::RemoveDirRecursive(dir);
+  DatabaseOptions options = BaseOptions(dir);
+  if (transport != nullptr) {
+    options.replication.role = ReplicationRole::kPrimary;
+    options.replication.transport = transport;
+    options.replication.ship_interval_ms = 1;
+  }
+  auto db = Database::Open(options);
+  if (!db.ok()) std::abort();
+  auto state = (*db)->CreateState("s");
+  if (!state.ok()) std::abort();
+  if (!(*db)->Recover().ok()) std::abort();
+  const StateId id = (*state)->id();
+  const std::string value(128, 'v');
+
+  constexpr auto kDuration = std::chrono::milliseconds(400);
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kCommitters; ++w) {
+    threads.emplace_back([&, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto t = (*db)->Begin();
+        if (!t.ok()) std::abort();
+        const std::string key =
+            "key-" + std::to_string(w) + "-" + std::to_string(i++ % kHotKeys);
+        if (!(*db)->txn_manager().Write((*t)->txn(), id, key, value).ok()) {
+          std::abort();
+        }
+        if (!(*t)->Commit().ok()) std::abort();
+        total.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(kDuration);
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CommitResult result;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  result.commits_per_s = static_cast<double>(total.load()) / seconds;
+  if (transport != nullptr) {
+    const ReplicationStats stats = (*db)->Health().replication;
+    result.bytes_shipped = stats.bytes_shipped;
+    result.ship_rounds = stats.ship_rounds;
+  }
+  return result;
+}
+
+struct CatchUpResult {
+  double catch_up_ms = 0.0;
+  double commits_per_s = 0.0;
+  std::uint64_t chain_bytes = 0;
+};
+
+/// Ships a chain of `commits` and measures a fresh follower replaying it.
+CatchUpResult RunCatchUp(int commits, const std::string& primary_dir,
+                         const std::string& follower_dir) {
+  (void)fsutil::RemoveDirRecursive(primary_dir);
+  (void)fsutil::RemoveDirRecursive(follower_dir);
+  EnvFileTransport transport(nullptr, follower_dir);
+  CatchUpResult result;
+  {
+    DatabaseOptions options = BaseOptions(primary_dir);
+    options.replication.role = ReplicationRole::kPrimary;
+    options.replication.transport = &transport;
+    options.replication.manual_pump = true;
+    auto db = Database::Open(options);
+    if (!db.ok()) std::abort();
+    auto state = (*db)->CreateState("s");
+    if (!state.ok()) std::abort();
+    if (!(*db)->Recover().ok()) std::abort();
+    const StateId id = (*state)->id();
+    const std::string value(128, 'v');
+    for (int i = 0; i < commits; ++i) {
+      auto t = (*db)->Begin();
+      if (!t.ok()) std::abort();
+      const std::string key = "key-" + std::to_string(i % kHotKeys);
+      if (!(*db)->txn_manager().Write((*t)->txn(), id, key, value).ok()) {
+        std::abort();
+      }
+      if (!(*t)->Commit().ok()) std::abort();
+    }
+    if (!(*db)->ShipNow().ok()) std::abort();
+    result.chain_bytes = (*db)->group_log()->TotalSizeBytes();
+  }
+
+  DatabaseOptions options = BaseOptions(follower_dir);
+  options.replication.role = ReplicationRole::kFollower;
+  options.replication.manual_pump = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto follower = Database::Open(options);
+  if (!follower.ok()) std::abort();
+  if (!(*follower)->ApplyShippedNow().ok()) std::abort();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.catch_up_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  if ((*follower)->Health().replication.commits_applied <
+      static_cast<std::uint64_t>(commits)) {
+    std::abort();
+  }
+  result.commits_per_s =
+      static_cast<double>(commits) / (result.catch_up_ms / 1000.0);
+  return result;
+}
+
+struct LagResult {
+  double convergence_ms = 0.0;
+  std::uint64_t commits = 0;
+};
+
+/// Background ship+apply threads on both sides: time from the last acked
+/// primary commit to the follower reporting zero staleness.
+LagResult RunLagConvergence(int commits, const std::string& primary_dir,
+                            const std::string& follower_dir) {
+  (void)fsutil::RemoveDirRecursive(primary_dir);
+  (void)fsutil::RemoveDirRecursive(follower_dir);
+  EnvFileTransport transport(nullptr, follower_dir);
+  DatabaseOptions primary_options = BaseOptions(primary_dir);
+  primary_options.replication.role = ReplicationRole::kPrimary;
+  primary_options.replication.transport = &transport;
+  primary_options.replication.ship_interval_ms = 1;
+  auto primary = Database::Open(primary_options);
+  if (!primary.ok()) std::abort();
+  auto state = (*primary)->CreateState("s");
+  if (!state.ok()) std::abort();
+  if (!(*primary)->Recover().ok()) std::abort();
+  const StateId id = (*state)->id();
+
+  DatabaseOptions follower_options = BaseOptions(follower_dir);
+  follower_options.replication.role = ReplicationRole::kFollower;
+  follower_options.replication.apply_interval_ms = 1;
+  auto follower = Database::Open(follower_options);
+  if (!follower.ok()) std::abort();
+
+  const std::string value(128, 'v');
+  for (int i = 0; i < commits; ++i) {
+    auto t = (*primary)->Begin();
+    if (!t.ok()) std::abort();
+    const std::string key = "key-" + std::to_string(i % kHotKeys);
+    if (!(*primary)->txn_manager().Write((*t)->txn(), id, key, value).ok()) {
+      std::abort();
+    }
+    if (!(*t)->Commit().ok()) std::abort();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  LagResult result;
+  result.commits = static_cast<std::uint64_t>(commits);
+  for (;;) {
+    const ReplicationStats stats = (*follower)->Health().replication;
+    if (stats.commits_applied >= static_cast<std::uint64_t>(commits) &&
+        stats.staleness_lag == 0 && stats.primary_watermark > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.convergence_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          t1 - t0)
+          .count();
+  return result;
+}
+
+}  // namespace
+}  // namespace streamsi
+
+int main() {
+  using namespace streamsi;
+
+  const std::string dir = "/tmp/streamsi_bench_replication_path";
+  (void)fsutil::CreateDirIfMissing(dir);
+
+  std::printf("{\n");
+  std::printf("  \"simulated_sync_micros\": %llu,\n",
+              static_cast<unsigned long long>(kSimulatedSyncMicros));
+  std::printf("  \"committers\": %d,\n", kCommitters);
+  std::printf("  \"benchmarks\": [\n");
+
+  const CommitResult off = RunCommitPath(dir + "/plain", nullptr);
+  std::printf(
+      "    {\"name\": \"commit/replication_off\", \"commits_per_s\": %.0f},\n",
+      off.commits_per_s);
+  std::fflush(stdout);
+
+  EnvFileTransport transport(nullptr, dir + "/sink");
+  (void)fsutil::RemoveDirRecursive(dir + "/sink");
+  const CommitResult on = RunCommitPath(dir + "/primary", &transport);
+  std::printf(
+      "    {\"name\": \"commit/replication_on\", \"commits_per_s\": %.0f, "
+      "\"bytes_shipped\": %llu, \"ship_rounds\": %llu},\n",
+      on.commits_per_s, static_cast<unsigned long long>(on.bytes_shipped),
+      static_cast<unsigned long long>(on.ship_rounds));
+  std::fflush(stdout);
+
+  bool first = true;
+  for (const int commits : {1000, 4000}) {
+    const CatchUpResult r =
+        RunCatchUp(commits, dir + "/cu_primary", dir + "/cu_follower");
+    if (!first) std::printf(",\n");
+    first = false;
+    std::printf(
+        "    {\"name\": \"follower/catch_up\", \"commits\": %d, "
+        "\"catch_up_ms\": %.2f, \"applied_per_s\": %.0f, "
+        "\"chain_bytes\": %llu}",
+        commits, r.catch_up_ms, r.commits_per_s,
+        static_cast<unsigned long long>(r.chain_bytes));
+    std::fflush(stdout);
+  }
+
+  const LagResult lag =
+      RunLagConvergence(2000, dir + "/lag_primary", dir + "/lag_follower");
+  std::printf(",\n");
+  std::printf(
+      "    {\"name\": \"follower/lag_convergence\", \"commits\": %llu, "
+      "\"convergence_ms\": %.2f}",
+      static_cast<unsigned long long>(lag.commits), lag.convergence_ms);
+
+  std::printf("\n  ]\n}\n");
+  (void)fsutil::RemoveDirRecursive(dir);
+  return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate for every PR:
 #   1. tier-1: release-mode build + full ctest suite
-#   2. crash-torture sweep: the power-cut property harness over a bounded
-#      seed range (every seed fully determines the fault schedule; a
-#      failure prints the seed + schedule for one-command reproduction)
+#   2. crash-torture sweep: the power-cut property harnesses — single-node
+#      recovery AND two-node replication failover — over a bounded seed
+#      range (every seed fully determines the fault schedule; a failure
+#      prints the seed + schedule for one-command reproduction)
 #   3. ThreadSanitizer build + the concurrency/stress tests (the read- and
 #      commit-path invariants are concurrency properties — races like the
 #      PR 1 pin/watermark TOCTOU or a torn multi-group publication only
@@ -35,9 +36,18 @@ run_torture() {
   #   STREAMSI_TORTURE_SEEDS=<seed> ./build/property_crash_torture_property_test
   cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
   cmake --build "$REPO_ROOT/build" -j "$JOBS" \
-      --target property_crash_torture_property_test
+      --target property_crash_torture_property_test \
+               property_replication_failover_property_test
   STREAMSI_TORTURE_SEEDS="${STREAMSI_TORTURE_SEEDS:-25}" \
       "$REPO_ROOT/build/property_crash_torture_property_test"
+  # Two-node failover torture: the primary dies mid-ship under the same
+  # seeded power cuts, the follower is promoted, and the verifier checks
+  # zero acked-commit loss + group atomicity on the promoted node. Rerun a
+  # single seed with
+  #   STREAMSI_TORTURE_SEEDS=<seed> \
+  #       ./build/property_replication_failover_property_test
+  STREAMSI_TORTURE_SEEDS="${STREAMSI_TORTURE_SEEDS:-25}" \
+      "$REPO_ROOT/build/property_replication_failover_property_test"
 }
 
 run_tsan() {
@@ -59,6 +69,8 @@ run_tsan() {
     core_isolation_test
     core_si_protocol_test
     property_crash_torture_property_test
+    property_replication_failover_property_test
+    replication_replication_test
     mvcc_mvcc_growth_stress_test
     mvcc_mvcc_object_test
     property_read_path_model_test

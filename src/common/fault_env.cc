@@ -298,6 +298,15 @@ Result<std::unique_ptr<RandomAccessFile>> FaultEnv::NewRandomAccessFile(
 Status FaultEnv::CreateDirIfMissing(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  // Directory creation is a metadata write: it counts against the power-cut
+  // op budget like Append/Sync. When the cut lands here the mkdir itself
+  // reached the journal (applied-then-die, matching Append's partial-effect
+  // model) but the caller sees the failure.
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ConsumeOpForCut()) {
+    dirs_.insert(path);
+    return PowerCutError();
+  }
   dirs_.insert(path);
   return Status::OK();
 }
@@ -305,6 +314,16 @@ Status FaultEnv::CreateDirIfMissing(const std::string& path) {
 Status FaultEnv::RemoveFile(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  // unlink(2) is a power-cut-able metadata op: checkpoint prune and LSM
+  // segment deletes must be coverable by the torture harness. Budget
+  // crossing applies the unlink (it reached the disk as the power died),
+  // then reports the cut.
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  if (ConsumeOpForCut()) {
+    files_.erase(path);
+    return PowerCutError();
+  }
+  STREAMSI_RETURN_NOT_OK(schedule_.Check("env.remove"));
   files_.erase(path);  // idempotent, like unlink + ENOENT tolerance
   return Status::OK();
 }
@@ -312,6 +331,10 @@ Status FaultEnv::RemoveFile(const std::string& path) {
 Status FaultEnv::RemoveDirRecursive(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  // Counted as ONE op (tests/benches tear down whole trees at once).
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  const bool cut = ConsumeOpForCut();
+  if (!cut) STREAMSI_RETURN_NOT_OK(schedule_.Check("env.remove"));
   const std::string prefix = path + "/";
   for (auto it = files_.begin(); it != files_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -327,7 +350,7 @@ Status FaultEnv::RemoveDirRecursive(const std::string& path) {
       ++it;
     }
   }
-  return Status::OK();
+  return cut ? PowerCutError() : Status::OK();
 }
 
 bool FaultEnv::FileExists(const std::string& path) {
@@ -369,13 +392,23 @@ Status FaultEnv::ListDir(const std::string& path,
 Status FaultEnv::RenameFile(const std::string& from, const std::string& to) {
   std::lock_guard<std::mutex> lock(mutex_);
   STREAMSI_RETURN_NOT_OK(FailIfPowerCut());
+  // rename(2) counts against the power-cut budget (manifest/atomic-write
+  // publications are exactly the windows the torture harness wants to hit).
+  // A budget crossing applies the rename — it is atomic, so either it
+  // reached the disk whole or the caller's retry finds `from` intact; we
+  // model the "landed, then the lights went out" half.
+  op_count_.fetch_add(1, std::memory_order_relaxed);
+  const bool cut = ConsumeOpForCut();
+  if (!cut) STREAMSI_RETURN_NOT_OK(schedule_.Check("env.rename"));
   auto it = files_.find(from);
-  if (it == files_.end()) return Status::IoError("rename " + from);
+  if (it == files_.end()) {
+    return cut ? PowerCutError() : Status::IoError("rename " + from);
+  }
   // Modeled as atomic AND durable (the engine follows every publishing
   // rename with SyncDir, so the stricter model matches what it relies on).
   files_[to] = it->second;
   files_.erase(it);
-  return Status::OK();
+  return cut ? PowerCutError() : Status::OK();
 }
 
 Status FaultEnv::SyncDir(const std::string& dir) {

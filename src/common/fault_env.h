@@ -18,8 +18,14 @@
 //   * ENOSPC             — SetNoSpaceByteBudget(): appends past the budget
 //     fail with Status::NoSpace, like a full disk
 //   * EIO on the Nth op  — schedule().Arm("env.sync", n, ...) etc.
-//   * power cut at an op budget — CutPowerAfterOps(): the Nth write/sync
-//     tears mid-write and every later IO fails until CrashAndRecoverFs()
+//     (points: "env.append", "env.sync", "env.read", "env.rename",
+//     "env.remove")
+//   * power cut at an op budget — CutPowerAfterOps(): the Nth counted op
+//     (append, sync, rename, remove, mkdir) dies and every later IO fails
+//     until CrashAndRecoverFs(). Appends tear mid-write; metadata ops
+//     (rename/remove/mkdir) apply their effect first — the journal entry
+//     reached the disk as the power died — so checkpoint-prune and LSM
+//     segment-delete crash windows are honestly simulated.
 //
 // Everything is keyed on an op counter + a seeded RNG, so a failing test
 // reproduces from its seed alone.
@@ -95,8 +101,9 @@ class FaultEnv final : public Env {
   /// The shared injection-point schedule (see FaultSchedule).
   FaultSchedule& schedule() { return schedule_; }
 
-  /// After `ops` more write/sync operations, power is cut: the op that
-  /// crosses the budget tears (a seeded-random prefix of its bytes lands)
+  /// After `ops` more counted operations (append, sync, rename, remove,
+  /// mkdir), power is cut: an append that crosses the budget tears (a
+  /// seeded-random prefix of its bytes lands), a metadata op applies whole,
   /// and every later IO fails with IoError until CrashAndRecoverFs().
   /// 0 disarms.
   void CutPowerAfterOps(std::uint64_t ops);
@@ -127,7 +134,8 @@ class FaultEnv final : public Env {
 
   // ------------------------------------------------------ observability ---
 
-  /// Write/sync operations performed (the clock the cut budget runs on).
+  /// Counted operations performed — appends, syncs and metadata ops (the
+  /// clock the cut budget runs on).
   std::uint64_t OpCount() const { return op_count_.load(std::memory_order_relaxed); }
   std::uint64_t SyncCount() const { return sync_count_.load(std::memory_order_relaxed); }
   std::uint64_t TotalBytesWritten() const {

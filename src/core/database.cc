@@ -6,6 +6,8 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "replication/follower_applier.h"
+#include "replication/log_shipper.h"
 
 namespace streamsi {
 
@@ -14,12 +16,17 @@ Database::Database(const DatabaseOptions& options)
       env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 Database::~Database() {
-  // Shutdown ordering: the background checkpointer first (it walks the
-  // stores and writes the group log), then the epoch reclaimer reference
-  // BEFORE the member destructors tear the stores down. The stores'
-  // destructors run their own bounded reclaim passes, and no detached
-  // thread may be sweeping epoch garbage during (or after, into static
-  // destruction) the teardown of the structures that produce it.
+  // Shutdown ordering: replication first — the shipper reads the group log
+  // and the applier installs into the stores, so both must stop before
+  // anything they touch goes away (the shipper's Stop also drains one last
+  // round, so a cleanly closed primary leaves its follower current). Then
+  // the background checkpointer (it walks the stores and writes the group
+  // log), then the epoch reclaimer reference BEFORE the member destructors
+  // tear the stores down. The stores' destructors run their own bounded
+  // reclaim passes, and no detached thread may be sweeping epoch garbage
+  // during (or after, into static destruction) the teardown of the
+  // structures that produce it.
+  if (applier_ != nullptr) applier_->Stop();
   {
     std::lock_guard<std::mutex> guard(checkpointer_mutex_);
     stop_checkpointer_ = true;
@@ -29,6 +36,9 @@ Database::~Database() {
   if (reclaimer_started_) EpochManager::Global().StopBackgroundReclaimer();
   if (group_log_ != nullptr) group_log_->Close();
   if (catalog_ != nullptr) catalog_->Close();
+  // After Close flushed the last buffered records: the shipper's Stop runs
+  // a final drain round over the (now complete) on-disk chain.
+  if (shipper_ != nullptr) shipper_->Stop();
 }
 
 Result<std::unique_ptr<Database>> Database::Open(
@@ -39,16 +49,40 @@ Result<std::unique_ptr<Database>> Database::Open(
     return Status::InvalidArgument("unknown protocol");
   }
 
+  const ReplicationRole role = options.replication.role;
+  db->follower_mode_ = role == ReplicationRole::kFollower;
+  if (db->follower_mode_ && options.base_dir.empty()) {
+    return Status::InvalidArgument(
+        "replication follower requires base_dir (the shipped chain and the "
+        "replayed state tables live there)");
+  }
+  if (role == ReplicationRole::kPrimary &&
+      options.replication.transport == nullptr) {
+    return Status::InvalidArgument("replication primary requires a transport");
+  }
+
   const bool durable =
-      !options.base_dir.empty() &&
+      !db->follower_mode_ && !options.base_dir.empty() &&
       options.backend_options.sync_mode != SyncMode::kNone &&
       options.backend == BackendType::kLsm;
+  if (role == ReplicationRole::kPrimary && !durable) {
+    // An acked-but-volatile commit shipped to a follower would survive the
+    // primary while officially never having been durable — refuse the
+    // ambiguity up front.
+    return Status::InvalidArgument(
+        "replication primary requires a durable database "
+        "(base_dir + LSM backend + a sync mode)");
+  }
   if (!options.base_dir.empty()) {
     STREAMSI_RETURN_NOT_OK(db->env_->CreateDirIfMissing(options.base_dir));
-    db->group_log_ = std::make_unique<GroupCommitLog>(
-        options.backend_options.sync_mode,
-        options.backend_options.simulated_sync_micros, db->env_);
-    STREAMSI_RETURN_NOT_OK(db->group_log_->Open(db->GroupLogPath()));
+    // A follower opens NO writer over the shipped files: the chain is the
+    // transport's to append and the applier's to read.
+    if (!db->follower_mode_) {
+      db->group_log_ = std::make_unique<GroupCommitLog>(
+          options.backend_options.sync_mode,
+          options.backend_options.simulated_sync_micros, db->env_);
+      STREAMSI_RETURN_NOT_OK(db->group_log_->Open(db->GroupLogPath()));
+    }
   }
 
   Database* raw = db.get();
@@ -64,6 +98,9 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->txn_manager_->SetHealthHooks(
       [raw] { return raw->AdmitCommit(); },
       [raw](const Status& status) { raw->NoteIoFailure(status); });
+  if (role == ReplicationRole::kPrimary) {
+    db->txn_manager_->SetReplicationEnabled(true);
+  }
   if (options.background_epoch_reclaim) {
     EpochManager::Global().StartBackgroundReclaimer(
         std::chrono::milliseconds(options.epoch_reclaim_interval_ms));
@@ -74,14 +111,54 @@ Result<std::unique_ptr<Database>> Database::Open(
   // recover before returning — the application does not have to re-issue
   // its CreateState/CreateGroup calls (and a first-time directory simply
   // has an empty catalog).
-  if (!options.base_dir.empty()) {
+  if (!options.base_dir.empty() && !db->follower_mode_) {
     db->catalog_ = std::make_unique<StateCatalog>(
         options.backend_options.sync_mode,
         options.backend_options.simulated_sync_micros, db->env_);
     const bool had_catalog = db->env_->FileExists(db->CatalogPath());
-    if (had_catalog) STREAMSI_RETURN_NOT_OK(db->ReplayCatalog());
+    if (had_catalog) STREAMSI_RETURN_NOT_OK(db->ApplyCatalogTail());
     STREAMSI_RETURN_NOT_OK(db->catalog_->Open(db->CatalogPath()));
     if (had_catalog) STREAMSI_RETURN_NOT_OK(db->RecoverInternal());
+  }
+
+  if (db->follower_mode_) {
+    // A follower's state is rebuilt from the shipped chain ALONE, applied
+    // in commit order — never from its backends, whose contents interleave
+    // arbitrarily with the stream and would install versions out of order
+    // under concurrent readers. The chain is complete from its birth (an
+    // unpromoted follower refuses checkpoints, so it never prunes), which
+    // also makes a follower restart a plain re-apply.
+    STREAMSI_RETURN_NOT_OK(db->ApplyCatalogTail());
+    {
+      ExclusiveGuard guard(db->stores_latch_);
+      db->recovered_ = true;  // reads serve the replayed cut from round one
+    }
+    FollowerApplier::Hooks hooks;
+    hooks.refresh_catalog = [raw] { return raw->ApplyCatalogTail(); };
+    hooks.resolve = [raw](StateId id) { return raw->GetState(id); };
+    hooks.on_corruption = [raw](const Status& status) {
+      raw->TransitionTo(DatabaseHealth::kFailed, status);
+    };
+    FollowerApplier::Options apply_options;
+    apply_options.interval_ms = options.replication.apply_interval_ms;
+    apply_options.verify_crc = options.replication.verify_shipped_crc;
+    db->applier_ = std::make_unique<FollowerApplier>(
+        db->env_, db->GroupLogPath(),
+        options.base_dir + "/" + kPrimaryWatermarkFile, &db->context_,
+        std::move(hooks), apply_options);
+    if (!options.replication.manual_pump) db->applier_->Start();
+  } else if (role == ReplicationRole::kPrimary) {
+    LogShipper::Options ship_options;
+    ship_options.interval_ms = options.replication.ship_interval_ms;
+    ship_options.retry_limit = options.replication.ship_retry_limit;
+    ship_options.retry_backoff_ms = options.replication.ship_retry_backoff_ms;
+    // Constructed BEFORE the checkpointer can run: the shipper pins the
+    // log's retain floor, so no checkpoint ever prunes an unshipped
+    // segment.
+    db->shipper_ = std::make_unique<LogShipper>(
+        db->env_, db->group_log_.get(), db->GroupLogPath(), db->CatalogPath(),
+        options.replication.transport, &db->context_, ship_options);
+    if (!options.replication.manual_pump) db->shipper_->Start();
   }
 
   if (options.checkpoint_interval_ms > 0 && db->group_log_ != nullptr) {
@@ -94,11 +171,15 @@ std::string Database::StateDir(const std::string& name) const {
   return options_.base_dir + "/state_" + name;
 }
 
-Status Database::ReplayCatalog() {
+Status Database::ApplyCatalogTail() {
+  if (!env_->FileExists(CatalogPath())) return Status::OK();
   std::vector<StateCatalog::Declaration> declarations;
   STREAMSI_RETURN_NOT_OK(
       StateCatalog::Replay(CatalogPath(), &declarations, env_));
-  for (const auto& decl : declarations) {
+  // Only the not-yet-applied suffix: on a follower this runs every apply
+  // round against a file that keeps growing as catalog chunks ship in.
+  for (std::size_t i = catalog_applied_; i < declarations.size(); ++i) {
+    const auto& decl = declarations[i];
     if (decl.kind == StateCatalog::Declaration::Kind::kState) {
       auto store = CreateStateInternal(decl.state.name, &decl.state);
       if (!store.ok()) return store.status();
@@ -115,10 +196,12 @@ Status Database::ReplayCatalog() {
         return Status::Corruption("catalog group id mismatch");
       }
       if (decl.group.singleton && !decl.group.states.empty()) {
+        ExclusiveGuard guard(stores_latch_);
         singleton_groups_[decl.group.states[0]] = id;
       }
     }
   }
+  catalog_applied_ = declarations.size();
   return Status::OK();
 }
 
@@ -128,6 +211,13 @@ Result<VersionedStore*> Database::CreateState(const std::string& name) {
     SharedGuard guard(stores_latch_);
     auto it = stores_by_name_.find(name);
     if (it != stores_by_name_.end()) return stores_[it->second].get();
+  }
+  if (IsUnpromotedFollower()) {
+    // The schema is replicated: a locally declared state would fork the
+    // id sequence away from the primary's catalog.
+    return Status::Unavailable(
+        "follower schema is replicated from the primary; declare the state "
+        "there (or Promote() first)");
   }
   return CreateStateInternal(name, nullptr);
 }
@@ -143,6 +233,9 @@ Result<VersionedStore*> Database::CreateStateInternal(
       return Status::InvalidArgument("LSM backend requires base_dir");
     }
     location = declared != nullptr ? declared->location : StateDir(name);
+    // A follower replays the PRIMARY's catalog records, whose locations
+    // are paths on the primary; its stores live under OUR base_dir.
+    if (follower_mode_) location = StateDir(name);
     backend_options.path = location;
   }
   backend_options.env = env_;
@@ -199,9 +292,11 @@ Result<VersionedStore*> Database::CreateStateInternal(
   if (context_.RegisterState(name, location) != id) {
     return Status::Corruption("state registry out of sync with store table");
   }
-  if (declared != nullptr && has_data) {
+  if (declared != nullptr && has_data && !follower_mode_) {
     // Catalog reopen: defer the (possibly large) version-array load to the
-    // parallel recovery fan-out.
+    // parallel recovery fan-out. Never on a follower: its state is rebuilt
+    // from the shipped chain in commit order, and backend contents would
+    // install versions out of order under concurrent readers.
     pending_loads_.push_back(id);
   }
   stores_.push_back(std::move(store));
@@ -221,6 +316,11 @@ Result<VersionedStore*> Database::CreateStateInternal(
 }
 
 GroupId Database::CreateGroup(const std::vector<StateId>& states) {
+  if (IsUnpromotedFollower()) {
+    STREAMSI_WARN("follower topology is replicated from the primary; "
+                  "CreateGroup refused");
+    return kInvalidGroupId;
+  }
   ExclusiveGuard guard(stores_latch_);
   // Idempotent re-declaration: an identical explicit topology (same state
   // set) is the same group. Singleton groups are exempt — an explicit
@@ -456,6 +556,15 @@ HealthReport Database::Health() const {
       commit_io_failures_.load(std::memory_order_relaxed);
   report.degraded_commit_rejections =
       degraded_commit_rejections_.load(std::memory_order_relaxed);
+  // Replication stats BEFORE taking the stores latch: the applier thread
+  // holds its own mutex while registering shipped states (exclusive latch),
+  // so touching it while we hold the latch shared would deadlock.
+  report.replication_configured =
+      options_.replication.role != ReplicationRole::kNone;
+  report.promoted = promoted_.load(std::memory_order_acquire);
+  report.follower = follower_mode_ && !report.promoted;
+  if (shipper_ != nullptr) report.replication = shipper_->Stats();
+  if (applier_ != nullptr) report.replication = applier_->Stats();
   SharedGuard guard(stores_latch_);
   report.stores.reserve(stores_.size());
   for (const auto& store : stores_) {
@@ -519,6 +628,11 @@ void Database::NoteBackgroundFailure(const Status& status) {
 }
 
 Status Database::AdmitCommit() {
+  if (IsUnpromotedFollower()) {
+    degraded_commit_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "follower is read-only; call Promote() to accept writes");
+  }
   if (health_.load(std::memory_order_relaxed) == DatabaseHealth::kHealthy) {
     return Status::OK();
   }
@@ -529,6 +643,14 @@ Status Database::AdmitCommit() {
 }
 
 Status Database::Checkpoint() {
+  if (IsUnpromotedFollower()) {
+    // BEFORE the volatile short-circuit (a follower has no log writer): a
+    // follower checkpoint would prune the shipped chain — the only place
+    // its state can be rebuilt from — and must be refused loudly, not
+    // silently "succeed".
+    return Status::Unavailable(
+        "follower is read-only; checkpoints run on the primary");
+  }
   if (group_log_ == nullptr) return Status::OK();  // volatile: nothing to cut
   if (health_.load(std::memory_order_relaxed) != DatabaseHealth::kHealthy) {
     // A degraded database cannot make progress durable — and pruning
@@ -608,6 +730,76 @@ Status Database::DoCheckpoint() {
   STREAMSI_RETURN_NOT_OK(group_log_->PruneObsoleteSegments());
   checkpoints_completed_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status Database::Promote() {
+  if (!follower_mode_) {
+    return Status::InvalidArgument(
+        "Promote() is only valid on a replication follower");
+  }
+  if (promoted_.load(std::memory_order_acquire)) return Status::OK();
+  // 1. Stop continuous apply, then drain to the end of the shipped stream:
+  //    an acked commit on the (dead) primary was synced before its
+  //    committer returned, so its record is inside the chain's valid prefix
+  //    — which the caller drains over (LogShipper::DrainFiles) before
+  //    promoting. Applying it here is what makes promotion lose nothing.
+  if (applier_ != nullptr) {
+    applier_->Stop();
+    STREAMSI_RETURN_NOT_OK(applier_->DrainFully());
+  }
+  if (health_.load(std::memory_order_relaxed) == DatabaseHealth::kFailed) {
+    std::lock_guard<std::mutex> guard(health_mutex_);
+    return Status::Unavailable("follower integrity in doubt; promotion "
+                               "refused: " +
+                               first_health_error_.ToString());
+  }
+  // 2. Promotion IS recovery: the standard parallel recovery replays the
+  //    shipped chain (equal to the applied state now that the drain caught
+  //    up), purges any version beyond the exact committed-record set and
+  //    fast-forwards the clock — the same machinery a crashed primary
+  //    restarts through, torture-tested in both roles.
+  STREAMSI_RETURN_NOT_OK(RecoverInternal());
+  // 3. Take over the chain as OUR durable log. Open() retires a torn
+  //    newest segment in place, so new commit records never land behind
+  //    garbage bytes the dead primary left mid-frame.
+  auto log = std::make_unique<GroupCommitLog>(
+      options_.backend_options.sync_mode,
+      options_.backend_options.simulated_sync_micros, env_);
+  STREAMSI_RETURN_NOT_OK(log->Open(GroupLogPath()));
+  auto catalog = std::make_unique<StateCatalog>(
+      options_.backend_options.sync_mode,
+      options_.backend_options.simulated_sync_micros, env_);
+  STREAMSI_RETURN_NOT_OK(catalog->Open(CatalogPath()));
+  group_log_ = std::move(log);
+  catalog_ = std::move(catalog);
+  const bool durable =
+      options_.backend_options.sync_mode != SyncMode::kNone &&
+      options_.backend == BackendType::kLsm;
+  // Quiescent by construction: an unpromoted follower admits no write
+  // commit, so no commit is in flight while the log is swapped in.
+  txn_manager_->SetGroupLog(group_log_.get(), durable);
+  // Keep writing data-carrying records: a fresh follower can attach to the
+  // promoted node's chain.
+  txn_manager_->SetReplicationEnabled(true);
+  promoted_.store(true, std::memory_order_release);
+  if (options_.checkpoint_interval_ms > 0 && !checkpointer_.joinable()) {
+    checkpointer_ = std::thread(&Database::CheckpointLoop, this);
+  }
+  return Status::OK();
+}
+
+Status Database::ShipNow() {
+  if (shipper_ == nullptr) {
+    return Status::InvalidArgument("not a replication primary");
+  }
+  return shipper_->ShipOnce();
+}
+
+Status Database::ApplyShippedNow() {
+  if (applier_ == nullptr) {
+    return Status::InvalidArgument("not a replication follower");
+  }
+  return applier_->ApplyOnce();
 }
 
 void Database::CheckpointLoop() {

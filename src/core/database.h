@@ -18,12 +18,16 @@
 #include "core/group_commit_log.h"
 #include "core/state_catalog.h"
 #include "core/transaction_manager.h"
+#include "replication/transport.h"
 #include "storage/backend.h"
 #include "txn/protocol.h"
 #include "txn/state_context.h"
 #include "txn/versioned_store.h"
 
 namespace streamsi {
+
+class LogShipper;
+class FollowerApplier;
 
 struct DatabaseOptions {
   /// Concurrency-control protocol for all states.
@@ -57,6 +61,28 @@ struct DatabaseOptions {
   /// nullptr => Env::Default() (POSIX). Tests inject a FaultEnv here to
   /// simulate power cuts, torn writes, full disks and failing syncs.
   Env* env = nullptr;
+  /// Single-primary log-shipping replication (see src/replication/).
+  struct Replication {
+    ReplicationRole role = ReplicationRole::kNone;
+    /// Primary only: where the log streams to (borrowed; must outlive the
+    /// database). Typically an EnvFileTransport aimed at the follower's
+    /// base_dir.
+    ShipTransport* transport = nullptr;
+    /// Cadences of the background ship/apply loops.
+    std::uint32_t ship_interval_ms = 2;
+    std::uint32_t apply_interval_ms = 2;
+    /// Consecutive failed ship rounds before Health() reports the link
+    /// down (shipping keeps retrying; the primary stays writable).
+    std::uint32_t ship_retry_limit = 5;
+    std::uint32_t ship_retry_backoff_ms = 1;
+    /// Tests: no background ship/apply threads; drive the link manually
+    /// with ShipNow()/ApplyShippedNow() for deterministic interleavings.
+    bool manual_pump = false;
+    /// Negative-control knob (torture harness): false makes the follower
+    /// apply shipped frames without verifying their CRCs.
+    bool verify_shipped_crc = true;
+  };
+  Replication replication;
   /// Deliberate protocol misorderings, compiled in so the crash-torture
   /// harness can prove it would catch a real bug (negative controls).
   struct TestHooks {
@@ -99,6 +125,15 @@ struct HealthReport {
     std::uint64_t flush_retries;  ///< background retry attempts so far
   };
   std::vector<StoreHealth> stores;
+  /// Replication link state (meaningful when replication_configured).
+  bool replication_configured = false;
+  /// Serving replayed snapshots only; write commits fail fast Unavailable.
+  bool follower = false;
+  /// Was a follower, now writable (Promote() completed).
+  bool promoted = false;
+  /// Shipper stats on a primary, applier stats on a follower — including
+  /// the staleness lag (primary watermark - follower watermark).
+  ReplicationStats replication;
 };
 
 class Database {
@@ -163,6 +198,36 @@ class Database {
   /// and every store's background status + flush retry count.
   HealthReport Health() const;
 
+  /// True while this database is a replication follower that has not been
+  /// promoted: reads serve the replayed per-group LastCTS cut, write
+  /// commits and checkpoints fail fast with Unavailable.
+  bool IsUnpromotedFollower() const {
+    return options_.replication.role == ReplicationRole::kFollower &&
+           !promoted_.load(std::memory_order_acquire);
+  }
+
+  /// Promotes a follower to writable. Promotion IS recovery: the applier is
+  /// stopped and drained to the end of the shipped stream (Unavailable if
+  /// it cannot catch up — e.g. a mid-frame tail the dead primary never
+  /// completed is NOT a reason to fail, but a sticky Corruption is), then
+  /// the standard parallel recovery replays the shipped chain, purges
+  /// anything beyond the exact committed-record set and fast-forwards the
+  /// clock; finally the chain is reopened for appending (a torn newest
+  /// segment is retired exactly like a crashed primary's would be) and the
+  /// commit path flips writable. Idempotent. The promoted database keeps
+  /// writing kReplicatedCommit records, so a fresh follower can attach to
+  /// its chain (as long as no checkpoint has pruned it yet — a follower
+  /// refuses a chain that does not start at its birth). To restart a
+  /// promoted node from disk, reopen its directory as a standalone (or
+  /// primary) database: it is a normal durable directory by then, and the
+  /// standard Open-time recovery applies.
+  Status Promote();
+
+  /// Manual replication pumping (manual_pump mode and tests): one ship
+  /// round on a primary / one apply round on a follower.
+  Status ShipNow();
+  Status ApplyShippedNow();
+
   StateContext& context() { return context_; }
   TransactionManager& txn_manager() { return *txn_manager_; }
   ConcurrencyProtocol& protocol() { return *protocol_; }
@@ -191,8 +256,11 @@ class Database {
   /// are assigned race-free.
   Result<VersionedStore*> CreateStateInternal(
       const std::string& name, const StateCatalog::StateRecord* declared);
-  /// Replays the catalog: reopens every declared state and group.
-  Status ReplayCatalog();
+  /// Replays catalog declarations not applied yet (reopening every newly
+  /// declared state and group). Re-runnable: Open uses it for the initial
+  /// replay, a follower's applier calls it each round to pick up schema the
+  /// primary declared since.
+  Status ApplyCatalogTail();
   Status RecoverInternal();
   /// The checkpoint protocol body; Checkpoint() wraps it with health
   /// admission and failure classification.
@@ -224,6 +292,20 @@ class Database {
   std::unique_ptr<GroupCommitLog> group_log_;
   std::unique_ptr<StateCatalog> catalog_;
   std::unique_ptr<TransactionManager> txn_manager_;
+
+  /// Replication machinery (at most one of the two, per role).
+  std::unique_ptr<LogShipper> shipper_;
+  std::unique_ptr<FollowerApplier> applier_;
+  /// Follower flipped writable by Promote().
+  std::atomic<bool> promoted_{false};
+  /// Catalog declarations already applied (Open thread, then only the
+  /// applier thread via ApplyCatalogTail).
+  std::size_t catalog_applied_ = 0;
+  /// Opened with role kFollower: catalog replay remaps state locations into
+  /// OUR base_dir (the primary's declared paths are its own) and never
+  /// schedules backend loads — follower state is rebuilt from the shipped
+  /// stream alone.
+  bool follower_mode_ = false;
 
   /// Health machine. The state itself is a lock-free atomic (read on every
   /// commit admission); the mutex only guards the first-error record.

@@ -24,6 +24,10 @@ Status ReplaySegment(Env* env, const std::string& path,
         const char* p = payload.data();
         const char* limit = p + payload.size();
         switch (type) {
+          // kReplicatedCommit = kGroupCommit prefix + the commit's write
+          // sets appended; the prefix decode below reads exactly the prefix
+          // and ignores the suffix, so both kinds share one case.
+          case WalRecordType::kReplicatedCommit:
           case WalRecordType::kGroupCommit: {
             std::uint32_t count = 0;
             p = GetVarint32(p, limit, &count);
@@ -153,7 +157,8 @@ Status GroupCommitLog::Open(const std::string& path) {
 }
 
 Status GroupCommitLog::RecordCommit(const GroupId* groups, std::size_t count,
-                                    Timestamp cts, bool sync) {
+                                    Timestamp cts, bool sync,
+                                    std::string_view replicated_data) {
   if (failures_to_inject_.load(std::memory_order_relaxed) > 0 &&
       failures_to_inject_.fetch_sub(1, std::memory_order_relaxed) > 0) {
     return Status::IoError("injected group-commit log failure");
@@ -163,7 +168,11 @@ Status GroupCommitLog::RecordCommit(const GroupId* groups, std::size_t count,
   PutVarint32(&payload, static_cast<std::uint32_t>(count));
   for (std::size_t i = 0; i < count; ++i) PutVarint32(&payload, groups[i]);
   PutVarint64(&payload, cts);
-  return writer_.Append(WalRecordType::kGroupCommit, payload, sync);
+  if (replicated_data.empty()) {
+    return writer_.Append(WalRecordType::kGroupCommit, payload, sync);
+  }
+  payload.append(replicated_data.data(), replicated_data.size());
+  return writer_.Append(WalRecordType::kReplicatedCommit, payload, sync);
 }
 
 Status GroupCommitLog::ConsumeFault(CheckpointFault point) {
@@ -203,10 +212,11 @@ Status GroupCommitLog::WriteCheckpoint(
 Status GroupCommitLog::PruneObsoleteSegments() {
   STREAMSI_RETURN_NOT_OK(ConsumeFault(CheckpointFault::kBeforePrune));
   std::lock_guard<std::mutex> guard(segments_mutex_);
+  const std::uint64_t floor = retain_floor_.load(std::memory_order_relaxed);
   Status first_error;
   std::vector<std::uint64_t> kept;
   for (std::uint64_t n : segments_) {
-    if (n == current_segment_) {
+    if (n == current_segment_ || n >= floor) {
       kept.push_back(n);
       continue;
     }
@@ -218,6 +228,24 @@ Status GroupCommitLog::PruneObsoleteSegments() {
   }
   segments_ = std::move(kept);
   return first_error;
+}
+
+void GroupCommitLog::ListLiveSegments(
+    std::vector<std::uint64_t>* numbers) const {
+  std::lock_guard<std::mutex> guard(segments_mutex_);
+  *numbers = segments_;
+}
+
+Status GroupCommitLog::TailFrom(Env* env, const std::string& path,
+                                std::uint64_t offset, std::string* out) {
+  out->clear();
+  if (env == nullptr) env = Env::Default();
+  std::string contents;
+  STREAMSI_RETURN_NOT_OK(env->ReadFileToString(path, &contents));
+  const std::uint64_t valid = WalReader::ValidFramePrefix(contents);
+  if (offset >= valid) return Status::OK();
+  out->assign(contents, offset, valid - offset);
+  return Status::OK();
 }
 
 std::uint64_t GroupCommitLog::current_segment() const {

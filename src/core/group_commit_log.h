@@ -62,9 +62,13 @@ class GroupCommitLog {
   /// Appends one commit's whole publication — every affected group advances
   /// to `cts` — as a single all-or-nothing record. The payload buffer is
   /// thread-local and reused, so steady-state commits encode without heap
-  /// allocation.
+  /// allocation. When `replicated_data` is non-empty the record is written
+  /// as kReplicatedCommit with that buffer appended after the group/cts
+  /// prefix — the write sets ride the same record so a shipped log replays
+  /// on a follower with no other data channel (still ONE Append+Sync per
+  /// group-commit batch; shipping itself stays off the commit path).
   Status RecordCommit(const GroupId* groups, std::size_t count, Timestamp cts,
-                      bool sync);
+                      bool sync, std::string_view replicated_data = {});
 
   /// Records written / batches synced (group-commit amortization ratio).
   std::uint64_t batches_written() const { return writer_.batches_written(); }
@@ -79,10 +83,20 @@ class GroupCommitLog {
   Status WriteCheckpoint(const std::pair<GroupId, Timestamp>* cut,
                          std::size_t count);
 
-  /// Deletes every segment older than the current one. Failures leave the
-  /// stale segments in place — replay stays correct (max-merge), only the
-  /// disk footprint suffers until the next checkpoint retries.
+  /// Deletes every segment older than the current one, except those at or
+  /// above the retain floor (a replication slot: the shipper holds back
+  /// segments it has not fully streamed yet). Failures leave the stale
+  /// segments in place — replay stays correct (max-merge), only the disk
+  /// footprint suffers until the next checkpoint retries.
   Status PruneObsoleteSegments();
+
+  /// Replication slot: segments numbered >= `segment` survive pruning until
+  /// the shipper advances the floor. kNoRetainFloor (the default) retains
+  /// nothing extra.
+  static constexpr std::uint64_t kNoRetainFloor = ~0ull;
+  void SetRetainFloor(std::uint64_t segment) {
+    retain_floor_.store(segment, std::memory_order_relaxed);
+  }
 
   /// Newest (currently appended-to) segment number.
   std::uint64_t current_segment() const;
@@ -90,6 +104,32 @@ class GroupCommitLog {
   std::size_t SegmentCount() const;
   /// Total on-disk bytes across live segments.
   std::uint64_t TotalSizeBytes() const;
+
+  // ------------------------------------------------- replication read API ---
+
+  /// The on-disk path of segment `n` of the chain rooted at `root` (n == 0
+  /// is the bare root name).
+  static std::string SegmentPath(const std::string& root, std::uint64_t n);
+
+  /// All on-disk segment numbers of the chain at `root`, ascending. Static:
+  /// a follower enumerates a SHIPPED chain it has no writer over.
+  static Status ListSegmentsOnDisk(Env* env, const std::string& root,
+                                   std::vector<std::uint64_t>* numbers) {
+    return ListSegments(env != nullptr ? env : Env::Default(), root, numbers);
+  }
+
+  /// Snapshot of this log's live segment numbers, ascending (current
+  /// included) — the shipper's work list, consistent under the log's own
+  /// bookkeeping instead of a racy directory scan.
+  void ListLiveSegments(std::vector<std::uint64_t>* numbers) const;
+
+  /// Reads the frame-aligned tail of `path` past `offset`: the bytes
+  /// [offset, L) where L is the valid-frame prefix of the file — only
+  /// whole, CRC-complete frames are ever handed out, so shipped bytes
+  /// always replay to whole records. `offset` beyond L yields empty (the
+  /// receiver is ahead of the durable prefix; nothing to ship).
+  static Status TailFrom(Env* env, const std::string& path,
+                         std::uint64_t offset, std::string* out);
 
   // ----------------------------------------------------------- recovery ---
 
@@ -99,7 +139,7 @@ class GroupCommitLog {
     std::uint64_t records = 0;
     bool from_checkpoint = false;
     /// Exact timestamps of the individual commit records replayed
-    /// (kGroupCommit + legacy kCheckpoint). Recovery needs the exact set,
+    /// (kGroupCommit, kReplicatedCommit + legacy kCheckpoint). Recovery needs the exact set,
     /// not just the per-group max: a commit whose record never landed
     /// (aborted at the durability point) can hold a cts BELOW a later
     /// commit that did log — a single watermark would resurrect its
@@ -148,7 +188,6 @@ class GroupCommitLog {
   }
 
  private:
-  static std::string SegmentPath(const std::string& root, std::uint64_t n);
   /// All on-disk segment numbers of the chain at `root`, ascending.
   static Status ListSegments(Env* env, const std::string& root,
                              std::vector<std::uint64_t>* numbers);
@@ -163,6 +202,7 @@ class GroupCommitLog {
   std::uint64_t current_segment_ = 0;    ///< under segments_mutex_
   std::atomic<int> failures_to_inject_{0};
   std::atomic<CheckpointFault> checkpoint_fault_{CheckpointFault::kNone};
+  std::atomic<std::uint64_t> retain_floor_{kNoRetainFloor};
 };
 
 }  // namespace streamsi

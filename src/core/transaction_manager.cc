@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/coding.h"
 #include "common/logging.h"
 
 namespace streamsi {
@@ -298,8 +299,37 @@ Status TransactionManager::GlobalCommit(Transaction& txn) {
     context_->CollectGroupsOf(state, &groups);
   }
   if (group_log_ != nullptr && durable_group_log_ && !groups.empty()) {
-    const Status log_status = group_log_->RecordCommit(
-        groups.data(), groups.size(), commit_ts, /*sync=*/true);
+    // Replication piggybacks the write sets onto the SAME record (still one
+    // Append+Sync per group-commit batch): a follower replays data from the
+    // shipped log alone. Encoded into a reused thread-local buffer, like
+    // the record prefix itself.
+    std::string_view replicated_data;
+    if (replicate_commits_) {
+      thread_local std::string ship_payload;
+      ship_payload.clear();
+      PutVarint32(&ship_payload, static_cast<std::uint32_t>(written.size()));
+      for (StateId state : written) {
+        const WriteSet* ws = txn.FindWriteSet(state);
+        PutVarint32(&ship_payload, state);
+        PutVarint32(&ship_payload,
+                    static_cast<std::uint32_t>(ws->entries().size()));
+        ws->ForEachEffective([&](std::string_view key, std::string_view value,
+                                 bool is_delete) {
+          PutVarint32(&ship_payload, static_cast<std::uint32_t>(key.size()));
+          ship_payload.append(key.data(), key.size());
+          ship_payload.push_back(is_delete ? '\1' : '\0');
+          if (!is_delete) {
+            PutVarint32(&ship_payload,
+                        static_cast<std::uint32_t>(value.size()));
+            ship_payload.append(value.data(), value.size());
+          }
+        });
+      }
+      replicated_data = ship_payload;
+    }
+    const Status log_status =
+        group_log_->RecordCommit(groups.data(), groups.size(), commit_ts,
+                                 /*sync=*/true, replicated_data);
     if (!log_status.ok()) {
       STREAMSI_WARN("group commit log write failed, aborting commit: "
                     << log_status.ToString());

@@ -137,6 +137,28 @@ class TransactionManager {
     commit_failure_observer_ = std::move(observer);
   }
 
+  /// Write-transaction admission probe: the same gate GlobalCommit
+  /// consults, exposed so writers (stream batches) can fail fast at BOT
+  /// against a read-only database instead of doing a batch of work that
+  /// can only be rejected at commit.
+  Status AdmitWrites() const {
+    return commit_admission_ ? commit_admission_() : Status::OK();
+  }
+
+  /// Replication: encode each commit's write sets into its durable record
+  /// (kReplicatedCommit instead of kGroupCommit) so the shipped log replays
+  /// on a follower with no other data channel. Call before serving traffic.
+  void SetReplicationEnabled(bool enabled) { replicate_commits_ = enabled; }
+
+  /// Promotion: installs the (fresh) group-commit log after a follower
+  /// becomes writable. Not thread-safe against in-flight commits — the
+  /// caller guarantees none exist (an unpromoted follower admits no write
+  /// commit, so the commit path is quiescent when this runs).
+  void SetGroupLog(GroupCommitLog* group_log, bool durable) {
+    group_log_ = group_log;
+    durable_group_log_ = durable;
+  }
+
  private:
   friend class TransactionHandle;
 
@@ -163,6 +185,7 @@ class TransactionManager {
   StoreResolver resolver_;
   GroupCommitLog* group_log_;
   bool durable_group_log_;
+  bool replicate_commits_ = false;
   CommitAdmission commit_admission_;
   CommitFailureObserver commit_failure_observer_;
   TxnCounters counters_;

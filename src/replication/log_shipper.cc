@@ -1,0 +1,175 @@
+#include "replication/log_shipper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace streamsi {
+
+LogShipper::LogShipper(Env* env, GroupCommitLog* log, std::string log_root,
+                       std::string catalog_path, ShipTransport* transport,
+                       StateContext* context, Options options)
+    : env_(env != nullptr ? env : Env::Default()),
+      log_(log),
+      log_root_(std::move(log_root)),
+      catalog_path_(std::move(catalog_path)),
+      transport_(transport),
+      context_(context),
+      options_(options) {
+  // Retain everything until the first successful round has established what
+  // the follower actually has — a checkpoint racing the first round must
+  // not prune a segment that was never shipped.
+  log_->SetRetainFloor(0);
+}
+
+LogShipper::~LogShipper() { Stop(); }
+
+void LogShipper::Start() {
+  {
+    std::lock_guard<std::mutex> guard(loop_mutex_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    stats_.active = true;
+  }
+  thread_ = std::thread(&LogShipper::Loop, this);
+}
+
+void LogShipper::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(loop_mutex_);
+    stop_ = true;
+  }
+  loop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    stats_.active = false;
+  }
+  // Final drain: whatever became durable since the last round (including
+  // the batch a destructor-driven Close just flushed) still ships. Best
+  // effort — the primary may already be dead/cut.
+  (void)ShipOnce();
+}
+
+void LogShipper::Loop() {
+  std::unique_lock<std::mutex> lk(loop_mutex_);
+  while (!stop_) {
+    lk.unlock();
+    const Status status = ShipOnce();
+    std::uint32_t backoff_ms = 0;
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      backoff_ms = options_.retry_backoff_ms *
+                   std::min<std::uint32_t>(consecutive_failures_, 8);
+    }
+    lk.lock();
+    loop_cv_.wait_for(
+        lk, std::chrono::milliseconds(options_.interval_ms + backoff_ms),
+        [&] { return stop_; });
+  }
+}
+
+std::string LogShipper::BaseName(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Status LogShipper::ShipFile(Env* env, ShipTransport* transport,
+                            const std::string& path, const std::string& name,
+                            std::uint64_t* bytes_shipped) {
+  auto have = transport->Size(name);
+  if (!have.ok()) return have.status();
+  std::string tail;
+  STREAMSI_RETURN_NOT_OK(GroupCommitLog::TailFrom(env, path, *have, &tail));
+  if (tail.empty()) return Status::OK();  // caught up (or receiver ahead)
+  STREAMSI_RETURN_NOT_OK(transport->Append(name, *have, tail));
+  *bytes_shipped += tail.size();
+  return Status::OK();
+}
+
+Status LogShipper::ShipRound(std::uint64_t* bytes_shipped) {
+  // Catalog first: a commit record referencing a state the follower has
+  // never heard of would stall its applier for a full round.
+  if (env_->FileExists(catalog_path_)) {
+    STREAMSI_RETURN_NOT_OK(ShipFile(env_, transport_, catalog_path_,
+                                    BaseName(catalog_path_), bytes_shipped));
+  }
+  std::vector<std::uint64_t> numbers;
+  log_->ListLiveSegments(&numbers);
+  const std::uint64_t current = log_->current_segment();
+  for (std::uint64_t n : numbers) {
+    const std::string path = GroupCommitLog::SegmentPath(log_root_, n);
+    // Pruned between listing and here: it was fully shipped in an earlier
+    // round (the retain floor only advances past shipped segments).
+    if (!env_->FileExists(path)) continue;
+    const Status status =
+        ShipFile(env_, transport_, path, BaseName(path), bytes_shipped);
+    if (!status.ok()) {
+      // Hold this and every later segment against pruning; the follower
+      // does not have them yet.
+      log_->SetRetainFloor(std::min(n, current));
+      return status;
+    }
+  }
+  // Everything listed is shipped; only the (still growing) current segment
+  // needs protection — and pruning already never touches it.
+  log_->SetRetainFloor(current);
+
+  std::vector<std::pair<GroupId, Timestamp>> cut;
+  context_->SnapshotLastCts(&cut);
+  Timestamp watermark = 0;
+  for (const auto& entry : cut) watermark = std::max(watermark, entry.second);
+  return transport_->PublishWatermark(watermark);
+}
+
+Status LogShipper::ShipOnce() {
+  std::uint64_t bytes = 0;
+  const Status status = ShipRound(&bytes);
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  stats_.bytes_shipped += bytes;
+  stats_.ship_rounds += 1;
+  if (status.ok()) {
+    consecutive_failures_ = 0;
+    stats_.link_healthy = true;
+    stats_.last_error = Status::OK();
+  } else {
+    consecutive_failures_ += 1;
+    stats_.transient_failures += 1;
+    stats_.last_error = status;
+    if (consecutive_failures_ > options_.retry_limit) {
+      stats_.link_healthy = false;
+    }
+  }
+  return status;
+}
+
+ReplicationStats LogShipper::Stats() const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  return stats_;
+}
+
+Status LogShipper::DrainFiles(Env* env, const std::string& log_root,
+                              const std::string& catalog_path,
+                              ShipTransport* transport) {
+  if (env == nullptr) env = Env::Default();
+  std::uint64_t bytes = 0;
+  if (env->FileExists(catalog_path)) {
+    STREAMSI_RETURN_NOT_OK(
+        ShipFile(env, transport, catalog_path, BaseName(catalog_path), &bytes));
+  }
+  std::vector<std::uint64_t> numbers;
+  STREAMSI_RETURN_NOT_OK(
+      GroupCommitLog::ListSegmentsOnDisk(env, log_root, &numbers));
+  for (std::uint64_t n : numbers) {
+    const std::string path = GroupCommitLog::SegmentPath(log_root, n);
+    STREAMSI_RETURN_NOT_OK(
+        ShipFile(env, transport, path, BaseName(path), &bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace streamsi

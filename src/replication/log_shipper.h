@@ -1,0 +1,114 @@
+// LogShipper: the primary side of single-primary log-shipping replication.
+//
+// A background loop streams the primary's durable byte ranges through a
+// ShipTransport, strictly OFF the commit path (commits still pay exactly
+// one Append+Sync per group-commit batch; the shipper only ever reads):
+//
+//   1. the state catalog's valid-frame prefix (shipped FIRST: the follower
+//      must know a state/group before its first commit record arrives),
+//   2. every live group-commit segment, ascending, each to its current
+//      valid-frame prefix (GroupCommitLog::TailFrom semantics — only whole,
+//      CRC-complete frames are handed out, so a shipped chunk never tears a
+//      record across rounds),
+//   3. the primary commit watermark beacon (staleness-lag observability).
+//
+// Prune coordination: before a round, the retain floor holds everything
+// (floor of the first segment); after a fully successful round it advances
+// to the current segment — a checkpoint never deletes a segment the
+// follower has not durably received.
+//
+// Failure model: ship failures are RETRIED with bounded backoff and never
+// block or fail commits; after `retry_limit` consecutive failed rounds the
+// link is reported unhealthy (Stats().link_healthy == false, sticky
+// last_error) until a round succeeds again. The primary never diverges the
+// follower to make progress — chunks are offset-checked by the transport.
+
+#ifndef STREAMSI_REPLICATION_LOG_SHIPPER_H_
+#define STREAMSI_REPLICATION_LOG_SHIPPER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/group_commit_log.h"
+#include "replication/transport.h"
+#include "txn/state_context.h"
+
+namespace streamsi {
+
+/// Defined outside LogShipper so it is complete (default member
+/// initializers parsed) where the constructor's default argument needs it.
+struct LogShipperOptions {
+  /// Sleep between ship rounds (the loop also wakes immediately on Stop).
+  std::uint32_t interval_ms = 2;
+  /// Consecutive failed rounds before Stats() reports the link down.
+  /// Shipping keeps retrying regardless — the primary stays writable.
+  std::uint32_t retry_limit = 5;
+  /// Base backoff after a failed round (scales with consecutive failures).
+  std::uint32_t retry_backoff_ms = 1;
+};
+
+class LogShipper {
+ public:
+  using Options = LogShipperOptions;
+
+  /// Borrows everything; all pointers must outlive the shipper. Constructing
+  /// the shipper pins the log's retain floor at the oldest segment until the
+  /// first successful round — create it BEFORE any checkpoint can prune.
+  LogShipper(Env* env, GroupCommitLog* log, std::string log_root,
+             std::string catalog_path, ShipTransport* transport,
+             StateContext* context, Options options = Options());
+  ~LogShipper();
+
+  void Start();
+  /// Stops the loop, then runs one final best-effort drain round.
+  void Stop();
+
+  /// One full ship round (catalog tail, segments ascending, watermark).
+  /// Public for manual pumping in tests; updates Stats() either way.
+  Status ShipOnce();
+
+  ReplicationStats Stats() const;
+
+  /// Post-crash drain WITHOUT a database: ships whatever valid frames
+  /// survive on disk under `log_root`/`catalog_path` (e.g. after the
+  /// primary's power was cut and its filesystem recovered). Every acked
+  /// commit was synced before its committer returned, so it is inside the
+  /// surviving valid prefix — draining it to the follower is what makes
+  /// promotion lose zero acked commits.
+  static Status DrainFiles(Env* env, const std::string& log_root,
+                           const std::string& catalog_path,
+                           ShipTransport* transport);
+
+ private:
+  void Loop();
+  static std::string BaseName(const std::string& path);
+  /// Ships [receiver size, valid prefix) of `path` as one chunk.
+  static Status ShipFile(Env* env, ShipTransport* transport,
+                         const std::string& path, const std::string& name,
+                         std::uint64_t* bytes_shipped);
+  Status ShipRound(std::uint64_t* bytes_shipped);
+
+  Env* env_;
+  GroupCommitLog* log_;
+  const std::string log_root_;
+  const std::string catalog_path_;
+  ShipTransport* transport_;
+  StateContext* context_;
+  const Options options_;
+
+  mutable std::mutex stats_mutex_;
+  ReplicationStats stats_;                  ///< under stats_mutex_
+  std::uint32_t consecutive_failures_ = 0;  ///< under stats_mutex_
+
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool stop_ = false;  ///< under loop_mutex_
+  std::thread thread_;
+};
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_REPLICATION_LOG_SHIPPER_H_

@@ -1,0 +1,63 @@
+#include "replication/transport.h"
+
+namespace streamsi {
+
+EnvFileTransport::EnvFileTransport(Env* follower_env, std::string follower_dir)
+    : env_(follower_env != nullptr ? follower_env : Env::Default()),
+      dir_(std::move(follower_dir)) {}
+
+Status EnvFileTransport::EnsureDirLocked() {
+  if (dir_created_) return Status::OK();
+  STREAMSI_RETURN_NOT_OK(env_->CreateDirIfMissing(dir_));
+  dir_created_ = true;
+  return Status::OK();
+}
+
+Result<std::uint64_t> EnvFileTransport::Size(const std::string& name) {
+  const std::string path = dir_ + "/" + name;
+  if (!env_->FileExists(path)) return std::uint64_t{0};
+  std::uint64_t size = 0;
+  STREAMSI_RETURN_NOT_OK(env_->FileSize(path, &size));
+  return size;
+}
+
+Status EnvFileTransport::Append(const std::string& name, std::uint64_t offset,
+                                std::string_view data) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  STREAMSI_RETURN_NOT_OK(EnsureDirLocked());
+  auto it = open_.find(name);
+  if (it == open_.end()) {
+    auto file = env_->NewWritableFile(dir_ + "/" + name, /*truncate=*/false);
+    if (!file.ok()) return file.status();
+    it = open_.emplace(name, std::move(*file)).first;
+  }
+  WritableFile* file = it->second.get();
+  if (file->size() != offset) {
+    // The sender's view of our length went stale (a crash truncated the
+    // file, or the handle predates one). Drop the handle — the next chunk
+    // reattaches to the current on-disk node — and let the sender re-sync
+    // from Size() next round. Never write at the wrong offset: a shipped
+    // chain with bytes out of place is indistinguishable from corruption.
+    open_.erase(it);
+    return Status::InvalidArgument("ship offset mismatch for " + name);
+  }
+  Status status = file->Append(data);
+  // Durable per chunk: once the sender sees this append succeed it may
+  // advance its retain floor and prune the segment — the follower copy is
+  // then the only one, so it must survive a follower power cut.
+  if (status.ok()) status = file->Sync();
+  if (!status.ok()) {
+    open_.erase(it);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status EnvFileTransport::PublishWatermark(Timestamp watermark) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  STREAMSI_RETURN_NOT_OK(EnsureDirLocked());
+  return env_->WriteStringToFileAtomic(dir_ + "/" + kPrimaryWatermarkFile,
+                                       std::to_string(watermark));
+}
+
+}  // namespace streamsi

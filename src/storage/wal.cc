@@ -175,6 +175,19 @@ Status WalWriter::Close() {
   return file_->Close();
 }
 
+std::uint64_t WalReader::ValidFramePrefix(std::string_view contents) {
+  const char* p = contents.data();
+  const char* limit = p + contents.size();
+  while (p + 9 <= limit) {
+    const std::uint32_t stored_crc = UnmaskCrc(DecodeFixed32(p));
+    const std::uint32_t len = DecodeFixed32(p + 4);
+    if (len > static_cast<std::uint64_t>(limit - p) - 9) break;
+    if (Crc32c(std::string_view(p + 8, 1 + len)) != stored_crc) break;
+    p += 9 + len;
+  }
+  return static_cast<std::uint64_t>(p - contents.data());
+}
+
 Status WalReader::Replay(const std::string& path, const Visitor& visitor,
                          ReplayStats* stats, Env* env) {
   if (env == nullptr) env = Env::Default();

@@ -39,6 +39,11 @@ enum class WalRecordType : unsigned char {
                        ///< publication-seqlock-consistent cut (checkpoints)
   kStateDecl = 6,      ///< catalog: one state declaration
   kGroupDecl = 7,      ///< catalog: one topology-group declaration
+  kReplicatedCommit = 8,  ///< kGroupCommit payload + the commit's write sets
+                          ///< (log shipping: followers replay data from the
+                          ///< shipped stream alone). Replays everywhere a
+                          ///< kGroupCommit does — the payload is a strict
+                          ///< superset.
 };
 
 /// Append-only writer. Thread-safe; synchronous appends use group commit.
@@ -147,6 +152,12 @@ class WalReader {
 
   static Status Replay(const std::string& path, const Visitor& visitor,
                        ReplayStats* stats, Env* env = nullptr);
+
+  /// Length of the longest prefix of `contents` made of whole, CRC-valid
+  /// frames — the same boundary Replay stops at, computed without invoking
+  /// a visitor. Log shipping uses it to hand out only complete frames of a
+  /// live segment (a frame-aligned tail).
+  static std::uint64_t ValidFramePrefix(std::string_view contents);
 };
 
 }  // namespace streamsi

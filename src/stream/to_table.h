@@ -114,6 +114,11 @@ class ToTable : public OperatorBase, public Publisher<T> {
       } else {
         status = table_.Put(**txn, k, value_(e.data()));
       }
+      // Unavailable is permanent for this batch (database degraded to
+      // read-only, or an unpromoted replication follower): retrying cannot
+      // succeed, so fail the tuple immediately and let the poison path
+      // below end the batch instead of burning the retry budget hot.
+      if (status.IsUnavailable()) break;
       // ResourceExhausted is transient pressure (full transaction table,
       // version array waiting out a lagging pin): retry briefly before
       // giving the tuple up.

@@ -129,6 +129,13 @@ class StreamTxnContext {
     if (handle_ != nullptr && handle_->txn().running()) {
       return Status::OK();  // idempotent BOT
     }
+    if (!participants_.empty()) {
+      // This batch will write its participants; probe write admission now
+      // so a read-only database (degraded, or an unpromoted replication
+      // follower) fails the batch at BOT instead of after a batch of work
+      // that can only be rejected at commit.
+      STREAMSI_RETURN_NOT_OK(manager_->AdmitWrites());
+    }
     auto handle = manager_->Begin();
     if (!handle.ok()) return handle.status();
     handle_ = std::move(handle).value();

@@ -178,6 +178,57 @@ TEST_F(FaultEnvTest, DirectoryOpsAndListNumberedFiles) {
   EXPECT_FALSE(env_.FileExists("/db"));
 }
 
+TEST_F(FaultEnvTest, MetadataOpsCountAgainstThePowerCutBudget) {
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/a", "x").ok());
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/b", "y").ok());
+  const std::uint64_t before = env_.OpCount();
+  ASSERT_TRUE(env_.RenameFile("/a", "/a2").ok());      // counted
+  ASSERT_TRUE(env_.RemoveFile("/b").ok());             // counted
+  ASSERT_TRUE(env_.CreateDirIfMissing("/dir").ok());   // counted
+  EXPECT_EQ(env_.OpCount(), before + 3);
+}
+
+TEST_F(FaultEnvTest, PowerCutOnRenameAppliesTheRenameThenFails) {
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/f.tmp", "manifest").ok());
+  env_.CutPowerAfterOps(1);
+  // The journal entry reached the disk as the power died: the rename takes
+  // effect, but the op reports the cut and all later IO fails.
+  EXPECT_FALSE(env_.RenameFile("/f.tmp", "/f").ok());
+  EXPECT_TRUE(env_.PowerIsCut());
+  env_.CrashAndRecoverFs();
+  EXPECT_TRUE(env_.FileExists("/f"));
+  EXPECT_FALSE(env_.FileExists("/f.tmp"));
+}
+
+TEST_F(FaultEnvTest, PowerCutOnRemoveAppliesTheRemoveThenFails) {
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/doomed", "x").ok());
+  env_.CutPowerAfterOps(1);
+  EXPECT_FALSE(env_.RemoveFile("/doomed").ok());
+  EXPECT_TRUE(env_.PowerIsCut());
+  EXPECT_FALSE(env_.RemoveFile("/doomed").ok());  // power stays off
+  env_.CrashAndRecoverFs();
+  EXPECT_FALSE(env_.FileExists("/doomed"));
+}
+
+TEST_F(FaultEnvTest, ScheduledRenameAndRemoveFailures) {
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/a", "x").ok());
+  ASSERT_TRUE(env_.WriteStringToFileAtomic("/b", "y").ok());
+  env_.schedule().Arm("env.rename", /*after=*/0, /*count=*/1,
+                      Status::IoError("rename eio"));
+  env_.schedule().Arm("env.remove", /*after=*/0, /*count=*/1,
+                      Status::IoError("unlink eio"));
+  // Scheduled failures fire BEFORE the effect: nothing moved, nothing gone.
+  EXPECT_TRUE(env_.RenameFile("/a", "/a2").IsIoError());
+  EXPECT_TRUE(env_.FileExists("/a"));
+  EXPECT_FALSE(env_.FileExists("/a2"));
+  EXPECT_TRUE(env_.RemoveFile("/b").IsIoError());
+  EXPECT_TRUE(env_.FileExists("/b"));
+  // One-shot: the retries pass.
+  EXPECT_TRUE(env_.RenameFile("/a", "/a2").ok());
+  EXPECT_TRUE(env_.RemoveFile("/b").ok());
+  EXPECT_EQ(env_.schedule().injected_failures(), 2u);
+}
+
 TEST_F(FaultEnvTest, SameSeedSameTearSameSurvivors) {
   auto run = [](std::uint64_t seed) {
     FaultEnv env(seed);

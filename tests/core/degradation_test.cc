@@ -14,6 +14,7 @@
 #include "storage/faulty_backend.h"
 #include "storage/hash_backend.h"
 #include "storage/lsm_backend.h"
+#include "stream/stream.h"
 #include "tests/test_util.h"
 
 namespace streamsi {
@@ -179,6 +180,70 @@ TEST_F(DegradationTest, DegradedDatabaseRecoversAfterReopen) {
   EXPECT_EQ(ReadOne(**db, a, "k"), "v1");
   EXPECT_TRUE(CommitOne(**db, a, "k", "v2").ok());
   EXPECT_EQ(ReadOne(**db, a, "k"), "v2");
+}
+
+// A stream query whose TO_TABLE target degrades to read-only MID-STREAM:
+// the batch in flight when the disk filled must be poisoned at its commit
+// boundary (nothing of it published), later batches must fail fast at BOT
+// without burning per-tuple retry budgets, and the topology must still
+// drain to EOS instead of wedging.
+TEST_F(DegradationTest, StreamIntoDegradingDatabasePoisonsAtBatchBoundary) {
+  StateId a;
+  auto db = CreateDb(&a);
+  TransactionalTable<std::uint64_t, double> table(&db->txn_manager(),
+                                                  db->GetState(a));
+
+  std::vector<StreamElement<std::pair<std::uint64_t, double>>> elements;
+  // Batch 1: commits while healthy.
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(std::make_pair(std::uint64_t{1}, 1.0), 0);
+  elements.emplace_back(Punctuation::kCommitTxn);
+  // Batch 2: the disk fills between its BOT and its COMMIT (see the tap
+  // below) — its writes land in memory, the commit's IO fails, and the
+  // whole batch must roll back.
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(std::make_pair(std::uint64_t{2}, 2.0), 1);
+  elements.emplace_back(std::make_pair(std::uint64_t{3}, 3.0), 2);
+  elements.emplace_back(Punctuation::kCommitTxn);
+  // Batch 3: the database is read-only now; BOT fails fast Unavailable.
+  elements.emplace_back(Punctuation::kBeginTxn);
+  elements.emplace_back(std::make_pair(std::uint64_t{4}, 4.0), 3);
+  elements.emplace_back(Punctuation::kCommitTxn);
+  elements.emplace_back(Punctuation::kEndOfStream);
+
+  Topology topology;
+  auto ctx = std::make_shared<StreamTxnContext>(&db->txn_manager());
+  auto* source =
+      topology.Add<VectorSource<std::pair<std::uint64_t, double>>>(
+          std::move(elements));
+  // Tap between source and sink: fill the disk right before batch 2's
+  // second tuple, so degradation strikes with a transaction open.
+  Publisher<std::pair<std::uint64_t, double>> tap;
+  source->Subscribe(
+      [&](const StreamElement<std::pair<std::uint64_t, double>>& e) {
+        if (e.is_data() && e.data().first == 3) {
+          env_.SetNoSpaceByteBudget(0);
+        }
+        tap.Publish(e);
+      });
+  auto* to_table =
+      topology.Add<ToTable<std::pair<std::uint64_t, double>, std::uint64_t,
+                           double>>(
+          &tap, table, ctx,
+          [](const std::pair<std::uint64_t, double>& p) { return p.first; },
+          [](const std::pair<std::uint64_t, double>& p) { return p.second; });
+  topology.Start();
+  topology.Join();  // drains to EOS — no wedge
+
+  EXPECT_EQ(db->health(), DatabaseHealth::kDegradedReadOnly);
+  // Batch 1 committed; nothing of batches 2 and 3 published.
+  env_.SetNoSpaceByteBudget(FaultEnv::kUnlimited);
+  auto rows = SnapshotOf(&db->txn_manager(), table);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u) << "a poisoned batch published its tail";
+  EXPECT_EQ((*rows)[0].first, 1u);
+  EXPECT_EQ(to_table->write_count(), 3u);  // k=1,2,3 applied in-memory
+  EXPECT_GE(to_table->error_count(), 1u);  // batch 2's commit + batch 3
 }
 
 // One schedule, two layers: env-level faults (torn WAL write) and

@@ -1,0 +1,464 @@
+// Replication link tests: primary ships, follower replays, promotion
+// recovers. Everything runs in manual-pump mode (no background ship/apply
+// threads) against a single FaultEnv hosting both directories, so every
+// interleaving is driven explicitly and fully deterministic.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_env.h"
+#include "core/database.h"
+#include "replication/log_shipper.h"
+#include "replication/transport.h"
+
+namespace streamsi {
+namespace {
+
+constexpr char kPrimaryDir[] = "/primary";
+constexpr char kFollowerDir[] = "/follower";
+
+DatabaseOptions PrimaryOptions(Env* env, ShipTransport* transport) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  options.backend_options.env = env;
+  options.env = env;
+  options.base_dir = kPrimaryDir;
+  options.replication.role = ReplicationRole::kPrimary;
+  options.replication.transport = transport;
+  options.replication.manual_pump = true;
+  return options;
+}
+
+DatabaseOptions FollowerOptions(Env* env, bool verify_crc = true) {
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  options.backend_options.env = env;
+  options.env = env;
+  options.base_dir = kFollowerDir;
+  options.replication.role = ReplicationRole::kFollower;
+  options.replication.manual_pump = true;
+  options.replication.verify_shipped_crc = verify_crc;
+  return options;
+}
+
+/// Commits `key` -> `value` into both states as one group transaction.
+void CommitPair(Database& db, StateId a, StateId b, const std::string& key,
+                const std::string& value) {
+  auto t = db.Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db.txn_manager().Write((*t)->txn(), a, key, value).ok());
+  ASSERT_TRUE(db.txn_manager().Write((*t)->txn(), b, key, value).ok());
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+/// Reads `key` from `state` in a fresh snapshot; "" = not found.
+std::string ReadOne(Database& db, StateId state, const std::string& key) {
+  auto t = db.Begin();
+  EXPECT_TRUE(t.ok());
+  std::string value;
+  const Status status = db.txn_manager().Read((*t)->txn(), state, key, &value);
+  EXPECT_TRUE((*t)->Commit().ok());
+  if (status.IsNotFound()) return "";
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return value;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  FaultEnv env_{/*seed=*/42};
+  EnvFileTransport transport_{&env_, kFollowerDir};
+};
+
+TEST_F(ReplicationTest, PrimaryShipsFollowerServesSnapshotReads) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  const GroupId g = (*primary)->CreateGroup({a, b});
+  ASSERT_NE(g, kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  for (int i = 0; i < 10; ++i) {
+    CommitPair(**primary, a, b, "k" + std::to_string(i), std::to_string(i));
+  }
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+
+  // Schema arrived through the shipped catalog: same names, same ids.
+  VersionedStore* fa = (*follower)->FindState("a");
+  VersionedStore* fb = (*follower)->FindState("b");
+  ASSERT_NE(fa, nullptr);
+  ASSERT_NE(fb, nullptr);
+  EXPECT_EQ(fa->id(), a);
+  EXPECT_EQ(fb->id(), b);
+  for (int i = 0; i < 10; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(ReadOne(**follower, a, key), std::to_string(i));
+    EXPECT_EQ(ReadOne(**follower, b, key), std::to_string(i));
+  }
+
+  const HealthReport health = (*follower)->Health();
+  EXPECT_TRUE(health.replication_configured);
+  EXPECT_TRUE(health.follower);
+  EXPECT_FALSE(health.promoted);
+  EXPECT_GT(health.replication.commits_applied, 0u);
+  EXPECT_EQ(health.replication.staleness_lag, 0u);
+  EXPECT_EQ(health.replication.follower_watermark,
+            health.replication.primary_watermark);
+}
+
+TEST_F(ReplicationTest, FollowerRejectsWritesSchemaChangesAndCheckpoints) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k", "v");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_TRUE((*follower)->IsUnpromotedFollower());
+
+  // Write commit: fails fast with Unavailable at the admission gate.
+  auto t = (*follower)->Begin();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*follower)->txn_manager().Write((*t)->txn(), a, "k", "w").ok());
+  EXPECT_TRUE((*t)->Commit().IsUnavailable());
+  // The rejected write never became visible.
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v");
+
+  // Schema is replicated, not declared locally.
+  EXPECT_TRUE((*follower)->CreateState("local").status().IsUnavailable());
+  EXPECT_EQ((*follower)->CreateGroup({a}), kInvalidGroupId);
+
+  // Checkpoints would prune the shipped chain — refused.
+  EXPECT_TRUE((*follower)->Checkpoint().IsUnavailable());
+  EXPECT_GT((*follower)->Health().degraded_commit_rejections, 0u);
+}
+
+TEST_F(ReplicationTest, StalenessLagIsMonotoneAndConvergesToZero) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k", "v0");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+
+  Timestamp last_primary_watermark = 0;
+  for (int round = 0; round < 5; ++round) {
+    CommitPair(**primary, a, b, "k", "v" + std::to_string(round + 1));
+    ASSERT_TRUE((*primary)->ShipNow().ok());
+    ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+    const ReplicationStats stats = (*follower)->Health().replication;
+    // Monotone non-negative, and zero once the round's apply caught up
+    // against the idle primary.
+    EXPECT_GE(stats.primary_watermark, last_primary_watermark);
+    EXPECT_EQ(stats.staleness_lag, 0u);
+    EXPECT_EQ(stats.follower_watermark, stats.primary_watermark);
+    last_primary_watermark = stats.primary_watermark;
+  }
+
+  // A watermark the follower has not caught up to yet reports as positive
+  // lag (the beacon advances ahead of the applied cut).
+  const Timestamp ahead = last_primary_watermark + 100;
+  ASSERT_TRUE(env_.WriteStringToFileAtomic(
+                      std::string(kFollowerDir) + "/" + kPrimaryWatermarkFile,
+                      std::to_string(ahead))
+                  .ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  const ReplicationStats stats = (*follower)->Health().replication;
+  EXPECT_EQ(stats.primary_watermark, ahead);
+  EXPECT_EQ(stats.staleness_lag, ahead - stats.follower_watermark);
+  EXPECT_GT(stats.staleness_lag, 0u);
+}
+
+// Satellite: a hole in the shipped segment chain must be refused as
+// Corruption (sticky, reported through Health()) — never skipped over.
+TEST_F(ReplicationTest, ShipStreamGapIsRefusedAsCorruption) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  // Build a three-segment chain: the shipper pinned the retain floor at
+  // construction, so the checkpoints rotate but never prune.
+  CommitPair(**primary, a, b, "k0", "v0");
+  ASSERT_TRUE((*primary)->Checkpoint().ok());
+  CommitPair(**primary, a, b, "k1", "v1");
+  ASSERT_TRUE((*primary)->Checkpoint().ok());
+  CommitPair(**primary, a, b, "k2", "v2");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  // Punch a hole: the middle segment vanishes from the follower while a
+  // later one exists.
+  ASSERT_TRUE(
+      env_.RemoveFile(std::string(kFollowerDir) + "/group_commits.log.000001")
+          .ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  const Status status = (*follower)->ApplyShippedNow();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+
+  // Sticky: the refusal does not heal, and the instance reports failed.
+  EXPECT_TRUE((*follower)->ApplyShippedNow().IsCorruption());
+  const HealthReport health = (*follower)->Health();
+  EXPECT_EQ(health.state, DatabaseHealth::kFailed);
+  EXPECT_FALSE(health.replication.link_healthy);
+  EXPECT_TRUE(health.replication.last_error.IsCorruption());
+  // Promotion of a follower whose integrity is in doubt is refused (the
+  // drain propagates the sticky Corruption).
+  const Status promote = (*follower)->Promote();
+  EXPECT_FALSE(promote.ok());
+  EXPECT_TRUE((*follower)->IsUnpromotedFollower());
+}
+
+// A chain that does not start at the follower's birth (the primary pruned
+// it before this follower attached) is a gap too: the checkpoint cut
+// references commits newer than anything applied.
+TEST_F(ReplicationTest, ChainMissingItsStartIsRefusedAsCorruption) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k0", "v0");
+  ASSERT_TRUE((*primary)->Checkpoint().ok());
+  CommitPair(**primary, a, b, "k1", "v1");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  // Drop segment 0: the follower's copy now starts mid-chain, at a segment
+  // whose checkpoint cut covers commits it never saw.
+  ASSERT_TRUE(
+      env_.RemoveFile(std::string(kFollowerDir) + "/group_commits.log").ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  const Status status = (*follower)->ApplyShippedNow();
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  EXPECT_EQ((*follower)->Health().state, DatabaseHealth::kFailed);
+}
+
+// Segments landing before their catalog chunk is a transient condition
+// (unknown state/group), not corruption: the applier retries and succeeds
+// once the catalog arrives.
+TEST_F(ReplicationTest, SegmentsBeforeCatalogRetryUntilCatalogArrives) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k", "v");
+
+  // Hand-copy ONLY the segment file (the shipper would send the catalog
+  // first; this simulates its chunk being lost/slow).
+  std::string segment;
+  ASSERT_TRUE(env_
+                  .ReadFileToString(
+                      std::string(kPrimaryDir) + "/group_commits.log", &segment)
+                  .ok());
+  ASSERT_TRUE(env_.CreateDirIfMissing(kFollowerDir).ok());
+  ASSERT_TRUE(env_
+                  .WriteStringToFileAtomic(
+                      std::string(kFollowerDir) + "/group_commits.log", segment)
+                  .ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  const Status behind = (*follower)->ApplyShippedNow();
+  EXPECT_FALSE(behind.ok());
+  EXPECT_FALSE(behind.IsCorruption()) << behind.ToString();
+  EXPECT_NE((*follower)->Health().state, DatabaseHealth::kFailed);
+
+  // Catalog lands; the same frames now apply.
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v");
+  EXPECT_EQ(ReadOne(**follower, b, "k"), "v");
+}
+
+// A mid-frame tail (the chunk boundary the transport itself never
+// produces, but a crashed sender might leave) makes the applier WAIT — and
+// the shipper completes it byte-identically on its next rounds.
+TEST_F(ReplicationTest, TornTailWaitsThenAppliesItsCompletion) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k", "v1");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v1");
+
+  // Commit v2 on the primary, then tear: append only a few bytes of the
+  // new frame to the follower's copy, as a crashing sender would.
+  CommitPair(**primary, a, b, "k", "v2");
+  const std::string primary_segment =
+      std::string(kPrimaryDir) + "/group_commits.log";
+  const std::string follower_segment =
+      std::string(kFollowerDir) + "/group_commits.log";
+  std::string full;
+  ASSERT_TRUE(env_.ReadFileToString(primary_segment, &full).ok());
+  std::uint64_t have = 0;
+  ASSERT_TRUE(env_.FileSize(follower_segment, &have).ok());
+  ASSERT_GT(full.size(), have + 4);
+  {
+    auto file = env_.NewWritableFile(follower_segment, /*truncate=*/false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(
+                        std::string_view(full).substr(have, 4))
+                    .ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  // The applier waits on the incomplete frame: no error, no skip, v2 not
+  // visible yet.
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v1");
+  EXPECT_NE((*follower)->Health().state, DatabaseHealth::kFailed);
+
+  // The shipper re-syncs from the receiver's size: the completion bytes are
+  // identical to what the torn sender would have sent. (The first round may
+  // fail while the transport drops its stale cached handle.)
+  Status shipped = (*primary)->ShipNow();
+  if (!shipped.ok()) shipped = (*primary)->ShipNow();
+  ASSERT_TRUE(shipped.ok()) << shipped.ToString();
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v2");
+  EXPECT_EQ(ReadOne(**follower, b, "k"), "v2");
+}
+
+TEST_F(ReplicationTest, PromotionServesAckedCommitsAndAcceptsWrites) {
+  StateId a = kInvalidStateId;
+  StateId b = kInvalidStateId;
+  {
+    auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+    ASSERT_TRUE(primary.ok());
+    a = (*(*primary)->CreateState("a"))->id();
+    b = (*(*primary)->CreateState("b"))->id();
+    ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+    ASSERT_TRUE((*primary)->Recover().ok());
+    for (int i = 0; i < 5; ++i) {
+      CommitPair(**primary, a, b, "k" + std::to_string(i), std::to_string(i));
+    }
+    ASSERT_TRUE((*primary)->ShipNow().ok());
+  }  // primary gone
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  ASSERT_TRUE((*follower)->Promote().ok()) << "promotion failed";
+  EXPECT_FALSE((*follower)->IsUnpromotedFollower());
+  EXPECT_TRUE((*follower)->Promote().ok());  // idempotent
+
+  // Everything acked on the dead primary is served.
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(ReadOne(**follower, a, key), std::to_string(i));
+    EXPECT_EQ(ReadOne(**follower, b, key), std::to_string(i));
+  }
+  // And the promoted node is a writable database again.
+  CommitPair(**follower, a, b, "new", "after-promotion");
+  EXPECT_EQ(ReadOne(**follower, a, "new"), "after-promotion");
+  EXPECT_TRUE((*follower)->Checkpoint().ok());
+  const HealthReport health = (*follower)->Health();
+  EXPECT_TRUE(health.promoted);
+  EXPECT_FALSE(health.follower);
+}
+
+// A follower restart is a plain re-apply: the shipped chain is complete
+// from its birth (an unpromoted follower never prunes).
+TEST_F(ReplicationTest, FollowerRestartReappliesTheWholeChain) {
+  auto primary = Database::Open(PrimaryOptions(&env_, &transport_));
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+  CommitPair(**primary, a, b, "k", "v1");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  {
+    auto follower = Database::Open(FollowerOptions(&env_));
+    ASSERT_TRUE(follower.ok());
+    ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+    EXPECT_EQ(ReadOne(**follower, a, "k"), "v1");
+  }  // follower restarts
+
+  CommitPair(**primary, a, b, "k", "v2");
+  ASSERT_TRUE((*primary)->ShipNow().ok());
+
+  auto follower = Database::Open(FollowerOptions(&env_));
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE((*follower)->ApplyShippedNow().ok());
+  EXPECT_EQ(ReadOne(**follower, a, "k"), "v2");
+  EXPECT_EQ(ReadOne(**follower, b, "k"), "v2");
+  EXPECT_EQ((*follower)->Health().replication.staleness_lag, 0u);
+}
+
+// Background mode smoke test: real ship/apply threads converge without
+// manual pumping.
+TEST_F(ReplicationTest, BackgroundThreadsConverge) {
+  DatabaseOptions popts = PrimaryOptions(&env_, &transport_);
+  popts.replication.manual_pump = false;
+  popts.replication.ship_interval_ms = 1;
+  auto primary = Database::Open(popts);
+  ASSERT_TRUE(primary.ok());
+  const StateId a = (*(*primary)->CreateState("a"))->id();
+  const StateId b = (*(*primary)->CreateState("b"))->id();
+  ASSERT_NE((*primary)->CreateGroup({a, b}), kInvalidGroupId);
+  ASSERT_TRUE((*primary)->Recover().ok());
+
+  DatabaseOptions fopts = FollowerOptions(&env_);
+  fopts.replication.manual_pump = false;
+  fopts.replication.apply_interval_ms = 1;
+  auto follower = Database::Open(fopts);
+  ASSERT_TRUE(follower.ok());
+
+  for (int i = 0; i < 50; ++i) {
+    CommitPair(**primary, a, b, "k" + std::to_string(i % 7),
+               std::to_string(i));
+  }
+  // Idle primary: the follower must converge to zero staleness.
+  bool converged = false;
+  for (int spin = 0; spin < 2000 && !converged; ++spin) {
+    const ReplicationStats stats = (*follower)->Health().replication;
+    converged = stats.commits_applied >= 50 && stats.staleness_lag == 0 &&
+                stats.primary_watermark > 0;
+    if (!converged) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_EQ(ReadOne(**follower, a, "k0"), ReadOne(**follower, b, "k0"));
+}
+
+}  // namespace
+}  // namespace streamsi

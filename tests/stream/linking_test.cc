@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/fault_env.h"
 #include "core/streamsi.h"
 #include "stream/stream.h"
 
@@ -190,6 +193,74 @@ TEST_F(LinkingTest, ExhaustionMidBatchNeverCommitsPartialBatch) {
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0].first, 3u);
   EXPECT_EQ(to_table.write_count(), 1u);
+}
+
+// Regression: ToTable's retry loop treated every non-OK write uniformly,
+// so a PERMANENT Unavailable (the database degraded to read-only, or an
+// unpromoted replication follower) burned the full ResourceExhausted
+// retry budget per tuple — ~5 ms of hot sleeping for every element of a
+// stream that can never commit again. Unavailable must fail the tuple
+// immediately, poison the batch, and keep error_count() accurate.
+TEST_F(LinkingTest, UnavailableIsPermanentAndSkipsTheRetryBudget) {
+  // A durable database that we degrade up front: fill the disk, fail one
+  // commit, and the health machine flips to read-only for good.
+  FaultEnv env(/*seed=*/11);
+  DatabaseOptions options;
+  options.protocol = ProtocolType::kMvcc;
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  options.backend_options.env = &env;
+  options.env = &env;
+  options.base_dir = "/db";
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto state = (*db)->CreateState("meters");
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE((*db)->Recover().ok());
+  TransactionalTable<std::uint64_t, double> table(&(*db)->txn_manager(),
+                                                  *state);
+  env.SetNoSpaceByteBudget(0);
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(table.Put((*t)->txn(), 99, 0.0).ok());
+    ASSERT_FALSE((*t)->Commit().ok());
+  }
+  ASSERT_EQ((*db)->health(), DatabaseHealth::kDegradedReadOnly);
+
+  Publisher<Meter> source;  // driven synchronously from this thread
+  auto ctx = std::make_shared<StreamTxnContext>(&(*db)->txn_manager());
+  ToTable<Meter, std::uint64_t, double> to_table(
+      &source, table, ctx, [](const Meter& m) { return m.id; },
+      [](const Meter& m) { return m.kwh; });
+
+  constexpr int kTuples = 100;
+  const auto start = std::chrono::steady_clock::now();
+  source.Publish(StreamElement<Meter>(Punctuation::kBeginTxn));
+  for (int i = 0; i < kTuples; ++i) {
+    source.Publish(
+        StreamElement<Meter>(Meter{static_cast<std::uint64_t>(i), 1.0, false},
+                             static_cast<Timestamp>(i)));
+  }
+  source.Publish(StreamElement<Meter>(Punctuation::kCommitTxn));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // Every tuple failed exactly once (no double-booking), nothing committed.
+  EXPECT_EQ(to_table.write_count(), 0u);
+  // kTuples tuple failures + the BOT punctuation's failed admission probe.
+  EXPECT_EQ(to_table.error_count(), 1u + kTuples);
+  EXPECT_EQ((*db)->txn_manager().counters().committed.load(), 0u);
+  // The permanent status must NOT burn the transient-retry budget: the old
+  // path slept ~5 ms per tuple (>= 500 ms here); the fix fails each tuple
+  // with no sleep at all. Generous bound to stay robust on loaded CI.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            400);
+
+  env.SetNoSpaceByteBudget(FaultEnv::kUnlimited);
+  auto rows = SnapshotOf(&(*db)->txn_manager(), table);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
 }
 
 TEST_F(LinkingTest, ToStreamEmitsCommittedChangesOnly) {
