@@ -77,6 +77,8 @@ run_tsan() {
     property_si_model_test
     storage_lsm_backend_test
     storage_wal_test
+    stream_chunk_test
+    stream_chunk_differential_test
     stream_partition_test
     stream_partitioned_consistency_test
     stream_txn_context_test

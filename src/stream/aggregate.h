@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "stream/window.h"
@@ -79,18 +80,37 @@ class GroupedAggregate : public OperatorBase,
   GroupedAggregate(Publisher<T>* input, KeyExtractor key, Acc init,
                    Folder folder)
       : key_(std::move(key)), init_(std::move(init)), folder_(std::move(folder)) {
-    input->Subscribe([this](const StreamElement<T>& e) {
-      if (e.is_data()) {
-        const K k = key_(e.data());
-        auto [it, inserted] = groups_.try_emplace(k, init_);
-        (void)inserted;
-        folder_(it->second, e.data());
-        this->Publish(StreamElement<std::pair<K, Acc>>(
-            std::make_pair(k, it->second), e.ts()));
-      } else {
-        this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
-      }
-    });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) {
+          if (e.is_data()) {
+            const K k = key_(e.data());
+            auto [it, inserted] = groups_.try_emplace(k, init_);
+            (void)inserted;
+            folder_(it->second, e.data());
+            this->Publish(StreamElement<std::pair<K, Acc>>(
+                std::make_pair(k, it->second), e.ts()));
+          } else {
+            this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
+          }
+        },
+        // Chunk fast path: fold the whole chunk in one loop and emit the
+        // per-update (key, aggregate) pairs as one output chunk — the same
+        // output sequence the per-tuple path produces.
+        [this](const ChunkView<T>& view) {
+          if (!scratch_ || scratch_->capacity() < view.size()) {
+            scratch_.emplace(view.size());
+          }
+          for (std::size_t i = 0; i < view.size(); ++i) {
+            const T& data = view[i];
+            const K k = key_(data);
+            auto [it, inserted] = groups_.try_emplace(k, init_);
+            (void)inserted;
+            folder_(it->second, data);
+            scratch_->Append(std::make_pair(k, it->second), view.ts(i));
+          }
+          this->PublishChunk(scratch_->view());
+          scratch_->Clear();
+        });
   }
 
   /// Current state of all groups (the operator's internal table).
@@ -103,6 +123,7 @@ class GroupedAggregate : public OperatorBase,
   Acc init_;
   Folder folder_;
   std::unordered_map<K, Acc> groups_;
+  std::optional<Chunk<std::pair<K, Acc>>> scratch_;  ///< delivering-thread only
 };
 
 }  // namespace streamsi

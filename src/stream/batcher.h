@@ -3,9 +3,17 @@
 // COMMIT punctuation after every `batch_size` data elements. With
 // batch_size == 1 this is the "auto-commit" mode where "each stream element
 // represents its own transaction"; an open batch is committed at EOS.
+//
+// Chunk fast path: an incoming chunk is sliced at batch boundaries — each
+// slice is re-published as a (zero copy) sub-view framed by exactly the
+// BOT/COMMIT punctuations the per-tuple path would emit, with identical
+// timestamps (BOT carries the batch's first tuple ts, COMMIT its last), so
+// the downstream boundary sequence is byte-identical either way.
 
 #ifndef STREAMSI_STREAM_BATCHER_H_
 #define STREAMSI_STREAM_BATCHER_H_
+
+#include <algorithm>
 
 #include "stream/operator.h"
 
@@ -16,7 +24,9 @@ class Batcher : public OperatorBase, public Publisher<T> {
  public:
   Batcher(Publisher<T>* input, std::size_t batch_size)
       : batch_size_(batch_size == 0 ? 1 : batch_size) {
-    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) { OnElement(e); },
+        [this](const ChunkView<T>& view) { OnChunk(view); });
   }
 
   std::string_view name() const override { return "Batcher"; }
@@ -39,6 +49,26 @@ class Batcher : public OperatorBase, public Publisher<T> {
       in_batch_ = 0;
     }
     this->Publish(e);
+  }
+
+  void OnChunk(const ChunkView<T>& view) {
+    std::size_t offset = 0;
+    while (offset < view.size()) {
+      if (in_batch_ == 0) {
+        this->Publish(
+            StreamElement<T>(Punctuation::kBeginTxn, view.ts(offset)));
+      }
+      const std::size_t take =
+          std::min(batch_size_ - in_batch_, view.size() - offset);
+      this->PublishChunk(view.Slice(offset, take));
+      in_batch_ += take;
+      offset += take;
+      if (in_batch_ >= batch_size_) {
+        this->Publish(
+            StreamElement<T>(Punctuation::kCommitTxn, view.ts(offset - 1)));
+        in_batch_ = 0;
+      }
+    }
   }
 
   std::size_t batch_size_;

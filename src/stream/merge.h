@@ -7,14 +7,22 @@
 // tuple of batch k+1 before batch k's COMMIT. This keeps transaction
 // boundaries batch-atomic across the parallel lanes (§3).
 //
+// Chunked lanes change nothing about alignment: punctuations still arrive
+// per-element (a chunk never contains a boundary), so the alignment rule
+// is untouched. A data CHUNK from a lane with no pending boundary is
+// forwarded as one PublishChunk call (zero copy — the borrowed view is
+// re-published inside the delivering call); a chunk that must wait behind
+// an unaligned boundary is copied into a merge-owned pooled chunk, because
+// the upstream view dies when the delivering call returns.
+//
 // Requirement: every connected lane must deliver the same punctuation
 // sequence (PartitionBy broadcasts boundaries, so this holds whenever the
 // boundaries are injected upstream of the partitioner — or by per-lane
 // logic that provably emits identical sequences).
 //
-// Threading: OnElement runs on the delivering lane's thread; a mutex
-// serializes delivery, so downstream of the merge is single-threaded again
-// (the callbacks run under the merge lock, on whichever lane thread
+// Threading: OnElement/OnChunk run on the delivering lane's thread; a
+// mutex serializes delivery, so downstream of the merge is single-threaded
+// again (the callbacks run under the merge lock, on whichever lane thread
 // completed the alignment).
 //
 // Hold-back memory: the per-lane hold queues are unbounded deques, but
@@ -43,7 +51,7 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
  public:
   /// Declares the number of input ports; connect each with ConnectInput.
   explicit MergePartitions(std::size_t inputs)
-      : held_(inputs == 0 ? 1 : inputs) {}
+      : held_(inputs == 0 ? 1 : inputs), pool_(ChunkPool<T>::Create()) {}
 
   /// Convenience: merge all lanes of a PartitionBy directly (use only when
   /// no per-lane operators sit between the partitioner and the merge).
@@ -57,8 +65,9 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
   /// Wires input port `port` (one per lane, before Start()).
   void ConnectInput(std::size_t port, Publisher<T>* input) {
     assert(port < held_.size());
-    input->Subscribe(
-        [this, port](const StreamElement<T>& e) { OnElement(port, e); });
+    input->SubscribeWith(
+        [this, port](const StreamElement<T>& e) { OnElement(port, e); },
+        [this, port](const ChunkView<T>& view) { OnChunk(port, view); });
   }
 
   std::size_t input_count() const { return held_.size(); }
@@ -69,14 +78,23 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
     std::lock_guard<std::mutex> guard(mutex_);
     OperatorStats s;
     s.elements = forwarded_;
-    for (const auto& held : held_) s.queue_depth += held.size();
-    return s;  // misalignment is not data loss; see misaligned_count()
+    s.chunks = chunks_forwarded_;
+    s.chunk_tuples = chunk_tuples_forwarded_;
+    // Misaligned boundaries are forwarded best-effort, not rejected, so
+    // they are surfaced as their own counter rather than stats().dropped.
+    s.misaligned = misaligned_;
+    for (const auto& held : held_) {
+      for (const auto& item : held) {
+        s.queue_depth += item.is_chunk() ? item.chunk->size() : 1;
+      }
+    }
+    return s;
   }
 
   /// Number of boundary punctuations forwarded without full alignment — a
   /// wiring bug (lanes delivered different punctuation sequences); always
-  /// zero for correctly built topologies. Not surfaced as stats().dropped:
-  /// misaligned boundaries are forwarded best-effort, not rejected.
+  /// zero for correctly built topologies. Also reported as
+  /// stats().misaligned.
   std::uint64_t misaligned_count() const {
     std::lock_guard<std::mutex> guard(mutex_);
     return misaligned_;
@@ -94,12 +112,30 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
       } else {
         // Batch k+1 data must wait behind the lane's pending batch-k
         // boundary, or downstream would see a torn batch.
-        held.push_back(e);
+        held.push_back(LaneItem<T>(e));
       }
       return;
     }
-    held.push_back(e);
+    held.push_back(LaneItem<T>(e));
     FlushAlignedLocked();
+  }
+
+  void OnChunk(std::size_t port, const ChunkView<T>& view) {
+    if (view.empty()) return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto& held = held_[port];
+    if (held.empty()) {
+      // Zero copy: the chunk crosses the merge inside the delivering call.
+      forwarded_ += view.size();
+      ++chunks_forwarded_;
+      chunk_tuples_forwarded_ += view.size();
+      this->PublishChunk(view);
+      return;
+    }
+    // The view dies with the delivering call; copy to hold it back.
+    ChunkRef<T> copy = pool_->Acquire(view.size());
+    copy->AppendView(view);
+    held.push_back(LaneItem<T>(std::move(copy)));
   }
 
   // Invariant: a non-empty hold queue starts with a punctuation (data is
@@ -109,12 +145,14 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
       Timestamp ts = 0;
       for (const auto& held : held_) {
         if (held.empty()) return;  // some lane hasn't delivered it yet
-        if (ts < held.front().ts()) ts = held.front().ts();
+        if (ts < held.front().element->ts()) ts = held.front().element->ts();
       }
-      Punctuation punctuation = held_[0].front().punctuation();
+      Punctuation punctuation = held_[0].front().element->punctuation();
       bool aligned = true;
       for (const auto& held : held_) {
-        if (held.front().punctuation() != punctuation) aligned = false;
+        if (held.front().element->punctuation() != punctuation) {
+          aligned = false;
+        }
       }
       if (!aligned) {
         // Wiring bug: the lanes delivered different punctuation sequences
@@ -124,8 +162,9 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
         // stays last and the merge still drains instead of hanging.
         punctuation = Punctuation::kEndOfStream;
         for (const auto& held : held_) {
-          if (held.front().punctuation() != Punctuation::kEndOfStream) {
-            punctuation = held.front().punctuation();
+          if (held.front().element->punctuation() !=
+              Punctuation::kEndOfStream) {
+            punctuation = held.front().element->punctuation();
             break;
           }
         }
@@ -139,15 +178,26 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
         ++misaligned_;
       }
       for (auto& held : held_) {
-        if (held.front().punctuation() == punctuation) held.pop_front();
+        if (held.front().element->punctuation() == punctuation) {
+          held.pop_front();
+        }
       }
       this->Publish(StreamElement<T>(punctuation, ts));
       // Release data that queued behind the now-forwarded boundary, up to
       // the lane's next boundary (restoring the invariant).
       for (auto& held : held_) {
-        while (!held.empty() && held.front().is_data()) {
-          ++forwarded_;
-          this->Publish(held.front());
+        while (!held.empty() && IsData(held.front())) {
+          LaneItem<T>& item = held.front();
+          if (item.is_chunk()) {
+            const std::size_t n = item.chunk->size();
+            forwarded_ += n;
+            ++chunks_forwarded_;
+            chunk_tuples_forwarded_ += n;
+            this->PublishChunk(item.chunk->view());
+          } else {
+            ++forwarded_;
+            this->Publish(*item.element);
+          }
           held.pop_front();
         }
       }
@@ -155,9 +205,16 @@ class MergePartitions : public OperatorBase, public Publisher<T> {
     }
   }
 
+  static bool IsData(const LaneItem<T>& item) {
+    return item.is_chunk() || item.element->is_data();
+  }
+
   mutable std::mutex mutex_;
-  std::vector<std::deque<StreamElement<T>>> held_;
+  std::vector<std::deque<LaneItem<T>>> held_;
+  std::shared_ptr<ChunkPool<T>> pool_;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t chunks_forwarded_ = 0;
+  std::uint64_t chunk_tuples_forwarded_ = 0;
   std::uint64_t misaligned_ = 0;
 };
 

@@ -4,17 +4,30 @@
 //
 // Threading model: each source pushes its elements through the downstream
 // chain on the source's thread (synchronous calls). Subscriptions must be
-// set up before Topology::Start().
+// set up before Topology::Start() — Start freezes every publisher, and a
+// late Subscribe is refused (it would race the publishing thread's
+// unguarded subscriber list).
+//
+// Chunked delivery: a publisher carries two channels per subscriber — the
+// mandatory per-element callback and an optional OnChunk callback. When an
+// upstream ships a chunk, subscribers that registered the chunk callback
+// get the whole ChunkView in one call; everyone else gets the automatic
+// per-tuple fallback (one StreamElement per tuple, in order). Punctuations
+// always travel per-element, so the §3 boundary contract is identical on
+// both channels.
 
 #ifndef STREAMSI_STREAM_OPERATOR_H_
 #define STREAMSI_STREAM_OPERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/logging.h"
+#include "stream/chunk.h"
 #include "stream/element.h"
 
 namespace streamsi {
@@ -26,6 +39,31 @@ struct OperatorStats {
   std::uint64_t queue_depth = 0;  ///< elements currently queued
   std::uint64_t stalls = 0;       ///< producer waits due to backpressure
   std::uint64_t dropped = 0;      ///< elements rejected (drop policy/close)
+
+  // Chunked-execution observability (zero for per-tuple operators).
+  std::uint64_t chunk_capacity = 0;  ///< configured tuples/chunk (0 = off)
+  std::uint64_t chunks = 0;          ///< chunks flushed/processed
+  std::uint64_t chunk_tuples = 0;    ///< data tuples carried inside chunks
+  std::uint64_t flush_full = 0;      ///< flushes because the chunk filled
+  std::uint64_t flush_boundary = 0;  ///< flushes forced by a punctuation
+  std::uint64_t flush_timeout = 0;   ///< flushes forced by linger expiry
+  std::uint64_t misaligned = 0;      ///< merge boundary-misalignment recoveries
+
+  /// Mean occupancy of flushed chunks in [0, 1] (0 when not chunking).
+  double chunk_fill_ratio() const {
+    if (chunks == 0 || chunk_capacity == 0) return 0.0;
+    return static_cast<double>(chunk_tuples) /
+           (static_cast<double>(chunks) * static_cast<double>(chunk_capacity));
+  }
+
+  /// Folds a builder's flush counters into this snapshot.
+  void AddChunkCounters(const ChunkBuildStats& build) {
+    chunks += build.chunks.load(std::memory_order_relaxed);
+    chunk_tuples += build.tuples.load(std::memory_order_relaxed);
+    flush_full += build.flush_full.load(std::memory_order_relaxed);
+    flush_boundary += build.flush_boundary.load(std::memory_order_relaxed);
+    flush_timeout += build.flush_timeout.load(std::memory_order_relaxed);
+  }
 };
 
 /// Base for all operators so a Topology can own them uniformly.
@@ -44,25 +82,89 @@ class OperatorBase {
   virtual OperatorStats stats() const { return {}; }
 };
 
+/// Subscription freeze latch. Topology::Start freezes every publisher it
+/// can reach (operators implementing this interface plus PartitionBy's
+/// internal lane publishers); a Subscribe after the freeze is REFUSED —
+/// the subscriber list is read without a latch on the publishing thread,
+/// so a late registration would be a data race, and before this guard it
+/// silently was one.
+class SubscriptionFreezer {
+ public:
+  virtual ~SubscriptionFreezer() = default;
+
+  void FreezeSubscriptions() {
+    frozen_.store(true, std::memory_order_release);
+  }
+  bool subscriptions_frozen() const {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> frozen_{false};
+};
+
 /// Typed output port.
 template <typename T>
-class Publisher {
+class Publisher : public SubscriptionFreezer {
  public:
   using Subscriber = std::function<void(const StreamElement<T>&)>;
+  using ChunkSubscriber = std::function<void(const ChunkView<T>&)>;
 
-  /// Registers a downstream consumer. Not thread-safe; call before Start().
+  /// Registers a per-element consumer. Not thread-safe; must happen before
+  /// Topology::Start() — a frozen publisher refuses the subscription.
   void Subscribe(Subscriber subscriber) {
-    subscribers_.push_back(std::move(subscriber));
+    SubscribeWith(std::move(subscriber), nullptr);
+  }
+
+  /// Registers a consumer with an OnChunk fast path. `subscriber` still
+  /// handles every punctuation and any upstream that publishes per-element;
+  /// `on_chunk` takes over whole-chunk deliveries (the view is valid only
+  /// for the duration of the call).
+  void SubscribeWith(Subscriber subscriber, ChunkSubscriber on_chunk) {
+    assert(!subscriptions_frozen() && "Subscribe after Topology::Start()");
+    if (subscriptions_frozen()) {
+      STREAMSI_ERROR("Subscribe after Start() refused: the subscriber list "
+                     "is live on the publishing thread");
+      return;
+    }
+    subscribers_.push_back(Entry{std::move(subscriber), std::move(on_chunk)});
   }
 
   void Publish(const StreamElement<T>& element) {
-    for (auto& subscriber : subscribers_) subscriber(element);
+    for (auto& entry : subscribers_) entry.on_element(element);
+  }
+
+  /// Ships a whole chunk: one call per chunk-aware subscriber, automatic
+  /// per-tuple fallback for the rest.
+  void PublishChunk(const ChunkView<T>& view) {
+    for (auto& entry : subscribers_) {
+      if (entry.on_chunk) {
+        entry.on_chunk(view);
+        continue;
+      }
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        entry.on_element(StreamElement<T>(view[i], view.ts(i)));
+      }
+    }
   }
 
   std::size_t subscriber_count() const { return subscribers_.size(); }
 
+  /// True when at least one subscriber registered an OnChunk fast path
+  /// (producers may use this to skip building chunks nobody consumes).
+  bool has_chunk_subscriber() const {
+    for (const auto& entry : subscribers_) {
+      if (entry.on_chunk) return true;
+    }
+    return false;
+  }
+
  private:
-  std::vector<Subscriber> subscribers_;
+  struct Entry {
+    Subscriber on_element;
+    ChunkSubscriber on_chunk;
+  };
+  std::vector<Entry> subscribers_;
 };
 
 }  // namespace streamsi

@@ -1,5 +1,13 @@
 // Basic stream operators: Map, Where, ForEach, Collect, Print.
 // Punctuations flow through all of them unchanged.
+//
+// Chunk fast paths: Map, Where, ForEach and Collect implement OnChunk —
+// one virtual-free tight loop per chunk instead of one std::function
+// dispatch per tuple. Where forwards an all-pass chunk as the original
+// view (zero copy) and compacts survivors into a scratch chunk otherwise;
+// Map transforms into a scratch chunk. Scratch chunks are owned by the
+// operator and reused — safe because chunk delivery is single-threaded
+// per operator (the same contract per-tuple stateful operators rely on).
 
 #ifndef STREAMSI_STREAM_OPS_H_
 #define STREAMSI_STREAM_OPS_H_
@@ -7,6 +15,7 @@
 #include <condition_variable>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -20,19 +29,31 @@ class Map : public OperatorBase, public Publisher<Out> {
  public:
   Map(Publisher<In>* input, std::function<Out(const In&)> fn)
       : fn_(std::move(fn)) {
-    input->Subscribe([this](const StreamElement<In>& e) {
-      if (e.is_data()) {
-        this->Publish(StreamElement<Out>(fn_(e.data()), e.ts()));
-      } else {
-        this->Publish(e.template ForwardPunctuation<Out>());
-      }
-    });
+    input->SubscribeWith(
+        [this](const StreamElement<In>& e) {
+          if (e.is_data()) {
+            this->Publish(StreamElement<Out>(fn_(e.data()), e.ts()));
+          } else {
+            this->Publish(e.template ForwardPunctuation<Out>());
+          }
+        },
+        [this](const ChunkView<In>& view) {
+          if (!scratch_ || scratch_->capacity() < view.size()) {
+            scratch_.emplace(view.size());
+          }
+          for (std::size_t i = 0; i < view.size(); ++i) {
+            scratch_->Append(fn_(view[i]), view.ts(i));
+          }
+          this->PublishChunk(scratch_->view());
+          scratch_->Clear();
+        });
   }
 
   std::string_view name() const override { return "Map"; }
 
  private:
   std::function<Out(const In&)> fn_;
+  std::optional<Chunk<Out>> scratch_;  ///< delivering-thread only
 };
 
 /// Predicate filter.
@@ -41,15 +62,43 @@ class Where : public OperatorBase, public Publisher<T> {
  public:
   Where(Publisher<T>* input, std::function<bool(const T&)> predicate)
       : predicate_(std::move(predicate)) {
-    input->Subscribe([this](const StreamElement<T>& e) {
-      if (!e.is_data() || predicate_(e.data())) this->Publish(e);
-    });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) {
+          if (!e.is_data() || predicate_(e.data())) this->Publish(e);
+        },
+        [this](const ChunkView<T>& view) { OnChunk(view); });
   }
 
   std::string_view name() const override { return "Where"; }
 
  private:
+  void OnChunk(const ChunkView<T>& view) {
+    // First rejection decides the path: until then nothing was copied, so
+    // an all-pass chunk (the common case for selective-but-bursty
+    // predicates) is forwarded as the original view, zero copy.
+    std::size_t i = 0;
+    for (; i < view.size(); ++i) {
+      if (!predicate_(view[i])) break;
+    }
+    if (i == view.size()) {
+      if (!view.empty()) this->PublishChunk(view);
+      return;
+    }
+    if (!scratch_ || scratch_->capacity() < view.size()) {
+      scratch_.emplace(view.size());
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      scratch_->Append(view[j], view.ts(j));
+    }
+    for (std::size_t j = i + 1; j < view.size(); ++j) {
+      if (predicate_(view[j])) scratch_->Append(view[j], view.ts(j));
+    }
+    if (!scratch_->empty()) this->PublishChunk(scratch_->view());
+    scratch_->Clear();
+  }
+
   std::function<bool(const T&)> predicate_;
+  std::optional<Chunk<T>> scratch_;  ///< delivering-thread only
 };
 
 /// Terminal sink invoking a callback per data element (and optionally per
@@ -60,13 +109,17 @@ class ForEach : public OperatorBase {
   ForEach(Publisher<T>* input, std::function<void(const T&)> fn,
           std::function<void(Punctuation)> punctuation_fn = nullptr)
       : fn_(std::move(fn)), punctuation_fn_(std::move(punctuation_fn)) {
-    input->Subscribe([this](const StreamElement<T>& e) {
-      if (e.is_data()) {
-        fn_(e.data());
-      } else if (punctuation_fn_) {
-        punctuation_fn_(e.punctuation());
-      }
-    });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) {
+          if (e.is_data()) {
+            fn_(e.data());
+          } else if (punctuation_fn_) {
+            punctuation_fn_(e.punctuation());
+          }
+        },
+        [this](const ChunkView<T>& view) {
+          for (std::size_t i = 0; i < view.size(); ++i) fn_(view[i]);
+        });
   }
 
   std::string_view name() const override { return "ForEach"; }
@@ -81,15 +134,21 @@ template <typename T>
 class Collect : public OperatorBase {
  public:
   explicit Collect(Publisher<T>* input) {
-    input->Subscribe([this](const StreamElement<T>& e) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (e.is_data()) {
-        elements_.push_back(e.data());
-      } else if (e.punctuation() == Punctuation::kEndOfStream) {
-        eos_ = true;
-        cv_.notify_all();
-      }
-    });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (e.is_data()) {
+            elements_.push_back(e.data());
+          } else if (e.punctuation() == Punctuation::kEndOfStream) {
+            eos_ = true;
+            cv_.notify_all();
+          }
+        },
+        [this](const ChunkView<T>& view) {
+          std::unique_lock<std::mutex> lock(mutex_);
+          elements_.insert(elements_.end(), view.data(),
+                           view.data() + view.size());
+        });
   }
 
   void WaitForEos() {

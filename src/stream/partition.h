@@ -11,10 +11,22 @@
 // inject batch boundaries (Batcher) upstream of the partitioner, or give
 // each lane boundary logic that provably emits identical sequences.
 //
+// Chunked (morsel) mode: with Options::chunk_capacity > 0 the router
+// scatters data tuples into per-lane ChunkBuilders and ships each chunk as
+// ONE queue item when it fills (flush reason: full) — the per-tuple queue
+// round-trip and lane wakeup are amortized over the chunk. Punctuations
+// flush EVERY builder first (flush reason: boundary) and are then
+// broadcast as plain elements, so each lane still observes exactly the
+// per-tuple boundary sequence: tuples routed before a boundary reach the
+// lane before it, tuples routed after it reach the lane after it.
+// Options::chunk_linger_micros bounds how long a partial chunk may sit in
+// a builder on a quiet lane (flush reason: timeout).
+//
 // Threading: Route() runs on the upstream (source) thread and only touches
-// the queues; each lane's subscribers run exclusively on that lane's
-// thread, so per-lane operator chains need no internal synchronization —
-// the same single-threaded contract the non-partitioned push model gives.
+// the builders/queues; each lane's subscribers run exclusively on that
+// lane's thread, so per-lane operator chains need no internal
+// synchronization — the same single-threaded contract the non-partitioned
+// push model gives.
 
 #ifndef STREAMSI_STREAM_PARTITION_H_
 #define STREAMSI_STREAM_PARTITION_H_
@@ -37,19 +49,36 @@ class PartitionBy : public OperatorBase {
   using PartitionFn = std::function<std::size_t(const T&)>;
 
   struct Options {
+    /// Queue depth per lane. NOTE: with chunking enabled this counts
+    /// ITEMS (chunks / punctuations), so the buffered-tuple bound is
+    /// queue_capacity * chunk_capacity.
     std::size_t queue_capacity = 1024;
     BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// Tuples per chunk; 0 = per-tuple routing (the classic path).
+    std::size_t chunk_capacity = 0;
+    /// Max age of a partial chunk before it is flushed anyway (0 = only
+    /// full/boundary flushes). Checked on the routing thread, so a silent
+    /// source still needs a punctuation (or EOS) to flush the tail.
+    std::uint64_t chunk_linger_micros = 0;
   };
 
   PartitionBy(Publisher<T>* input, std::size_t lanes, PartitionFn fn,
               Options options = {})
-      : fn_(std::move(fn)) {
+      : fn_(std::move(fn)), options_(options) {
     if (lanes == 0) lanes = 1;
     lanes_.reserve(lanes);
+    if (options_.chunk_capacity > 0) pool_ = ChunkPool<T>::Create();
     for (std::size_t i = 0; i < lanes; ++i) {
-      lanes_.push_back(std::make_unique<Lane>(options));
+      lanes_.push_back(std::make_unique<Lane>(options_));
+      if (options_.chunk_capacity > 0) {
+        lanes_.back()->builder = ChunkBuilder<T>(
+            pool_, options_.chunk_capacity, options_.chunk_linger_micros,
+            &lanes_.back()->build_stats);
+      }
     }
-    input->Subscribe([this](const StreamElement<T>& e) { Route(e); });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) { Route(e); },
+        [this](const ChunkView<T>& view) { RouteChunk(view); });
   }
 
   ~PartitionBy() override {
@@ -69,8 +98,12 @@ class PartitionBy : public OperatorBase {
     if (started_) return;  // idempotent, also after Join()
     started_ = true;
     for (auto& lane : lanes_) {
+      // The lane publishers live behind PartitionBy, which the Topology
+      // sees as one operator — freeze them here so a late Subscribe on a
+      // lane is refused just like on a top-level publisher.
+      lane->FreezeSubscriptions();
       lane->thread = std::thread([l = lane.get()] {
-        DrainQueueInto(l->queue, *l, l->delivered);
+        DrainLaneQueueInto(l->queue, *l, l->delivered);
       });
     }
   }
@@ -89,12 +122,18 @@ class PartitionBy : public OperatorBase {
 
   OperatorStats stats() const override {
     OperatorStats total;
+    total.chunk_capacity = options_.chunk_capacity;
     for (std::size_t i = 0; i < lanes_.size(); ++i) {
       const OperatorStats s = lane_stats(i);
       total.elements += s.elements;
       total.queue_depth += s.queue_depth;
       total.stalls += s.stalls;
       total.dropped += s.dropped;
+      total.chunks += s.chunks;
+      total.chunk_tuples += s.chunk_tuples;
+      total.flush_full += s.flush_full;
+      total.flush_boundary += s.flush_boundary;
+      total.flush_timeout += s.flush_timeout;
     }
     return total;
   }
@@ -108,6 +147,8 @@ class PartitionBy : public OperatorBase {
     s.queue_depth = lane.queue.size();
     s.stalls = q.stalls;
     s.dropped = q.dropped;
+    s.chunk_capacity = options_.chunk_capacity;
+    s.AddChunkCounters(lane.build_stats);
     return s;
   }
 
@@ -115,26 +156,72 @@ class PartitionBy : public OperatorBase {
   struct Lane : public Publisher<T> {
     explicit Lane(const Options& options)
         : queue(options.queue_capacity, options.policy) {}
-    BoundedQueue<StreamElement<T>> queue;
+    BoundedQueue<LaneItem<T>> queue;
+    ChunkBuilder<T> builder;       ///< routing-thread only
+    ChunkBuildStats build_stats;
     std::thread thread;
     std::atomic<std::uint64_t> delivered{0};
   };
 
   void Route(const StreamElement<T>& e) {
     if (e.is_data()) {
-      const std::size_t lane = fn_(e.data()) % lanes_.size();
-      (void)lanes_[lane]->queue.Push(e);
+      RouteData(e.data(), e.ts());
       return;
     }
+    // Flush every partial chunk BEFORE broadcasting the boundary: tuples
+    // routed ahead of the punctuation must reach their lane ahead of it
+    // (§3 batch atomicity — a boundary never overtakes its batch's data).
+    FlushAllBuilders(ChunkFlushReason::kBoundary);
     // Broadcast boundaries: every lane must observe BOT/COMMIT/ROLLBACK/EOS
     // so per-lane transactions stay batch-aligned and merge can realign.
     // PushWait: boundaries bypass the drop policy — losing one would desync
     // merge alignment, and losing EOS would hang the lane's join forever.
-    for (auto& lane : lanes_) (void)lane->queue.PushWait(e);
+    for (auto& lane : lanes_) (void)lane->queue.PushWait(LaneItem<T>(e));
+  }
+
+  void RouteChunk(const ChunkView<T>& view) {
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      RouteData(view[i], view.ts(i));
+    }
+  }
+
+  void RouteData(const T& data, Timestamp ts) {
+    const std::size_t index = fn_(data) % lanes_.size();
+    Lane& lane = *lanes_[index];
+    if (options_.chunk_capacity == 0) {
+      (void)lane.queue.Push(LaneItem<T>(StreamElement<T>(data, ts)));
+      return;
+    }
+    if (lane.builder.Append(data, ts)) {
+      (void)lane.queue.Push(
+          LaneItem<T>(lane.builder.Take(ChunkFlushReason::kFull)));
+    }
+    // Linger sweep: a lane the hash stopped favouring must not hold its
+    // partial chunk forever. Amortized — every 64th routed tuple checks
+    // every builder's deadline (no-op when linger is disabled).
+    if (options_.chunk_linger_micros > 0 && (++routed_ & 63u) == 0) {
+      for (auto& l : lanes_) {
+        if (l->builder.LingerExpired()) {
+          (void)l->queue.Push(
+              LaneItem<T>(l->builder.Take(ChunkFlushReason::kTimeout)));
+        }
+      }
+    }
+  }
+
+  void FlushAllBuilders(ChunkFlushReason reason) {
+    if (options_.chunk_capacity == 0) return;
+    for (auto& lane : lanes_) {
+      if (lane->builder.empty()) continue;
+      (void)lane->queue.Push(LaneItem<T>(lane->builder.Take(reason)));
+    }
   }
 
   PartitionFn fn_;
+  Options options_;
+  std::shared_ptr<ChunkPool<T>> pool_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::uint64_t routed_ = 0;  ///< routing-thread only (linger sweep pacing)
   bool started_ = false;
 };
 

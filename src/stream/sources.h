@@ -1,5 +1,12 @@
 // Stream sources: emit a finite or generated sequence of elements on their
 // own thread, terminated by an EndOfStream punctuation.
+//
+// Chunked emission (Options::chunk_capacity > 0): data tuples accumulate
+// in ONE reusable chunk (published synchronously, then cleared — no pool
+// needed) and ship as a single PublishChunk when the chunk fills. Any
+// punctuation in the stream flushes the partial chunk FIRST and is then
+// published per-element, so downstream ordering is identical to per-tuple
+// emission; EOS flushes the tail the same way.
 
 #ifndef STREAMSI_STREAM_SOURCES_H_
 #define STREAMSI_STREAM_SOURCES_H_
@@ -13,12 +20,83 @@
 
 namespace streamsi {
 
+/// Emission knobs shared by the sources.
+struct SourceOptions {
+  /// Tuples per emitted chunk; 0 = per-element emission (classic path).
+  std::size_t chunk_capacity = 0;
+  /// Max age of a partial chunk before it is flushed anyway (0 = only
+  /// full/boundary flushes). Useful for slow generators feeding chunked
+  /// lanes.
+  std::uint64_t chunk_linger_micros = 0;
+};
+
+/// Chunk accumulator shared by the source emit loops: one reusable chunk,
+/// flush-reason accounting, linger tracking. Emitting-thread only.
+template <typename T>
+class SourceChunker {
+ public:
+  SourceChunker(Publisher<T>* out, const SourceOptions& options,
+                ChunkBuildStats* stats)
+      : out_(out), options_(options), stats_(stats) {
+    if (enabled()) chunk_.emplace(options_.chunk_capacity);
+  }
+
+  bool enabled() const { return options_.chunk_capacity > 0; }
+
+  void Data(const T& value, Timestamp ts) {
+    if (chunk_->empty() && options_.chunk_linger_micros > 0) {
+      opened_at_ = std::chrono::steady_clock::now();
+    }
+    chunk_->Append(value, ts);
+    if (chunk_->full()) {
+      Flush(ChunkFlushReason::kFull);
+    } else if (LingerExpired()) {
+      Flush(ChunkFlushReason::kTimeout);
+    }
+  }
+
+  void Flush(ChunkFlushReason reason) {
+    if (chunk_->empty()) return;
+    stats_->chunks.fetch_add(1, std::memory_order_relaxed);
+    stats_->tuples.fetch_add(chunk_->size(), std::memory_order_relaxed);
+    switch (reason) {
+      case ChunkFlushReason::kFull:
+        stats_->flush_full.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChunkFlushReason::kBoundary:
+        stats_->flush_boundary.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ChunkFlushReason::kTimeout:
+        stats_->flush_timeout.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    out_->PublishChunk(chunk_->view());
+    chunk_->Clear();
+  }
+
+ private:
+  bool LingerExpired() const {
+    if (options_.chunk_linger_micros == 0) return false;
+    const auto age = std::chrono::steady_clock::now() - opened_at_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(age)
+               .count() >=
+           static_cast<std::int64_t>(options_.chunk_linger_micros);
+  }
+
+  Publisher<T>* out_;
+  SourceOptions options_;
+  ChunkBuildStats* stats_;
+  std::optional<Chunk<T>> chunk_;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
 /// Emits a fixed vector of elements (data and punctuations), then EOS.
 template <typename T>
 class VectorSource : public OperatorBase, public Publisher<T> {
  public:
-  explicit VectorSource(std::vector<StreamElement<T>> elements)
-      : elements_(std::move(elements)) {}
+  explicit VectorSource(std::vector<StreamElement<T>> elements,
+                        SourceOptions options = {})
+      : elements_(std::move(elements)), options_(options) {}
 
   ~VectorSource() override { Join(); }
 
@@ -26,12 +104,20 @@ class VectorSource : public OperatorBase, public Publisher<T> {
     if (started_) return;  // idempotent, also after Join()
     started_ = true;
     thread_ = std::thread([this] {
+      SourceChunker<T> chunker(this, options_, &build_stats_);
       Timestamp ts = 0;
       for (const auto& element : elements_) {
         if (stopped_.load(std::memory_order_acquire)) break;
-        this->Publish(element);
+        if (chunker.enabled() && element.is_data()) {
+          chunker.Data(element.data(), element.ts());
+        } else {
+          // A punctuation must not overtake the tuples emitted before it.
+          if (chunker.enabled()) chunker.Flush(ChunkFlushReason::kBoundary);
+          this->Publish(element);
+        }
         ++ts;
       }
+      if (chunker.enabled()) chunker.Flush(ChunkFlushReason::kBoundary);
       this->Publish(StreamElement<T>(Punctuation::kEndOfStream, ts));
     });
   }
@@ -44,8 +130,18 @@ class VectorSource : public OperatorBase, public Publisher<T> {
 
   std::string_view name() const override { return "VectorSource"; }
 
+  OperatorStats stats() const override {
+    OperatorStats s;
+    s.chunk_capacity = options_.chunk_capacity;
+    s.AddChunkCounters(build_stats_);
+    s.elements = s.chunk_tuples;
+    return s;
+  }
+
  private:
   std::vector<StreamElement<T>> elements_;
+  SourceOptions options_;
+  ChunkBuildStats build_stats_;
   std::thread thread_;
   bool started_ = false;
   std::atomic<bool> stopped_{false};
@@ -58,8 +154,8 @@ class GeneratorSource : public OperatorBase, public Publisher<T> {
  public:
   using Generator = std::function<std::optional<StreamElement<T>>()>;
 
-  explicit GeneratorSource(Generator generator)
-      : generator_(std::move(generator)) {}
+  explicit GeneratorSource(Generator generator, SourceOptions options = {})
+      : generator_(std::move(generator)), options_(options) {}
 
   ~GeneratorSource() override { Join(); }
 
@@ -67,13 +163,20 @@ class GeneratorSource : public OperatorBase, public Publisher<T> {
     if (started_) return;  // idempotent, also after Join()
     started_ = true;
     thread_ = std::thread([this] {
+      SourceChunker<T> chunker(this, options_, &build_stats_);
       Timestamp ts = 0;
       while (!stopped_.load(std::memory_order_acquire)) {
         auto element = generator_();
         if (!element.has_value()) break;
-        this->Publish(*element);
+        if (chunker.enabled() && element->is_data()) {
+          chunker.Data(element->data(), element->ts());
+        } else {
+          if (chunker.enabled()) chunker.Flush(ChunkFlushReason::kBoundary);
+          this->Publish(*element);
+        }
         ++ts;
       }
+      if (chunker.enabled()) chunker.Flush(ChunkFlushReason::kBoundary);
       this->Publish(StreamElement<T>(Punctuation::kEndOfStream, ts));
     });
   }
@@ -86,8 +189,18 @@ class GeneratorSource : public OperatorBase, public Publisher<T> {
 
   std::string_view name() const override { return "GeneratorSource"; }
 
+  OperatorStats stats() const override {
+    OperatorStats s;
+    s.chunk_capacity = options_.chunk_capacity;
+    s.AddChunkCounters(build_stats_);
+    s.elements = s.chunk_tuples;
+    return s;
+  }
+
  private:
   Generator generator_;
+  SourceOptions options_;
+  ChunkBuildStats build_stats_;
   std::thread thread_;
   bool started_ = false;
   std::atomic<bool> stopped_{false};

@@ -5,6 +5,7 @@
 
 #include "stream/aggregate.h"
 #include "stream/batcher.h"
+#include "stream/chunk.h"
 #include "stream/csv.h"
 #include "stream/each_update.h"
 #include "stream/element.h"

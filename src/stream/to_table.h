@@ -11,6 +11,15 @@
 //     punctuations drive the shared StreamTxnContext;
 //   * the operator forwards data elements downstream (pass-through), which
 //     doubles as the kEachUpdate trigger policy for follow-up processing.
+//
+// Chunk fast path: a chunk is always a slice of ONE batch (Batcher slices
+// chunks at boundaries; punctuations never ride inside a chunk), so the
+// whole chunk targets one transaction. The fast path resolves the shared
+// StreamTxnContext once per chunk and issues the batch writes in a tight
+// loop; the FIRST failed (or unresolvable) write falls back to the
+// per-tuple slow path from that tuple on, which re-runs the full per-tuple
+// protocol — retry budget, poison-batch, error accounting — so failure
+// semantics are byte-identical to per-tuple delivery.
 
 #ifndef STREAMSI_STREAM_TO_TABLE_H_
 #define STREAMSI_STREAM_TO_TABLE_H_
@@ -52,7 +61,9 @@ class ToTable : public OperatorBase, public Publisher<T> {
         is_delete_(std::move(is_delete)),
         options_(options) {
     ctx_->AddParticipant(table_.id());
-    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+    input->SubscribeWith(
+        [this](const StreamElement<T>& e) { OnElement(e); },
+        [this](const ChunkView<T>& view) { OnChunk(view); });
   }
 
   std::string_view name() const override { return "ToTable"; }
@@ -65,6 +76,15 @@ class ToTable : public OperatorBase, public Publisher<T> {
     return writes_.load(std::memory_order_relaxed);
   }
 
+  OperatorStats stats() const override {
+    OperatorStats s;
+    s.elements = writes_.load(std::memory_order_relaxed);
+    s.dropped = errors_.load(std::memory_order_relaxed);
+    s.chunks = chunks_.load(std::memory_order_relaxed);
+    s.chunk_tuples = chunk_tuples_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   /// Retry budget for ResourceExhausted writes (~5 ms worst case per
   /// tuple): long enough to ride out transaction-slot churn, short enough
@@ -74,7 +94,7 @@ class ToTable : public OperatorBase, public Publisher<T> {
 
   void OnElement(const StreamElement<T>& e) {
     if (e.is_data()) {
-      OnData(e);
+      OnData(e.data());
       if (options_.forward_elements) this->Publish(e);
       return;
     }
@@ -98,21 +118,47 @@ class ToTable : public OperatorBase, public Publisher<T> {
     this->Publish(e);  // punctuations always flow on
   }
 
-  void OnData(const StreamElement<T>& e) {
+  void OnChunk(const ChunkView<T>& view) {
+    chunks_.fetch_add(1, std::memory_order_relaxed);
+    chunk_tuples_.fetch_add(view.size(), std::memory_order_relaxed);
+    std::size_t done = 0;
+    // Fast path: one context resolution for the whole chunk, writes in a
+    // tight loop. Deletes and data-outside-boundaries go per-tuple (rare;
+    // their per-tuple accounting must stay exact).
+    if (!is_delete_ && (options_.implicit_begin || ctx_->HasActive())) {
+      if (auto txn = ctx_->Current(); txn.ok()) {
+        Transaction* t = *txn;
+        std::uint64_t ok_writes = 0;
+        while (done < view.size()) {
+          const T& data = view[done];
+          if (!table_.Put(*t, key_(data), value_(data)).ok()) break;
+          ++done;
+          ++ok_writes;
+        }
+        writes_.fetch_add(ok_writes, std::memory_order_relaxed);
+      }
+    }
+    // Slow path (everything the fast path didn't finish): the full
+    // per-tuple protocol, including retries and batch poisoning.
+    for (; done < view.size(); ++done) OnData(view[done]);
+    if (options_.forward_elements) this->PublishChunk(view);
+  }
+
+  void OnData(const T& data) {
     if (!options_.implicit_begin && !ctx_->HasActive()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       return;  // data outside transaction boundaries is dropped
     }
-    const K k = key_(e.data());
+    const K k = key_(data);
     Status status;
     for (int attempt = 0;; ++attempt) {
       auto txn = ctx_->Current();
       if (!txn.ok()) {
         status = txn.status();
-      } else if (is_delete_ && is_delete_(e.data())) {
+      } else if (is_delete_ && is_delete_(data)) {
         status = table_.Delete(**txn, k);
       } else {
-        status = table_.Put(**txn, k, value_(e.data()));
+        status = table_.Put(**txn, k, value_(data));
       }
       // Unavailable is permanent for this batch (database degraded to
       // read-only, or an unpromoted replication follower): retrying cannot
@@ -155,6 +201,8 @@ class ToTable : public OperatorBase, public Publisher<T> {
   Options options_;
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> chunk_tuples_{0};
 };
 
 }  // namespace streamsi

@@ -48,10 +48,18 @@ class Topology {
 
   /// Starts all operators, sinks first (reverse registration order), so no
   /// source publishes into a lane/queue whose worker is not yet running.
+  /// Before anything runs, every publisher is FROZEN: a Subscribe after
+  /// Start() is refused (the subscriber lists go live on the publishing
+  /// threads, where a late registration would be a data race).
   /// Idempotent.
   void Start() {
     if (started_) return;
     started_ = true;
+    for (auto& op : operators_) {
+      if (auto* publisher = dynamic_cast<SubscriptionFreezer*>(op.get())) {
+        publisher->FreezeSubscriptions();
+      }
+    }
     for (auto it = operators_.rbegin(); it != operators_.rend(); ++it) {
       (*it)->Start();
     }

@@ -26,9 +26,18 @@ Status ConcurrencyProtocol::ApplyWriteSet(Transaction& txn,
   const auto& entries = ws->entries();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const bool is_last = (i + 1 == entries.size());
-    STREAMSI_RETURN_NOT_OK(store.ApplyCommitted(
-        entries[i].key, entries[i].value, entries[i].is_delete, commit_ts,
-        floor, /*sync_hint=*/is_last));
+    // SI's validate phase stashed the resolved store entry on each
+    // write-set entry; installing through it skips the per-key probe.
+    // Protocols that don't resolve handles (S2PL/BOCC) take the key path.
+    if (entries[i].commit_hint != nullptr) {
+      STREAMSI_RETURN_NOT_OK(store.ApplyCommitted(
+          entries[i].commit_hint, entries[i].value, entries[i].is_delete,
+          commit_ts, floor, /*sync_hint=*/is_last));
+    } else {
+      STREAMSI_RETURN_NOT_OK(store.ApplyCommitted(
+          entries[i].key, entries[i].value, entries[i].is_delete, commit_ts,
+          floor, /*sync_hint=*/is_last));
+    }
   }
   return Status::OK();
 }

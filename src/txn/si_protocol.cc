@@ -59,12 +59,17 @@ Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
   for (const auto& entry : ws->entries()) {
     // Commit-time write lock ("In the case of multiple writers, additional
     // write locks are introduced"). The recorded key is a view into the
-    // write set — stable until the scratch resets after release.
-    STREAMSI_RETURN_NOT_OK(store.LockForCommit(entry.key, txn.id()));
-    txn.RecordCommitLock(store.id(), entry.key);
+    // write set — stable until the scratch resets after release. The
+    // resolved entry handle is stashed on the write-set entry and on the
+    // lock record: the apply and release phases reuse it instead of
+    // re-probing the bucket table per key.
+    VersionedStore::EntryHandle handle = nullptr;
+    STREAMSI_RETURN_NOT_OK(store.LockForCommit(entry.key, txn.id(), &handle));
+    entry.commit_hint = handle;
+    txn.RecordCommitLock(store.id(), entry.key, handle);
     // First-Committer-Wins: someone committed a modification (install or
     // delete) of this key after our BOT.
-    if (store.LatestModification(entry.key) > txn.id()) {
+    if (store.LatestModification(handle) > txn.id()) {
       return Status::Conflict("first-committer-wins: key '" +
                               std::string(entry.key) +
                               "' has a newer committed modification");
@@ -76,8 +81,12 @@ Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
 void SiProtocol::ReleaseState(Transaction& txn, VersionedStore& store,
                               bool /*committed*/) {
   // Release this store's commit locks in place (no vector churn).
-  txn.ReleaseCommitLocks(store.id(), [&](std::string_view key) {
-    store.UnlockCommit(key, txn.id());
+  txn.ReleaseCommitLocks(store.id(), [&](const CommitLockRef& lock) {
+    if (lock.entry != nullptr) {
+      store.UnlockCommit(lock.entry, txn.id());
+    } else {
+      store.UnlockCommit(lock.key, txn.id());
+    }
   });
 }
 

@@ -57,6 +57,10 @@ struct HeldLock {
 struct CommitLockRef {
   StateId state;
   std::string_view key;
+  /// Store entry resolved when the lock was taken (opaque
+  /// VersionedStore::EntryHandle; stable for the store's lifetime) — the
+  /// release path unlocks through it without re-probing the bucket table.
+  void* entry = nullptr;
 };
 
 /// Pooled per-slot transaction guts. All vectors keep their capacity and
@@ -203,13 +207,14 @@ class Transaction {
   /// SI commit locks (First-Committer-Wins ownership) to release after the
   /// group commit finished. `key` must point into this transaction's write
   /// set (stable until Finish).
-  void RecordCommitLock(StateId state, std::string_view key) {
+  void RecordCommitLock(StateId state, std::string_view key,
+                        void* entry = nullptr) {
     std::lock_guard<SpinLock> guard(lock_);
-    scratch_->commit_locks.push_back(CommitLockRef{state, key});
+    scratch_->commit_locks.push_back(CommitLockRef{state, key, entry});
   }
 
   /// Releases (and removes) the commit locks recorded for `state`, invoking
-  /// `unlock(key)` for each. In-place and allocation-free.
+  /// `unlock(lock)` for each CommitLockRef. In-place and allocation-free.
   template <typename Fn>
   void ReleaseCommitLocks(StateId state, Fn&& unlock) {
     std::lock_guard<SpinLock> guard(lock_);
@@ -217,7 +222,7 @@ class Transaction {
     std::size_t keep = 0;
     for (std::size_t i = 0; i < locks.size(); ++i) {
       if (locks[i].state == state) {
-        unlock(locks[i].key);
+        unlock(locks[i]);
       } else {
         locks[keep++] = locks[i];
       }

@@ -217,8 +217,10 @@ Status VersionedStore::ScanCommitted(
 
 // ------------------------------------------------------------ commit path ---
 
-Status VersionedStore::LockForCommit(std::string_view key, TxnId txn) {
+Status VersionedStore::LockForCommit(std::string_view key, TxnId txn,
+                                     EntryHandle* handle) {
   Entry* entry = GetOrCreateEntry(key);
+  if (handle != nullptr) *handle = entry;
   TxnId expected = 0;
   if (entry->commit_owner.compare_exchange_strong(
           expected, txn, std::memory_order_acq_rel)) {
@@ -233,9 +235,21 @@ void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {
   EpochGuard epoch_guard;
   Entry* entry = FindEntry(key, HashKey(key));
   if (entry == nullptr) return;
+  UnlockCommit(static_cast<EntryHandle>(entry), txn);
+}
+
+void VersionedStore::UnlockCommit(EntryHandle handle, TxnId txn) {
+  // No epoch pin: the handle is the entry, and entries outlive every
+  // transaction (append-only shards, freed only with the store).
+  Entry* entry = static_cast<Entry*>(handle);
   TxnId expected = txn;
   entry->commit_owner.compare_exchange_strong(expected, 0,
                                               std::memory_order_acq_rel);
+}
+
+Timestamp VersionedStore::LatestModification(EntryHandle handle) const {
+  return static_cast<const Entry*>(handle)->latest_modification.load(
+      std::memory_order_acquire);
 }
 
 Status VersionedStore::InstallWithBackpressure(Entry* entry,
@@ -309,7 +323,15 @@ Status VersionedStore::ApplyCommitted(std::string_view key,
                                       std::string_view value, bool is_delete,
                                       Timestamp commit_ts, GcFloor& floor,
                                       bool sync_hint) {
-  Entry* entry = GetOrCreateEntry(key);
+  return ApplyCommitted(static_cast<EntryHandle>(GetOrCreateEntry(key)),
+                        value, is_delete, commit_ts, floor, sync_hint);
+}
+
+Status VersionedStore::ApplyCommitted(EntryHandle handle,
+                                      std::string_view value, bool is_delete,
+                                      Timestamp commit_ts, GcFloor& floor,
+                                      bool sync_hint) {
+  Entry* entry = static_cast<Entry*>(handle);
   if (is_delete) {
     ExclusiveGuard guard(entry->latch);
     const Status status = entry->object.MarkDeleted(commit_ts);
@@ -331,7 +353,7 @@ Status VersionedStore::ApplyCommitted(std::string_view key,
              cur, commit_ts, std::memory_order_acq_rel)) {
   }
   if (options_.write_through) {
-    return PersistEntry(key, entry, sync_hint);
+    return PersistEntry(entry->key, entry, sync_hint);
   }
   return Status::OK();
 }

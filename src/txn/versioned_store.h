@@ -128,11 +128,26 @@ class VersionedStore {
 
   // -------------------------------------------------------- commit path ---
 
+  /// Opaque stable handle to one key's shard entry. Entries are append-only
+  /// and never freed before the store dies (the read-path guarantee "an
+  /// Entry* once obtained stays valid"), so a handle resolved during
+  /// validation stays usable through apply and release — the commit path
+  /// probes the bucket table (and pins an epoch) ONCE per key instead of
+  /// once per phase.
+  using EntryHandle = void*;
+
   /// Tries to own `key` for committing (First-Committer-Wins guard under
   /// multiple writers). Returns Conflict if another transaction is
-  /// committing the key right now.
-  Status LockForCommit(std::string_view key, TxnId txn);
+  /// committing the key right now. On success (including re-entrant) the
+  /// optional `handle` receives the key's entry for the later phases.
+  Status LockForCommit(std::string_view key, TxnId txn,
+                       EntryHandle* handle = nullptr);
   void UnlockCommit(std::string_view key, TxnId txn);
+  void UnlockCommit(EntryHandle handle, TxnId txn);
+
+  /// Handle-based First-Committer-Wins comparison point (no probe, no
+  /// epoch pin — the handle already is the entry).
+  Timestamp LatestModification(EntryHandle handle) const;
 
   /// Installs one committed write (value or tombstone) at `commit_ts` and
   /// (optionally, per StoreOptions) persists the version array to the
@@ -140,6 +155,12 @@ class VersionedStore {
   /// watermark is lazy: `floor` is only resolved when the key's version
   /// array is actually full (see MvccObject::Install).
   Status ApplyCommitted(std::string_view key, std::string_view value,
+                        bool is_delete, Timestamp commit_ts, GcFloor& floor,
+                        bool sync_hint);
+
+  /// Handle-based install: same semantics, minus the bucket-table probe
+  /// (the validate phase already resolved the entry).
+  Status ApplyCommitted(EntryHandle handle, std::string_view value,
                         bool is_delete, Timestamp commit_ts, GcFloor& floor,
                         bool sync_hint);
 

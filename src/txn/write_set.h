@@ -40,6 +40,13 @@ class WriteSet {
     /// place, so a hot key updated N times costs one buffer, not N.
     std::uint32_t value_capacity = 0;
     bool is_delete = false;
+    /// Store entry resolved at commit-validation time (an opaque
+    /// VersionedStore::EntryHandle; shard entries are append-only and
+    /// outlive every transaction, so the pointer stays valid through
+    /// apply/release). Lets the commit path probe the bucket table once
+    /// per key instead of once per phase. `mutable`: set during Validate,
+    /// which sees the write set const. Cleared with the entry on Reset().
+    mutable void* commit_hint = nullptr;
   };
 
   /// Result of a read-your-own-writes probe.
