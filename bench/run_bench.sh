@@ -16,7 +16,8 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DSTREAMSI_BUILD_BENCH=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_read_path bench_commit_path bench_stream_path \
-             bench_recovery_path bench_replication_path bench_writers
+             bench_scan_path bench_recovery_path bench_replication_path \
+             bench_writers
 
 echo "== bench_read_path (archived to BENCH_read_path.json) =="
 "$BUILD_DIR/bench_read_path" | tee "$REPO_ROOT/BENCH_read_path.json"
@@ -26,6 +27,9 @@ echo "== bench_commit_path (archived to BENCH_commit_path.json) =="
 
 echo "== bench_stream_path (archived to BENCH_stream_path.json) =="
 "$BUILD_DIR/bench_stream_path" | tee "$REPO_ROOT/BENCH_stream_path.json"
+
+echo "== bench_scan_path (archived to BENCH_scan_path.json) =="
+"$BUILD_DIR/bench_scan_path" | tee "$REPO_ROOT/BENCH_scan_path.json"
 
 echo "== bench_recovery_path (archived to BENCH_recovery_path.json) =="
 "$BUILD_DIR/bench_recovery_path" | tee "$REPO_ROOT/BENCH_recovery_path.json"

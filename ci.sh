@@ -66,6 +66,7 @@ run_tsan() {
     core_commit_path_test
     core_consistency_test
     core_degradation_test
+    core_index_consistency_test
     core_isolation_test
     core_si_protocol_test
     property_crash_torture_property_test
@@ -74,6 +75,7 @@ run_tsan() {
     mvcc_mvcc_growth_stress_test
     mvcc_mvcc_object_test
     property_read_path_model_test
+    property_scan_range_model_test
     property_si_model_test
     storage_lsm_backend_test
     storage_wal_test

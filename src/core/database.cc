@@ -6,6 +6,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "core/index_key.h"
 #include "replication/follower_applier.h"
 #include "replication/log_shipper.h"
 
@@ -187,6 +188,17 @@ Status Database::ApplyCatalogTail() {
         return Status::Corruption("catalog state id mismatch: " +
                                   decl.state.name);
       }
+    } else if (decl.kind == StateCatalog::Declaration::Kind::kIndex) {
+      // The index's state and its {base, index} group replayed just above
+      // (catalog order). The extractor cannot be persisted, so the binding
+      // comes back PENDING: write commits on the base refuse until the
+      // application re-binds via CreateIndex.
+      {
+        ExclusiveGuard guard(stores_latch_);
+        index_base_[decl.index.index] = decl.index.base;
+      }
+      txn_manager_->RegisterIndex(decl.index.base, decl.index.index,
+                                  /*extractor=*/nullptr);
     } else {
       // Replay reproduces RegisterGroup order, so the assigned id must
       // match the recorded one (both kinds of group: the singleton group a
@@ -361,6 +373,96 @@ GroupId Database::CreateGroup(const std::vector<StateId>& states) {
     STREAMSI_WARN("group registry out of sync with catalog");
   }
   return id;
+}
+
+Result<VersionedStore*> Database::CreateIndex(
+    const std::string& base_name, const std::string& index_name,
+    TransactionManager::IndexKeyExtractor extractor) {
+  if (extractor == nullptr) {
+    return Status::InvalidArgument(
+        "CreateIndex requires an extractor (re-binding after reopen passes "
+        "the same function the index was created with)");
+  }
+  if (options_.protocol != ProtocolType::kMvcc) {
+    // Commit-time maintenance writes the index state directly through the
+    // transaction's write set, bypassing the baseline protocols' lock
+    // acquisition — and index probes are range scans, which they refuse
+    // anyway (see ConcurrencyProtocol::ScanRange).
+    return Status::NotSupported(
+        "secondary indexes require the MVCC protocol");
+  }
+  if (IsUnpromotedFollower()) {
+    return Status::Unavailable(
+        "follower schema is replicated from the primary; create the index "
+        "there (or Promote() first)");
+  }
+  VersionedStore* base = FindState(base_name);
+  if (base == nullptr) {
+    return Status::InvalidArgument("unknown base state: " + base_name);
+  }
+
+  VersionedStore* existing = nullptr;
+  {
+    // Re-bind path (catalog reopen, or a repeated declaration): the index
+    // state already exists. Verify it is bound to THIS base, then just
+    // refresh the extractor — the index contents recovered with the rest of
+    // the database, so there is nothing to backfill.
+    SharedGuard guard(stores_latch_);
+    auto it = stores_by_name_.find(index_name);
+    if (it != stores_by_name_.end()) {
+      auto bound = index_base_.find(it->second);
+      if (bound == index_base_.end() || bound->second != base->id()) {
+        return Status::InvalidArgument(
+            "state '" + index_name +
+            "' exists but is not an index over '" + base_name + "'");
+      }
+      existing = stores_[it->second].get();
+    }
+  }
+  if (existing != nullptr) {
+    txn_manager_->RegisterIndex(base->id(), existing->id(),
+                                std::move(extractor));
+    return existing;
+  }
+
+  // Fresh index. The state + its singleton group + the {base, index}
+  // topology group + the binding append to the catalog in that order, so
+  // replay reconstructs the same ids and re-registers the (pending)
+  // binding before any recovered commit could touch the base.
+  auto created = CreateStateInternal(index_name, nullptr);
+  if (!created.ok()) return created.status();
+  VersionedStore* store = *created;
+  const GroupId group = CreateGroup({base->id(), store->id()});
+  if (group == kInvalidGroupId) {
+    return Status::IoError("index group declaration failed (catalog append)");
+  }
+  if (catalog_ != nullptr) {
+    STREAMSI_RETURN_NOT_OK(catalog_->AppendIndex(
+        StateCatalog::IndexRecord{store->id(), base->id()}));
+  }
+  {
+    ExclusiveGuard guard(stores_latch_);
+    index_base_[store->id()] = base->id();
+  }
+  // Keep a callable copy: the registered binding owns the moved-in one.
+  TransactionManager::IndexKeyExtractor backfill_extract = extractor;
+  txn_manager_->RegisterIndex(base->id(), store->id(), std::move(extractor));
+
+  // Backfill from the base's committed snapshot. CreateIndex runs before
+  // concurrent writers touch the base (schema declaration time), so the
+  // snapshot is the complete base content and BulkLoad's
+  // visible-to-everyone versions (cts = kInitialTs) are exactly right.
+  std::string composite;
+  Status backfill = Status::OK();
+  STREAMSI_RETURN_NOT_OK(base->ScanCommitted(
+      kInfinityTs - 1, [&](std::string_view key, std::string_view value) {
+        composite.clear();
+        AppendIndexKey(&composite, backfill_extract(key, value), key);
+        backfill = store->BulkLoad(composite, key);
+        return backfill.ok();
+      }));
+  STREAMSI_RETURN_NOT_OK(backfill);
+  return store;
 }
 
 VersionedStore* Database::GetState(StateId id) {

@@ -162,6 +162,26 @@ class Database {
   /// group is then not registered at all).
   GroupId CreateGroup(const std::vector<StateId>& states);
 
+  /// Creates (or re-binds after reopen) a secondary index over `base_name`:
+  /// a separate state named `index_name` whose rows are the composite keys
+  /// [extractor(key, value)][0x00][key] -> key (see core/index_key.h). The
+  /// index joins the base in one topology group, so §4.3's single LastCTS
+  /// publication makes base and index rows visible atomically; maintenance
+  /// happens inside the SAME GlobalCommit that writes the base. MVCC only
+  /// (the baseline protocols refuse range scans anyway). The extractor must
+  /// be deterministic and never emit a 0x00 byte.
+  ///
+  /// Durable databases persist the binding in the state catalog; on reopen,
+  /// write commits on the base refuse with Unavailable until the
+  /// application calls CreateIndex again with the (non-persistable)
+  /// extractor — re-binding is idempotent and backfills nothing. A fresh
+  /// index over an already-populated base is backfilled from the base's
+  /// committed snapshot before this returns; run it before concurrent
+  /// writers touch the base.
+  Result<VersionedStore*> CreateIndex(
+      const std::string& base_name, const std::string& index_name,
+      TransactionManager::IndexKeyExtractor extractor);
+
   VersionedStore* GetState(StateId id);
   VersionedStore* FindState(const std::string& name);
 
@@ -322,6 +342,11 @@ class Database {
   std::vector<std::unique_ptr<VersionedStore>> stores_;  // index = StateId
   std::unordered_map<std::string, StateId> stores_by_name_;
   std::unordered_map<StateId, GroupId> singleton_groups_;
+  /// Secondary-index topology: index state -> its base state. Mirrors the
+  /// TransactionManager's bindings but keyed the other way (CreateIndex's
+  /// idempotence check asks "is THIS index already bound to THAT base?").
+  /// Under stores_latch_.
+  std::unordered_map<StateId, StateId> index_base_;
   /// Catalog-reopened states whose backend data has not been loaded yet;
   /// RecoverInternal drains this in parallel. Under stores_latch_.
   std::vector<StateId> pending_loads_;

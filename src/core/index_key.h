@@ -1,0 +1,80 @@
+// Composite secondary-index key encoding.
+//
+// An index state maps  [secondary key][0x00][primary key]  ->  primary key.
+// The 0x00 separator keeps the composite order grouped by secondary key
+// (and ordered by primary key within one secondary key) under plain
+// byte-wise comparison, PROVIDED the secondary key contains no 0x00 byte —
+// that is the extractor's contract, checked nowhere and documented
+// everywhere. Primary keys are unrestricted (they only ever appear after
+// the separator, and the split always takes the FIRST 0x00).
+//
+// Probing all entries of one secondary key S is the half-open composite
+// range [S 0x00, S 0x01): every composite for S starts with S 0x00, and
+// nothing else does. A range of secondary keys [s1, s2) maps to the
+// composite range [s1 0x00, s2 0x00).
+
+#ifndef STREAMSI_CORE_INDEX_KEY_H_
+#define STREAMSI_CORE_INDEX_KEY_H_
+
+#include <string>
+#include <string_view>
+
+namespace streamsi {
+
+inline constexpr char kIndexKeySeparator = '\0';
+
+/// Appends the composite key for (secondary, primary) to `out`.
+inline void AppendIndexKey(std::string* out, std::string_view secondary,
+                           std::string_view primary) {
+  out->append(secondary.data(), secondary.size());
+  out->push_back(kIndexKeySeparator);
+  out->append(primary.data(), primary.size());
+}
+
+inline std::string MakeIndexKey(std::string_view secondary,
+                                std::string_view primary) {
+  std::string out;
+  out.reserve(secondary.size() + 1 + primary.size());
+  AppendIndexKey(&out, secondary, primary);
+  return out;
+}
+
+/// Splits a composite key at the first separator. Returns false for a
+/// malformed key (no separator).
+inline bool SplitIndexKey(std::string_view composite,
+                          std::string_view* secondary,
+                          std::string_view* primary) {
+  const std::size_t sep = composite.find(kIndexKeySeparator);
+  if (sep == std::string_view::npos) return false;
+  if (secondary != nullptr) *secondary = composite.substr(0, sep);
+  if (primary != nullptr) *primary = composite.substr(sep + 1);
+  return true;
+}
+
+/// Composite bounds covering exactly the entries of one secondary key.
+inline void IndexExactBounds(std::string_view secondary, std::string* lo,
+                             std::string* hi) {
+  lo->clear();
+  lo->append(secondary.data(), secondary.size());
+  lo->push_back('\0');
+  hi->clear();
+  hi->append(secondary.data(), secondary.size());
+  hi->push_back('\x01');
+}
+
+/// Composite bounds covering the secondary-key range [s1, s2).
+inline void IndexRangeBounds(std::string_view s1, std::string_view s2,
+                             std::string* lo, std::string* hi) {
+  lo->clear();
+  lo->append(s1.data(), s1.size());
+  lo->push_back('\0');
+  hi->clear();
+  if (!s2.empty()) {
+    hi->append(s2.data(), s2.size());
+    hi->push_back('\0');
+  }
+}
+
+}  // namespace streamsi
+
+#endif  // STREAMSI_CORE_INDEX_KEY_H_

@@ -47,6 +47,15 @@ Status StateCatalog::AppendGroup(const GroupRecord& record) {
   return writer_.Append(WalRecordType::kGroupDecl, payload, /*sync=*/true);
 }
 
+// kIndexDecl payload: [version(1)] [varint32 index_id] [varint32 base_id]
+Status StateCatalog::AppendIndex(const IndexRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kFormatVersion));
+  PutVarint32(&payload, record.index);
+  PutVarint32(&payload, record.base);
+  return writer_.Append(WalRecordType::kIndexDecl, payload, /*sync=*/true);
+}
+
 Status StateCatalog::Replay(const std::string& path,
                             std::vector<Declaration>* declarations,
                             Env* env) {
@@ -57,8 +66,15 @@ Status StateCatalog::Replay(const std::string& path,
       path,
       [&](WalRecordType type, std::string_view payload) -> Status {
         if (type != WalRecordType::kStateDecl &&
-            type != WalRecordType::kGroupDecl) {
-          return Status::OK();  // foreign record kinds: skip
+            type != WalRecordType::kGroupDecl &&
+            type != WalRecordType::kIndexDecl) {
+          // The catalog is the schema's source of truth: a record kind this
+          // binary does not know means the file was written by a newer era,
+          // and opening a schema we cannot fully understand (then appending
+          // to it!) would corrupt it for the writer that can. Refuse, don't
+          // skip.
+          return Status::Corruption(
+              "catalog record kind from a newer era (unknown record type)");
         }
         const char* p = payload.data();
         const char* limit = p + payload.size();
@@ -68,7 +84,14 @@ Status StateCatalog::Replay(const std::string& path,
           return Status::Corruption("catalog record from a newer era");
         }
         Declaration decl;
-        if (type == WalRecordType::kStateDecl) {
+        if (type == WalRecordType::kIndexDecl) {
+          decl.kind = Declaration::Kind::kIndex;
+          p = GetVarint32(p, limit, &decl.index.index);
+          if (p != nullptr) p = GetVarint32(p, limit, &decl.index.base);
+          if (p == nullptr) {
+            return Status::Corruption("bad index declaration");
+          }
+        } else if (type == WalRecordType::kStateDecl) {
           decl.kind = Declaration::Kind::kState;
           p = GetVarint32(p, limit, &decl.state.id);
           if (p == nullptr || p == limit) {

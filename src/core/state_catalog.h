@@ -44,12 +44,22 @@ class StateCatalog {
     std::vector<StateId> states;
   };
 
-  /// One replayed declaration, in on-disk order (exactly one of the two
-  /// optionals-by-kind is meaningful).
+  /// Secondary-index binding: state `index` is derived from state `base` by
+  /// commit-time maintenance. The extractor function itself cannot be
+  /// persisted — the application re-binds it via Database::CreateIndex
+  /// after reopen; until then, write commits touching `base` refuse.
+  struct IndexRecord {
+    StateId index = kInvalidStateId;
+    StateId base = kInvalidStateId;
+  };
+
+  /// One replayed declaration, in on-disk order (exactly one of the
+  /// members-by-kind is meaningful).
   struct Declaration {
-    enum class Kind { kState, kGroup } kind = Kind::kState;
+    enum class Kind { kState, kGroup, kIndex } kind = Kind::kState;
     StateRecord state;
     GroupRecord group;
+    IndexRecord index;
   };
 
   StateCatalog(SyncMode sync_mode, std::uint64_t simulated_sync_micros,
@@ -68,6 +78,9 @@ class StateCatalog {
 
   /// Appends one topology-group declaration, durably.
   Status AppendGroup(const GroupRecord& record);
+
+  /// Appends one secondary-index binding, durably.
+  Status AppendIndex(const IndexRecord& record);
 
   /// Replays `path` into declaration order. Missing file => empty catalog.
   static Status Replay(const std::string& path,

@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "common/zipf.h"
 #include "core/database.h"
+#include "core/index_key.h"
 #include "core/transaction_manager.h"
 #include "core/transactional_table.h"
 #include "storage/backend.h"

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "core/index_key.h"
 
 namespace streamsi {
 
@@ -73,6 +74,16 @@ Status TransactionManager::Scan(
   if (store == nullptr) return Status::InvalidArgument("unknown state");
   context_->RegisterStateAccess(txn.slot(), state);
   return protocol_->Scan(txn, *store, callback);
+}
+
+Status TransactionManager::ScanRange(
+    Transaction& txn, StateId state, std::string_view lo, std::string_view hi,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  if (!txn.running()) return Status::Aborted("transaction not running");
+  VersionedStore* store = resolver_(state);
+  if (store == nullptr) return Status::InvalidArgument("unknown state");
+  context_->RegisterStateAccess(txn.slot(), state);
+  return protocol_->ScanRange(txn, *store, lo, hi, callback);
 }
 
 Status TransactionManager::RegisterState(Transaction& txn, StateId state) {
@@ -163,7 +174,85 @@ void TransactionManager::WaitForStoreGcFloor(void* ctx, std::uint64_t micros) {
   c->context->WaitForTxnTableChange(c->context->TxnTableGeneration(), micros);
 }
 
+void TransactionManager::RegisterIndex(StateId base, StateId index,
+                                       IndexKeyExtractor extractor) {
+  ExclusiveGuard guard(indexes_latch_);
+  auto& bindings = indexes_[base];
+  for (auto& binding : bindings) {
+    if (binding.index == index) {  // re-bind (reopen) replaces the extractor
+      binding.extractor = std::move(extractor);
+      return;
+    }
+  }
+  bindings.push_back(IndexBinding{index, std::move(extractor)});
+  has_indexes_.store(true, std::memory_order_release);
+}
+
+Status TransactionManager::DeriveIndexMutations(Transaction& txn) {
+  // Snapshot the written states first: MutableWriteSet(index) below grows
+  // the very set ForEachWrittenState walks.
+  SmallVec<StateId, kInlineCommitStates> bases;
+  txn.ForEachWrittenState([&](StateId state) { bases.push_back(state); });
+  SharedGuard guard(indexes_latch_);
+  std::string pre_image;
+  std::string old_composite;
+  std::string new_composite;
+  for (StateId base : bases) {
+    const auto it = indexes_.find(base);
+    if (it == indexes_.end()) continue;
+    VersionedStore* base_store = resolver_(base);
+    const WriteSet* ws = txn.FindWriteSet(base);
+    if (base_store == nullptr || ws == nullptr || ws->empty()) continue;
+    for (const IndexBinding& binding : it->second) {
+      if (!binding.extractor) {
+        return Status::Unavailable(
+            "state '" + base_store->name() +
+            "' has a secondary index whose extractor is not bound in this "
+            "process; call Database::CreateIndex again after Open");
+      }
+      WriteSet& index_ws = txn.MutableWriteSet(binding.index);
+      ws->ForEachEffective([&](std::string_view key, std::string_view value,
+                               bool is_delete) {
+        // Pre-image: the newest committed live version of the base row.
+        // This read is race-free under First-Committer-Wins: any commit
+        // that modifies this key between our BOT and our validation makes
+        // validation abort us, so a pre-image that passed validation was
+        // the version our commit supersedes.
+        pre_image.clear();
+        const bool had_old = base_store->ReadLatest(key, &pre_image).ok();
+        old_composite.clear();
+        if (had_old) {
+          AppendIndexKey(&old_composite, binding.extractor(key, pre_image),
+                         key);
+        }
+        new_composite.clear();
+        if (!is_delete) {
+          AppendIndexKey(&new_composite, binding.extractor(key, value), key);
+        }
+        if (had_old && old_composite != new_composite) {
+          index_ws.Delete(old_composite);
+        }
+        if (!is_delete) index_ws.Put(new_composite, key);
+      });
+    }
+  }
+  return Status::OK();
+}
+
 Status TransactionManager::GlobalCommit(Transaction& txn) {
+  // Secondary-index maintenance first: the derived index write sets join
+  // the transaction's own, so everything downstream — validation, apply,
+  // the ONE group-commit record, the ONE LastCTS publication — treats the
+  // index states exactly like explicitly written ones. §4.3's atomic
+  // multi-state publication is what makes index/base consistency free.
+  if (has_indexes_.load(std::memory_order_acquire)) {
+    const Status derived = DeriveIndexMutations(txn);
+    if (!derived.ok()) {
+      GlobalAbort(txn);
+      return derived;
+    }
+  }
+
   // All commit bookkeeping lives on the coordinator's stack: written
   // states, resolved stores and the affected group set spill to the heap
   // only past kInlineCommitStates entries.

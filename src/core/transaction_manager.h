@@ -85,6 +85,13 @@ class TransactionManager {
   Status Scan(Transaction& txn, StateId state,
               const std::function<bool(std::string_view, std::string_view)>&
                   callback);
+  /// Ordered range scan over [lo, hi) (empty `hi` = unbounded) at the
+  /// transaction's §4.3 snapshot cut; MVCC only (see
+  /// ConcurrencyProtocol::ScanRange for why the baselines refuse).
+  Status ScanRange(Transaction& txn, StateId state, std::string_view lo,
+                   std::string_view hi,
+                   const std::function<bool(std::string_view,
+                                            std::string_view)>& callback);
 
   /// Pre-declares that `txn` will access `state` (TO_TABLE operators call
   /// this at BOT so the consistency protocol knows the full state set
@@ -117,6 +124,22 @@ class TransactionManager {
   /// UnregisterCommitListener.
   std::uint64_t RegisterCommitListener(StateId state, CommitListener listener);
   void UnregisterCommitListener(std::uint64_t token);
+
+  // ------------------------------------------------- secondary indexes ---
+
+  /// Derives the secondary key of one base row. Must be deterministic and
+  /// must never emit a 0x00 byte (see core/index_key.h).
+  using IndexKeyExtractor =
+      std::function<std::string(std::string_view key, std::string_view value)>;
+
+  /// Binds index state `index` to base state `base`: every GlobalCommit
+  /// that wrote `base` derives the index mutations from its write set and
+  /// commits them in the SAME §4.3 global commit, so base and index publish
+  /// atomically. Re-binding the same pair replaces the extractor (reopen).
+  /// A null extractor registers the binding as PENDING — write commits on
+  /// `base` then refuse with Unavailable until the application re-binds a
+  /// real extractor (Database::CreateIndex after reopen does this).
+  void RegisterIndex(StateId base, StateId index, IndexKeyExtractor extractor);
 
   const TxnCounters& counters() const { return counters_; }
   StateContext* context() { return context_; }
@@ -169,6 +192,11 @@ class TransactionManager {
 
   Status GlobalCommit(Transaction& txn);
   void GlobalAbort(Transaction& txn);
+  /// Commit-time index maintenance: for every written base state with
+  /// bound indexes, folds the derived index mutations into the
+  /// transaction's write sets (see GlobalCommit for the FCW argument that
+  /// makes the pre-image read race-free).
+  Status DeriveIndexMutations(Transaction& txn);
   void ReleaseAll(Transaction& txn, bool committed);
   void Finish(Transaction& txn, bool committed);
   void NotifyCommitListeners(Transaction& txn, Timestamp commit_ts,
@@ -195,6 +223,17 @@ class TransactionManager {
   /// reused for every later transaction in the slot.
   std::array<std::unique_ptr<TxnScratch>, StateContext::kMaxActiveTxns>
       scratch_pool_;
+
+  /// Secondary-index bindings, base state -> its indexes. Registration is
+  /// a rare schema-time event; the commit path checks the atomic flag
+  /// first and only takes the shared latch when indexes exist at all.
+  struct IndexBinding {
+    StateId index = kInvalidStateId;
+    IndexKeyExtractor extractor;  ///< null = pending re-bind after reopen
+  };
+  mutable RwLatch indexes_latch_;
+  std::unordered_map<StateId, std::vector<IndexBinding>> indexes_;
+  std::atomic<bool> has_indexes_{false};
 
   mutable RwLatch listeners_latch_;
   std::uint64_t next_listener_token_ = 1;
@@ -235,6 +274,11 @@ class TransactionHandle {
               const std::function<bool(std::string_view, std::string_view)>&
                   callback) {
     return manager_->Scan(txn_, state, callback);
+  }
+  Status ScanRange(StateId state, std::string_view lo, std::string_view hi,
+                   const std::function<bool(std::string_view,
+                                            std::string_view)>& callback) {
+    return manager_->ScanRange(txn_, state, lo, hi, callback);
   }
   Status Commit() { return manager_->Commit(txn_); }
   Status Abort() { return manager_->Abort(txn_); }

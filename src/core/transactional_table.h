@@ -73,6 +73,29 @@ class TransactionalTable {
     return decode_status;
   }
 
+  /// Transactional ordered range scan over [lo, hi) at the snapshot (plus
+  /// own writes). The range is evaluated over the ENCODED byte order of K:
+  /// std::string keys order naturally; integer keys must be encoded
+  /// order-preservingly (see OrderPreservingKey in common/serde.h) — a raw
+  /// memcpy'd little-endian int does NOT sort numerically. MVCC only.
+  Status ScanRange(Transaction& txn, const K& lo, const K& hi,
+                   const std::function<bool(const K&, const V&)>& callback) {
+    Status decode_status = Status::OK();
+    STREAMSI_RETURN_NOT_OK(manager_->ScanRange(
+        txn, store_->id(), EncodeToString(lo), EncodeToString(hi),
+        [&](std::string_view raw_key, std::string_view raw_value) {
+          K key;
+          V value;
+          if (!Serializer<K>::Decode(raw_key, &key) ||
+              !Serializer<V>::Decode(raw_value, &value)) {
+            decode_status = Status::Corruption("scan decode failed");
+            return false;
+          }
+          return callback(key, value);
+        }));
+    return decode_status;
+  }
+
   /// Non-transactional bulk load for initialization (visible to everyone).
   Status BulkLoad(const K& key, const V& value) {
     return store_->BulkLoad(EncodeToString(key), EncodeToString(value));

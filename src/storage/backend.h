@@ -94,8 +94,29 @@ class TableBackend {
   /// Removes `key` (idempotent).
   virtual Status Delete(std::string_view key, bool sync) = 0;
 
-  /// Visits all live entries. Ordered backends visit in key order.
+  /// Visits all live entries.
+  ///
+  /// Ordering contract per backend (do not rely on more than this):
+  ///   * HashTableBackend — UNORDERED: shard-by-shard hash-map walk; the
+  ///     visit order is arbitrary and changes across runs.
+  ///   * SkipListBackend  — key order (byte-wise lexicographic).
+  ///   * LsmBackend       — key order (newest-wins merge of memtable +
+  ///     sealed memtables + SSTables).
   virtual Status Scan(const ScanCallback& callback) const = 0;
+
+  /// Visits live entries with lo <= key < hi in byte-wise key order; an
+  /// empty `hi` means "to the end". Only ordered backends support this —
+  /// the default returns NotSupported so an unordered backend can never
+  /// masquerade as a sorted one by silently full-scanning.
+  virtual Status ScanRange(std::string_view lo, std::string_view hi,
+                           const ScanCallback& callback) const {
+    (void)lo;
+    (void)hi;
+    (void)callback;
+    return Status::NotSupported(
+        "ScanRange requires an ordered backend (skiplist or lsm); '" +
+        std::string(Name()) + "' scans are unordered");
+  }
 
   /// Number of live entries (exact for volatile backends, may count
   /// tombstoned duplicates approximately for LSM).

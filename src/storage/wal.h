@@ -44,6 +44,8 @@ enum class WalRecordType : unsigned char {
                           ///< shipped stream alone). Replays everywhere a
                           ///< kGroupCommit does — the payload is a strict
                           ///< superset.
+  kIndexDecl = 9,  ///< catalog: one secondary-index binding (index state
+                   ///< derived from a base state)
 };
 
 /// Append-only writer. Thread-safe; synchronous appends use group commit.

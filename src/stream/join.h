@@ -6,6 +6,11 @@
 // metering example (the Verify query joins measurements with the
 // Specification table).
 //
+// IndexLookupJoin: enriches each stream tuple with EVERY base row matching
+// a derived secondary key, probing a transactional secondary index and the
+// base table in one snapshot (one-to-many where StreamTableJoin is
+// one-to-one).
+//
 // SymmetricHashJoin: joins two streams on a key with bounded per-key
 // buffers (count-based expiry), the classic DSMS symmetric hash join.
 
@@ -15,6 +20,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "core/index_key.h"
 #include "core/transactional_table.h"
 #include "stream/operator.h"
 
@@ -76,6 +82,99 @@ class StreamTableJoin : public OperatorBase, public Publisher<Out> {
   IsolationLevel isolation_;
   std::atomic<std::uint64_t> matched_{0};
   std::atomic<std::uint64_t> unmatched_{0};
+};
+
+/// Stream ⋈ table through a secondary index: each input tuple derives a
+/// secondary key, probes the index state for ALL matching primary keys
+/// (composite range [S 0x00, S 0x01), see core/index_key.h) and point-reads
+/// each base row — a one-to-many enrichment, where StreamTableJoin is
+/// one-to-one by primary key. Index probe and base reads run in one
+/// snapshot transaction, so §4.3's group cut (base and index live in the
+/// same topology group) guarantees every index hit resolves to a base row
+/// of the same snapshot — a dangling hit means a bug, and is counted.
+template <typename T, typename Out>
+class IndexLookupJoin : public OperatorBase, public Publisher<Out> {
+ public:
+  /// Derives the probe's secondary key from a tuple (must match the
+  /// extractor the index was created with; no 0x00 bytes).
+  using SecondaryKey = std::function<std::string(const T&)>;
+  /// Combines a tuple with one matching base row (raw key/value bytes; the
+  /// caller decodes with its table's serializers).
+  using Combiner = std::function<Out(const T&, std::string_view primary_key,
+                                     std::string_view row)>;
+
+  IndexLookupJoin(Publisher<T>* input, TransactionManager* manager,
+                  StateId base, StateId index, SecondaryKey secondary,
+                  Combiner combine)
+      : manager_(manager),
+        base_(base),
+        index_(index),
+        secondary_(std::move(secondary)),
+        combine_(std::move(combine)) {
+    input->Subscribe([this](const StreamElement<T>& e) { OnElement(e); });
+  }
+
+  std::string_view name() const override { return "IndexLookupJoin"; }
+
+  std::uint64_t matched() const {
+    return matched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t unmatched() const {
+    return unmatched_.load(std::memory_order_relaxed);
+  }
+  /// Index entries whose base row was missing in the same snapshot. Always
+  /// zero unless the index invariant is broken.
+  std::uint64_t dangling() const {
+    return dangling_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void OnElement(const StreamElement<T>& e) {
+    if (!e.is_data()) {
+      this->Publish(e.template ForwardPunctuation<Out>());
+      return;
+    }
+    auto txn = manager_->Begin();
+    if (!txn.ok()) return;
+    // Snapshot (not read-committed): the probe and the per-hit base reads
+    // must observe ONE cut, or a concurrent commit could slip between them.
+    (*txn)->txn().set_isolation(IsolationLevel::kSnapshot);
+    IndexExactBounds(secondary_(e.data()), &lo_, &hi_);
+    bool any = false;
+    const Status status = (*txn)->ScanRange(
+        index_, lo_, hi_,
+        [&](std::string_view composite, std::string_view primary) {
+          (void)primary;  // the value IS the primary key; so is the suffix
+          std::string_view primary_key;
+          if (!SplitIndexKey(composite, nullptr, &primary_key)) return true;
+          if (manager_->Read((*txn)->txn(), base_, primary_key, &row_).ok()) {
+            any = true;
+            this->Publish(StreamElement<Out>(
+                combine_(e.data(), primary_key, row_), e.ts()));
+          } else {
+            dangling_.fetch_add(1, std::memory_order_relaxed);
+          }
+          return true;
+        });
+    (void)(*txn)->Commit();
+    if (!status.ok() || !any) {
+      unmatched_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      matched_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  TransactionManager* manager_;
+  StateId base_;
+  StateId index_;
+  SecondaryKey secondary_;
+  Combiner combine_;
+  /// Reused probe-bounds / row buffers (elements arrive on one source
+  /// thread; Subscribe runs callbacks serially per input).
+  std::string lo_, hi_, row_;
+  std::atomic<std::uint64_t> matched_{0};
+  std::atomic<std::uint64_t> unmatched_{0};
+  std::atomic<std::uint64_t> dangling_{0};
 };
 
 /// Symmetric hash join of two streams over a shared key type. Each side

@@ -1,6 +1,9 @@
 #include "txn/protocol.h"
 
+#include <algorithm>
 #include <unordered_map>
+
+#include "common/small_vec.h"
 
 #include "txn/bocc_protocol.h"
 #include "txn/s2pl_protocol.h"
@@ -66,6 +69,64 @@ Status ConcurrencyProtocol::ScanWithOverlay(
     if (stop || is_delete) return;
     if (!callback(key, value)) stop = true;
   });
+  return Status::OK();
+}
+
+Status ConcurrencyProtocol::ScanRangeWithOverlay(
+    Transaction& txn, VersionedStore& store, Timestamp read_ts,
+    std::string_view lo, std::string_view hi,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  const WriteSet* ws = txn.FindWriteSet(store.id());
+  if (ws == nullptr || ws->empty()) {
+    return store.ScanRangeCommitted(read_ts, lo, hi, callback);
+  }
+  // Ordered two-way merge: the committed range stream is already sorted;
+  // the transaction's own in-range writes (unique per key — the write set
+  // is last-write-wins in place) are gathered on the stack and sorted once.
+  // Per key the own write wins, and an own delete suppresses the committed
+  // row.
+  SmallVec<const WriteSet::Entry*, 16> overlay;
+  for (const auto& entry : ws->entries()) {
+    if (entry.key >= lo && (hi.empty() || entry.key < hi)) {
+      overlay.push_back(&entry);
+    }
+  }
+  std::sort(overlay.begin(), overlay.end(),
+            [](const WriteSet::Entry* a, const WriteSet::Entry* b) {
+              return a->key < b->key;
+            });
+  std::size_t next = 0;
+  bool stop = false;
+  const auto emit_overlay = [&](const WriteSet::Entry* entry) {
+    if (entry->is_delete) return true;
+    return callback(entry->key, entry->value);
+  };
+  STREAMSI_RETURN_NOT_OK(store.ScanRangeCommitted(
+      read_ts, lo, hi, [&](std::string_view key, std::string_view value) {
+        while (next < overlay.size() && overlay[next]->key < key) {
+          if (!emit_overlay(overlay[next++])) {
+            stop = true;
+            return false;
+          }
+        }
+        if (next < overlay.size() && overlay[next]->key == key) {
+          // Own write shadows the committed version of this key.
+          if (!emit_overlay(overlay[next++])) {
+            stop = true;
+            return false;
+          }
+          return true;
+        }
+        if (!callback(key, value)) {
+          stop = true;
+          return false;
+        }
+        return true;
+      }));
+  if (stop) return Status::OK();
+  while (next < overlay.size()) {
+    if (!emit_overlay(overlay[next++])) break;
+  }
   return Status::OK();
 }
 

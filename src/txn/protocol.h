@@ -57,6 +57,35 @@ class ConcurrencyProtocol {
       const std::function<bool(std::string_view, std::string_view)>&
           callback) = 0;
 
+  /// Transactional ordered range scan over [lo, hi) — empty `hi` means "to
+  /// the end" — overlaid with own writes, keys visited in byte-wise order
+  /// at a single §4.3 snapshot cut.
+  ///
+  /// MVCC/SI supports this today (SiProtocol override): a range read is
+  /// just point visibility applied along the ordered key index, and the
+  /// pinned snapshot already excludes phantoms by construction. The
+  /// lock-based baselines do NOT: S2PL would need predicate/next-key range
+  /// locks to keep a concurrent insert into [lo, hi) from creating a
+  /// phantom between a scan and its re-read, and BOCC would need the range
+  /// predicate folded into its validate-against-committed-write-sets check.
+  /// Until that exists they inherit this default and refuse loudly rather
+  /// than return unserializable results.
+  virtual Status ScanRange(
+      Transaction& txn, VersionedStore& store, std::string_view lo,
+      std::string_view hi,
+      const std::function<bool(std::string_view, std::string_view)>&
+          callback) {
+    (void)txn;
+    (void)store;
+    (void)lo;
+    (void)hi;
+    (void)callback;
+    return Status::NotSupported(
+        "range scans are not implemented for this concurrency protocol: "
+        "phantom protection (predicate/range locking or range validation) "
+        "is required first; use the MVCC protocol");
+  }
+
   // ------------------------------------------------------ commit pipeline ---
 
   /// Entered once before any Validate (BOCC takes its global validation
@@ -108,6 +137,15 @@ class ConcurrencyProtocol {
   /// transaction's own writes.
   static Status ScanWithOverlay(
       Transaction& txn, VersionedStore& store, Timestamp read_ts,
+      const std::function<bool(std::string_view, std::string_view)>&
+          callback);
+
+  /// Shared ordered range scan: committed [lo, hi) snapshot at `read_ts`
+  /// merged in key order with the transaction's own in-range writes
+  /// (own-write wins per key; own deletes suppress committed rows).
+  static Status ScanRangeWithOverlay(
+      Transaction& txn, VersionedStore& store, Timestamp read_ts,
+      std::string_view lo, std::string_view hi,
       const std::function<bool(std::string_view, std::string_view)>&
           callback);
 };

@@ -53,6 +53,20 @@ Status SiProtocol::Scan(
   return ScanWithOverlay(txn, store, read_ts, callback);
 }
 
+Status SiProtocol::ScanRange(
+    Transaction& txn, VersionedStore& store, std::string_view lo,
+    std::string_view hi,
+    const std::function<bool(std::string_view, std::string_view)>& callback) {
+  // Snapshot isolation gets range reads phantom-free for free: every key in
+  // [lo, hi) is judged against the same pinned ReadCTS, so an insert
+  // committed after the pin is invisible no matter when it lands relative
+  // to the traversal.
+  const Timestamp read_ts = txn.isolation() == IsolationLevel::kReadCommitted
+                                ? kInfinityTs - 1
+                                : SnapshotFor(txn, store);
+  return ScanRangeWithOverlay(txn, store, read_ts, lo, hi, callback);
+}
+
 Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
   const WriteSet* ws = txn.FindWriteSet(store.id());
   if (ws == nullptr || ws->empty()) return Status::OK();

@@ -34,6 +34,11 @@ class SiProtocol final : public ConcurrencyProtocol {
   Status Scan(Transaction& txn, VersionedStore& store,
               const std::function<bool(std::string_view, std::string_view)>&
                   callback) override;
+  Status ScanRange(Transaction& txn, VersionedStore& store,
+                   std::string_view lo, std::string_view hi,
+                   const std::function<bool(std::string_view,
+                                            std::string_view)>&
+                       callback) override;
 
   Status Validate(Transaction& txn, VersionedStore& store) override;
   void ReleaseState(Transaction& txn, VersionedStore& store,

@@ -1,11 +1,119 @@
 #include "txn/versioned_store.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
+#include <new>
 
 #include "common/logging.h"
 
 namespace streamsi {
+
+// ---------------------------------------------------------- ordered index ---
+
+VersionedStore::OrderedIndex::OrderedIndex() {
+  head_ = NewNode(nullptr, kMaxHeight);
+}
+
+VersionedStore::OrderedIndex::~OrderedIndex() {
+  Node* node = head_;
+  while (node != nullptr) {
+    Node* next = node->Next(0);
+    node->~Node();
+    std::free(node);
+    node = next;
+  }
+}
+
+VersionedStore::OrderedIndex::Node* VersionedStore::OrderedIndex::NewNode(
+    Entry* entry, int height) {
+  const std::size_t size =
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1);
+  void* mem = std::malloc(size);
+  Node* node = new (mem) Node();
+  node->entry.store(entry, std::memory_order_relaxed);
+  node->height = height;
+  for (int i = 0; i < height; ++i) node->SetNext(i, nullptr);
+  return node;
+}
+
+int VersionedStore::OrderedIndex::RandomHeight() {
+  std::lock_guard<SpinLock> guard(rng_lock_);
+  int height = 1;
+  while (height < kMaxHeight && (rng_.Next() & 3) == 0) ++height;
+  return height;
+}
+
+VersionedStore::OrderedIndex::Node*
+VersionedStore::OrderedIndex::FindGreaterOrEqual(std::string_view key,
+                                                 Node** prev) const {
+  Node* node = head_;
+  int level = max_height_.load(std::memory_order_acquire) - 1;
+  for (;;) {
+    Node* next = node->Next(level);
+    if (next != nullptr && next->key() < key) {
+      node = next;
+    } else {
+      if (prev != nullptr) prev[level] = node;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void VersionedStore::OrderedIndex::InsertOrRepoint(Entry* entry) {
+  const std::string_view key = entry->key;
+  for (;;) {
+    Node* prev[kMaxHeight];
+    Node* found = FindGreaterOrEqual(key, prev);
+    if (found != nullptr && found->key() == key) {
+      // Warm-reload swap: the key keeps its node, the node gets the
+      // replacement entry. Readers mid-probe on the old entry are safe —
+      // superseded entries are immortal (the shard graveyard owns them).
+      found->entry.store(entry, std::memory_order_release);
+      return;
+    }
+
+    const int height = RandomHeight();
+    int cur_max = max_height_.load(std::memory_order_relaxed);
+    while (height > cur_max &&
+           !max_height_.compare_exchange_weak(cur_max, height,
+                                              std::memory_order_acq_rel)) {
+    }
+    for (int i = cur_max; i < height; ++i) prev[i] = head_;
+
+    Node* node = NewNode(entry, height);
+    // Link bottom level first with CAS; a concurrent insert from another
+    // shard's creator may have raced us into this spot — retry from scratch.
+    node->SetNext(0, found);
+    if (!prev[0]->CasNext(0, found, node)) {
+      node->~Node();
+      std::free(node);
+      continue;
+    }
+
+    // Upper levels are best-effort: a failed CAS leaves the node reachable
+    // via level 0, which preserves correctness.
+    for (int level = 1; level < height; ++level) {
+      for (;;) {
+        Node* next = prev[level]->Next(level);
+        if (next != nullptr && next->key() < key) {
+          Node* p = prev[level];
+          while (true) {
+            Node* n = p->Next(level);
+            if (n == nullptr || n->key() >= key) break;
+            p = n;
+          }
+          prev[level] = p;
+          continue;
+        }
+        node->SetNext(level, next);
+        if (prev[level]->CasNext(level, next, node)) break;
+      }
+    }
+    return;
+  }
+}
 
 VersionedStore::VersionedStore(StateId id, std::string name,
                                std::unique_ptr<TableBackend> backend,
@@ -82,6 +190,11 @@ void VersionedStore::InsertEntryLocked(Shard& shard,
   ++shard.size;
   table->buckets[i].store(raw, std::memory_order_release);
   key_count_.fetch_add(1, std::memory_order_relaxed);
+  // Ordered-index maintenance rides the entry-creation path (this shard's
+  // latch is held; creators in other shards insert concurrently, which the
+  // index's CAS insert tolerates). Point reads and the commit fast path for
+  // existing keys never touch the index.
+  ordered_index_.InsertOrRepoint(raw);
 }
 
 VersionedStore::Entry* VersionedStore::GetOrCreateEntry(std::string_view key) {
@@ -211,6 +324,39 @@ Status VersionedStore::ScanCommitted(
         if (visible && !callback(entry->key, value)) return Status::OK();
       }
     }
+  }
+  return Status::OK();
+}
+
+Status VersionedStore::ScanRangeCommitted(
+    Timestamp read_ts, std::string_view lo, std::string_view hi,
+    const std::function<bool(std::string_view, std::string_view)>& callback)
+    const {
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  std::string value;
+  // The traversal itself takes no latch and pins no epoch: index nodes are
+  // never unlinked or freed before the store dies, and the Entry a node
+  // points at (even a superseded one) is likewise immortal. Only the
+  // version probe pins the epoch — MvccObject slot arrays are reclaimed
+  // through it on growth — and the user callback runs with nothing held,
+  // so it may write back into this store (even create keys) safely.
+  const OrderedIndex::Node* node = ordered_index_.Seek(lo);
+  while (node != nullptr) {
+    const Entry* entry = node->entry.load(std::memory_order_acquire);
+    const std::string_view key = entry->key;
+    if (!hi.empty() && key >= hi) break;
+    bool visible;
+    {
+      EpochGuard epoch_guard;
+      visible =
+          ReadOptimistic(
+              entry,
+              [&] { return entry->object.TryGetVisible(read_ts, &value); },
+              [&] { return entry->object.GetVisible(read_ts, &value); }) ==
+          MvccObject::ReadResult::kHit;
+    }
+    if (visible && !callback(key, value)) return Status::OK();
+    node = node->Next(0);
   }
   return Status::OK();
 }
@@ -441,6 +587,9 @@ Status VersionedStore::LoadFromBackend() {
               break;
             }
           }
+          // Repoint the key's ordered-index node at the replacement entry
+          // so range scans cannot resurrect the superseded version array.
+          ordered_index_.InsertOrRepoint(raw);
         } else {
           InsertEntryLocked(shard,
                             std::make_unique<Entry>(std::string(key), hash,

@@ -36,6 +36,7 @@
 
 #include "common/epoch.h"
 #include "common/latch.h"
+#include "common/random.h"
 #include "mvcc/mvcc_object.h"
 #include "storage/backend.h"
 #include "txn/types.h"
@@ -123,6 +124,20 @@ class VersionedStore {
   /// taken may or may not be visited by this scan.
   Status ScanCommitted(
       Timestamp read_ts,
+      const std::function<bool(std::string_view, std::string_view)>& callback)
+      const;
+
+  /// Ordered snapshot scan over [lo, hi) — empty `hi` means "to the end".
+  /// Visits keys in byte-wise order at one snapshot, walking the store's
+  /// ordered key index (maintained at entry-creation time, so range reads
+  /// work regardless of the backend's own ordering). Same reader discipline
+  /// as ScanCommitted: latch-free traversal, the epoch pinned only around
+  /// each seqlock version probe, the callback invoked with no latch and no
+  /// epoch held, and zero heap allocations once the reusable value buffer
+  /// has warmed up. Keys created concurrently with the scan may or may not
+  /// be visited (their versions are invisible at `read_ts` regardless).
+  Status ScanRangeCommitted(
+      Timestamp read_ts, std::string_view lo, std::string_view hi,
       const std::function<bool(std::string_view, std::string_view)>& callback)
       const;
 
@@ -313,6 +328,72 @@ class VersionedStore {
     std::size_t size = 0;  // occupied buckets, under latch
   };
 
+  /// Ordered key index: an insert-only concurrent skiplist of Entry
+  /// pointers spanning all shards, maintained at entry-creation time (the
+  /// creator already holds its shard latch exclusively; creations in
+  /// DIFFERENT shards insert concurrently, which the bottom-level CAS
+  /// handles). Three invariants make range readers latch-free AND
+  /// epoch-free for the traversal itself:
+  ///   * nodes are never unlinked or freed before the store dies (deleted
+  ///     keys stay as index nodes whose versions are simply invisible),
+  ///   * a node's key bytes live in its Entry, which is likewise immortal,
+  ///   * LoadFromBackend's warm-reload entry swap REPOINTS the node's
+  ///     atomic Entry* (same key) instead of inserting a duplicate, so a
+  ///     stale node can never resurrect superseded versions.
+  /// The epoch is still pinned around each VERSION probe (MvccObject slot
+  /// arrays are epoch-reclaimed on growth) — just never across user
+  /// callbacks.
+  class OrderedIndex {
+   public:
+    static constexpr int kMaxHeight = 16;
+
+    struct Node {
+      std::atomic<Entry*> entry{nullptr};  // repointable; never null once
+                                           // published (head: stays null)
+      int height = 1;
+      std::atomic<Node*> next[1];  // variable-length trailing array
+
+      std::string_view key() const {
+        return entry.load(std::memory_order_acquire)->key;
+      }
+      Node* Next(int level) const {
+        return next[level].load(std::memory_order_acquire);
+      }
+      void SetNext(int level, Node* n) {
+        next[level].store(n, std::memory_order_release);
+      }
+      bool CasNext(int level, Node* expected, Node* n) {
+        return next[level].compare_exchange_strong(expected, n,
+                                                   std::memory_order_acq_rel);
+      }
+    };
+
+    OrderedIndex();
+    ~OrderedIndex();
+    OrderedIndex(const OrderedIndex&) = delete;
+    OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+    /// Inserts a node for `entry->key`, or repoints the existing node to
+    /// `entry` when the key is already indexed (warm reload swap).
+    void InsertOrRepoint(Entry* entry);
+
+    /// First node with key >= `lo` (nullptr when past the end).
+    Node* Seek(std::string_view lo) const {
+      return FindGreaterOrEqual(lo);
+    }
+
+   private:
+    static Node* NewNode(Entry* entry, int height);
+    int RandomHeight();
+    Node* FindGreaterOrEqual(std::string_view key,
+                             Node** prev = nullptr) const;
+
+    Node* head_;
+    std::atomic<int> max_height_{1};
+    SpinLock rng_lock_;
+    Xorshift rng_{0x0DDB1A5E5ull};
+  };
+
   static std::size_t HashKey(std::string_view key) {
     return std::hash<std::string_view>{}(key);
   }
@@ -366,6 +447,7 @@ class VersionedStore {
   std::unique_ptr<TableBackend> backend_;
   StoreOptions options_;
   std::vector<Shard> shards_;
+  OrderedIndex ordered_index_;
   std::atomic<std::uint64_t> key_count_{0};
   /// Lazy GC floor cache (TryGetCachedGcFloor/CacheGcFloor). The sentinel
   /// generation ~0 never matches a real transaction-table generation.

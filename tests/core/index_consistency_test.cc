@@ -1,0 +1,351 @@
+// Transactional secondary indexes: commit-time maintenance inside the SAME
+// §4.3 global commit as the base write, so a snapshot can never observe a
+// base row without its index entries or vice versa — plus the durable
+// catalog binding (reopen leaves the binding PENDING until the application
+// re-binds the extractor) and the declaration-time error surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/index_key.h"
+#include "core/streamsi.h"
+#include "tests/test_util.h"
+
+namespace streamsi {
+namespace {
+
+// Rows are "<group>|<payload>"; the secondary key is the group prefix.
+std::string GroupOf(std::string_view value) {
+  return std::string(value.substr(0, value.find('|')));
+}
+
+TransactionManager::IndexKeyExtractor GroupExtractor() {
+  return [](std::string_view, std::string_view value) {
+    return GroupOf(value);
+  };
+}
+
+/// All (secondary, primary) pairs the index holds for `txn`'s snapshot.
+std::multimap<std::string, std::string> IndexContent(TransactionHandle& txn,
+                                                     StateId index) {
+  std::multimap<std::string, std::string> content;
+  EXPECT_TRUE(txn
+                  .ScanRange(index, "", "",
+                             [&](std::string_view composite,
+                                 std::string_view primary) {
+                               std::string_view secondary, suffix;
+                               EXPECT_TRUE(SplitIndexKey(composite,
+                                                         &secondary,
+                                                         &suffix));
+                               EXPECT_EQ(suffix, primary)
+                                   << "index value must be the primary key";
+                               content.emplace(std::string(secondary),
+                                               std::string(primary));
+                               return true;
+                             })
+                  .ok());
+  return content;
+}
+
+TEST(IndexConsistencyTest, MaintenanceFollowsBaseWrites) {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto base = (*db)->CreateState("rows");
+  ASSERT_TRUE(base.ok());
+  auto index = (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const StateId base_id = (*base)->id();
+  const StateId index_id = (*index)->id();
+
+  // Insert: base row and index entry appear together.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write(base_id, "k1", "red|one").ok());
+    ASSERT_TRUE((*t)->Write(base_id, "k2", "red|two").ok());
+    ASSERT_TRUE((*t)->Write(base_id, "k3", "blue|three").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  {
+    auto t = (*db)->Begin();
+    const auto content = IndexContent(**t, index_id);
+    EXPECT_EQ(content.size(), 3u);
+    EXPECT_EQ(content.count("red"), 2u);
+    EXPECT_EQ(content.count("blue"), 1u);
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+
+  // Update that MOVES the secondary key: old entry gone, new one present.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write(base_id, "k2", "blue|two").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Update that KEEPS the secondary key: entry neither lost nor duplicated.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write(base_id, "k1", "red|one-v2").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Delete: entry disappears.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Delete(base_id, "k3").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  {
+    auto t = (*db)->Begin();
+    const auto content = IndexContent(**t, index_id);
+    EXPECT_EQ(content.size(), 2u);
+    EXPECT_EQ(content.count("red"), 1u);
+    EXPECT_EQ(content.count("blue"), 1u);
+    std::string value;
+    // Exact-match probe: only the blue entries.
+    std::string lo, hi;
+    IndexExactBounds("blue", &lo, &hi);
+    std::vector<std::string> primaries;
+    ASSERT_TRUE((*t)
+                    ->ScanRange(index_id, lo, hi,
+                                [&](std::string_view, std::string_view p) {
+                                  primaries.emplace_back(p);
+                                  return true;
+                                })
+                    .ok());
+    EXPECT_EQ(primaries, std::vector<std::string>{"k2"});
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+}
+
+TEST(IndexConsistencyTest, CreateIndexBackfillsExistingRows) {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto base = (*db)->CreateState("rows");
+  ASSERT_TRUE(base.ok());
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k1", "red|one").ok());
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k2", "blue|two").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  auto index = (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  auto t = (*db)->Begin();
+  const auto content = IndexContent(**t, (*index)->id());
+  EXPECT_EQ(content.size(), 2u);
+  EXPECT_EQ(content.count("red"), 1u);
+  EXPECT_EQ(content.count("blue"), 1u);
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST(IndexConsistencyTest, DeclarationErrorSurface) {
+  {
+    DatabaseOptions options;
+    options.protocol = ProtocolType::kS2pl;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateState("rows").ok());
+    EXPECT_TRUE((*db)
+                    ->CreateIndex("rows", "idx", GroupExtractor())
+                    .status()
+                    .IsNotSupported());
+  }
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->CreateState("rows").ok());
+  ASSERT_TRUE((*db)->CreateState("plain").ok());
+  EXPECT_TRUE((*db)
+                  ->CreateIndex("rows", "idx", nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE((*db)
+                  ->CreateIndex("missing", "idx", GroupExtractor())
+                  .status()
+                  .IsInvalidArgument());
+  // An existing non-index state cannot be re-declared as an index.
+  EXPECT_TRUE((*db)
+                  ->CreateIndex("rows", "plain", GroupExtractor())
+                  .status()
+                  .IsInvalidArgument());
+  // Idempotent re-declaration of a real index is fine (re-bind).
+  auto index = (*db)->CreateIndex("rows", "idx", GroupExtractor());
+  ASSERT_TRUE(index.ok());
+  auto again = (*db)->CreateIndex("rows", "idx", GroupExtractor());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*index, *again);
+  // ...but not as an index over a DIFFERENT base.
+  EXPECT_TRUE((*db)
+                  ->CreateIndex("plain", "idx", GroupExtractor())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(IndexConsistencyTest, ReopenLeavesBindingPendingUntilRebind) {
+  testing::TempDir dir;
+  DatabaseOptions options;
+  options.base_dir = dir.path();
+  options.backend = BackendType::kLsm;
+  options.backend_options.sync_mode = SyncMode::kFsync;
+  StateId base_id = kInvalidStateId;
+  StateId index_id = kInvalidStateId;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    auto base = (*db)->CreateState("rows");
+    ASSERT_TRUE(base.ok());
+    auto index =
+        (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    base_id = (*base)->id();
+    index_id = (*index)->id();
+    ASSERT_TRUE((*db)->Recover().ok());
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write(base_id, "k1", "red|one").ok());
+    ASSERT_TRUE((*t)->Write(base_id, "k2", "blue|two").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    // The catalog reopened base, index and their group; reads work — and
+    // the recovered index content matches the recovered base.
+    EXPECT_EQ((*db)->FindState("rows")->id(), base_id);
+    EXPECT_EQ((*db)->FindState("rows_by_group")->id(), index_id);
+    {
+      auto t = (*db)->Begin();
+      const auto content = IndexContent(**t, index_id);
+      EXPECT_EQ(content.size(), 2u);
+      EXPECT_EQ(content.count("red"), 1u);
+      EXPECT_EQ(content.count("blue"), 1u);
+      ASSERT_TRUE((*t)->Commit().ok());
+    }
+    // The extractor is not persistable, so the binding is PENDING: a write
+    // commit on the base refuses rather than silently skipping maintenance.
+    {
+      auto t = (*db)->Begin();
+      ASSERT_TRUE((*t)->Write(base_id, "k3", "red|three").ok());
+      EXPECT_TRUE((*t)->Commit().IsUnavailable());
+    }
+    // Re-binding restores writability; maintenance picks up where it left.
+    auto rebound =
+        (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+    ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
+    EXPECT_EQ((*rebound)->id(), index_id);
+    {
+      auto t = (*db)->Begin();
+      ASSERT_TRUE((*t)->Write(base_id, "k3", "red|three").ok());
+      ASSERT_TRUE((*t)->Commit().ok());
+    }
+    auto t = (*db)->Begin();
+    const auto content = IndexContent(**t, index_id);
+    EXPECT_EQ(content.size(), 3u);
+    EXPECT_EQ(content.count("red"), 2u);
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+}
+
+// The headline §4.3 property: under concurrent committers that move rows
+// between secondary keys, NO snapshot may ever observe a base row and its
+// index entries in disagreement — in either direction.
+TEST(IndexConsistencyTest, StressBaseAndIndexNeverObservableSeparately) {
+  constexpr int kWriters = 3;
+  constexpr int kScannerRounds = 400;
+  constexpr int kKeys = 32;
+  constexpr int kGroups = 4;
+
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto base = (*db)->CreateState("rows");
+  ASSERT_TRUE(base.ok());
+  auto index = (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+  ASSERT_TRUE(index.ok());
+  const StateId base_id = (*base)->id();
+  const StateId index_id = (*index)->id();
+
+  const auto key_for = [](int k) { return "key-" + std::to_string(k); };
+  const auto group_for = [](std::uint64_t g) {
+    return "group-" + std::to_string(g);
+  };
+
+  constexpr int kOpsPerWriter = 4000;
+  std::atomic<int> writers_done{0};
+  std::atomic<std::uint64_t> commits{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Xorshift rng(0xD1CE + w);
+      for (int op = 0; op < kOpsPerWriter; ++op) {
+        auto t = (*db)->Begin();
+        if (!t.ok()) continue;
+        const std::string key = key_for(rng.Uniform(kKeys));
+        Status status;
+        if (rng.Uniform(8) == 0) {
+          status = (*t)->Delete(base_id, key);
+        } else {
+          status = (*t)->Write(base_id, key,
+                               group_for(rng.Uniform(kGroups)) + "|payload");
+        }
+        if (!status.ok()) continue;
+        if ((*t)->Commit().ok()) {
+          commits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Scan while the writers run (the interesting interleavings), then a few
+  // more rounds against the settled state.
+  for (int round = 0;
+       round < kScannerRounds ||
+       writers_done.load(std::memory_order_acquire) < kWriters;
+       ++round) {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE(t.ok());
+    // One snapshot, both states (they share a topology group, so the §4.3
+    // cut covers them together).
+    std::multimap<std::string, std::string> index_content =
+        IndexContent(**t, index_id);
+    std::map<std::string, std::string> rows;
+    ASSERT_TRUE((*t)
+                    ->Scan(base_id,
+                           [&](std::string_view k, std::string_view v) {
+                             rows.emplace(std::string(k), std::string(v));
+                             return true;
+                           })
+                    .ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+
+    // Forward: every index entry resolves to a base row of the SAME
+    // secondary key.
+    std::set<std::string> indexed_primaries;
+    for (const auto& [secondary, primary] : index_content) {
+      auto row = rows.find(primary);
+      ASSERT_NE(row, rows.end())
+          << "dangling index entry: " << secondary << " -> " << primary;
+      ASSERT_EQ(GroupOf(row->second), secondary)
+          << "stale index entry for " << primary;
+      indexed_primaries.insert(primary);
+    }
+    // Backward: every base row is indexed (exactly once, by the forward
+    // check + this count).
+    ASSERT_EQ(index_content.size(), rows.size());
+    ASSERT_EQ(indexed_primaries.size(), rows.size());
+  }
+
+  for (auto& t : writers) t.join();
+  EXPECT_GT(commits.load(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsi

@@ -86,6 +86,63 @@ TEST_F(StateCatalogTest, ReopenAfterBitFlipTruncatesAndNeverAppendsAfterGarbage)
       << "post-reopen declarations must stay reachable to replay";
 }
 
+TEST_F(StateCatalogTest, PreIndexCatalogReplaysUnchanged) {
+  // A catalog written before secondary indexes existed (states + groups
+  // only) must replay exactly as it always did — adding the kIndexDecl
+  // record kind must not disturb the decoding of older files.
+  WriteThreeDeclarations();
+  std::vector<StateCatalog::Declaration> declarations;
+  ASSERT_TRUE(StateCatalog::Replay(Path(), &declarations).ok());
+  ASSERT_EQ(declarations.size(), 3u);
+  EXPECT_EQ(declarations[0].kind, StateCatalog::Declaration::Kind::kState);
+  EXPECT_EQ(declarations[0].state.name, "a");
+  EXPECT_EQ(declarations[0].state.location, "/a");
+  EXPECT_EQ(declarations[1].kind, StateCatalog::Declaration::Kind::kState);
+  EXPECT_EQ(declarations[1].state.name, "b");
+  EXPECT_EQ(declarations[2].kind, StateCatalog::Declaration::Kind::kGroup);
+  ASSERT_EQ(declarations[2].group.states.size(), 2u);
+  EXPECT_EQ(declarations[2].group.states[0], 0u);
+  EXPECT_EQ(declarations[2].group.states[1], 1u);
+}
+
+TEST_F(StateCatalogTest, IndexDeclarationsRoundTripInOrder) {
+  {
+    StateCatalog catalog(SyncMode::kNone, 0);
+    ASSERT_TRUE(catalog.Open(Path()).ok());
+    ASSERT_TRUE(catalog.AppendState({0, BackendType::kLsm, "rows", "/r"}).ok());
+    ASSERT_TRUE(
+        catalog.AppendState({1, BackendType::kSkipList, "rows_by_tag", ""}).ok());
+    ASSERT_TRUE(catalog.AppendGroup({0, false, {0, 1}}).ok());
+    ASSERT_TRUE(catalog.AppendIndex({/*index=*/1, /*base=*/0}).ok());
+    ASSERT_TRUE(catalog.Close().ok());
+  }
+  std::vector<StateCatalog::Declaration> declarations;
+  ASSERT_TRUE(StateCatalog::Replay(Path(), &declarations).ok());
+  ASSERT_EQ(declarations.size(), 4u);
+  EXPECT_EQ(declarations[3].kind, StateCatalog::Declaration::Kind::kIndex);
+  EXPECT_EQ(declarations[3].index.index, 1u);
+  EXPECT_EQ(declarations[3].index.base, 0u);
+}
+
+TEST_F(StateCatalogTest, UnknownRecordKindFromNewerEraIsCorruption) {
+  WriteThreeDeclarations();
+  std::string contents;
+  ASSERT_TRUE(fsutil::ReadFileToString(Path(), &contents).ok());
+  // Forge an unknown record KIND (type byte 99) in the first frame and fix
+  // up the CRC so the framing stays valid: the catalog must refuse a record
+  // kind it does not know — skipping it and then appending would corrupt
+  // the schema for the newer-era writer that understands it.
+  contents[8] = 99;
+  const std::uint32_t len = DecodeFixed32(contents.data() + 4);
+  const std::uint32_t crc =
+      MaskCrc(Crc32c(std::string_view(contents.data() + 8, 1 + len)));
+  std::memcpy(contents.data(), &crc, 4);
+  ASSERT_TRUE(fsutil::WriteStringToFileAtomic(Path(), contents).ok());
+
+  std::vector<StateCatalog::Declaration> declarations;
+  EXPECT_TRUE(StateCatalog::Replay(Path(), &declarations).IsCorruption());
+}
+
 TEST_F(StateCatalogTest, RecordFromNewerFormatEraIsCorruption) {
   WriteThreeDeclarations();
   std::string contents;
