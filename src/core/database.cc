@@ -402,6 +402,7 @@ Result<VersionedStore*> Database::CreateIndex(
   }
 
   VersionedStore* existing = nullptr;
+  VersionedStore* orphan = nullptr;
   {
     // Re-bind path (catalog reopen, or a repeated declaration): the index
     // state already exists. Verify it is bound to THIS base, then just
@@ -411,12 +412,32 @@ Result<VersionedStore*> Database::CreateIndex(
     auto it = stores_by_name_.find(index_name);
     if (it != stores_by_name_.end()) {
       auto bound = index_base_.find(it->second);
-      if (bound == index_base_.end() || bound->second != base->id()) {
+      if (bound != index_base_.end()) {
+        if (bound->second != base->id()) {
+          return Status::InvalidArgument(
+              "state '" + index_name +
+              "' is an index over a different base than '" + base_name + "'");
+        }
+        existing = stores_[it->second].get();
+      } else if (stores_[it->second]->KeyCount() == 0) {
+        // Adoption path: the state exists, is bound to nothing and holds
+        // nothing. Either a crash inside a previous CreateIndex landed
+        // after the state (and possibly group) declarations but before the
+        // index-binding append — the reopened catalog then shows exactly
+        // this — or the application pre-declared an empty state under the
+        // index's name. Both are repaired the same way: fall through to
+        // the fresh-index tail below, which (idempotently) declares the
+        // group, appends the missing binding and backfills.
+        orphan = stores_[it->second].get();
+      } else {
+        // A NON-empty unbound state is application data: backfilling index
+        // entries into it would corrupt it, so refuse — and since commits
+        // on the base are not deriving maintenance for it, it can never
+        // silently pass as an index either.
         return Status::InvalidArgument(
-            "state '" + index_name +
-            "' exists but is not an index over '" + base_name + "'");
+            "state '" + index_name + "' holds data and is not an index over '" +
+            base_name + "'; refusing to adopt it as one");
       }
-      existing = stores_[it->second].get();
     }
   }
   if (existing != nullptr) {
@@ -425,13 +446,20 @@ Result<VersionedStore*> Database::CreateIndex(
     return existing;
   }
 
-  // Fresh index. The state + its singleton group + the {base, index}
-  // topology group + the binding append to the catalog in that order, so
-  // replay reconstructs the same ids and re-registers the (pending)
-  // binding before any recovered commit could touch the base.
-  auto created = CreateStateInternal(index_name, nullptr);
-  if (!created.ok()) return created.status();
-  VersionedStore* store = *created;
+  // Fresh (or adopted-orphan) index. The state + its singleton group + the
+  // {base, index} topology group + the binding append to the catalog in
+  // that order, so replay reconstructs the same ids and re-registers the
+  // (pending) binding before any recovered commit could touch the base.
+  // Each step is idempotent against a catalog prefix a crashed CreateIndex
+  // left behind: the state is adopted above, CreateGroup returns an
+  // already-declared identical topology without re-appending, and only the
+  // genuinely missing records are written.
+  VersionedStore* store = orphan;
+  if (store == nullptr) {
+    auto created = CreateStateInternal(index_name, nullptr);
+    if (!created.ok()) return created.status();
+    store = *created;
+  }
   const GroupId group = CreateGroup({base->id(), store->id()});
   if (group == kInvalidGroupId) {
     return Status::IoError("index group declaration failed (catalog append)");
@@ -456,8 +484,18 @@ Result<VersionedStore*> Database::CreateIndex(
   Status backfill = Status::OK();
   STREAMSI_RETURN_NOT_OK(base->ScanCommitted(
       kInfinityTs - 1, [&](std::string_view key, std::string_view value) {
+        const std::string secondary = backfill_extract(key, value);
+        if (!ValidIndexSecondary(secondary)) {
+          // Same contract check as commit-time maintenance: a 0x00 byte in
+          // the secondary would corrupt the composite encoding silently.
+          backfill = Status::InvalidArgument(
+              "index extractor for state '" + base_name +
+              "' emitted a 0x00 byte in the secondary key of base key '" +
+              std::string(key) + "' (see core/index_key.h)");
+          return false;
+        }
         composite.clear();
-        AppendIndexKey(&composite, backfill_extract(key, value), key);
+        AppendIndexKey(&composite, secondary, key);
         backfill = store->BulkLoad(composite, key);
         return backfill.ok();
       }));

@@ -4,9 +4,11 @@
 // The 0x00 separator keeps the composite order grouped by secondary key
 // (and ordered by primary key within one secondary key) under plain
 // byte-wise comparison, PROVIDED the secondary key contains no 0x00 byte —
-// that is the extractor's contract, checked nowhere and documented
-// everywhere. Primary keys are unrestricted (they only ever appear after
-// the separator, and the split always takes the FIRST 0x00).
+// that is the extractor's contract, enforced wherever an extracted key
+// enters the index (commit-time maintenance and backfill fail the write
+// with InvalidArgument via ValidIndexSecondary below). Primary keys are
+// unrestricted (they only ever appear after the separator, and the split
+// always takes the FIRST 0x00).
 //
 // Probing all entries of one secondary key S is the half-open composite
 // range [S 0x00, S 0x01): every composite for S starts with S 0x00, and
@@ -22,6 +24,13 @@
 namespace streamsi {
 
 inline constexpr char kIndexKeySeparator = '\0';
+
+/// True iff `secondary` honors the extractor contract (no separator byte).
+/// A violating key would make SplitIndexKey cut at the wrong position —
+/// wrong groupings and dangling probes — so writers must reject it.
+inline bool ValidIndexSecondary(std::string_view secondary) {
+  return secondary.find(kIndexKeySeparator) == std::string_view::npos;
+}
 
 /// Appends the composite key for (secondary, primary) to `out`.
 inline void AppendIndexKey(std::string* out, std::string_view secondary,

@@ -211,8 +211,27 @@ Status TransactionManager::DeriveIndexMutations(Transaction& txn) {
             "process; call Database::CreateIndex again after Open");
       }
       WriteSet& index_ws = txn.MutableWriteSet(binding.index);
+      // Extracted keys must honor the no-0x00 contract (core/index_key.h):
+      // a separator byte inside the secondary would make SplitIndexKey cut
+      // at the wrong position — silently wrong groupings and dangling
+      // probes — so the commit fails loudly instead.
+      Status derive = Status::OK();
+      const auto extract = [&](std::string_view key, std::string_view value,
+                               std::string* composite) {
+        const std::string secondary = binding.extractor(key, value);
+        if (!ValidIndexSecondary(secondary)) {
+          derive = Status::InvalidArgument(
+              "index extractor for state '" + base_store->name() +
+              "' emitted a 0x00 byte in the secondary key of base key '" +
+              std::string(key) + "' (see core/index_key.h)");
+          return false;
+        }
+        AppendIndexKey(composite, secondary, key);
+        return true;
+      };
       ws->ForEachEffective([&](std::string_view key, std::string_view value,
                                bool is_delete) {
+        if (!derive.ok()) return;
         // Pre-image: the newest committed live version of the base row.
         // This read is race-free under First-Committer-Wins: any commit
         // that modifies this key between our BOT and our validation makes
@@ -221,19 +240,15 @@ Status TransactionManager::DeriveIndexMutations(Transaction& txn) {
         pre_image.clear();
         const bool had_old = base_store->ReadLatest(key, &pre_image).ok();
         old_composite.clear();
-        if (had_old) {
-          AppendIndexKey(&old_composite, binding.extractor(key, pre_image),
-                         key);
-        }
+        if (had_old && !extract(key, pre_image, &old_composite)) return;
         new_composite.clear();
-        if (!is_delete) {
-          AppendIndexKey(&new_composite, binding.extractor(key, value), key);
-        }
+        if (!is_delete && !extract(key, value, &new_composite)) return;
         if (had_old && old_composite != new_composite) {
           index_ws.Delete(old_composite);
         }
         if (!is_delete) index_ws.Put(new_composite, key);
       });
+      if (!derive.ok()) return derive;
     }
   }
   return Status::OK();

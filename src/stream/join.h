@@ -127,6 +127,13 @@ class IndexLookupJoin : public OperatorBase, public Publisher<Out> {
   std::uint64_t dangling() const {
     return dangling_.load(std::memory_order_relaxed);
   }
+  /// Tuples dropped because Begin or the index probe itself FAILED —
+  /// transaction-slot exhaustion, a scan error — as opposed to probing
+  /// cleanly and finding nothing (those count as unmatched). A nonzero
+  /// value means the enriched stream is missing input tuples.
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   void OnElement(const StreamElement<T>& e) {
@@ -135,7 +142,10 @@ class IndexLookupJoin : public OperatorBase, public Publisher<Out> {
       return;
     }
     auto txn = manager_->Begin();
-    if (!txn.ok()) return;
+    if (!txn.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     // Snapshot (not read-committed): the probe and the per-hit base reads
     // must observe ONE cut, or a concurrent commit could slip between them.
     (*txn)->txn().set_isolation(IsolationLevel::kSnapshot);
@@ -157,7 +167,9 @@ class IndexLookupJoin : public OperatorBase, public Publisher<Out> {
           return true;
         });
     (void)(*txn)->Commit();
-    if (!status.ok() || !any) {
+    if (!status.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!any) {
       unmatched_.fetch_add(1, std::memory_order_relaxed);
     } else {
       matched_.fetch_add(1, std::memory_order_relaxed);
@@ -175,6 +187,7 @@ class IndexLookupJoin : public OperatorBase, public Publisher<Out> {
   std::atomic<std::uint64_t> matched_{0};
   std::atomic<std::uint64_t> unmatched_{0};
   std::atomic<std::uint64_t> dangling_{0};
+  std::atomic<std::uint64_t> errors_{0};
 };
 
 /// Symmetric hash join of two streams over a shared key type. Each side

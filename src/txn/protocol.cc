@@ -84,32 +84,39 @@ Status ConcurrencyProtocol::ScanRangeWithOverlay(
   // the transaction's own in-range writes (unique per key — the write set
   // is last-write-wins in place) are gathered on the stack and sorted once.
   // Per key the own write wins, and an own delete suppresses the committed
-  // row.
-  SmallVec<const WriteSet::Entry*, 16> overlay;
-  for (const auto& entry : ws->entries()) {
-    if (entry.key >= lo && (hi.empty() || entry.key < hi)) {
-      overlay.push_back(&entry);
-    }
+  // row. The overlay holds dirty-array INDICES, not Entry pointers: the
+  // committed-scan callback may legally write back into this state (the
+  // store blesses that), which can reallocate the entry vector — indices
+  // stay stable (entries are append-only, updated in place), and the key
+  // views they resolve to are arena-backed, so re-probing per use is safe.
+  const auto entry_at = [ws](std::size_t i) -> const WriteSet::Entry& {
+    return ws->entries()[i];
+  };
+  SmallVec<std::size_t, 16> overlay;
+  for (std::size_t i = 0; i < ws->entries().size(); ++i) {
+    const std::string_view key = ws->entries()[i].key;
+    if (key >= lo && (hi.empty() || key < hi)) overlay.push_back(i);
   }
   std::sort(overlay.begin(), overlay.end(),
-            [](const WriteSet::Entry* a, const WriteSet::Entry* b) {
-              return a->key < b->key;
+            [&](std::size_t a, std::size_t b) {
+              return entry_at(a).key < entry_at(b).key;
             });
   std::size_t next = 0;
   bool stop = false;
-  const auto emit_overlay = [&](const WriteSet::Entry* entry) {
-    if (entry->is_delete) return true;
-    return callback(entry->key, entry->value);
+  const auto emit_overlay = [&](std::size_t i) {
+    const WriteSet::Entry& entry = entry_at(i);
+    if (entry.is_delete) return true;
+    return callback(entry.key, entry.value);
   };
   STREAMSI_RETURN_NOT_OK(store.ScanRangeCommitted(
       read_ts, lo, hi, [&](std::string_view key, std::string_view value) {
-        while (next < overlay.size() && overlay[next]->key < key) {
+        while (next < overlay.size() && entry_at(overlay[next]).key < key) {
           if (!emit_overlay(overlay[next++])) {
             stop = true;
             return false;
           }
         }
-        if (next < overlay.size() && overlay[next]->key == key) {
+        if (next < overlay.size() && entry_at(overlay[next]).key == key) {
           // Own write shadows the committed version of this key.
           if (!emit_overlay(overlay[next++])) {
             stop = true;

@@ -64,7 +64,14 @@ VersionedStore::OrderedIndex::FindGreaterOrEqual(std::string_view key,
 void VersionedStore::OrderedIndex::InsertOrRepoint(Entry* entry) {
   const std::string_view key = entry->key;
   for (;;) {
+    // Pre-fill every level with head_: FindGreaterOrEqual only writes
+    // prev[0..L) for the max_height_ it observed, and a concurrent insert
+    // (from another shard's creator) may raise max_height_ between that
+    // load and ours below — the upper-level linking loop re-walks forward
+    // from prev[level], so head_ is a correct conservative start for any
+    // level the search never touched.
     Node* prev[kMaxHeight];
+    for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_;
     Node* found = FindGreaterOrEqual(key, prev);
     if (found != nullptr && found->key() == key) {
       // Warm-reload swap: the key keeps its node, the node gets the
@@ -80,7 +87,6 @@ void VersionedStore::OrderedIndex::InsertOrRepoint(Entry* entry) {
            !max_height_.compare_exchange_weak(cur_max, height,
                                               std::memory_order_acq_rel)) {
     }
-    for (int i = cur_max; i < height; ++i) prev[i] = head_;
 
     Node* node = NewNode(entry, height);
     // Link bottom level first with CAS; a concurrent insert from another

@@ -162,6 +162,15 @@ TEST(IndexConsistencyTest, DeclarationErrorSurface) {
   ASSERT_TRUE(db.ok());
   ASSERT_TRUE((*db)->CreateState("rows").ok());
   ASSERT_TRUE((*db)->CreateState("plain").ok());
+  {
+    // "plain" holds application data: re-declaring it as an index must
+    // refuse (an EMPTY unbound state would be adopted instead — see
+    // EmptyUnboundStateIsAdoptedAsIndex).
+    auto t = (*db)->Begin();
+    ASSERT_TRUE(
+        (*t)->Write((*db)->FindState("plain")->id(), "k", "data").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
   EXPECT_TRUE((*db)
                   ->CreateIndex("rows", "idx", nullptr)
                   .status()
@@ -170,7 +179,8 @@ TEST(IndexConsistencyTest, DeclarationErrorSurface) {
                   ->CreateIndex("missing", "idx", GroupExtractor())
                   .status()
                   .IsInvalidArgument());
-  // An existing non-index state cannot be re-declared as an index.
+  // An existing non-index state with data cannot be re-declared as an
+  // index.
   EXPECT_TRUE((*db)
                   ->CreateIndex("rows", "plain", GroupExtractor())
                   .status()
@@ -184,6 +194,88 @@ TEST(IndexConsistencyTest, DeclarationErrorSurface) {
   // ...but not as an index over a DIFFERENT base.
   EXPECT_TRUE((*db)
                   ->CreateIndex("plain", "idx", GroupExtractor())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(IndexConsistencyTest, EmptyUnboundStateIsAdoptedAsIndex) {
+  // Repair path for a crash inside a previous CreateIndex: the state (and
+  // possibly group) declarations can land in the catalog without the
+  // index-binding append. The reopened database then holds an EMPTY
+  // unbound state under the index's name — re-issuing CreateIndex adopts
+  // it (declares the missing binding, backfills) instead of refusing.
+  // Pre-declaring the state directly models that catalog shape.
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto base = (*db)->CreateState("rows");
+  ASSERT_TRUE(base.ok());
+  auto orphan = (*db)->CreateState("rows_by_group");
+  ASSERT_TRUE(orphan.ok());
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k1", "red|one").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  auto index = (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(*index, *orphan);  // adopted in place, not re-created
+  {
+    auto t = (*db)->Begin();
+    const auto content = IndexContent(**t, (*index)->id());
+    EXPECT_EQ(content.size(), 1u);  // backfilled from the base snapshot
+    EXPECT_EQ(content.count("red"), 1u);
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Maintenance is live after adoption.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k2", "blue|two").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  auto t = (*db)->Begin();
+  const auto content = IndexContent(**t, (*index)->id());
+  EXPECT_EQ(content.size(), 2u);
+  EXPECT_EQ(content.count("blue"), 1u);
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
+TEST(IndexConsistencyTest, ExtractorSeparatorByteFailsLoudly) {
+  DatabaseOptions options;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto base = (*db)->CreateState("rows");
+  ASSERT_TRUE(base.ok());
+  auto index = (*db)->CreateIndex("rows", "rows_by_group", GroupExtractor());
+  ASSERT_TRUE(index.ok());
+  // A base value whose group carries a 0x00 makes the extractor emit the
+  // separator byte into the secondary key: the commit fails with
+  // InvalidArgument instead of corrupting the composite encoding.
+  {
+    auto t = (*db)->Begin();
+    const std::string value("re\0d|one", 8);
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k1", value).ok());
+    EXPECT_TRUE((*t)->Commit().IsInvalidArgument());
+  }
+  // The failed commit published nothing — neither base row nor index entry.
+  {
+    auto t = (*db)->Begin();
+    EXPECT_TRUE(IndexContent(**t, (*index)->id()).empty());
+    std::string row;
+    EXPECT_TRUE((*t)->Read((*base)->id(), "k1", &row).IsNotFound());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  // Backfill enforces the same contract at declaration time.
+  {
+    auto t = (*db)->Begin();
+    ASSERT_TRUE((*t)->Write((*base)->id(), "k2", "red|two").ok());
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  EXPECT_TRUE((*db)
+                  ->CreateIndex("rows", "bad_idx",
+                                [](std::string_view, std::string_view) {
+                                  return std::string(1, '\0');
+                                })
                   .status()
                   .IsInvalidArgument());
 }

@@ -228,6 +228,47 @@ TEST_F(SiProtocolTest, ScanSeesSnapshotPlusOwnWrites) {
   ASSERT_TRUE((*t)->Commit().ok());
 }
 
+TEST_F(SiProtocolTest, ScanRangeSurvivesWriteBacksFromCallback) {
+  // Regression: the range scan's own-write overlay must stay valid while
+  // the callback writes back into the scanned state — those Puts grow the
+  // write set's entry vector, which may reallocate under the overlay.
+  {
+    auto t = db_->Begin();
+    for (int k = 10; k <= 50; k += 10) {
+      ASSERT_TRUE(Put((*t)->txn(), "k" + std::to_string(k), "committed").ok());
+    }
+    ASSERT_TRUE((*t)->Commit().ok());
+  }
+  auto t = db_->Begin();
+  ASSERT_TRUE(Put((*t)->txn(), "k15", "own").ok());
+  ASSERT_TRUE(Put((*t)->txn(), "k25", "own").ok());
+  ASSERT_TRUE(Put((*t)->txn(), "k35", "own").ok());
+  std::vector<std::pair<std::string, std::string>> seen;
+  int writes = 0;
+  ASSERT_TRUE(db_->txn_manager()
+                  .ScanRange((*t)->txn(), state_, "k10", "k60",
+                             [&](std::string_view k, std::string_view v) {
+                               seen.emplace_back(std::string(k),
+                                                 std::string(v));
+                               // Out-of-range keys: force entry-vector
+                               // growth without perturbing the scan.
+                               for (int i = 0; i < 16; ++i) {
+                                 EXPECT_TRUE(
+                                     Put((*t)->txn(),
+                                         "z" + std::to_string(writes++), "w")
+                                         .ok());
+                               }
+                               return true;
+                             })
+                  .ok());
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"k10", "committed"}, {"k15", "own"},       {"k20", "committed"},
+      {"k25", "own"},       {"k30", "committed"}, {"k35", "own"},
+      {"k40", "committed"}, {"k50", "committed"}};
+  EXPECT_EQ(seen, expected);
+  ASSERT_TRUE((*t)->Commit().ok());
+}
+
 TEST_F(SiProtocolTest, ReadersNeverBlockDuringWriterCommit) {
   // Smoke check of the paper's core claim: run a writer loop and reader
   // loop concurrently; readers must always observe one of the committed
