@@ -42,6 +42,7 @@
 #include "core/transaction_manager.h"
 #include "storage/hash_backend.h"
 #include "txn/protocol.h"
+#include "txn/si_protocol.h"
 
 // ---------------------------------------------------------------------------
 // Heap-allocation counter (same technique as the allocation tests): global
@@ -82,8 +83,12 @@ struct CommitResult {
 
 /// Full manager pipeline against one in-memory state with a durable
 /// group-commit log (the log's SyncMode is the experiment variable).
+/// `batched_validation`: -1 leaves the SI default, 0/1 force per-key or
+/// batch-amortized Phase-1 validation (the batch_validate sweep).
 CommitResult RunCommitters(SyncMode sync_mode, int committers,
-                           const std::string& dir) {
+                           const std::string& dir,
+                           int writes_per_txn = kWritesPerTxn,
+                           int batched_validation = -1) {
   StateContext context;
   const StateId state = context.RegisterState("bench");
   context.RegisterGroup({state});
@@ -97,6 +102,10 @@ CommitResult RunCommitters(SyncMode sync_mode, int committers,
   if (!log.Open(dir + "/group_commits.log").ok()) std::abort();
 
   auto protocol = MakeProtocol(ProtocolType::kMvcc, &context);
+  if (batched_validation >= 0) {
+    static_cast<SiProtocol*>(protocol.get())
+        ->set_batched_validation(batched_validation != 0);
+  }
   TransactionManager manager(
       &context, protocol.get(),
       [&](StateId id) { return id == state ? &store : nullptr; }, &log,
@@ -128,7 +137,7 @@ CommitResult RunCommitters(SyncMode sync_mode, int committers,
         auto handle = manager.Begin();
         if (!handle.ok()) continue;
         bool ok = true;
-        for (int w = 0; w < kWritesPerTxn && ok; ++w) {
+        for (int w = 0; w < writes_per_txn && ok; ++w) {
           ok = manager
                    .Write((*handle)->txn(), state,
                           keys[cursor++ % kKeysPerThread], value)
@@ -395,6 +404,36 @@ int main() {
         static_cast<unsigned long long>(r.slot_growths),
         static_cast<unsigned long long>(r.version_wait_stalls));
     std::fflush(stdout);
+  }
+  // Batch-validate sweep: per-key vs batch-amortized SI Phase-1 validation
+  // on the pure-CPU path. scaling on batched rows is vs the per-key row at
+  // the same (writes_per_txn, committers).
+  for (const int writes : {4, 16}) {
+    for (const int committers : {1, 8}) {
+      const CommitResult per_key =
+          RunCommitters(SyncMode::kNone, committers, dir, writes,
+                        /*batched_validation=*/0);
+      const CommitResult batched =
+          RunCommitters(SyncMode::kNone, committers, dir, writes,
+                        /*batched_validation=*/1);
+      std::printf(",\n");
+      std::printf(
+          "    {\"name\": \"commit/batch_validate\", \"mode\": \"per_key\", "
+          "\"writes_per_txn\": %d, \"committers\": %d, "
+          "\"commits_per_s\": %.0f, \"us_per_commit\": %.1f, "
+          "\"scaling\": 1.00},\n",
+          writes, committers, per_key.commits_per_s, per_key.us_per_commit);
+      std::printf(
+          "    {\"name\": \"commit/batch_validate\", \"mode\": \"batched\", "
+          "\"writes_per_txn\": %d, \"committers\": %d, "
+          "\"commits_per_s\": %.0f, \"us_per_commit\": %.1f, "
+          "\"scaling\": %.2f}",
+          writes, committers, batched.commits_per_s, batched.us_per_commit,
+          per_key.commits_per_s > 0
+              ? batched.commits_per_s / per_key.commits_per_s
+              : 0.0);
+      std::fflush(stdout);
+    }
   }
   const ChurnResult churn = RunWriteSetChurn();
   std::printf(",\n    {\"name\": \"write_set\", \"first_put_ns\": %.1f, "

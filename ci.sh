@@ -81,10 +81,12 @@ run_tsan() {
     storage_wal_test
     stream_chunk_test
     stream_chunk_differential_test
+    stream_columnar_test
     stream_partition_test
     stream_partitioned_consistency_test
     stream_txn_context_test
     txn_state_context_test
+    txn_batch_validate_test
     txn_versioned_store_test
   )
   cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS" --target "${tsan_tests[@]}"

@@ -7,9 +7,15 @@
 #define STREAMSI_STREAM_AGGREGATE_H_
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "stream/window.h"
 
@@ -70,6 +76,22 @@ WindowAggregate<T, NumericSummary>* MakeSummaryAggregate(
 }
 
 /// Per-key running aggregate: emits (key, aggregate) after every update.
+///
+/// Chunk handling comes in two tiers. The scalar chunk path hoists key
+/// extraction into its own pass per chunk (exactly one extractor call per
+/// tuple — pinned by a regression test) before folding. The VECTORIZED
+/// path (built via MakeVectorizedGroupedAggregate) hash-partitions each
+/// chunk in one software-pipelined pass: keys and group hashes are
+/// extracted a few tuples ahead of their probe-and-fold (one extractor
+/// call per tuple), slots of an open-addressed accumulator table are
+/// prefetched off those hashes, and runs of equal keys reuse the resolved
+/// slot — no per-tuple std::function dispatch, no per-tuple unordered_map
+/// probe, and ONE random access per tuple (the accumulator lives inline
+/// in the table slot, not behind a map-node pointer). Both paths produce the exact
+/// per-update (key, aggregate) output sequence of the per-tuple engine.
+/// In kernel mode the flat table is the authoritative state — the
+/// per-element channel folds into the same slots — and `groups()`
+/// materializes it into the map view on demand.
 template <typename T, typename K, typename Acc>
 class GroupedAggregate : public OperatorBase,
                          public Publisher<std::pair<K, Acc>> {
@@ -81,50 +103,276 @@ class GroupedAggregate : public OperatorBase,
                    Folder folder)
       : key_(std::move(key)), init_(std::move(init)), folder_(std::move(folder)) {
     input->SubscribeWith(
-        [this](const StreamElement<T>& e) {
-          if (e.is_data()) {
-            const K k = key_(e.data());
-            auto [it, inserted] = groups_.try_emplace(k, init_);
-            (void)inserted;
-            folder_(it->second, e.data());
-            this->Publish(StreamElement<std::pair<K, Acc>>(
-                std::make_pair(k, it->second), e.ts()));
-          } else {
-            this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
-          }
+        [this](const StreamElement<T>& e) { OnElement(e); },
+        [this](const ChunkView<T>& view) { ScalarChunk(view); });
+  }
+
+  /// Kernelized constructor (use MakeVectorizedGroupedAggregate): `key`
+  /// and `fold` are copied as inlinable functors into the chunk kernel;
+  /// the std::function members still serve the per-tuple channel.
+  struct KernelTag {};
+  template <typename KeyFn, typename FoldFn>
+  GroupedAggregate(KernelTag, Publisher<T>* input, KeyFn key, Acc init,
+                   FoldFn fold)
+      : key_(key), init_(std::move(init)), folder_(fold) {
+    input->SubscribeWith(
+        [this, key, fold](const StreamElement<T>& e) {
+          OnElementKernel(e, key, fold);
         },
-        // Chunk fast path: fold the whole chunk in one loop and emit the
-        // per-update (key, aggregate) pairs as one output chunk — the same
-        // output sequence the per-tuple path produces.
-        [this](const ChunkView<T>& view) {
-          if (!scratch_ || scratch_->capacity() < view.size()) {
-            scratch_.emplace(view.size());
-          }
-          for (std::size_t i = 0; i < view.size(); ++i) {
-            const T& data = view[i];
-            const K k = key_(data);
-            auto [it, inserted] = groups_.try_emplace(k, init_);
-            (void)inserted;
-            folder_(it->second, data);
-            scratch_->Append(std::make_pair(k, it->second), view.ts(i));
-          }
-          this->PublishChunk(scratch_->view());
-          scratch_->Clear();
+        [this, key, fold](const ChunkView<T>& view) {
+          KernelChunk(view, key, fold);
         });
   }
 
-  /// Current state of all groups (the operator's internal table).
-  const std::unordered_map<K, Acc>& groups() const { return groups_; }
+  /// Current state of all groups. In kernel mode the flat accumulator
+  /// table holds the live state; it is materialized into the map view
+  /// here (and only here), so the accessor stays cheap when nothing
+  /// changed and costs one pass over the table after kernel updates.
+  const std::unordered_map<K, Acc>& groups() const {
+    if (groups_dirty_) {
+      for (const AccSlot& s : index_) {
+        if (s.used) groups_.insert_or_assign(s.key, s.acc);
+      }
+      groups_dirty_ = false;
+    }
+    return groups_;
+  }
 
   std::string_view name() const override { return "GroupedAggregate"; }
 
+  OperatorStats stats() const override {
+    OperatorStats s;
+    s.kernel_chunks = kernel_chunks_.load(std::memory_order_relaxed);
+    s.fallback_chunks = fallback_chunks_.load(std::memory_order_relaxed);
+    s.kernel_tuples_in = kernel_tuples_.load(std::memory_order_relaxed);
+    s.kernel_tuples_out = s.kernel_tuples_in;  // one update pair per tuple
+    s.chunks = s.kernel_chunks + s.fallback_chunks;
+    return s;
+  }
+
  private:
+  using GroupNode = std::pair<const K, Acc>;
+
+  /// One group of the kernel-mode flat table: hash + key + live
+  /// accumulator, all inline so a probe touches exactly one slot.
+  struct AccSlot {
+    std::size_t hash = 0;
+    K key{};
+    Acc acc{};
+    bool used = false;
+  };
+
+  void OnElement(const StreamElement<T>& e) {
+    if (e.is_data()) {
+      const K k = key_(e.data());
+      auto [it, inserted] = groups_.try_emplace(k, init_);
+      (void)inserted;
+      folder_(it->second, e.data());
+      this->Publish(StreamElement<std::pair<K, Acc>>(
+          std::make_pair(k, it->second), e.ts()));
+    } else {
+      this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
+    }
+  }
+
+  /// Per-element channel of a kernel-mode operator: folds into the flat
+  /// accumulator table (the kernel-mode source of truth) so mixed
+  /// chunk/element delivery never splits state across two tables.
+  template <typename KeyFn, typename FoldFn>
+  void OnElementKernel(const StreamElement<T>& e, const KeyFn& key,
+                       const FoldFn& fold) {
+    if (!e.is_data()) {
+      this->Publish(e.template ForwardPunctuation<std::pair<K, Acc>>());
+      return;
+    }
+    const K k = key(e.data());
+    AccSlot* slot = ProbeOrInsert(k, std::hash<K>{}(k));
+    fold(slot->acc, e.data());
+    groups_dirty_ = true;
+    this->Publish(StreamElement<std::pair<K, Acc>>(
+        std::make_pair(slot->key, slot->acc), e.ts()));
+  }
+
+  /// Scalar chunk path: extraction hoisted into one pass per chunk, then
+  /// a fold pass — exactly one extractor call per tuple.
+  void ScalarChunk(const ChunkView<T>& view) {
+    const std::size_t n = view.size();
+    if (n == 0) return;
+    fallback_chunks_.fetch_add(1, std::memory_order_relaxed);
+    if (!scratch_ || scratch_->capacity() < n) scratch_.emplace(n);
+    keys_.clear();
+    for (std::size_t i = 0; i < n; ++i) keys_.push_back(key_(view[i]));
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [it, inserted] = groups_.try_emplace(keys_[i], init_);
+      (void)inserted;
+      folder_(it->second, view[i]);
+      scratch_->Append(std::make_pair(keys_[i], it->second), view.ts(i));
+    }
+    this->PublishChunk(scratch_->view());
+    scratch_->Clear();
+  }
+
+  /// Vectorized chunk path: one software-pipelined pass. Tuple i+D's key
+  /// and group hash are extracted D iterations ahead of its fold (still
+  /// exactly ONE extractor call per tuple — pinned by a regression test)
+  /// and its table slot prefetched, so the dependent random probe load is
+  /// already in flight when the fold reaches it. The accumulator lives
+  /// inline in the slot (one random access per tuple), and a run of equal
+  /// keys reuses the resolved slot without re-probing.
+  template <typename KeyFn, typename FoldFn>
+  void KernelChunk(const ChunkView<T>& view, const KeyFn& key,
+                   const FoldFn& fold) {
+    const std::size_t n = view.size();
+    if (n == 0) return;
+    kernel_chunks_.fetch_add(1, std::memory_order_relaxed);
+    kernel_tuples_.fetch_add(n, std::memory_order_relaxed);
+    if (!scratch_ || scratch_->capacity() < n) scratch_.emplace(n);
+    constexpr std::size_t D = 32;  // pipeline depth (power of two)
+    K kq[D];
+    std::size_t hq[D];
+    T rowq[D];
+    Timestamp tsq[D];
+    auto [out, out_ts] = scratch_->ResizeForOverwrite(n);
+    // The loop body is specialized on density so a selected view loads its
+    // selection entry exactly once per tuple and a dense view skips the
+    // indirection entirely. The table pointer/capacity live in locals,
+    // refreshed only when an insert may have grown the table, so the hot
+    // loop never reloads them across the output stores.
+    const auto run = [&](auto is_dense) {
+      const T* rows = view.data();
+      const Timestamp* tss = view.ts_data();
+      const std::uint32_t* sel = view.selection();
+      const auto stage = [&](std::size_t j) {
+        const std::size_t m = j & (D - 1);
+        std::size_t base;
+        if constexpr (decltype(is_dense)::value) {
+          base = j;
+        } else {
+          base = sel[j];
+        }
+        rowq[m] = rows[base];
+        tsq[m] = tss[base];
+        const K k = key(rowq[m]);
+        hq[m] = std::hash<K>{}(k);
+        kq[m] = k;
+      };
+      AccSlot* idx = index_.data();
+      std::size_t icap = index_.size();
+      AccSlot* slot = nullptr;
+      // Oversized chunks are processed in L1-friendly blocks so the hot
+      // scratch (ring + recent output rows) stays cache-resident whatever
+      // the transport chunk size is.
+      constexpr std::size_t B = 256;
+      for (std::size_t lo = 0; lo < n; lo += B) {
+        const std::size_t hi = lo + B < n ? lo + B : n;
+        const std::size_t lead = hi - lo < D ? hi : lo + D;
+        for (std::size_t j = lo; j < lead; ++j) stage(j);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t m = i & (D - 1);
+          if (slot == nullptr || !(kq[m] == slot->key)) {
+            // Inline the overwhelmingly common first-probe hit; collisions,
+            // inserts and growth take the out-of-line path.
+            AccSlot* first = icap != 0 ? &idx[hq[m] & (icap - 1)] : nullptr;
+            if (first != nullptr && first->used && first->hash == hq[m] &&
+                first->key == kq[m]) {
+              slot = first;
+            } else {
+              slot = ProbeOrInsert(kq[m], hq[m]);
+              idx = index_.data();
+              icap = index_.size();
+            }
+          }
+          fold(slot->acc, rowq[m]);
+          out[i] = std::make_pair(slot->key, slot->acc);
+          out_ts[i] = tsq[m];
+          // Refill the consumed ring slot with tuple i+D and start its
+          // table slot's load D iterations before the probe needs it.
+          if (i + D < hi) {
+            stage(i + D);
+#if defined(__GNUC__) || defined(__clang__)
+            if (icap != 0) __builtin_prefetch(&idx[hq[m] & (icap - 1)]);
+#endif
+          }
+        }
+      }
+    };
+    if (view.dense()) {
+      run(std::true_type{});
+    } else {
+      run(std::false_type{});
+    }
+    groups_dirty_ = true;
+    this->PublishChunk(scratch_->view());
+  }
+
+  /// Open-addressed flat accumulator table: kernel-mode groups live inline
+  /// in the slots (one random access per probe, no map-node indirection).
+  AccSlot* ProbeOrInsert(const K& k, std::size_t h) {
+    if (index_.empty() || (index_used_ + 1) * 4 > index_.size() * 3) {
+      GrowIndex();
+    }
+    const std::size_t mask = index_.size() - 1;
+    std::size_t pos = h & mask;
+    while (true) {
+      AccSlot& slot = index_[pos];
+      if (!slot.used) {
+        slot.used = true;
+        slot.hash = h;
+        slot.key = k;
+        slot.acc = init_;
+        ++index_used_;
+        return &slot;
+      }
+      if (slot.hash == h && slot.key == k) return &slot;
+      pos = (pos + 1) & mask;
+    }
+  }
+
+  void GrowIndex() {
+    const std::size_t cap = index_.empty() ? 1024 : index_.size() * 2;
+    std::vector<AccSlot> old = std::move(index_);
+    index_.assign(cap, AccSlot{});
+    const std::size_t mask = cap - 1;
+    for (AccSlot& s : old) {
+      if (!s.used) continue;
+      std::size_t pos = s.hash & mask;
+      while (index_[pos].used) pos = (pos + 1) & mask;
+      index_[pos] = std::move(s);
+    }
+  }
+
   KeyExtractor key_;
   Acc init_;
   Folder folder_;
-  std::unordered_map<K, Acc> groups_;
+  /// Scalar/per-tuple-mode state; in kernel mode it is only the lazily
+  /// materialized view served by groups().
+  mutable std::unordered_map<K, Acc> groups_;
+  mutable bool groups_dirty_ = false;
   std::optional<Chunk<std::pair<K, Acc>>> scratch_;  ///< delivering-thread only
+  std::vector<K> keys_;              ///< scalar-path scratch; delivering-thread only
+  std::vector<AccSlot> index_;       ///< kernel-mode accumulator table
+  std::size_t index_used_ = 0;
+  std::atomic<std::uint64_t> kernel_chunks_{0};
+  std::atomic<std::uint64_t> fallback_chunks_{0};
+  std::atomic<std::uint64_t> kernel_tuples_{0};
 };
+
+/// Builds a GroupedAggregate whose chunk path hash-partitions each chunk
+/// once (extract / hash / probe-and-fold passes) instead of probing the
+/// group map per tuple. `key` and `fold` must be cheap, capture-light
+/// functors.
+template <typename T, typename K, typename Acc, typename KeyFn,
+          typename FoldFn>
+GroupedAggregate<T, K, Acc>* MakeVectorizedGroupedAggregate(Publisher<T>* input,
+                                                            KeyFn key,
+                                                            Acc init,
+                                                            FoldFn fold) {
+  static_assert(std::is_invocable_r_v<K, KeyFn, const T&>,
+                "KeyFn must map const T& -> K");
+  return new GroupedAggregate<T, K, Acc>(
+      typename GroupedAggregate<T, K, Acc>::KernelTag{}, input, key,
+      std::move(init), fold);
+}
 
 }  // namespace streamsi
 

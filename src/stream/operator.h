@@ -49,11 +49,35 @@ struct OperatorStats {
   std::uint64_t flush_timeout = 0;   ///< flushes forced by linger expiry
   std::uint64_t misaligned = 0;      ///< merge boundary-misalignment recoveries
 
+  // Vectorized-kernel observability: a kernelized operator counts every
+  // chunk it ran through its columnar/vectorized kernel vs the per-tuple
+  // scalar fallback, so a silently-degraded fallback path (e.g. selected
+  // input reaching a dense-only kernel) shows up in StatsReport().
+  std::uint64_t kernel_chunks = 0;      ///< chunks through the kernel
+  std::uint64_t fallback_chunks = 0;    ///< chunks on the scalar fallback
+  std::uint64_t kernel_tuples_in = 0;   ///< tuples entering the kernel
+  std::uint64_t kernel_tuples_out = 0;  ///< tuples surviving the kernel
+
   /// Mean occupancy of flushed chunks in [0, 1] (0 when not chunking).
   double chunk_fill_ratio() const {
     if (chunks == 0 || chunk_capacity == 0) return 0.0;
     return static_cast<double>(chunk_tuples) /
            (static_cast<double>(chunks) * static_cast<double>(chunk_capacity));
+  }
+
+  /// Fraction of kernel input tuples that survived (1.0 for projections,
+  /// the pass rate for filters; 0 when no kernel ran).
+  double kernel_selectivity() const {
+    if (kernel_tuples_in == 0) return 0.0;
+    return static_cast<double>(kernel_tuples_out) /
+           static_cast<double>(kernel_tuples_in);
+  }
+
+  /// Fraction of chunk deliveries that took the vectorized kernel.
+  double kernel_hit_ratio() const {
+    const std::uint64_t total = kernel_chunks + fallback_chunks;
+    if (total == 0) return 0.0;
+    return static_cast<double>(kernel_chunks) / static_cast<double>(total);
   }
 
   /// Folds a builder's flush counters into this snapshot.

@@ -82,6 +82,13 @@ class ToTable : public OperatorBase, public Publisher<T> {
     s.dropped = errors_.load(std::memory_order_relaxed);
     s.chunks = chunks_.load(std::memory_order_relaxed);
     s.chunk_tuples = chunk_tuples_.load(std::memory_order_relaxed);
+    // Chunks fully absorbed by the tight write loop count as kernel hits;
+    // chunks that spilled any tuple to the per-tuple protocol count as
+    // fallbacks.
+    s.kernel_chunks = kernel_chunks_.load(std::memory_order_relaxed);
+    s.fallback_chunks = s.chunks - s.kernel_chunks;
+    s.kernel_tuples_in = kernel_tuples_.load(std::memory_order_relaxed);
+    s.kernel_tuples_out = s.kernel_tuples_in;
     return s;
   }
 
@@ -136,6 +143,10 @@ class ToTable : public OperatorBase, public Publisher<T> {
           ++ok_writes;
         }
         writes_.fetch_add(ok_writes, std::memory_order_relaxed);
+        if (done == view.size()) {
+          kernel_chunks_.fetch_add(1, std::memory_order_relaxed);
+          kernel_tuples_.fetch_add(ok_writes, std::memory_order_relaxed);
+        }
       }
     }
     // Slow path (everything the fast path didn't finish): the full
@@ -203,6 +214,8 @@ class ToTable : public OperatorBase, public Publisher<T> {
   std::atomic<std::uint64_t> writes_{0};
   std::atomic<std::uint64_t> chunks_{0};
   std::atomic<std::uint64_t> chunk_tuples_{0};
+  std::atomic<std::uint64_t> kernel_chunks_{0};
+  std::atomic<std::uint64_t> kernel_tuples_{0};
 };
 
 }  // namespace streamsi

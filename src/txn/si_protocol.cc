@@ -1,5 +1,10 @@
 #include "txn/si_protocol.h"
 
+#include <string>
+#include <utility>
+
+#include "common/small_vec.h"
+
 namespace streamsi {
 
 Timestamp SiProtocol::SnapshotFor(Transaction& txn, VersionedStore& store) {
@@ -70,7 +75,13 @@ Status SiProtocol::ScanRange(
 Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
   const WriteSet* ws = txn.FindWriteSet(store.id());
   if (ws == nullptr || ws->empty()) return Status::OK();
-  for (const auto& entry : ws->entries()) {
+  return batched_validation_ ? ValidateBatched(txn, store, *ws)
+                             : ValidatePerKey(txn, store, *ws);
+}
+
+Status SiProtocol::ValidatePerKey(Transaction& txn, VersionedStore& store,
+                                  const WriteSet& ws) {
+  for (const auto& entry : ws.entries()) {
     // Commit-time write lock ("In the case of multiple writers, additional
     // write locks are introduced"). The recorded key is a view into the
     // write set — stable until the scratch resets after release. The
@@ -90,6 +101,37 @@ Status SiProtocol::Validate(Transaction& txn, VersionedStore& store) {
     }
   }
   return Status::OK();
+}
+
+Status SiProtocol::ValidateBatched(Transaction& txn, VersionedStore& store,
+                                   const WriteSet& ws) {
+  // Batch-amortized Phase 1: validate-and-lock the whole write set in one
+  // store pass (one epoch pin for every probe, one shard-latch acquisition
+  // per distinct shard for creations, one scratch-lock acquisition for all
+  // lock records) instead of a per-key round-trip. LockForCommitBatch
+  // claims locks in write-set order, so abort/retry outcomes are identical
+  // to ValidatePerKey — including the FCW-failed key holding (and later
+  // releasing) its lock.
+  const auto& entries = ws.entries();
+  SmallVec<VersionedStore::CommitLockRequest, 16> requests;
+  for (const auto& entry : entries) {
+    requests.push_back(
+        VersionedStore::CommitLockRequest{entry.key, entry.hash, nullptr});
+  }
+  std::size_t locked = 0;
+  const Status status =
+      store.LockForCommitBatch(requests.begin(), requests.size(), txn.id(),
+                               &locked);
+  // Stash the resolved handles for the apply phase and record every
+  // claimed lock for release — both only over the locked prefix.
+  for (std::size_t i = 0; i < locked; ++i) {
+    entries[i].commit_hint = requests[i].handle;
+  }
+  txn.RecordCommitLocks(store.id(), locked, [&](std::size_t i) {
+    return std::pair<std::string_view, void*>(entries[i].key,
+                                              requests[i].handle);
+  });
+  return status;
 }
 
 void SiProtocol::ReleaseState(Transaction& txn, VersionedStore& store,

@@ -44,11 +44,24 @@ class SiProtocol final : public ConcurrencyProtocol {
   void ReleaseState(Transaction& txn, VersionedStore& store,
                     bool committed) override;
 
+  /// Batch-amortized validation (default on): Phase 1 validates and locks
+  /// the whole write set in one LockForCommitBatch pass per store. The
+  /// per-key path is kept verbatim behind this switch — the conflict-
+  /// semantics differential test runs both against the same interleavings.
+  void set_batched_validation(bool on) { batched_validation_ = on; }
+  bool batched_validation() const { return batched_validation_; }
+
  private:
   /// The transaction's snapshot for this store (pin-on-first-read, §4.2).
   Timestamp SnapshotFor(Transaction& txn, VersionedStore& store);
 
+  Status ValidateBatched(Transaction& txn, VersionedStore& store,
+                         const WriteSet& ws);
+  Status ValidatePerKey(Transaction& txn, VersionedStore& store,
+                        const WriteSet& ws);
+
   StateContext* context_;
+  bool batched_validation_ = true;
 };
 
 }  // namespace streamsi

@@ -213,6 +213,21 @@ class Transaction {
     scratch_->commit_locks.push_back(CommitLockRef{state, key, entry});
   }
 
+  /// Batch variant for amortized validation: records `count` locks under
+  /// ONE lock acquisition. `get(i)` must return a CommitLockRef-shaped
+  /// {key, entry} pair for index i (keys pointing into the write set).
+  template <typename Fn>
+  void RecordCommitLocks(StateId state, std::size_t count, Fn&& get) {
+    if (count == 0) return;
+    std::lock_guard<SpinLock> guard(lock_);
+    auto& locks = scratch_->commit_locks;
+    locks.reserve(locks.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto [key, entry] = get(i);
+      locks.push_back(CommitLockRef{state, key, entry});
+    }
+  }
+
   /// Releases (and removes) the commit locks recorded for `state`, invoking
   /// `unlock(lock)` for each CommitLockRef. In-place and allocation-free.
   template <typename Fn>

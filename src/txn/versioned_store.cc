@@ -1,11 +1,13 @@
 #include "txn/versioned_store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <functional>
 #include <new>
 
 #include "common/logging.h"
+#include "common/small_vec.h"
 
 namespace streamsi {
 
@@ -381,6 +383,92 @@ Status VersionedStore::LockForCommit(std::string_view key, TxnId txn,
   if (expected == txn) return Status::OK();  // re-entrant
   return Status::Conflict("key is being committed by txn " +
                           std::to_string(expected));
+}
+
+Status VersionedStore::LockForCommitBatch(CommitLockRequest* requests,
+                                          std::size_t count, TxnId txn,
+                                          std::size_t* locked_count) {
+  *locked_count = 0;
+  if (count == 0) return Status::OK();
+  stats_.batch_validates.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase A: resolve every existing entry under ONE epoch pin (the per-key
+  // path pins once per key). Write sets cache HashKey(key) per entry, so
+  // nothing is re-hashed here either.
+  std::size_t misses = 0;
+  {
+    EpochGuard epoch_guard;
+    for (std::size_t i = 0; i < count; ++i) {
+      assert(requests[i].hash == HashKey(requests[i].key));
+      requests[i].handle = FindEntry(requests[i].key, requests[i].hash);
+      misses += requests[i].handle == nullptr ? 1 : 0;
+    }
+  }
+
+  // Phase B: create the missing entries, sorted by shard so each shard's
+  // exclusive latch is acquired once per batch instead of once per key.
+  if (misses > 0) {
+    SmallVec<std::uint32_t, 16> miss;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (requests[i].handle == nullptr) {
+        miss.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    std::sort(miss.begin(), miss.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return ShardIndex(requests[a].hash) <
+                       ShardIndex(requests[b].hash);
+              });
+    std::size_t pos = 0;
+    while (pos < miss.size()) {
+      const std::size_t shard_idx = ShardIndex(requests[miss[pos]].hash);
+      Shard& shard = shards_[shard_idx];
+      ExclusiveGuard guard(shard.latch);
+      for (; pos < miss.size() &&
+             ShardIndex(requests[miss[pos]].hash) == shard_idx;
+           ++pos) {
+        CommitLockRequest& req = requests[miss[pos]];
+        // Re-probe under the latch: another writer may have created the key
+        // since the optimistic miss. No epoch guard is needed — the latch
+        // excludes table replacement.
+        Entry* entry = FindEntry(req.key, req.hash);
+        if (entry == nullptr) {
+          auto created = std::make_unique<Entry>(std::string(req.key),
+                                                 req.hash,
+                                                 options_.mvcc_slots);
+          entry = created.get();
+          InsertEntryLocked(shard, std::move(created));
+        }
+        req.handle = entry;
+      }
+    }
+  }
+
+  // Phase C: claim commit ownership and check First-Committer-Wins in
+  // request (write-set) order — the observable lock/conflict sequence is
+  // identical to the per-key path. Ownership is a try-lock CAS, so the
+  // in-order claim cannot deadlock regardless of other batches' orders.
+  for (std::size_t i = 0; i < count; ++i) {
+    Entry* entry = static_cast<Entry*>(requests[i].handle);
+    TxnId expected = 0;
+    if (!entry->commit_owner.compare_exchange_strong(
+            expected, txn, std::memory_order_acq_rel) &&
+        expected != txn) {
+      *locked_count = i;  // keys [0, i) hold locks; key i does not
+      return Status::Conflict("key is being committed by txn " +
+                              std::to_string(expected));
+    }
+    if (entry->latest_modification.load(std::memory_order_acquire) > txn) {
+      // The FCW-failed key IS locked (and must be released), exactly like
+      // the per-key path, which records the lock before the check.
+      *locked_count = i + 1;
+      return Status::Conflict("first-committer-wins: key '" +
+                              std::string(requests[i].key) +
+                              "' has a newer committed modification");
+    }
+  }
+  *locked_count = count;
+  return Status::OK();
 }
 
 void VersionedStore::UnlockCommit(std::string_view key, TxnId txn) {

@@ -81,6 +81,8 @@ struct StoreStats {
   /// Installs that had to wait for the GC floor to advance (hot key at
   /// mvcc_slots_max with every version pinned).
   std::atomic<std::uint64_t> version_wait_stalls{0};
+  /// Batched validate-and-lock passes (LockForCommitBatch calls).
+  std::atomic<std::uint64_t> batch_validates{0};
 };
 
 /// One transactional state table (untyped: byte-string keys/values).
@@ -159,6 +161,32 @@ class VersionedStore {
                        EntryHandle* handle = nullptr);
   void UnlockCommit(std::string_view key, TxnId txn);
   void UnlockCommit(EntryHandle handle, TxnId txn);
+
+  /// One key of a batched validate-and-lock pass. `hash` must be
+  /// HashKey(key) — write sets already cache exactly that hash, so the
+  /// batch path never re-hashes. `handle` receives the resolved entry.
+  struct CommitLockRequest {
+    std::string_view key;
+    std::size_t hash = 0;
+    EntryHandle handle = nullptr;
+  };
+
+  /// Batch-amortized commit validation: resolves, creates (where missing)
+  /// and commit-locks every key of a write-set batch in one pass —
+  /// ONE epoch pin for all probes and one shard-latch acquisition per
+  /// DISTINCT SHARD (misses sorted by shard, probed in runs) instead of a
+  /// pin + probe + possible latch round-trip per key.
+  ///
+  /// Locks are claimed in request (write-set) order, so the observable
+  /// lock/conflict sequence is identical to calling LockForCommit per key:
+  /// on a Conflict from the lock CAS, requests [0, *locked_count) hold
+  /// commit locks and the failing key does not; on a first-committer-wins
+  /// Conflict the failing key IS locked (and counted), exactly like the
+  /// per-key path, so release logic is shared. Entries created for keys
+  /// after a conflict point carry no versions and are semantically
+  /// invisible.
+  Status LockForCommitBatch(CommitLockRequest* requests, std::size_t count,
+                            TxnId txn, std::size_t* locked_count);
 
   /// Handle-based First-Committer-Wins comparison point (no probe, no
   /// epoch pin — the handle already is the entry).

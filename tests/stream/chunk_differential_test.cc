@@ -78,6 +78,15 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 }
 
 namespace streamsi {
+
+/// Fixed-width event for the columnar differential lanes.
+struct Event {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+STREAMSI_COLUMNAR_FIELDS(Event, &Event::key, &Event::value);
+
 namespace {
 
 using Tuple = std::pair<std::uint64_t, std::uint64_t>;
@@ -227,6 +236,184 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ChunkDifferentialTest,
                            return "Unknown";
                          });
 
+// ------------------------------------------- columnar/vectorized lanes ---
+//
+// The same workload runs through Where -> Map -> Batcher -> ToTable ->
+// GroupedAggregate three ways: bare per-tuple delivery with scalar
+// operators, row chunks through the scalar fallbacks, and row chunks
+// through the columnar/vectorized kernels (ColumnarWhere's SoA scatter +
+// selection output, MakeVectorizedMap, MakeVectorizedGroupedAggregate).
+// Committed table state, the exact per-update aggregate sequence and the
+// transaction framing must be byte-identical across all three — under
+// every concurrency protocol.
+
+enum class EngineVariant { kPerTuple, kRowChunk, kColumnar };
+
+constexpr std::uint64_t kMixedTuples = 1022;  // not a multiple of 7 or 13
+constexpr std::uint64_t kMixedKeys = 64;
+constexpr std::size_t kMixedChunk = 13;  // misaligned with kBatch == 7
+
+std::vector<StreamElement<Event>> MakeMixedWorkload() {
+  std::mt19937_64 rng(7);
+  std::vector<StreamElement<Event>> elements;
+  elements.reserve(kMixedTuples);
+  for (std::uint64_t i = 0; i < kMixedTuples; ++i) {
+    elements.emplace_back(Event{i % kMixedKeys, rng() % 100000});
+  }
+  return elements;
+}
+
+struct MixedOutput {
+  std::map<std::uint64_t, std::uint64_t> committed;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> updates;
+  std::vector<std::vector<std::uint64_t>> batches;
+  std::uint64_t write_errors = 0;
+};
+
+MixedOutput RunMixedPipeline(ProtocolType protocol, EngineVariant variant) {
+  DatabaseOptions options;
+  options.protocol = protocol;
+  auto db = Database::Open(options).value();
+  auto* state = db->CreateState("mixed_sink").value();
+  TransactionalTable<std::uint64_t, std::uint64_t> table(&db->txn_manager(),
+                                                         state);
+
+  const auto keep = [](const std::uint64_t& value) {
+    return (value & 3) != 0;
+  };
+  const auto transform = [](const Event& e) {
+    return Event{e.key, e.value * 2 + 1};
+  };
+  const auto group_key = [](const Event& e) { return e.key % 8; };
+  const auto fold = [](std::uint64_t& acc, const Event& e) {
+    acc += e.value;
+  };
+
+  Topology topology;
+  SourceOptions source_options;
+  source_options.chunk_capacity =
+      variant == EngineVariant::kPerTuple ? 0 : kMixedChunk;
+  auto* source =
+      topology.Add<VectorSource<Event>>(MakeMixedWorkload(), source_options);
+
+  Publisher<Event>* filtered = nullptr;
+  if (variant == EngineVariant::kColumnar) {
+    // Field-1 (value) column filter over the SoA decomposition.
+    filtered = topology.Adopt(new ColumnarWhere<Event, 1>(source, keep));
+  } else {
+    filtered = topology.Add<Where<Event>>(
+        source, [keep](const Event& e) { return keep(e.value); });
+  }
+
+  Publisher<Event>* mapped = nullptr;
+  if (variant == EngineVariant::kColumnar) {
+    mapped = topology.Adopt(
+        MakeVectorizedMap<Event, Event>(filtered, transform));
+  } else {
+    mapped = topology.Add<Map<Event, Event>>(filtered, transform);
+  }
+
+  auto* batcher = topology.Add<Batcher<Event>>(mapped, kBatch);
+  MixedOutput out;
+  batcher->Subscribe([&out](const StreamElement<Event>& e) {
+    if (e.is_data()) {
+      out.batches.back().push_back(e.data().key);
+    } else if (e.punctuation() == Punctuation::kBeginTxn) {
+      out.batches.emplace_back();
+    }
+  });
+
+  auto ctx = std::make_shared<StreamTxnContext>(&db->txn_manager());
+  auto* to_table = topology.Add<ToTable<Event, std::uint64_t, std::uint64_t>>(
+      batcher, table, ctx, [](const Event& e) { return e.key; },
+      [](const Event& e) { return e.value; });
+
+  GroupedAggregate<Event, std::uint64_t, std::uint64_t>* agg = nullptr;
+  if (variant == EngineVariant::kColumnar) {
+    agg = topology.Adopt(
+        MakeVectorizedGroupedAggregate<Event, std::uint64_t, std::uint64_t>(
+            to_table, group_key, std::uint64_t{0}, fold));
+  } else {
+    agg = topology.Add<GroupedAggregate<Event, std::uint64_t, std::uint64_t>>(
+        to_table, group_key, std::uint64_t{0}, fold);
+  }
+  auto* updates =
+      topology.Add<Collect<std::pair<std::uint64_t, std::uint64_t>>>(agg);
+
+  topology.Start();
+  topology.Join();
+
+  out.updates = updates->Elements();
+  out.write_errors = to_table->error_count();
+
+  auto txn = db->Begin().value();
+  EXPECT_TRUE(table
+                  .Scan(txn->txn(),
+                        [&](const std::uint64_t& k, const std::uint64_t& v) {
+                          out.committed[k] = v;
+                          return true;
+                        })
+                  .ok());
+  EXPECT_TRUE(txn->Commit().ok());
+  return out;
+}
+
+class MixedEngineDifferentialTest
+    : public ::testing::TestWithParam<ProtocolType> {};
+
+TEST_P(MixedEngineDifferentialTest, ColumnarRowAndPerTupleLanesAgree) {
+  const MixedOutput per_tuple =
+      RunMixedPipeline(GetParam(), EngineVariant::kPerTuple);
+  const MixedOutput row = RunMixedPipeline(GetParam(), EngineVariant::kRowChunk);
+  const MixedOutput columnar =
+      RunMixedPipeline(GetParam(), EngineVariant::kColumnar);
+
+  EXPECT_EQ(per_tuple.write_errors, 0u);
+  EXPECT_EQ(row.write_errors, 0u);
+  EXPECT_EQ(columnar.write_errors, 0u);
+
+  // Independently computed expectation anchors the per-tuple lane.
+  std::mt19937_64 rng(7);
+  std::map<std::uint64_t, std::uint64_t> expected_committed;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected_updates;
+  std::map<std::uint64_t, std::uint64_t> acc;
+  for (std::uint64_t i = 0; i < kMixedTuples; ++i) {
+    const std::uint64_t key = i % kMixedKeys;
+    const std::uint64_t value = rng() % 100000;
+    if ((value & 3) == 0) continue;
+    const std::uint64_t mapped = value * 2 + 1;
+    expected_committed[key] = mapped;
+    acc[key % 8] += mapped;
+    expected_updates.emplace_back(key % 8, acc[key % 8]);
+  }
+  EXPECT_EQ(per_tuple.committed, expected_committed);
+  EXPECT_EQ(per_tuple.updates, expected_updates);
+
+  // Row-chunk and columnar lanes are byte-identical to the per-tuple lane.
+  EXPECT_EQ(row.committed, per_tuple.committed);
+  EXPECT_EQ(columnar.committed, per_tuple.committed)
+      << "columnar lane committed different table state";
+  EXPECT_EQ(row.updates, per_tuple.updates);
+  EXPECT_EQ(columnar.updates, per_tuple.updates)
+      << "columnar lane emitted a different aggregate update sequence";
+  EXPECT_EQ(row.batches, per_tuple.batches);
+  EXPECT_EQ(columnar.batches, per_tuple.batches)
+      << "columnar lane moved transaction batch boundaries";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, MixedEngineDifferentialTest,
+                         ::testing::Values(ProtocolType::kMvcc,
+                                           ProtocolType::kS2pl,
+                                           ProtocolType::kBocc),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ProtocolType::kMvcc: return "Mvcc";
+                             case ProtocolType::kS2pl: return "S2pl";
+                             case ProtocolType::kBocc: return "Bocc";
+                           }
+                           return "Unknown";
+                         });
+
 // ------------------------------------------------- steady-state allocs ---
 
 TEST(ChunkAllocationTest, SteadyStateAddsNoPerTupleAllocations) {
@@ -281,6 +468,56 @@ TEST(ChunkAllocationTest, SteadyStateAddsNoPerTupleAllocations) {
   const std::uint64_t extra_tuples = large_tuples - small_tuples;
   EXPECT_LE(large_allocs, small_allocs + extra_tuples / 100)
       << "chunked path allocates per tuple at steady state (small run: "
+      << small_allocs << " allocs, large run: " << large_allocs << ")";
+}
+
+TEST(ChunkAllocationTest, ColumnarSteadyStateAddsNoPerTupleAllocations) {
+  // Columnar/vectorized pipeline: ColumnarWhere scatters every chunk into
+  // a pooled ColumnarChunk and the vectorized GroupedAggregate reuses its
+  // key/hash/scratch arrays — after warm-up nothing on the per-chunk path
+  // allocates, so 4x the tuples must not grow the allocation count.
+  auto run = [](std::uint64_t tuples) {
+    Topology topology;
+    std::vector<StreamElement<Event>> elements;
+    elements.reserve(tuples);
+    for (std::uint64_t i = 0; i < tuples; ++i) {
+      elements.emplace_back(Event{i % 32, i});
+    }
+    SourceOptions source_options;
+    source_options.chunk_capacity = 64;
+    auto* source = topology.Add<VectorSource<Event>>(std::move(elements),
+                                                     source_options);
+    auto* where = topology.Adopt(new ColumnarWhere<Event, 1>(
+        source, [](const std::uint64_t& value) { return (value & 3) != 0; }));
+    auto* agg = topology.Adopt(
+        MakeVectorizedGroupedAggregate<Event, std::uint64_t, std::uint64_t>(
+            where, [](const Event& e) { return e.key; }, std::uint64_t{0},
+            [](std::uint64_t& acc, const Event& e) { acc += e.value; }));
+    std::atomic<std::uint64_t> drained{0};
+    topology.Add<ForEach<std::pair<std::uint64_t, std::uint64_t>>>(
+        agg, [&](const std::pair<std::uint64_t, std::uint64_t>&) {
+          drained.fetch_add(1, std::memory_order_relaxed);
+        });
+
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    topology.Start();
+    topology.Join();
+    const std::uint64_t during =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(drained.load(), tuples - tuples / 4)
+        << "value & 3 drops exactly one tuple in four";
+    return during;
+  };
+
+  const std::uint64_t small_tuples = 8192;
+  const std::uint64_t large_tuples = 4 * small_tuples;
+  const std::uint64_t small_allocs = run(small_tuples);
+  const std::uint64_t large_allocs = run(large_tuples);
+
+  const std::uint64_t extra_tuples = large_tuples - small_tuples;
+  EXPECT_LE(large_allocs, small_allocs + extra_tuples / 100)
+      << "columnar path allocates per tuple at steady state (small run: "
       << small_allocs << " allocs, large run: " << large_allocs << ")";
 }
 

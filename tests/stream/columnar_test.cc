@@ -1,0 +1,527 @@
+// Columnar chunks + vectorized operator kernels: selection-vector views
+// (indirection, slicing, compaction on copy), ColumnarTraits/SoaLayout
+// scatter-gather round trips, pooled ColumnarChunk reuse, the kernelized
+// Where/Map/GroupedAggregate fast paths (output identical to the scalar
+// operators, kernel-hit counters in OperatorStats), ColumnarWhere's
+// field-column filtering with selection composition, and the regression
+// test pinning GroupedAggregate's extractor-call count (exactly one key
+// extraction per tuple on every chunk path).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace streamsi {
+
+/// Fixed-width tuple for SoA tests — registered field-wise below.
+struct Quote {
+  std::uint64_t symbol = 0;
+  std::int64_t price = 0;
+  std::uint32_t qty = 0;
+
+  bool operator==(const Quote& other) const {
+    return symbol == other.symbol && price == other.price && qty == other.qty;
+  }
+};
+
+STREAMSI_COLUMNAR_FIELDS(Quote, &Quote::symbol, &Quote::price, &Quote::qty);
+
+namespace {
+
+// ------------------------------------------------------ selection views ---
+
+TEST(SelectionViewTest, IndirectsAndSlices) {
+  Chunk<int> chunk(6);
+  for (int v = 0; v < 6; ++v) {
+    chunk.Append(v * 10, static_cast<Timestamp>(100 + v));
+  }
+  const ChunkView<int> dense = chunk.view();
+  EXPECT_TRUE(dense.dense());
+  EXPECT_EQ(dense.selection(), nullptr);
+
+  const std::uint32_t sel[] = {1, 3, 5};
+  const ChunkView<int> selected(dense.data(), dense.ts_data(), sel, 3);
+  EXPECT_FALSE(selected.dense());
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0], 10);
+  EXPECT_EQ(selected[1], 30);
+  EXPECT_EQ(selected[2], 50);
+  EXPECT_EQ(selected.ts(0), 101u);
+  EXPECT_EQ(selected.ts(2), 105u);
+
+  // Slicing a selected view slices the selection, not the base arrays.
+  const ChunkView<int> slice = selected.Slice(1, 2);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_FALSE(slice.dense());
+  EXPECT_EQ(slice[0], 30);
+  EXPECT_EQ(slice[1], 50);
+  EXPECT_EQ(slice.ts(0), 103u);
+}
+
+TEST(SelectionViewTest, AppendViewCompactsSelection) {
+  Chunk<int> source(4);
+  for (int v = 0; v < 4; ++v) source.Append(v, static_cast<Timestamp>(v));
+  const std::uint32_t sel[] = {0, 2};
+  const ChunkView<int> selected(source.view().data(), source.view().ts_data(),
+                                sel, 2);
+
+  Chunk<int> copy(4);
+  copy.AppendView(selected);
+  ASSERT_EQ(copy.size(), 2u);
+  const ChunkView<int> dense = copy.view();
+  EXPECT_TRUE(dense.dense());
+  EXPECT_EQ(dense[0], 0);
+  EXPECT_EQ(dense[1], 2);
+  EXPECT_EQ(dense.ts(1), 2u);
+}
+
+// ------------------------------------------------------- columnar chunks ---
+
+TEST(ColumnarChunkTest, ScatterGatherRoundTrip) {
+  Chunk<Quote> rows(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    rows.Append(Quote{i, static_cast<std::int64_t>(100 + i),
+                      static_cast<std::uint32_t>(10 * i)},
+                static_cast<Timestamp>(i));
+  }
+
+  ColumnarChunk<Quote> col(4);
+  col.ScatterFrom(rows.view());
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_FALSE(col.has_selection());
+
+  // Per-field contiguous arrays.
+  const std::uint64_t* symbols = col.column<0>();
+  const std::int64_t* prices = col.column<1>();
+  const std::uint32_t* qtys = col.column<2>();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(symbols[i], i);
+    EXPECT_EQ(prices[i], static_cast<std::int64_t>(100 + i));
+    EXPECT_EQ(qtys[i], 10 * i);
+  }
+
+  // Row adapter: gather reassembles the original tuples.
+  Chunk<Quote> back(4);
+  col.GatherInto(back);
+  ASSERT_EQ(back.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.view()[i], rows.view()[i]);
+    EXPECT_EQ(back.view().ts(i), rows.view().ts(i));
+  }
+}
+
+TEST(ColumnarChunkTest, SelectionGathersSurvivorsOnly) {
+  ColumnarChunk<Quote> col(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    col.Append(Quote{i, static_cast<std::int64_t>(i), 0},
+               static_cast<Timestamp>(i));
+  }
+  std::uint32_t* sel = col.selection_data();
+  sel[0] = 1;
+  sel[1] = 3;
+  col.SetSelection(2);
+  EXPECT_TRUE(col.has_selection());
+  EXPECT_EQ(col.selected_size(), 2u);
+
+  Chunk<Quote> out(4);
+  col.GatherInto(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.view()[0].symbol, 1u);
+  EXPECT_EQ(out.view()[1].symbol, 3u);
+  EXPECT_EQ(out.view().ts(1), 3u);
+
+  col.Clear();
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_FALSE(col.has_selection());
+  EXPECT_EQ(col.selected_size(), 0u);
+}
+
+TEST(ColumnarChunkTest, ScatterFromSelectedViewCompacts) {
+  Chunk<Quote> rows(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    rows.Append(Quote{i, 0, 0}, static_cast<Timestamp>(i));
+  }
+  const std::uint32_t sel[] = {0, 3};
+  const ChunkView<Quote> selected(rows.view().data(), rows.view().ts_data(),
+                                  sel, 2);
+  ColumnarChunk<Quote> col(4);
+  col.ScatterFrom(selected);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.column<0>()[0], 0u);
+  EXPECT_EQ(col.column<0>()[1], 3u);
+  EXPECT_EQ(col.ts_data()[1], 3u);
+}
+
+TEST(ColumnarChunkTest, ArithmeticTraitSingleColumn) {
+  Chunk<std::uint64_t> rows(3);
+  for (std::uint64_t v : {7u, 8u, 9u}) rows.Append(v, 0);
+  ColumnarChunk<std::uint64_t> col(3);
+  col.ScatterFrom(rows.view());
+  const std::uint64_t* values = col.column<0>();
+  EXPECT_EQ(values[0], 7u);
+  EXPECT_EQ(values[2], 9u);
+  EXPECT_EQ(ColumnarTraits<std::uint64_t>::Get<0>(rows.view()[1]), 8u);
+  EXPECT_EQ((ColumnarTraits<Quote>::Get<1>(Quote{0, 42, 0})), 42);
+}
+
+TEST(ColumnarChunkPoolTest, ReusesClearedChunks) {
+  auto pool = ColumnarChunkPool<Quote>::Create();
+  {
+    ColumnarChunkRef<Quote> ref = pool->Acquire(8);
+    ref->Append(Quote{1, 2, 3}, 0);
+    ref->SetSelection(1);
+  }  // released, cleared
+  EXPECT_EQ(pool->allocated(), 1u);
+  EXPECT_EQ(pool->reused(), 0u);
+  for (int round = 0; round < 16; ++round) {
+    ColumnarChunkRef<Quote> ref = pool->Acquire(8);
+    EXPECT_EQ(ref->size(), 0u);
+    EXPECT_FALSE(ref->has_selection());
+    ref->Append(Quote{2, 3, 4}, 1);
+  }
+  EXPECT_EQ(pool->allocated(), 1u) << "steady state must not allocate";
+  EXPECT_EQ(pool->reused(), 16u);
+}
+
+// ----------------------------------------------------- vectorized Where ---
+
+TEST(VectorizedWhereTest, MatchesScalarWhereAndCountsKernelHits) {
+  Publisher<std::uint64_t> scalar_in;
+  Where<std::uint64_t> scalar(&scalar_in,
+                              [](const std::uint64_t& v) { return v % 3 != 0; });
+  Collect<std::uint64_t> scalar_out(&scalar);
+
+  Publisher<std::uint64_t> kernel_in;
+  std::unique_ptr<Where<std::uint64_t>> kernel(MakeVectorizedWhere(
+      &kernel_in, [](const std::uint64_t& v) { return v % 3 != 0; }));
+  Collect<std::uint64_t> kernel_out(kernel.get());
+
+  Chunk<std::uint64_t> chunk(8);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    chunk.Append(v, static_cast<Timestamp>(v));
+  }
+  scalar_in.PublishChunk(chunk.view());
+  kernel_in.PublishChunk(chunk.view());
+  // Per-element channel must agree too.
+  scalar_in.Publish(StreamElement<std::uint64_t>(8, 8));
+  kernel_in.Publish(StreamElement<std::uint64_t>(8, 8));
+
+  EXPECT_EQ(kernel_out.Elements(), scalar_out.Elements());
+  EXPECT_EQ(kernel_out.Elements(),
+            (std::vector<std::uint64_t>{1, 2, 4, 5, 7, 8}));
+
+  const OperatorStats stats = kernel->stats();
+  EXPECT_EQ(stats.kernel_chunks, 1u);
+  EXPECT_EQ(stats.fallback_chunks, 0u);
+  EXPECT_EQ(stats.kernel_tuples_in, 8u);
+  EXPECT_EQ(stats.kernel_tuples_out, 5u);
+  EXPECT_DOUBLE_EQ(stats.kernel_selectivity(), 5.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stats.kernel_hit_ratio(), 1.0);
+}
+
+TEST(VectorizedWhereTest, AllPassForwardsOriginalViewZeroCopy) {
+  Publisher<int> input;
+  std::unique_ptr<Where<int>> where(
+      MakeVectorizedWhere(&input, [](const int&) { return true; }));
+  const int* seen_data = nullptr;
+  bool seen_dense = false;
+  where->SubscribeWith([](const StreamElement<int>&) {},
+                       [&](const ChunkView<int>& view) {
+                         seen_data = view.data();
+                         seen_dense = view.dense();
+                       });
+
+  Chunk<int> chunk(4);
+  for (int v : {1, 2, 3, 4}) chunk.Append(v, 0);
+  input.PublishChunk(chunk.view());
+  EXPECT_EQ(seen_data, chunk.view().data())
+      << "all-pass must forward the original storage";
+  EXPECT_TRUE(seen_dense);
+}
+
+TEST(VectorizedWhereTest, PartialPassShipsSelectionOverOriginalData) {
+  Publisher<int> input;
+  std::unique_ptr<Where<int>> where(
+      MakeVectorizedWhere(&input, [](const int& v) { return v % 2 == 0; }));
+  const int* seen_data = nullptr;
+  std::vector<int> seen;
+  std::vector<Timestamp> seen_ts;
+  bool seen_dense = true;
+  where->SubscribeWith([](const StreamElement<int>&) {},
+                       [&](const ChunkView<int>& view) {
+                         seen_data = view.data();
+                         seen_dense = view.dense();
+                         for (std::size_t i = 0; i < view.size(); ++i) {
+                           seen.push_back(view[i]);
+                           seen_ts.push_back(view.ts(i));
+                         }
+                       });
+
+  Chunk<int> chunk(5);
+  for (int v = 0; v < 5; ++v) chunk.Append(v, static_cast<Timestamp>(10 + v));
+  input.PublishChunk(chunk.view());
+
+  EXPECT_EQ(seen_data, chunk.view().data())
+      << "partial pass must not copy tuple data";
+  EXPECT_FALSE(seen_dense);
+  EXPECT_EQ(seen, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(seen_ts, (std::vector<Timestamp>{10, 12, 14}));
+}
+
+TEST(VectorizedWhereTest, SelectedInputFallsBackAndIsCounted) {
+  Publisher<int> input;
+  std::unique_ptr<Where<int>> where(
+      MakeVectorizedWhere(&input, [](const int& v) { return v > 0; }));
+  Collect<int> out(where.get());
+
+  Chunk<int> chunk(4);
+  for (int v : {-1, 1, -2, 2}) chunk.Append(v, 0);
+  const std::uint32_t sel[] = {1, 2, 3};
+  input.PublishChunk(ChunkView<int>(chunk.view().data(),
+                                    chunk.view().ts_data(), sel, 3));
+
+  EXPECT_EQ(out.Elements(), (std::vector<int>{1, 2}));
+  const OperatorStats stats = where->stats();
+  EXPECT_EQ(stats.kernel_chunks, 0u);
+  EXPECT_EQ(stats.fallback_chunks, 1u)
+      << "selected input must be observable as a fallback";
+}
+
+// ------------------------------------------------------- vectorized Map ---
+
+TEST(VectorizedMapTest, MatchesScalarMapAndSharesTimestamps) {
+  Publisher<std::uint64_t> input;
+  std::unique_ptr<Map<std::uint64_t, std::uint64_t>> map(
+      MakeVectorizedMap<std::uint64_t, std::uint64_t>(
+          &input, [](const std::uint64_t& v) { return v * 2 + 1; }));
+  std::vector<std::uint64_t> values;
+  std::vector<Timestamp> ts;
+  map->SubscribeWith([&](const StreamElement<std::uint64_t>& e) {
+                       if (e.is_data()) {
+                         values.push_back(e.data());
+                         ts.push_back(e.ts());
+                       }
+                     },
+                     [&](const ChunkView<std::uint64_t>& view) {
+                       for (std::size_t i = 0; i < view.size(); ++i) {
+                         values.push_back(view[i]);
+                         ts.push_back(view.ts(i));
+                       }
+                     });
+
+  Chunk<std::uint64_t> chunk(4);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    chunk.Append(v, static_cast<Timestamp>(100 + v));
+  }
+  input.PublishChunk(chunk.view());
+  input.Publish(StreamElement<std::uint64_t>(10, 200));
+
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 3, 5, 7, 21}));
+  EXPECT_EQ(ts, (std::vector<Timestamp>{100, 101, 102, 103, 200}));
+  const OperatorStats stats = map->stats();
+  EXPECT_EQ(stats.kernel_chunks, 1u);
+  EXPECT_EQ(stats.kernel_tuples_in, 4u);
+  EXPECT_DOUBLE_EQ(stats.kernel_selectivity(), 1.0);
+}
+
+// ------------------------------------------------------- ColumnarWhere ---
+
+TEST(ColumnarWhereTest, FiltersOnOneFieldColumn) {
+  Publisher<Quote> input;
+  ColumnarWhere<Quote, 1> where(&input,
+                                [](const std::int64_t& price) { return price >= 100; });
+  Collect<Quote> out(&where);
+
+  Chunk<Quote> chunk(4);
+  chunk.Append(Quote{1, 50, 1}, 0);
+  chunk.Append(Quote{2, 150, 2}, 1);
+  chunk.Append(Quote{3, 99, 3}, 2);
+  chunk.Append(Quote{4, 100, 4}, 3);
+  input.PublishChunk(chunk.view());
+  input.Publish(StreamElement<Quote>(Quote{5, 120, 5}, 4));  // per-element
+  input.Publish(StreamElement<Quote>(Quote{6, 80, 6}, 5));
+
+  const std::vector<Quote> got = out.Elements();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].symbol, 2u);
+  EXPECT_EQ(got[1].symbol, 4u);
+  EXPECT_EQ(got[2].symbol, 5u);
+
+  const OperatorStats stats = where.stats();
+  EXPECT_EQ(stats.kernel_chunks, 1u);
+  EXPECT_EQ(stats.kernel_tuples_in, 4u);
+  EXPECT_EQ(stats.kernel_tuples_out, 2u);
+  EXPECT_EQ(where.pool()->allocated(), 1u);
+}
+
+TEST(ColumnarWhereTest, ComposesSelectionsAcrossChainedFilters) {
+  Publisher<Quote> input;
+  ColumnarWhere<Quote, 1> by_price(&input, [](const std::int64_t& price) {
+    return price >= 100;
+  });
+  ColumnarWhere<Quote, 2> by_qty(&by_price,
+                                 [](const std::uint32_t& qty) { return qty >= 10; });
+  Collect<Quote> out(&by_qty);
+
+  Chunk<Quote> chunk(5);
+  chunk.Append(Quote{1, 200, 5}, 0);   // price ok, qty small
+  chunk.Append(Quote{2, 50, 50}, 1);   // price small
+  chunk.Append(Quote{3, 300, 30}, 2);  // survives both
+  chunk.Append(Quote{4, 100, 10}, 3);  // survives both
+  chunk.Append(Quote{5, 90, 90}, 4);   // price small
+  input.PublishChunk(chunk.view());
+
+  const std::vector<Quote> got = out.Elements();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].symbol, 3u);
+  EXPECT_EQ(got[1].symbol, 4u);
+  // The second filter saw a selected view and still ran its kernel.
+  EXPECT_EQ(by_qty.stats().kernel_chunks, 1u);
+}
+
+// ------------------------------------- vectorized GroupedAggregate ---
+
+TEST(VectorizedGroupedAggregateTest, MatchesScalarOutputSequence) {
+  using Pair = std::pair<std::uint64_t, std::uint64_t>;
+  Publisher<std::uint64_t> scalar_in;
+  GroupedAggregate<std::uint64_t, std::uint64_t, std::uint64_t> scalar(
+      &scalar_in, [](const std::uint64_t& v) { return v % 4; }, 0,
+      [](std::uint64_t& acc, const std::uint64_t& v) { acc += v; });
+  Collect<Pair> scalar_out(&scalar);
+
+  Publisher<std::uint64_t> kernel_in;
+  std::unique_ptr<GroupedAggregate<std::uint64_t, std::uint64_t, std::uint64_t>>
+      kernel(MakeVectorizedGroupedAggregate<std::uint64_t, std::uint64_t,
+                                            std::uint64_t>(
+          &kernel_in, [](const std::uint64_t& v) { return v % 4; },
+          std::uint64_t{0},
+          [](std::uint64_t& acc, const std::uint64_t& v) { acc += v; }));
+  Collect<Pair> kernel_out(kernel.get());
+
+  Chunk<std::uint64_t> chunk(16);
+  // Runs of equal keys (exercises run-length reuse) plus alternation.
+  const std::uint64_t values[] = {0, 4, 8, 1, 5, 2, 2, 6, 3, 7, 0, 1, 1, 9, 3, 11};
+  for (std::uint64_t v : values) chunk.Append(v, static_cast<Timestamp>(v));
+  scalar_in.PublishChunk(chunk.view());
+  kernel_in.PublishChunk(chunk.view());
+
+  EXPECT_EQ(kernel_out.Elements(), scalar_out.Elements());
+  EXPECT_EQ(kernel->groups(), scalar.groups());
+  EXPECT_EQ(kernel->stats().kernel_chunks, 1u);
+  EXPECT_EQ(kernel->stats().fallback_chunks, 0u);
+  EXPECT_EQ(scalar.stats().fallback_chunks, 1u);
+}
+
+TEST(VectorizedGroupedAggregateTest, SideIndexGrowthKeepsGroupsExact) {
+  Publisher<std::uint64_t> input;
+  std::unique_ptr<GroupedAggregate<std::uint64_t, std::uint64_t, std::uint64_t>>
+      agg(MakeVectorizedGroupedAggregate<std::uint64_t, std::uint64_t,
+                                         std::uint64_t>(
+          &input, [](const std::uint64_t& v) { return v; }, std::uint64_t{0},
+          [](std::uint64_t& acc, const std::uint64_t&) { acc += 1; }));
+
+  // More distinct keys than the initial side-index capacity (1024), in
+  // several chunks, some keys repeated across chunks.
+  constexpr std::uint64_t kKeys = 3000;
+  Chunk<std::uint64_t> chunk(256);
+  for (std::uint64_t v = 0; v < kKeys * 2; ++v) {
+    chunk.Append(v % kKeys, 0);
+    if (chunk.full()) {
+      input.PublishChunk(chunk.view());
+      chunk.Clear();
+    }
+  }
+  if (!chunk.empty()) input.PublishChunk(chunk.view());
+
+  ASSERT_EQ(agg->groups().size(), kKeys);
+  for (const auto& [key, count] : agg->groups()) {
+    EXPECT_EQ(count, 2u) << "key " << key;
+  }
+}
+
+// Satellite regression: exactly ONE key extraction per tuple on the chunk
+// paths (extraction is hoisted per chunk; emitting the update pair must
+// not re-extract).
+TEST(GroupedAggregateExtractionTest, ScalarChunkPathExtractsOncePerTuple) {
+  Publisher<int> input;
+  std::size_t calls = 0;
+  GroupedAggregate<int, int, int> agg(
+      &input,
+      [&calls](const int& v) {
+        ++calls;
+        return v % 2;
+      },
+      0, [](int& acc, const int& v) { acc += v; });
+  Collect<std::pair<int, int>> out(&agg);
+
+  Chunk<int> chunk(8);
+  for (int v = 0; v < 8; ++v) chunk.Append(v, 0);
+  input.PublishChunk(chunk.view());
+  EXPECT_EQ(calls, 8u) << "chunk path must extract each key exactly once";
+  EXPECT_EQ(out.size(), 8u);
+
+  input.Publish(StreamElement<int>(9, 0));
+  EXPECT_EQ(calls, 9u) << "per-tuple path must extract exactly once";
+}
+
+TEST(GroupedAggregateExtractionTest, KernelChunkPathExtractsOncePerTuple) {
+  Publisher<int> input;
+  static std::size_t calls;  // functor must stay capture-light/copyable
+  calls = 0;
+  struct CountingKey {
+    int operator()(const int& v) const {
+      ++calls;
+      return v % 2;
+    }
+  };
+  std::unique_ptr<GroupedAggregate<int, int, int>> agg(
+      MakeVectorizedGroupedAggregate<int, int, int>(
+          &input, CountingKey{}, 0,
+          [](int& acc, const int& v) { acc += v; }));
+  Collect<std::pair<int, int>> out(agg.get());
+
+  Chunk<int> chunk(8);
+  for (int v = 0; v < 8; ++v) chunk.Append(v, 0);
+  input.PublishChunk(chunk.view());
+  EXPECT_EQ(calls, 8u)
+      << "vectorized path must extract each key exactly once (hoisted pass)";
+  EXPECT_EQ(out.size(), 8u);
+}
+
+// -------------------------------------------- steady-state allocation ---
+
+TEST(ColumnarSteadyStateTest, OperatorsReuseScratchAcrossChunks) {
+  Publisher<std::uint64_t> input;
+  std::unique_ptr<Where<std::uint64_t>> where(MakeVectorizedWhere(
+      &input, [](const std::uint64_t& v) { return v % 2 == 0; }));
+  std::unique_ptr<GroupedAggregate<std::uint64_t, std::uint64_t, std::uint64_t>>
+      agg(MakeVectorizedGroupedAggregate<std::uint64_t, std::uint64_t,
+                                         std::uint64_t>(
+          where.get(), [](const std::uint64_t& v) { return v % 8; },
+          std::uint64_t{0},
+          [](std::uint64_t& acc, const std::uint64_t& v) { acc += v; }));
+  std::uint64_t drained = 0;
+  ForEach<std::pair<std::uint64_t, std::uint64_t>> sink(
+      agg.get(),
+      [&](const std::pair<std::uint64_t, std::uint64_t>&) { ++drained; });
+
+  Chunk<std::uint64_t> chunk(64);
+  for (int round = 0; round < 200; ++round) {
+    chunk.Clear();
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      chunk.Append(v + static_cast<std::uint64_t>(round), 0);
+    }
+    input.PublishChunk(chunk.view());
+  }
+  EXPECT_EQ(drained, 200u * 32u);
+  EXPECT_EQ(where->stats().kernel_chunks, 200u);
+  EXPECT_EQ(agg->stats().kernel_chunks, 200u);
+}
+
+}  // namespace
+}  // namespace streamsi
